@@ -1,0 +1,199 @@
+// Command socrates-bench regenerates the paper's evaluation tables and
+// figures (Tables 1–7, Figure 4) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	socrates-bench -exp all
+//	socrates-bench -exp table5 -measure 3s -threads 64
+//	socrates-bench -exp figure4 -sf 1000
+//
+// Absolute numbers are scaled (the substrate is a simulator); the shapes —
+// who wins, by what factor, where the crossovers are — are the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"socrates/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, or all")
+	measure := flag.Duration("measure", 2*time.Second, "measurement window per data point")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "warm-up before each measurement")
+	sf := flag.Int("sf", 2000, "CDB scale factor (rows per scaled table)")
+	threads := flag.Int("threads", 64, "client threads for throughput experiments")
+	flag.Parse()
+
+	o := experiments.Options{
+		Measure: *measure,
+		WarmUp:  *warmup,
+		SF:      *sf,
+		Threads: *threads,
+	}
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+			if s == "cache" && (name == "table3" || name == "table4") {
+				return true
+			}
+		}
+		return false
+	}
+
+	ok := true
+	run := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		fmt.Printf("\n=== %s ===\n", strings.ToUpper(name))
+		start := time.Now()
+		if err := f(); err != nil {
+			ok = false
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			return
+		}
+		fmt.Printf("(%s in %.1fs)\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() error { return runTable1(o) })
+	run("table2", func() error { return runTable2(o) })
+	run("table3", func() error { return runTable3(o) })
+	run("table4", func() error { return runTable4(o) })
+	run("table5", func() error { return runTable5(o) })
+	run("table6", func() error { return runTable6(o) })
+	run("figure4", func() error { return runFigure4(o) })
+	run("table7", func() error { return runTable7(o) })
+
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func runTable1(o experiments.Options) error {
+	rows, err := experiments.Table1(o)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "Metric\tToday (HADR)\tSocrates")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.Metric, r.HADR, r.Socrates)
+	}
+	return w.Flush()
+}
+
+func runTable2(o experiments.Options) error {
+	h, s, err := experiments.Table2(o)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "System\tCPU %\tWrite TPS\tRead TPS\tTotal TPS")
+	for _, r := range []experiments.ThroughputRow{h, s} {
+		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%.0f\t%.0f\n",
+			r.System, r.CPUPct, r.WriteTPS, r.ReadTPS, r.TotalTPS)
+	}
+	fmt.Fprintf(w, "\nSocrates/HADR total TPS ratio: %.2f (paper: 0.95)\n",
+		s.TotalTPS/h.TotalTPS)
+	return w.Flush()
+}
+
+func runTable3(o experiments.Options) error {
+	r, err := experiments.Table3(o)
+	if err != nil {
+		return err
+	}
+	printCacheRow(r, "paper: 52% at 15% cache")
+	return nil
+}
+
+func runTable4(o experiments.Options) error {
+	r, err := experiments.Table4(o)
+	if err != nil {
+		return err
+	}
+	printCacheRow(r, "paper: 32% at ~1% cache")
+	return nil
+}
+
+func printCacheRow(r experiments.CacheRow, note string) {
+	w := tw()
+	fmt.Fprintln(w, "Workload\tData pages\tCache pages\tCache ratio\tLocal hit %")
+	fmt.Fprintf(w, "%s\t%d\t%d\t%.1f%%\t%.1f%%\n",
+		r.Workload, r.DataPages, r.CachePages, r.CacheRatio*100, r.HitPct)
+	fmt.Fprintf(w, "(%s)\n", note)
+	w.Flush()
+}
+
+func runTable5(o experiments.Options) error {
+	h, s, err := experiments.Table5(o)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "System\tLog MB/s\tCPU %")
+	fmt.Fprintf(w, "%s\t%.2f\t%.1f\n", h.System, h.LogMBps, h.CPUPct)
+	fmt.Fprintf(w, "%s\t%.2f\t%.1f\n", s.System, s.LogMBps, s.CPUPct)
+	fmt.Fprintf(w, "\nSocrates/HADR log ratio: %.2f (paper: 1.58)\n", s.LogMBps/h.LogMBps)
+	return w.Flush()
+}
+
+func runTable6(o experiments.Options) error {
+	xio, dd, err := experiments.Table6(o)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "Service\tSTDEV (us)\tMin (us)\tMedian (us)\tMax (us)")
+	for _, r := range []experiments.LatencyRow{xio, dd} {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", r.Service,
+			r.Stats.Stdev.Microseconds(), r.Stats.Min.Microseconds(),
+			r.Stats.Median.Microseconds(), r.Stats.Max.Microseconds())
+	}
+	fmt.Fprintf(w, "\nXIO/DD median ratio: %.1f (paper: 4.1)\n",
+		float64(xio.Stats.Median)/float64(dd.Stats.Median))
+	return w.Flush()
+}
+
+func runFigure4(o experiments.Options) error {
+	points, err := experiments.Figure4(o, nil)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "Service\tThreads\tUpdateLite TPS")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\n", p.Service, p.Threads, p.TPS)
+	}
+	return w.Flush()
+}
+
+func runTable7(o experiments.Options) error {
+	xio, dd, err := experiments.Table7(o, 0)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "Service\tThreads\tLog MB/s\tCPU %")
+	for _, r := range []experiments.EfficiencyRow{xio, dd} {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.1f\n", r.Service, r.Threads, r.LogMBps, r.CPUPct)
+	}
+	fmt.Fprintf(w, "\nXIO needs %.0fx threads and %.1fx CPU per MB/s (paper: 8x threads, ~3x CPU)\n",
+		float64(xio.Threads)/float64(dd.Threads),
+		(xio.CPUPct/xio.LogMBps)/(dd.CPUPct/dd.LogMBps))
+	return w.Flush()
+}

@@ -1,0 +1,73 @@
+package btree
+
+import (
+	"fmt"
+
+	"socrates/internal/page"
+	"socrates/internal/wal"
+)
+
+// Apply performs redo of one page-mutation record against the page,
+// in place. It is the single convergence point for secondaries, page
+// servers, and restart recovery.
+//
+// Redo is idempotent: records at or below the page's LSN are skipped, so a
+// consumer may safely replay overlapping log ranges. Apply returns whether
+// the record mutated the page.
+func Apply(pg *page.Page, rec *wal.Record) (bool, error) {
+	if !rec.IsPageOp() {
+		return false, fmt.Errorf("btree: record %v is not a page op", rec.Kind)
+	}
+	if rec.Page != pg.ID {
+		return false, fmt.Errorf("btree: record for page %d applied to page %d", rec.Page, pg.ID)
+	}
+	if rec.LSN <= pg.LSN {
+		return false, nil // already reflected
+	}
+	switch rec.Kind {
+	case wal.KindPageImage:
+		pg.Type = rec.PageType
+		pg.Data = append([]byte(nil), rec.Value...)
+	case wal.KindCellPut:
+		n, err := decodeNode(pg.Data)
+		if err != nil {
+			return false, fmt.Errorf("btree: redo cell-put on page %d: %w", pg.ID, err)
+		}
+		n.put(append([]byte(nil), rec.Key...), append([]byte(nil), rec.Value...))
+		data, err := n.encode()
+		if err != nil {
+			return false, fmt.Errorf("btree: redo cell-put on page %d: %w", pg.ID, err)
+		}
+		pg.Data = data
+	case wal.KindCellDelete:
+		n, err := decodeNode(pg.Data)
+		if err != nil {
+			return false, fmt.Errorf("btree: redo cell-delete on page %d: %w", pg.ID, err)
+		}
+		n.remove(rec.Key)
+		data, err := n.encode()
+		if err != nil {
+			return false, fmt.Errorf("btree: redo cell-delete on page %d: %w", pg.ID, err)
+		}
+		pg.Data = data
+	default:
+		return false, fmt.Errorf("btree: unknown page op %v", rec.Kind)
+	}
+	pg.LSN = rec.LSN
+	return true, nil
+}
+
+// NewFormatted builds a page directly from a page-image record — used when
+// a consumer applies a record for a page it has never seen (e.g. a page
+// server materializing a freshly allocated page).
+func NewFormatted(rec *wal.Record) (*page.Page, error) {
+	if rec.Kind != wal.KindPageImage {
+		return nil, fmt.Errorf("btree: cannot materialize page from %v record", rec.Kind)
+	}
+	return &page.Page{
+		ID:   rec.Page,
+		LSN:  rec.LSN,
+		Type: rec.PageType,
+		Data: append([]byte(nil), rec.Value...),
+	}, nil
+}

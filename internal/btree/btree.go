@@ -1,0 +1,388 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"socrates/internal/page"
+	"socrates/internal/wal"
+)
+
+// MaxCell bounds a single key+value entry so that a split always succeeds.
+const MaxCell = 2048
+
+// ErrTooLarge reports a key+value pair exceeding MaxCell.
+var ErrTooLarge = errors.New("btree: entry exceeds MaxCell")
+
+// Pager is the tree's view of page storage plus allocation. On the primary
+// it is backed by the buffer pool and space manager; log apply and replicas
+// never call Allocate (allocation arrives as page-image records).
+type Pager interface {
+	Read(id page.ID) (*page.Page, error)
+	Write(pg *page.Page) error
+	// Allocate returns a fresh, empty page of the given type with a
+	// never-used ID. The caller formats and logs it.
+	Allocate(t page.Type) (*page.Page, error)
+}
+
+// Tree is a B-tree rooted at a fixed page. The root page ID never changes
+// (root splits rewrite the root in place), so catalogs can reference it.
+//
+// All mutating methods must be externally serialized (the engine's commit
+// path holds a single writer lock); reads may run concurrently with log
+// apply on replicas and report ErrInconsistent when they race a split.
+type Tree struct {
+	pager Pager
+	log   wal.Logger
+	root  page.ID
+}
+
+// Create allocates and formats an empty tree, returning it. The format is
+// logged (as a page image) under the given txn.
+func Create(pager Pager, log wal.Logger, txn uint64) (*Tree, error) {
+	pg, err := pager.Allocate(page.TypeLeaf)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{pager: pager, log: log, root: pg.ID}
+	if err := t.writeImage(txn, pg, &node{}, page.TypeLeaf); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to an existing tree rooted at root.
+func Open(pager Pager, log wal.Logger, root page.ID) *Tree {
+	return &Tree{pager: pager, log: log, root: root}
+}
+
+// Root reports the root page ID.
+func (t *Tree) Root() page.ID { return t.root }
+
+// writeImage logs a whole-page image and installs it.
+func (t *Tree) writeImage(txn uint64, pg *page.Page, n *node, ty page.Type) error {
+	data, err := n.encode()
+	if err != nil {
+		return err
+	}
+	pg.Type = ty
+	pg.Data = data
+	lsn := t.log.Append(&wal.Record{
+		Txn: txn, Kind: wal.KindPageImage, Page: pg.ID, PageType: ty, Value: data,
+	})
+	pg.LSN = lsn
+	return t.pager.Write(pg)
+}
+
+// writeCellPut logs a single cell upsert and installs the updated node.
+func (t *Tree) writeCellPut(txn uint64, pg *page.Page, n *node, key, value []byte) error {
+	data, err := n.encode()
+	if err != nil {
+		return err
+	}
+	pg.Data = data
+	lsn := t.log.Append(&wal.Record{
+		Txn: txn, Kind: wal.KindCellPut, Page: pg.ID, PageType: pg.Type,
+		Key: key, Value: value,
+	})
+	pg.LSN = lsn
+	return t.pager.Write(pg)
+}
+
+// writeCellDelete logs a cell removal and installs the updated node.
+func (t *Tree) writeCellDelete(txn uint64, pg *page.Page, n *node, key []byte) error {
+	data, err := n.encode()
+	if err != nil {
+		return err
+	}
+	pg.Data = data
+	lsn := t.log.Append(&wal.Record{
+		Txn: txn, Kind: wal.KindCellDelete, Page: pg.ID, PageType: pg.Type, Key: key,
+	})
+	pg.LSN = lsn
+	return t.pager.Write(pg)
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	id := t.root
+	for {
+		pg, err := t.pager.Read(id)
+		if err != nil {
+			return nil, false, err
+		}
+		n, err := decodeNode(pg.Data)
+		if err != nil {
+			return nil, false, err
+		}
+		if !n.covers(key) {
+			return nil, false, fmt.Errorf("%w: page %d does not cover key", ErrInconsistent, id)
+		}
+		if pg.Type == page.TypeInternal {
+			id, err = n.childFor(key)
+			if err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		i, found := n.find(key)
+		if !found {
+			return nil, false, nil
+		}
+		return append([]byte(nil), n.cells[i].value...), true, nil
+	}
+}
+
+// splitResult propagates a child split up the insertion path.
+type splitResult struct {
+	key   []byte  // separator: first key of the right sibling
+	right page.ID // the new right sibling
+}
+
+// Put upserts key→value.
+func (t *Tree) Put(txn uint64, key, value []byte) error {
+	if len(key)+len(value) > MaxCell {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(key)+len(value))
+	}
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	split, err := t.putRec(txn, t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		return t.growRoot(txn, split)
+	}
+	return nil
+}
+
+func (t *Tree) putRec(txn uint64, id page.ID, key, value []byte) (*splitResult, error) {
+	pg, err := t.pager.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(pg.Data)
+	if err != nil {
+		return nil, err
+	}
+	if pg.Type == page.TypeInternal {
+		child, err := n.childFor(key)
+		if err != nil {
+			return nil, err
+		}
+		split, err := t.putRec(txn, child, key, value)
+		if err != nil || split == nil {
+			return nil, err
+		}
+		// Install the separator for the new right sibling.
+		n.put(split.key, encodeChild(split.right))
+		if n.encodedSize() <= page.MaxData {
+			if err := t.writeCellPut(txn, pg, n, split.key, encodeChild(split.right)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		return t.splitNode(txn, pg, n)
+	}
+	// Leaf.
+	n.put(key, value)
+	if n.encodedSize() <= page.MaxData {
+		if err := t.writeCellPut(txn, pg, n, key, value); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return t.splitNode(txn, pg, n)
+}
+
+// splitNode splits an overflowing node (already containing the new entry)
+// into the original page (left half) and a fresh right sibling, logging
+// page images for both.
+func (t *Tree) splitNode(txn uint64, pg *page.Page, n *node) (*splitResult, error) {
+	mid := splitPoint(n)
+	sep := append([]byte(nil), n.cells[mid].key...)
+
+	right := &node{
+		lo:    sep,
+		hi:    n.hi,
+		cells: append([]cell(nil), n.cells[mid:]...),
+	}
+	left := &node{
+		lo:    n.lo,
+		hi:    sep,
+		cells: n.cells[:mid],
+	}
+	rpg, err := t.pager.Allocate(pg.Type)
+	if err != nil {
+		return nil, err
+	}
+	// Order matters for replicas applying a prefix: the right sibling must
+	// exist before the (rewritten) left half stops covering its keys.
+	if err := t.writeImage(txn, rpg, right, pg.Type); err != nil {
+		return nil, err
+	}
+	if err := t.writeImage(txn, pg, left, pg.Type); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: sep, right: rpg.ID}, nil
+}
+
+// splitPoint picks the cell index where the byte sizes of the halves are
+// closest to balanced, always leaving both halves nonempty.
+func splitPoint(n *node) int {
+	total := 0
+	sizes := make([]int, len(n.cells))
+	for i, c := range n.cells {
+		sizes[i] = 2 + len(c.key) + 4 + len(c.value)
+		total += sizes[i]
+	}
+	acc := 0
+	for i, s := range sizes {
+		acc += s
+		if acc >= total/2 && i+1 < len(n.cells) {
+			return i + 1
+		}
+	}
+	return len(n.cells) / 2
+}
+
+// growRoot handles a root split: the root page ID stays stable, so the old
+// root's (left-half) contents move to a fresh page and the root becomes an
+// internal node routing to both halves.
+func (t *Tree) growRoot(txn uint64, split *splitResult) error {
+	rootPg, err := t.pager.Read(t.root)
+	if err != nil {
+		return err
+	}
+	leftNode, err := decodeNode(rootPg.Data)
+	if err != nil {
+		return err
+	}
+	leftPg, err := t.pager.Allocate(rootPg.Type)
+	if err != nil {
+		return err
+	}
+	if err := t.writeImage(txn, leftPg, leftNode, rootPg.Type); err != nil {
+		return err
+	}
+	newRoot := &node{
+		cells: []cell{
+			{key: nil, value: encodeChild(leftPg.ID)},
+			{key: split.key, value: encodeChild(split.right)},
+		},
+	}
+	return t.writeImage(txn, rootPg, newRoot, page.TypeInternal)
+}
+
+// Delete removes key, reporting whether it was present. Underfull nodes are
+// not merged; space is reclaimed when pages are rewritten by later splits.
+func (t *Tree) Delete(txn uint64, key []byte) (bool, error) {
+	id := t.root
+	for {
+		pg, err := t.pager.Read(id)
+		if err != nil {
+			return false, err
+		}
+		n, err := decodeNode(pg.Data)
+		if err != nil {
+			return false, err
+		}
+		if !n.covers(key) {
+			return false, fmt.Errorf("%w: page %d does not cover key", ErrInconsistent, id)
+		}
+		if pg.Type == page.TypeInternal {
+			id, err = n.childFor(key)
+			if err != nil {
+				return false, err
+			}
+			continue
+		}
+		if !n.remove(key) {
+			return false, nil
+		}
+		if err := t.writeCellDelete(txn, pg, n, key); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+}
+
+// Scan streams entries with lo <= key < hi (nil hi = unbounded) in key
+// order until fn returns false.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	_, err := t.scanRec(t.root, lo, hi, fn)
+	return err
+}
+
+func (t *Tree) scanRec(id page.ID, lo, hi []byte, fn func(k, v []byte) bool) (bool, error) {
+	pg, err := t.pager.Read(id)
+	if err != nil {
+		return false, err
+	}
+	n, err := decodeNode(pg.Data)
+	if err != nil {
+		return false, err
+	}
+	// Fence validation: the node must be able to contain the start of the
+	// requested range (clipped to the node's own lo).
+	start := lo
+	if bytes.Compare(n.lo, start) > 0 {
+		start = n.lo
+	}
+	if len(start) > 0 && !n.covers(start) {
+		return false, fmt.Errorf("%w: page %d fence violation in scan", ErrInconsistent, id)
+	}
+	if pg.Type != page.TypeInternal {
+		for _, c := range n.cells {
+			if lo != nil && bytes.Compare(c.key, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(c.key, hi) >= 0 {
+				return false, nil
+			}
+			if !fn(c.key, c.value) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i, c := range n.cells {
+		// Child i covers [c.key, nextKey).
+		var next []byte
+		if i+1 < len(n.cells) {
+			next = n.cells[i+1].key
+		} else {
+			next = n.hi
+		}
+		if hi != nil && len(c.key) > 0 && bytes.Compare(c.key, hi) >= 0 {
+			return false, nil
+		}
+		if lo != nil && len(next) > 0 && bytes.Compare(next, lo) <= 0 {
+			continue
+		}
+		child, err := decodeChild(c.value)
+		if err != nil {
+			return false, err
+		}
+		cont, err := t.scanRec(child, lo, hi, fn)
+		if err != nil {
+			return false, err
+		}
+		if !cont {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Count returns the number of entries (a full scan).
+func (t *Tree) Count() (int, error) {
+	count := 0
+	err := t.Scan(nil, nil, func([]byte, []byte) bool {
+		count++
+		return true
+	})
+	return count, err
+}

@@ -1,0 +1,69 @@
+package btree
+
+import (
+	"socrates/internal/page"
+)
+
+// The helpers below expose the node codec to other packages that store
+// cell-structured data in pages (the version store keeps version entries as
+// cells keyed by slot number, so its pages replicate through the very same
+// redo path as B-tree pages).
+
+// LookupCell returns the value stored under key in the page's cell area.
+func LookupCell(pg *page.Page, key []byte) ([]byte, bool, error) {
+	n, err := decodeNode(pg.Data)
+	if err != nil {
+		return nil, false, err
+	}
+	i, found := n.find(key)
+	if !found {
+		return nil, false, nil
+	}
+	return append([]byte(nil), n.cells[i].value...), true, nil
+}
+
+// CellCount reports how many cells the page holds.
+func CellCount(pg *page.Page) (int, error) {
+	n, err := decodeNode(pg.Data)
+	if err != nil {
+		return 0, err
+	}
+	return len(n.cells), nil
+}
+
+// PayloadSize reports the encoded size of the page's cell area, used to
+// decide when an append-structured page is full.
+func PayloadSize(pg *page.Page) (int, error) {
+	n, err := decodeNode(pg.Data)
+	if err != nil {
+		return 0, err
+	}
+	return n.encodedSize(), nil
+}
+
+// EmptyNodePayload returns the encoding of an empty, unbounded node — the
+// initial payload for a freshly formatted cell-structured page.
+func EmptyNodePayload() []byte {
+	data, err := (&node{}).encode()
+	if err != nil {
+		panic("btree: empty node must encode: " + err.Error())
+	}
+	return data
+}
+
+// CellOverhead is the per-cell encoding overhead beyond key and value bytes.
+const CellOverhead = 6
+
+// RangeCells calls fn for each cell in key order until fn returns false.
+func RangeCells(pg *page.Page, fn func(key, value []byte) bool) error {
+	n, err := decodeNode(pg.Data)
+	if err != nil {
+		return err
+	}
+	for _, c := range n.cells {
+		if !fn(c.key, c.value) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+// Package cluster assembles and orchestrates complete Socrates deployments:
+// the four tiers (compute, XLOG, page servers, XStore) wired over an RBIO
+// fabric, plus the distributed workflows of §5 and §6 — primary failover,
+// O(1) scale-up, adding secondaries and page-server replicas, splitting a
+// partition into finer shards, constant-time backup via XStore snapshots,
+// and point-in-time restore from a snapshot set plus a log range.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"socrates/internal/compute"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/pageserver"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/xlog"
+	"socrates/internal/xstore"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Name is the database name; it prefixes blob names and RBIO addresses.
+	Name string
+	// Secondaries is the initial secondary compute node count.
+	Secondaries int
+	// PageServers is the initial partition count (each gets one server).
+	// Zero means one server covering the whole database.
+	PageServers int
+	// PagesPerPartition sizes partitions (the paper's 128 GB, scaled).
+	// Required when PageServers > 1.
+	PagesPerPartition uint64
+	// LZProfile is the landing-zone device class (default simdisk.XIO; the
+	// Appendix A experiments swap in simdisk.DirectDrive — no code change).
+	LZProfile simdisk.Profile
+	// LZReplicas / LZQuorum configure landing-zone replication (3 / 2).
+	LZReplicas, LZQuorum int
+	// LZCapacity bounds the landing-zone ring (default 8 MiB).
+	LZCapacity int64
+	// XStore overrides the simulated XStore account configuration.
+	XStore xstore.Config
+	// Net is the RBIO fabric (default: a fresh LAN-latency network).
+	Net *rbio.Network
+	// FeedLoss drops this fraction of primary→XLOG feed messages.
+	FeedLoss float64
+	// ComputeMemPages / ComputeSSDPages size compute-node caches.
+	ComputeMemPages, ComputeSSDPages int
+	// PSMemPages sizes page-server memory tiers.
+	PSMemPages int
+	// PSPullBytes bounds one page-server log pull batch.
+	PSPullBytes int
+	// PrimaryCores / node core counts for the simulated CPU meters.
+	PrimaryCores int
+	// CheckpointEvery is the page-server checkpoint cadence.
+	CheckpointEvery time.Duration
+	// LocalSSD is the device class for node-local caches (default
+	// simdisk.LocalSSD; tests use simdisk.Instant).
+	LocalSSD simdisk.Profile
+}
+
+func (c *Config) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "db"
+	}
+	if c.LZProfile.Name == "" {
+		c.LZProfile = simdisk.XIO
+	}
+	if c.LZReplicas == 0 {
+		c.LZReplicas = 3
+	}
+	if c.LZQuorum == 0 {
+		c.LZQuorum = 2
+	}
+	if c.LZCapacity == 0 {
+		c.LZCapacity = 8 << 20
+	}
+	if c.ComputeMemPages == 0 {
+		c.ComputeMemPages = 256
+	}
+	if c.PSMemPages == 0 {
+		c.PSMemPages = 64
+	}
+	if c.PrimaryCores == 0 {
+		c.PrimaryCores = 8
+	}
+	if c.PageServers == 0 {
+		c.PageServers = 1
+	}
+	if c.LocalSSD.Name == "" {
+		c.LocalSSD = simdisk.LocalSSD
+	}
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg Config
+
+	Net   *rbio.Network
+	Store *xstore.Store
+	LZ    *xlog.LandingZone
+	XLOG  *xlog.Service
+
+	// lzVol is the replicated volume under the landing zone (failure
+	// injection in tests).
+	lzVol simdisk.Volume
+
+	// PrimaryMeter is the primary node's simulated CPU meter (charged by
+	// the engine and by landing-zone device I/O).
+	PrimaryMeter *metrics.CPUMeter
+
+	mu          sync.Mutex
+	pt          page.Partitioning
+	primary     *compute.Primary
+	secondaries map[string]*compute.Secondary
+	servers     []*pageserver.Server // all live page servers
+	selectors   map[string]*rbio.Selector
+	ranges      []serverRange
+	psSeq       int
+	backups     map[string]backupInfo
+}
+
+type serverRange struct {
+	lo, hi page.ID
+	addr   string
+}
+
+type backupInfo struct {
+	lsn page.LSN
+	ts  uint64
+}
+
+// New builds, bootstraps, and starts a deployment.
+func New(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+	if cfg.PageServers > 1 && cfg.PagesPerPartition == 0 {
+		return nil, errors.New("cluster: PagesPerPartition required with multiple page servers")
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		Net:         cfg.Net,
+		secondaries: make(map[string]*compute.Secondary),
+		selectors:   make(map[string]*rbio.Selector),
+		backups:     make(map[string]backupInfo),
+		pt:          page.Partitioning{PagesPerPartition: cfg.PagesPerPartition},
+	}
+	if c.Net == nil {
+		c.Net = rbio.NewNetwork()
+	}
+	if cfg.FeedLoss > 0 {
+		c.Net.SetLoss(cfg.FeedLoss)
+	}
+	c.Store = xstore.New(cfg.XStore)
+	c.PrimaryMeter = metrics.NewCPUMeter(cfg.PrimaryCores)
+
+	// Landing zone: quorum-replicated fast storage; the primary's meter is
+	// charged for LZ I/O issue cost (the Table 7 effect).
+	lzVol, err := simdisk.NewReplicated(cfg.LZProfile, cfg.LZReplicas, cfg.LZQuorum,
+		simdisk.WithCPU(c.PrimaryMeter))
+	if err != nil {
+		return nil, err
+	}
+	c.lzVol = lzVol
+	c.LZ, err = xlog.NewLandingZone(lzVol, cfg.LZCapacity)
+	if err != nil {
+		return nil, err
+	}
+	c.XLOG, err = xlog.New(xlog.Config{
+		LZ: c.LZ, LT: c.Store, LTBlob: cfg.Name + "/lt",
+		CacheDevice: simdisk.New(cfg.LocalSSD),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Net.Serve(c.addr("xlog"), c.XLOG.Handler())
+
+	// Page servers, one per partition.
+	for p := 0; p < cfg.PageServers; p++ {
+		if _, err := c.startPageServer(page.PartitionID(p), 0, 0, false, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Primary bootstraps the database.
+	primary, err := compute.NewPrimary(c.primaryConfig(true))
+	if err != nil {
+		return nil, err
+	}
+	c.primary = primary
+
+	// Initial secondaries.
+	for i := 0; i < cfg.Secondaries; i++ {
+		if _, err := c.AddSecondary(fmt.Sprintf("sec-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) addr(node string) string { return c.cfg.Name + "/" + node }
+
+func (c *Cluster) xlogClient() *rbio.Client {
+	return rbio.NewClient(c.Net.Dial(c.addr("xlog")))
+}
+
+// resolve maps a page to the selector of the replica set serving it. When
+// the database grows past the provisioned partitions, a page server for the
+// new partition is started on demand — the §4.1.1 storage-allocation
+// property: growth never moves existing data.
+func (c *Cluster) resolve(id page.ID) (*rbio.Selector, error) {
+	if sel := c.lookupRange(id); sel != nil {
+		return sel, nil
+	}
+	if c.cfg.PagesPerPartition == 0 {
+		return nil, fmt.Errorf("cluster: no page server covers page %d", id)
+	}
+	part := c.pt.PartitionOf(id)
+	if _, err := c.startPageServer(part, 0, 0, false, 1); err != nil {
+		return nil, fmt.Errorf("cluster: growing to partition %d: %w", part, err)
+	}
+	if sel := c.lookupRange(id); sel != nil {
+		return sel, nil
+	}
+	return nil, fmt.Errorf("cluster: no page server covers page %d", id)
+}
+
+func (c *Cluster) lookupRange(id page.ID) *rbio.Selector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.ranges {
+		if id >= r.lo && id < r.hi {
+			return c.selectors[r.addr]
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
+	return compute.PrimaryConfig{
+		LZ:            c.LZ,
+		XLOG:          c.xlogClient(),
+		Resolve:       c.resolve,
+		Partitioning:  c.pt,
+		CacheMemPages: c.cfg.ComputeMemPages,
+		CacheSSDPages: c.cfg.ComputeSSDPages,
+		CacheSSD:      simdisk.New(c.cfg.LocalSSD, simdisk.WithCPU(c.PrimaryMeter)),
+		CacheMeta:     simdisk.New(c.cfg.LocalSSD),
+		Meter:         c.PrimaryMeter,
+		Bootstrap:     bootstrap,
+	}
+}
+
+// startPageServer launches one page server. When rangeHi > 0 the server
+// covers [rangeLo, rangeHi) of the partition; seed loads the cache from
+// XStore; startLSN overrides the apply start.
+func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.ID,
+	seed bool, startLSN page.LSN) (*pageserver.Server, error) {
+	c.mu.Lock()
+	c.psSeq++
+	name := fmt.Sprintf("ps-%d-p%d", c.psSeq, part)
+	c.mu.Unlock()
+
+	srv, err := pageserver.New(pageserver.Config{
+		Partition:       part,
+		Partitioning:    c.pt,
+		RangeLo:         rangeLo,
+		RangeHi:         rangeHi,
+		Name:            name,
+		XLOG:            c.xlogClient(),
+		Store:           c.Store,
+		BlobPrefix:      c.cfg.Name + "/",
+		CacheSSD:        simdisk.New(c.cfg.LocalSSD),
+		CacheMeta:       simdisk.New(c.cfg.LocalSSD),
+		MemPages:        c.cfg.PSMemPages,
+		PullBytes:       c.cfg.PSPullBytes,
+		StartLSN:        startLSN,
+		Seed:            seed,
+		CheckpointEvery: c.cfg.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr := c.addr(name)
+	c.Net.Serve(addr, srv.Handler())
+
+	lo, hi := srv.Range()
+	c.mu.Lock()
+	c.servers = append(c.servers, srv)
+	// A server for an existing range joins that range's selector
+	// (replica); a new range gets its own selector.
+	joined := false
+	for _, r := range c.ranges {
+		if r.lo == lo && r.hi == hi {
+			c.selectors[r.addr].Add(rbio.NewClient(c.Net.Dial(addr)))
+			joined = true
+			break
+		}
+	}
+	if !joined {
+		sel := rbio.NewSelector(rbio.NewClient(c.Net.Dial(addr)))
+		c.selectors[addr] = sel
+		c.ranges = append(c.ranges, serverRange{lo: lo, hi: hi, addr: addr})
+	}
+	c.mu.Unlock()
+	return srv, nil
+}
+
+// Primary returns the current primary compute node.
+func (c *Cluster) Primary() *compute.Primary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
+}
+
+// Secondary returns a secondary by name.
+func (c *Cluster) Secondary(name string) (*compute.Secondary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.secondaries[name]
+	return s, ok
+}
+
+// Secondaries lists secondary names.
+func (c *Cluster) Secondaries() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.secondaries))
+	for n := range c.secondaries {
+		names = append(names, n)
+	}
+	return names
+}
+
+// PageServers lists the live page servers.
+func (c *Cluster) PageServers() []*pageserver.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*pageserver.Server(nil), c.servers...)
+}
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	primary := c.primary
+	secs := make([]*compute.Secondary, 0, len(c.secondaries))
+	for _, s := range c.secondaries {
+		secs = append(secs, s)
+	}
+	servers := append([]*pageserver.Server(nil), c.servers...)
+	c.mu.Unlock()
+
+	if primary != nil {
+		primary.Close()
+	}
+	for _, s := range secs {
+		s.Stop()
+	}
+	for _, srv := range servers {
+		srv.Stop()
+	}
+	c.XLOG.Close()
+}

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"socrates/internal/compute"
+	"socrates/internal/engine"
+	"socrates/internal/fcb"
+	"socrates/internal/page"
+	"socrates/internal/pageserver"
+	"socrates/internal/recovery"
+	"socrates/internal/simdisk"
+)
+
+// ErrNoBackup reports a restore from an unknown backup.
+var ErrNoBackup = errors.New("cluster: no such backup")
+
+// AddSecondary starts a new read-scale secondary attached at the current
+// hardened log position. The operation is O(1): no data is copied — the
+// node's cache fills lazily via GetPage@LSN (§4.1.2).
+func (c *Cluster) AddSecondary(name string) (*compute.Secondary, error) {
+	return c.addSecondary(name, 0)
+}
+
+// AddGeoSecondary starts a secondary whose log consumption pays a WAN
+// round-trip per pull, modelling a replica in another region (§6).
+func (c *Cluster) AddGeoSecondary(name string, wanDelay time.Duration) (*compute.Secondary, error) {
+	return c.addSecondary(name, wanDelay)
+}
+
+func (c *Cluster) addSecondary(name string, delay time.Duration) (*compute.Secondary, error) {
+	c.mu.Lock()
+	if _, dup := c.secondaries[name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: secondary %q exists", name)
+	}
+	c.mu.Unlock()
+
+	sec, err := compute.NewSecondary(compute.SecondaryConfig{
+		Name:          name,
+		XLOG:          c.xlogClient(),
+		Resolve:       c.resolve,
+		CacheMemPages: c.cfg.ComputeMemPages,
+		CacheSSDPages: c.cfg.ComputeSSDPages,
+		CacheSSD:      simdisk.New(c.cfg.LocalSSD),
+		CacheMeta:     simdisk.New(c.cfg.LocalSSD),
+		StartLSN:      c.XLOG.HardenedEnd(),
+		StartTS:       c.XLOG.MaxCommitTS(),
+		ApplyDelay:    delay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.secondaries[name] = sec
+	c.mu.Unlock()
+	return sec, nil
+}
+
+// WaitForCatchUp blocks until every page server and secondary has applied
+// the log through the current hardened end.
+func (c *Cluster) WaitForCatchUp(timeout time.Duration) error {
+	target := c.LZ.HardenedEnd()
+	deadline := time.Now().Add(timeout)
+	for {
+		behind := ""
+		for _, srv := range c.PageServers() {
+			if srv.AppliedLSN() < target {
+				behind = fmt.Sprintf("page server at %d", srv.AppliedLSN())
+				break
+			}
+		}
+		if behind == "" {
+			c.mu.Lock()
+			secs := make([]*compute.Secondary, 0, len(c.secondaries))
+			for _, s := range c.secondaries {
+				secs = append(secs, s)
+			}
+			c.mu.Unlock()
+			for _, s := range secs {
+				if s.AppliedLSN() < target {
+					behind = fmt.Sprintf("%s at %d", s.Name(), s.AppliedLSN())
+					break
+				}
+			}
+		}
+		if behind == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: catch-up to %d timed out: %s", target, behind)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RemoveSecondary stops and forgets a secondary.
+func (c *Cluster) RemoveSecondary(name string) error {
+	c.mu.Lock()
+	sec, ok := c.secondaries[name]
+	delete(c.secondaries, name)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: secondary %q not found", name)
+	}
+	sec.Stop()
+	return nil
+}
+
+// Failover crashes the primary and attaches a fresh one. Because compute
+// nodes are stateless (§4.2), recovery is O(1) in database size: discover
+// the hardened log end from the landing zone, re-report it to XLOG, restore
+// visibility from the max hardened commit timestamp, and start serving —
+// no undo, no page copying. Returns the new primary and the time to
+// availability.
+func (c *Cluster) Failover() (*compute.Primary, time.Duration, error) {
+	c.mu.Lock()
+	old := c.primary
+	c.mu.Unlock()
+	if old != nil {
+		// The crashed node stays visible until its replacement is
+		// installed; its commits fail fast (closed log writer), which is
+		// what clients see during a real failover window.
+		old.Crash()
+	}
+
+	start := time.Now()
+	// The crashed primary's final harden reports may be lost: re-derive the
+	// watermark from the landing zone itself and re-report (gap fill).
+	c.XLOG.ReportHardened(c.LZ.HardenedEnd())
+
+	p, err := compute.NewPrimary(c.primaryConfig(false))
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
+	c.primary = p
+	c.mu.Unlock()
+	return p, time.Since(start), nil
+}
+
+// ScaleCompute replaces the primary with one of a different cache size —
+// the O(1) up/downsize of Table 1: no data moves; the new node attaches to
+// the same page servers. Returns the time to availability.
+func (c *Cluster) ScaleCompute(memPages, ssdPages int) (time.Duration, error) {
+	c.mu.Lock()
+	c.cfg.ComputeMemPages = memPages
+	c.cfg.ComputeSSDPages = ssdPages
+	c.mu.Unlock()
+	_, d, err := c.Failover()
+	return d, err
+}
+
+// AddPageServerReplica starts a hot replica of the partition's server: it
+// seeds asynchronously from the XStore checkpoint while already serving,
+// and joins the replica selector so reads fail over to it (§6).
+func (c *Cluster) AddPageServerReplica(part page.PartitionID) error {
+	// Make sure the checkpoint covers the current state so seeding is
+	// complete.
+	if err := c.flushPartition(part); err != nil {
+		return err
+	}
+	resume := c.partitionResume(part)
+	_, err := c.startPageServer(part, 0, 0, true, resume)
+	return err
+}
+
+// SplitPageServer replaces the single server of a partition with two
+// servers covering its halves — finer sharding for smaller
+// mean-time-to-recovery (§6). Existing servers of the partition are
+// retired once the halves are live.
+func (c *Cluster) SplitPageServer(part page.PartitionID) error {
+	if err := c.flushPartition(part); err != nil {
+		return err
+	}
+	resume := c.partitionResume(part)
+
+	var lo, hi page.ID
+	found := false
+	c.mu.Lock()
+	for _, r := range c.ranges {
+		// The partition's current (unsplit) range.
+		if c.pt.PartitionOf(r.lo) == part {
+			if !found || r.lo < lo {
+				lo = r.lo
+			}
+			if !found || r.hi > hi {
+				hi = r.hi
+			}
+			found = true
+		}
+	}
+	c.mu.Unlock()
+	if !found {
+		return fmt.Errorf("cluster: partition %d has no servers", part)
+	}
+	mid := lo + (hi-lo)/2
+	if mid == lo || mid == hi {
+		return fmt.Errorf("cluster: partition %d too small to split", part)
+	}
+	if _, err := c.startPageServer(part, lo, mid, true, resume); err != nil {
+		return err
+	}
+	if _, err := c.startPageServer(part, mid, hi, true, resume); err != nil {
+		return err
+	}
+	c.retireRanges(part, lo, hi, mid)
+	return nil
+}
+
+// retireRanges swaps the routing table to the split halves and stops the
+// old full-range servers.
+func (c *Cluster) retireRanges(part page.PartitionID, lo, hi, mid page.ID) {
+	c.mu.Lock()
+	var retired []*pageserver.Server
+	kept := c.ranges[:0]
+	for _, r := range c.ranges {
+		if r.lo == lo && r.hi == hi {
+			// Old full-range entry: retire its servers.
+			for _, srv := range c.servers {
+				slo, shi := srv.Range()
+				if slo == lo && shi == hi {
+					retired = append(retired, srv)
+				}
+			}
+			delete(c.selectors, r.addr)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.ranges = kept
+	live := c.servers[:0]
+	for _, srv := range c.servers {
+		isRetired := false
+		for _, v := range retired {
+			if v == srv {
+				isRetired = true
+				break
+			}
+		}
+		if !isRetired {
+			live = append(live, srv)
+		}
+	}
+	c.servers = live
+	c.mu.Unlock()
+	for _, srv := range retired {
+		srv.Stop()
+	}
+}
+
+// flushPartition forces a full checkpoint on every server of the partition.
+func (c *Cluster) flushPartition(part page.PartitionID) error {
+	for _, srv := range c.PageServers() {
+		if srv.Partition() == part {
+			if _, err := srv.FlushForBackup(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// partitionResume reports the minimum applied LSN across the partition's
+// servers — a safe log resume point for a seeded newcomer.
+func (c *Cluster) partitionResume(part page.PartitionID) page.LSN {
+	var min page.LSN
+	first := true
+	for _, srv := range c.PageServers() {
+		if srv.Partition() != part {
+			continue
+		}
+		if lsn := srv.AppliedLSN(); first || lsn < min {
+			min, first = lsn, false
+		}
+	}
+	if first {
+		return 1
+	}
+	return min
+}
+
+// Backup takes a named, constant-time backup: every page server flushes its
+// dirty set, then the whole database becomes an XStore snapshot — a
+// metadata pointer, no data movement (§3.5, §4.7). The hardened log
+// position and visibility timestamp at the moment of the snapshot are
+// recorded for restore.
+func (c *Cluster) Backup(name string) error {
+	var resume page.LSN
+	first := true
+	for _, srv := range c.PageServers() {
+		lsn, err := srv.FlushForBackup()
+		if err != nil {
+			return err
+		}
+		if first || lsn < resume {
+			resume, first = lsn, false
+		}
+	}
+	if err := c.Store.Snapshot(c.cfg.Name + "/" + name); err != nil {
+		return err
+	}
+	var ts uint64
+	if p := c.Primary(); p != nil {
+		ts = p.Engine.Clock().Visible()
+	}
+	c.mu.Lock()
+	c.backups[name] = backupInfo{lsn: resume, ts: ts}
+	c.mu.Unlock()
+	return nil
+}
+
+// PointInTimeRestore materializes the database as of targetLSN from a named
+// backup: the snapshot's page blobs are restored (a constant-time metadata
+// copy in XStore), and the log range [backupLSN, targetLSN) is replayed on
+// top — the §4.7 PITR workflow. targetLSN of zero means "end of log". It
+// returns a read-only engine over the restored image and the visibility
+// timestamp it was restored to.
+func (c *Cluster) PointInTimeRestore(backup string, targetLSN page.LSN) (*engine.Engine, uint64, error) {
+	c.mu.Lock()
+	info, ok := c.backups[backup]
+	c.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoBackup, backup)
+	}
+	snapName := c.cfg.Name + "/" + backup
+	restorePrefix := "restore/" + backup + "/"
+	if err := c.Store.Restore(snapName, restorePrefix); err != nil {
+		return nil, 0, err
+	}
+
+	// Attach the restored page blobs (no copying beyond reading them into
+	// the scratch engine — a real deployment attaches them to fresh page
+	// servers; see DESIGN.md).
+	pages := fcb.NewMemFile()
+	pagePrefix := restorePrefix + c.cfg.Name + "/page/"
+	for _, blob := range c.Store.List(pagePrefix) {
+		buf, err := c.Store.Get(blob)
+		if err != nil {
+			return nil, 0, err
+		}
+		pg, err := page.Decode(buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := pages.Write(pg); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// Replay the log range from the backup position to the target — the
+	// cost of a PITR is exactly this bounded range, never the database
+	// size (§4.7). The primary's harden reports are asynchronous, so first
+	// promote the XLOG watermark to the landing zone's durable end (a
+	// synchronous gap-fill) — the restore must see every hardened block up
+	// to its target.
+	c.XLOG.ReportHardened(c.LZ.HardenedEnd())
+	if targetLSN == 0 {
+		targetLSN = c.XLOG.HardenedEnd()
+	}
+	replayer := recovery.NewReplayer(pages)
+	if _, err := replayer.ReplayRange(c.XLOG, info.lsn, targetLSN); err != nil {
+		return nil, 0, err
+	}
+
+	eng, err := engine.Open(engine.Config{Pages: pages, ReadOnly: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Visibility: everything committed by the backup instant plus whatever
+	// the replay added. (The replay range can legitimately be empty when
+	// the checkpoint had already applied through the target.)
+	visible := replayer.Visible()
+	if info.ts > visible {
+		visible = info.ts
+	}
+	eng.Clock().Publish(visible)
+	return eng, visible, nil
+}

@@ -1,0 +1,253 @@
+// Package compute implements the Socrates compute tier: the primary node
+// (the only log producer, §4.4) and secondary nodes (read-only log
+// consumers, §4.5). Both run the shared engine over a sparse RBPEX cache
+// whose misses turn into GetPage@LSN calls against the page servers.
+package compute
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/wal"
+	"socrates/internal/xlog"
+)
+
+// ErrWriterClosed reports appends to a closed log writer.
+var ErrWriterClosed = errors.New("compute: log writer closed")
+
+// LogWriter is the primary's log pipeline (§4.3, upper-left of Figure 3):
+// records accumulate in memory; the flusher cuts blocks at transaction
+// boundaries (so a hardened prefix never splits a transaction), writes them
+// synchronously to the landing zone for durability, sends them
+// fire-and-forget to the XLOG process for availability, and reports the
+// hardened watermark so XLOG promotes them to consumers.
+//
+// Group commit falls out naturally: while one block's quorum write is in
+// flight, later transactions keep appending, and the next block carries all
+// of them — one landing-zone write per group.
+type LogWriter struct {
+	lz   *xlog.LandingZone
+	feed *rbio.Client // XLOG service: lossy feed + harden reports
+	pt   page.Partitioning
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*wal.Record
+	boundary int // records [0, boundary) form complete transaction groups
+	nextLSN  page.LSN
+	hardened page.LSN
+	err      error
+	closed   bool
+
+	wg       sync.WaitGroup
+	ioWG     sync.WaitGroup
+	inflight chan struct{} // bounds concurrent landing-zone writes
+	// inflightCnt tracks dispatched-but-incomplete writes (batching
+	// heuristic); guarded by mu.
+	inflightCnt int
+
+	blocksFlushed metrics.Counter
+	bytesFlushed  metrics.Counter
+}
+
+// NewLogWriter starts a writer whose next record receives startLSN.
+func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning, startLSN page.LSN) *LogWriter {
+	w := &LogWriter{
+		lz: lz, feed: feed, pt: pt,
+		nextLSN: startLSN, hardened: startLSN,
+		inflight: make(chan struct{}, 8),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(1)
+	go w.flushLoop()
+	return w
+}
+
+// Append stages a record, assigning its LSN. Transaction-boundary records
+// (commit, abort, checkpoint) make the pending prefix flushable.
+func (w *LogWriter) Append(rec *wal.Record) page.LSN {
+	w.mu.Lock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	w.pending = append(w.pending, rec)
+	switch rec.Kind {
+	case wal.KindTxnCommit, wal.KindTxnAbort, wal.KindCheckpoint, wal.KindNoop:
+		w.boundary = len(w.pending)
+		w.cond.Broadcast()
+	}
+	lsn := rec.LSN
+	w.mu.Unlock()
+	return lsn
+}
+
+// WaitHarden blocks until the record at lsn is durable in the landing zone.
+func (w *LogWriter) WaitHarden(lsn page.LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.hardened <= lsn && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.hardened <= lsn {
+		return ErrWriterClosed
+	}
+	return nil
+}
+
+// HardenedEnd reports the hardened watermark (end LSN).
+func (w *LogWriter) HardenedEnd() page.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hardened
+}
+
+// NextLSN reports the LSN the next appended record will receive.
+func (w *LogWriter) NextLSN() page.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// trackInflight adjusts the dispatched-write count (batching heuristic).
+func (w *LogWriter) trackInflight(delta int) {
+	w.mu.Lock()
+	w.inflightCnt += delta
+	w.mu.Unlock()
+}
+
+// pendingBoundaryBytes estimates the encoded size of the flushable prefix.
+// Caller holds w.mu.
+func (w *LogWriter) pendingBoundaryBytes() int {
+	n := 0
+	for _, r := range w.pending[:w.boundary] {
+		n += len(r.Key) + len(r.Value) + 30
+	}
+	return n
+}
+
+// Stats reports blocks and bytes flushed to the landing zone.
+func (w *LogWriter) Stats() (blocks, bytes int64) {
+	return w.blocksFlushed.Load(), w.bytesFlushed.Load()
+}
+
+// Close flushes remaining complete groups and stops the flusher.
+func (w *LogWriter) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.ioWG.Wait() // drain in-flight landing-zone writes
+}
+
+func (w *LogWriter) flushLoop() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		for w.boundary == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && w.boundary == 0) {
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+
+		// Group-commit batching: claim the in-flight slot BEFORE cutting
+		// the block, so while the pipeline is saturated later commits keep
+		// joining the pending group; and give a small group a moment to
+		// grow when other writes are already in flight. A solo commit
+		// (idle pipeline) cuts immediately — single-client latency is
+		// unaffected (Table 6).
+		w.inflight <- struct{}{}
+		w.mu.Lock()
+		if w.inflightCnt > 0 && w.pendingBoundaryBytes() < 4<<10 && !w.closed {
+			waker := time.AfterFunc(150*time.Microsecond, w.cond.Broadcast)
+			w.cond.Wait()
+			waker.Stop()
+		}
+		if w.boundary == 0 {
+			// Everything was consumed elsewhere or we closed: release.
+			closed := w.closed
+			w.mu.Unlock()
+			<-w.inflight
+			if closed {
+				return
+			}
+			continue
+		}
+		recs := append([]*wal.Record(nil), w.pending[:w.boundary]...)
+		w.pending = w.pending[w.boundary:]
+		w.boundary = 0
+		w.mu.Unlock()
+
+		block := &wal.Block{
+			Start:      recs[0].LSN,
+			End:        recs[len(recs)-1].LSN + 1,
+			Partitions: wal.ComputePartitions(recs, w.pt),
+			Records:    recs,
+		}
+		// Reserve ring space in LSN order, then complete the quorum write
+		// concurrently: several landing-zone writes stay in flight, which
+		// is where Socrates' log throughput comes from (Table 5). The
+		// hardened watermark is the LZ's durable *prefix*, so a commit is
+		// never acknowledged over a hole.
+		res, err := w.lz.Reserve(block)
+		if err != nil {
+			<-w.inflight
+			w.mu.Lock()
+			w.err = err
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+		w.trackInflight(1)
+		w.ioWG.Add(1)
+		go func(block *wal.Block, res *xlog.Reservation) {
+			defer w.ioWG.Done()
+			defer func() { w.trackInflight(-1); <-w.inflight }()
+			// Availability path (fire-and-forget, lossy) in parallel with
+			// the durability path: "The Primary writes log blocks into the
+			// LZ and to the XLOG process in parallel."
+			if w.feed != nil {
+				_ = w.feed.Send(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: res.Payload()})
+			}
+			if err := w.lz.Complete(res); err != nil {
+				w.mu.Lock()
+				if w.err == nil {
+					w.err = err
+				}
+				w.cond.Broadcast()
+				w.mu.Unlock()
+				return
+			}
+			w.blocksFlushed.Inc()
+			w.bytesFlushed.Add(int64(len(res.Payload())))
+
+			hardened := w.lz.HardenedEnd()
+			w.mu.Lock()
+			if hardened > w.hardened {
+				w.hardened = hardened
+			}
+			w.cond.Broadcast()
+			w.mu.Unlock()
+
+			// Hardening report: reliable but off the critical path.
+			// Reports may arrive out of order; the watermark is monotone,
+			// so a stale report is a no-op at the XLOG service.
+			if w.feed != nil {
+				_, _ = w.feed.Call(&rbio.Request{Type: rbio.MsgHardenReport, LSN: hardened})
+			}
+		}(block, res)
+	}
+}

@@ -1,0 +1,236 @@
+package compute
+
+import (
+	"fmt"
+	"sync"
+
+	"socrates/internal/btree"
+	"socrates/internal/fcb"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/pageserver"
+	"socrates/internal/rbio"
+	"socrates/internal/rbpex"
+	"socrates/internal/wal"
+)
+
+// Resolver maps a page to the RBIO selector of the page-server replica set
+// owning its partition.
+type Resolver func(id page.ID) (*rbio.Selector, error)
+
+// RemotePageFile is the compute node's FCB: a sparse RBPEX cache in front
+// of the page servers. Reads miss into GetPage@LSN (§4.4); the evicted-LSN
+// map supplies the per-page minimum LSN ("the Primary builds a hash map
+// which stores the highest LSN for every page evicted").
+//
+// For secondaries it also implements the §4.5 race protocol: a miss
+// registers the page as pending before the remote call, so the log-apply
+// thread queues (rather than drops) records for in-flight pages; the queued
+// records are applied to the fetched page before it enters the cache.
+type RemotePageFile struct {
+	cache   *rbpex.Cache
+	resolve Resolver
+	// floor supplies the minimum LSN for pages with no evicted-LSN entry:
+	// the recovery LSN on a primary, the applied watermark on a secondary.
+	floor func() page.LSN
+
+	mu      sync.Mutex
+	evicted map[page.ID]page.LSN
+	pending map[page.ID][]*wal.Record // §4.5 registration (secondaries)
+
+	fetches  metrics.Counter
+	rangeOps metrics.Counter
+}
+
+// NewRemotePageFile builds the cache-fronted page file.
+func NewRemotePageFile(cfg rbpex.Config, resolve Resolver, floor func() page.LSN) (*RemotePageFile, error) {
+	f := &RemotePageFile{
+		resolve: resolve,
+		floor:   floor,
+		evicted: make(map[page.ID]page.LSN),
+		pending: make(map[page.ID][]*wal.Record),
+	}
+	cfg.OnEvict = f.noteEvicted
+	cache, err := rbpex.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.cache = cache
+	return f, nil
+}
+
+// Cache exposes the underlying RBPEX (hit-rate experiments).
+func (f *RemotePageFile) Cache() *rbpex.Cache { return f.cache }
+
+// Fetches reports remote GetPage calls issued.
+func (f *RemotePageFile) Fetches() int64 { return f.fetches.Load() }
+
+func (f *RemotePageFile) noteEvicted(id page.ID, lsn page.LSN) {
+	f.mu.Lock()
+	if lsn > f.evicted[id] {
+		f.evicted[id] = lsn
+	}
+	f.mu.Unlock()
+}
+
+// minLSN computes the GetPage@LSN argument for a page: its evicted LSN if
+// known, else the node's floor.
+func (f *RemotePageFile) minLSN(id page.ID) page.LSN {
+	f.mu.Lock()
+	lsn, ok := f.evicted[id]
+	f.mu.Unlock()
+	if ok {
+		return lsn
+	}
+	return f.floor()
+}
+
+// Read returns the page from cache, or fetches it via GetPage@LSN.
+func (f *RemotePageFile) Read(id page.ID) (*page.Page, error) {
+	if pg, ok := f.cache.Get(id); ok {
+		return pg, nil
+	}
+	return f.fetch(id)
+}
+
+func (f *RemotePageFile) fetch(id page.ID) (*page.Page, error) {
+	// Register before calling (§4.5), so concurrent log apply queues
+	// records for this page instead of ignoring them.
+	f.mu.Lock()
+	_, already := f.pending[id]
+	if !already {
+		f.pending[id] = nil
+	}
+	f.mu.Unlock()
+	if !already {
+		defer func() {
+			f.mu.Lock()
+			delete(f.pending, id)
+			f.mu.Unlock()
+		}()
+	}
+
+	sel, err := f.resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	f.fetches.Inc()
+	resp, err := sel.Call(&rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: f.minLSN(id)})
+	if err != nil {
+		return nil, fmt.Errorf("compute: GetPage(%d): %w", id, err)
+	}
+	if err := resp.Err(); err != nil {
+		return nil, fmt.Errorf("compute: GetPage(%d): %w", id, err)
+	}
+	pages, err := pageserver.DecodePages(resp.Payload)
+	if err != nil || len(pages) != 1 {
+		return nil, fmt.Errorf("compute: GetPage(%d): bad payload (%d pages, %v)", id, len(pages), err)
+	}
+	pg := pages[0]
+
+	// Apply any records queued while the fetch was in flight.
+	f.mu.Lock()
+	queued := f.pending[id]
+	f.pending[id] = nil
+	f.mu.Unlock()
+	for _, rec := range queued {
+		if _, err := btree.Apply(pg, rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.cache.Put(pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// ReadRange fetches count consecutive pages with a single page-server range
+// I/O, bypassing the sparse cache (scan offloading, §4.1.5).
+func (f *RemotePageFile) ReadRange(start page.ID, count int) ([]*page.Page, error) {
+	sel, err := f.resolve(start)
+	if err != nil {
+		return nil, err
+	}
+	f.rangeOps.Inc()
+	resp, err := sel.Call(&rbio.Request{
+		Type: rbio.MsgGetPage, Page: start, LSN: f.floor(), MaxBytes: int32(count)})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return pageserver.DecodePages(resp.Payload)
+}
+
+// OffloadScan pushes a cell-filtering scan of count pages starting at
+// start down to the owning page server (§4.1.5): only the match summary
+// crosses the network, not the pages.
+func (f *RemotePageFile) OffloadScan(start page.ID, count int, keyLo, keyHi []byte) (pageserver.ScanResult, error) {
+	sel, err := f.resolve(start)
+	if err != nil {
+		return pageserver.ScanResult{}, err
+	}
+	resp, err := sel.Call(&rbio.Request{
+		Type:     rbio.MsgScanCells,
+		Page:     start,
+		MaxBytes: int32(count),
+		LSN:      f.floor(),
+		Payload:  pageserver.EncodeKeyRange(keyLo, keyHi),
+	})
+	if err != nil {
+		return pageserver.ScanResult{}, err
+	}
+	if err := resp.Err(); err != nil {
+		return pageserver.ScanResult{}, err
+	}
+	return pageserver.DecodeScanResult(resp.Payload)
+}
+
+// Write installs a page version in the local cache (the durable copy is
+// the log; page servers converge by applying it).
+func (f *RemotePageFile) Write(pg *page.Page) error {
+	return f.cache.Put(pg)
+}
+
+// --- log-apply integration (secondaries) ---
+
+// QueueIfPending queues a record for a page with an in-flight fetch.
+// Reports whether the record was queued.
+func (f *RemotePageFile) QueueIfPending(rec *wal.Record) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.pending[rec.Page]; !ok {
+		return false
+	}
+	f.pending[rec.Page] = append(f.pending[rec.Page], rec)
+	return true
+}
+
+// ApplyIfCached applies a redo record iff the page is cached (the §4.5
+// "ignore log records for uncached pages" policy). Reports whether the
+// record was applied.
+func (f *RemotePageFile) ApplyIfCached(rec *wal.Record) (bool, error) {
+	pg, ok := f.cache.Get(rec.Page)
+	if !ok {
+		if rec.Kind == wal.KindPageImage {
+			// A page being created: cheap to admit (it arrives complete).
+			npg, err := btree.NewFormatted(rec)
+			if err != nil {
+				return false, err
+			}
+			return true, f.cache.Put(npg)
+		}
+		return false, nil
+	}
+	applied, err := btree.Apply(pg, rec)
+	if err != nil {
+		return false, err
+	}
+	if applied {
+		return true, f.cache.Put(pg)
+	}
+	return false, nil
+}
+
+var _ fcb.PageFile = (*RemotePageFile)(nil)

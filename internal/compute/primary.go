@@ -1,0 +1,138 @@
+package compute
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"socrates/internal/engine"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/rbpex"
+	"socrates/internal/simdisk"
+	"socrates/internal/xlog"
+)
+
+// PrimaryConfig assembles a primary compute node.
+type PrimaryConfig struct {
+	// LZ is the landing zone (shared storage service, also visible to the
+	// XLOG process).
+	LZ *xlog.LandingZone
+	// XLOG is the client to the XLOG service (feed + harden reports +
+	// recovery state reads).
+	XLOG *rbio.Client
+	// Resolve maps pages to page-server selectors.
+	Resolve Resolver
+	// Partitioning is the cluster's page partitioning.
+	Partitioning page.Partitioning
+	// CacheMemPages / CacheSSDPages size the sparse RBPEX.
+	CacheMemPages, CacheSSDPages int
+	// CacheSSD / CacheMeta are local cache devices (required when
+	// CacheSSDPages > 0).
+	CacheSSD, CacheMeta *simdisk.Device
+	// Meter, if set, is charged the node's simulated CPU.
+	Meter *metrics.CPUMeter
+	// Bootstrap creates a fresh database instead of attaching to one.
+	Bootstrap bool
+}
+
+// Primary is the read-write compute node: it is the single log producer and
+// behaves "almost identically to a standalone SQL Server" (§4.4) — the
+// engine underneath does not know storage is remote.
+type Primary struct {
+	Engine *engine.Engine
+	writer *LogWriter
+	pages  *RemotePageFile
+	meter  *metrics.CPUMeter
+}
+
+// NewPrimary builds a primary. With cfg.Bootstrap it creates the database;
+// otherwise it performs crash/failover recovery: the hardened end of the
+// log is discovered from the landing zone, visibility is restored from the
+// XLOG service's max commit timestamp, and the engine simply attaches —
+// there is no undo pass and no size-of-data work (ADR, §3.2).
+func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
+	if cfg.LZ == nil || cfg.Resolve == nil {
+		return nil, errors.New("compute: LZ and Resolve are required")
+	}
+	if cfg.CacheMemPages <= 0 {
+		cfg.CacheMemPages = 128
+	}
+
+	startLSN := cfg.LZ.HardenedEnd()
+	writer := NewLogWriter(cfg.LZ, cfg.XLOG, cfg.Partitioning, startLSN)
+
+	// The GetPage@LSN floor for pages this node has never seen: everything
+	// in the database is at most as new as the hardened end at attach time.
+	floorLSN := startLSN - 1
+	if cfg.Bootstrap {
+		floorLSN = 0
+	}
+	floor := func() page.LSN { return floorLSN }
+
+	pages, err := NewRemotePageFile(rbpex.Config{
+		MemPages: cfg.CacheMemPages,
+		SSDPages: cfg.CacheSSDPages,
+		SSD:      cfg.CacheSSD,
+		Meta:     cfg.CacheMeta,
+	}, cfg.Resolve, floor)
+	if err != nil {
+		return nil, err
+	}
+
+	ecfg := engine.Config{Pages: pages, Log: writer, Meter: cfg.Meter}
+	var eng *engine.Engine
+	if cfg.Bootstrap {
+		eng, err = engine.Create(ecfg)
+	} else {
+		eng, err = engine.Open(ecfg)
+	}
+	if err != nil {
+		writer.Close()
+		return nil, err
+	}
+	p := &Primary{Engine: eng, writer: writer, pages: pages, meter: cfg.Meter}
+	if !cfg.Bootstrap && cfg.XLOG != nil {
+		if err := p.recoverVisibility(cfg.XLOG); err != nil {
+			writer.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// recoverVisibility republishes the highest hardened commit timestamp so
+// new snapshots see everything that was durable before the failover.
+func (p *Primary) recoverVisibility(xlogClient *rbio.Client) error {
+	resp, err := xlogClient.Call(&rbio.Request{Type: rbio.MsgReadState})
+	if err != nil {
+		return fmt.Errorf("compute: reading XLOG state: %w", err)
+	}
+	if len(resp.Payload) >= 16 {
+		maxTS := binary.LittleEndian.Uint64(resp.Payload[8:16])
+		p.Engine.Clock().Publish(maxTS)
+	}
+	return nil
+}
+
+// Writer exposes the log pipeline (throughput stats in benches).
+func (p *Primary) Writer() *LogWriter { return p.writer }
+
+// Pages exposes the cache-fronted page file (hit-rate stats).
+func (p *Primary) Pages() *RemotePageFile { return p.pages }
+
+// HardenedEnd reports the primary's durable log watermark.
+func (p *Primary) HardenedEnd() page.LSN { return p.writer.HardenedEnd() }
+
+// Close stops the log pipeline. The node holds no durable state (§4.2):
+// dropping it loses nothing.
+func (p *Primary) Close() {
+	_ = p.pages.Cache().FlushAll()
+	p.writer.Close()
+}
+
+// Crash abandons the node without flushing anything — for failover tests.
+func (p *Primary) Crash() {
+	p.writer.Close()
+}

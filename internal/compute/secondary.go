@@ -1,0 +1,267 @@
+package compute
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"socrates/internal/engine"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/rbpex"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+)
+
+// SecondaryConfig assembles a secondary compute node.
+type SecondaryConfig struct {
+	// Name is the node's XLOG consumer identity.
+	Name string
+	// XLOG is the client to the XLOG service.
+	XLOG *rbio.Client
+	// Resolve maps pages to page-server selectors.
+	Resolve Resolver
+	// CacheMemPages / CacheSSDPages size the sparse RBPEX.
+	CacheMemPages, CacheSSDPages int
+	// CacheSSD / CacheMeta are local cache devices.
+	CacheSSD, CacheMeta *simdisk.Device
+	// StartLSN is where log consumption begins (1 for a new database, or
+	// the hardened end at attach for a later-added secondary).
+	StartLSN page.LSN
+	// StartTS seeds visibility for a later-added secondary.
+	StartTS uint64
+	// Meter, if set, is charged the node's simulated CPU.
+	Meter *metrics.CPUMeter
+	// PullBytes bounds one pull batch (default 256 KiB).
+	PullBytes int
+	// ApplyDelay adds latency before each pull — models a geo-replica
+	// consuming the log across a WAN (§6).
+	ApplyDelay time.Duration
+}
+
+// Secondary is a read-only compute node. It consumes the full log stream
+// asynchronously, applying records only to pages it has cached (the §4.5
+// policy — "log records that involve pages that are not cached are simply
+// ignored"), publishing commit timestamps as they apply, and serving
+// snapshot reads that transparently fetch missing pages via GetPage@LSN.
+type Secondary struct {
+	Engine *engine.Engine
+	pages  *RemotePageFile
+	name   string
+	xlog   *rbio.Client
+
+	mu      sync.Mutex
+	applied page.LSN
+	cond    *sync.Cond
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	ignored     metrics.Counter
+	appliedRecs metrics.Counter
+	queuedRecs  metrics.Counter
+	pullBytes   int
+	applyDelay  time.Duration
+}
+
+// NewSecondary builds and starts a secondary.
+func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
+	if cfg.XLOG == nil || cfg.Resolve == nil {
+		return nil, errors.New("compute: XLOG and Resolve are required")
+	}
+	if cfg.CacheMemPages <= 0 {
+		cfg.CacheMemPages = 128
+	}
+	if cfg.PullBytes <= 0 {
+		cfg.PullBytes = 256 << 10
+	}
+	if cfg.StartLSN == 0 {
+		cfg.StartLSN = 1
+	}
+	s := &Secondary{
+		name:       cfg.Name,
+		xlog:       cfg.XLOG,
+		applied:    cfg.StartLSN,
+		done:       make(chan struct{}),
+		pullBytes:  cfg.PullBytes,
+		applyDelay: cfg.ApplyDelay,
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	// The freshness floor for never-seen pages: every record below the
+	// node's applied watermark — i.e. LSNs up to applied-1 — may have
+	// touched the page, so the page server must have applied that far.
+	floor := func() page.LSN {
+		if a := s.AppliedLSN(); a > 0 {
+			return a - 1
+		}
+		return 0
+	}
+	pages, err := NewRemotePageFile(rbpex.Config{
+		MemPages: cfg.CacheMemPages,
+		SSDPages: cfg.CacheSSDPages,
+		SSD:      cfg.CacheSSD,
+		Meta:     cfg.CacheMeta,
+	}, cfg.Resolve, floor)
+	if err != nil {
+		return nil, err
+	}
+	s.pages = pages
+
+	eng, err := engine.Open(engine.Config{
+		Pages:    pages,
+		ReadOnly: true,
+		Meter:    cfg.Meter,
+		WaitFresh: func() {
+			// A traversal raced log apply: pause until the apply thread
+			// makes progress, then retry (§4.5).
+			s.waitApplyProgress(2 * time.Millisecond)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.Clock().Publish(cfg.StartTS)
+	s.Engine = eng
+
+	s.wg.Add(1)
+	go s.applyLoop()
+	return s, nil
+}
+
+// Name reports the node's consumer identity.
+func (s *Secondary) Name() string { return s.name }
+
+// Pages exposes the cache-fronted page file.
+func (s *Secondary) Pages() *RemotePageFile { return s.pages }
+
+// AppliedLSN reports the log-apply watermark.
+func (s *Secondary) AppliedLSN() page.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Stats reports records applied, ignored (uncached policy), and queued for
+// in-flight fetches.
+func (s *Secondary) Stats() (applied, ignored, queued int64) {
+	return s.appliedRecs.Load(), s.ignored.Load(), s.queuedRecs.Load()
+}
+
+// WaitApplied blocks until the apply watermark reaches lsn.
+func (s *Secondary) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.applied < lsn {
+		if time.Now().After(deadline) {
+			return false
+		}
+		waker := time.AfterFunc(time.Millisecond, s.cond.Broadcast)
+		s.cond.Wait()
+		waker.Stop()
+	}
+	return true
+}
+
+// waitApplyProgress blocks until applied advances or the timeout elapses.
+func (s *Secondary) waitApplyProgress(timeout time.Duration) {
+	s.mu.Lock()
+	start := s.applied
+	deadline := time.Now().Add(timeout)
+	for s.applied == start && time.Now().Before(deadline) {
+		waker := time.AfterFunc(200*time.Microsecond, s.cond.Broadcast)
+		s.cond.Wait()
+		waker.Stop()
+	}
+	s.mu.Unlock()
+}
+
+// Stop halts log consumption.
+func (s *Secondary) Stop() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+}
+
+func (s *Secondary) applyLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		if s.applyDelay > 0 {
+			time.Sleep(s.applyDelay)
+		}
+		if !s.pullOnce() {
+			time.Sleep(300 * time.Microsecond)
+		}
+	}
+}
+
+func (s *Secondary) pullOnce() bool {
+	s.mu.Lock()
+	from := s.applied
+	s.mu.Unlock()
+
+	resp, err := s.xlog.Call(&rbio.Request{
+		Type:      rbio.MsgPullBlocks,
+		LSN:       from,
+		Partition: -1, // secondaries consume the whole stream (§4.6)
+		MaxBytes:  int32(s.pullBytes),
+		Consumer:  s.name,
+	})
+	if err != nil || resp.Status != rbio.StatusOK {
+		return false
+	}
+	payload := resp.Payload
+	for len(payload) > 0 {
+		b, n, err := wal.DecodeBlock(payload)
+		if err != nil {
+			return false
+		}
+		payload = payload[n:]
+		for _, rec := range b.Records {
+			s.applyRecord(rec)
+		}
+	}
+	if resp.LSN == from {
+		return false
+	}
+	s.mu.Lock()
+	s.applied = resp.LSN
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	_, _ = s.xlog.Call(&rbio.Request{
+		Type: rbio.MsgReportApplied, Consumer: s.name, LSN: resp.LSN})
+	return true
+}
+
+func (s *Secondary) applyRecord(rec *wal.Record) {
+	switch {
+	case rec.Kind == wal.KindTxnCommit:
+		// Visibility advances exactly in log order.
+		s.Engine.Clock().Publish(rec.CommitTS())
+	case rec.IsPageOp():
+		if s.pages.QueueIfPending(rec) {
+			s.queuedRecs.Inc()
+			return
+		}
+		applied, err := s.pages.ApplyIfCached(rec)
+		if err != nil {
+			return
+		}
+		if applied {
+			s.appliedRecs.Inc()
+		} else {
+			s.ignored.Inc()
+		}
+	}
+}

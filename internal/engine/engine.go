@@ -1,0 +1,439 @@
+// Package engine is the relational storage engine the Socrates reproduction
+// runs on every compute node — the stand-in for the unchanged core of SQL
+// Server (§4.1.6). It composes the page-oriented B-tree, the shared version
+// store, and the transaction manager into a multi-table database with
+// Snapshot Isolation, addressing all storage through the fcb.PageFile
+// virtualization layer so the same engine runs:
+//
+//   - on the Socrates primary (pages behind an RBPEX cache + GetPage@LSN,
+//     log into the landing zone),
+//   - on Socrates secondaries (read-only, pages converged by log apply),
+//   - on HADR replicas (pages on a local disk, log shipped to peers),
+//   - and in unit tests (in-memory pages, in-memory log).
+//
+// Recovery follows the ADR design (§3.2): uncommitted changes never reach
+// data pages (writes buffer in the transaction and apply at commit, already
+// holding their locks), so restart recovery is analysis + redo only — there
+// is no undo phase to bound.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"socrates/internal/btree"
+	"socrates/internal/fcb"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/txn"
+	"socrates/internal/versionstore"
+	"socrates/internal/wal"
+)
+
+// MetaPage is the catalog page: table roots, the page allocator cursor, and
+// the version-store append cursor all live here as cells.
+const MetaPage page.ID = 1
+
+// Catalog cell keys.
+const (
+	metaNextKey = "next"  // next unallocated page ID
+	metaVSKey   = "vscur" // current version-store append page
+	tablePrefix = "t:"    // tablePrefix+name → root page ID
+)
+
+// Simulated CPU costs per engine operation, charged to the node's meter.
+const (
+	cpuGet     = 6 * time.Microsecond
+	cpuPut     = 4 * time.Microsecond
+	cpuCommit  = 14 * time.Microsecond
+	cpuApply   = 9 * time.Microsecond // per write applied at commit
+	cpuScanRow = 1 * time.Microsecond
+)
+
+// Errors.
+var (
+	ErrReadOnly        = errors.New("engine: read-only node")
+	ErrNoTable         = errors.New("engine: table does not exist")
+	ErrTableExists     = errors.New("engine: table already exists")
+	ErrTxDone          = errors.New("engine: transaction already finished")
+	ErrEngineFailed    = errors.New("engine: engine failed mid-commit; node must restart")
+	ErrNotBootstrapped = errors.New("engine: database not bootstrapped")
+)
+
+// LogPipeline is the engine's handle to the durable log: Append stages a
+// record (assigning its LSN) and WaitHarden blocks until the given LSN is
+// durable. On the Socrates primary, hardening means quorum-acknowledged in
+// the landing zone; on HADR, quorum-acknowledged by the replica set.
+type LogPipeline interface {
+	wal.Logger
+	WaitHarden(lsn page.LSN) error
+}
+
+// MemPipeline is an in-memory LogPipeline for tests: hardening is immediate.
+type MemPipeline struct{ *wal.MemLog }
+
+// NewMemPipeline returns an empty in-memory pipeline.
+func NewMemPipeline() MemPipeline { return MemPipeline{wal.NewMemLog()} }
+
+// WaitHarden reports immediate durability.
+func (MemPipeline) WaitHarden(page.LSN) error { return nil }
+
+// Config assembles an engine.
+type Config struct {
+	// Pages is the page storage FCB.
+	Pages fcb.PageFile
+	// Log is the durable log pipeline. Read-only engines may pass nil.
+	Log LogPipeline
+	// ReadOnly marks secondary engines: all write paths fail.
+	ReadOnly bool
+	// WaitFresh, if set, is invoked when a read races log apply
+	// (btree.ErrInconsistent) before the read retries. Secondaries use it
+	// to wait for the apply thread to advance (§4.5).
+	WaitFresh func()
+	// Meter, if set, is charged the simulated CPU cost of operations.
+	Meter *metrics.CPUMeter
+}
+
+// Engine is one node's database engine instance.
+type Engine struct {
+	cfg   Config
+	clock *txn.Clock
+	locks *txn.LockTable
+	ids   txn.IDSource
+
+	// commitMu serializes every page-mutating path (commit apply, DDL,
+	// allocation): the engine is single-writer, like a SQL Server primary.
+	commitMu  sync.Mutex
+	next      uint64 // next page ID to allocate (under commitMu)
+	failed    bool   // a commit failed mid-apply; the node must restart
+	failCause error  // what poisoned the engine
+
+	vs *versionstore.Store
+
+	mu     sync.Mutex
+	tables map[string]*btree.Tree
+}
+
+// Create bootstraps a fresh database into cfg.Pages and returns the engine.
+func Create(cfg Config) (*Engine, error) {
+	if cfg.ReadOnly {
+		return nil, errors.New("engine: cannot create a database read-only")
+	}
+	if cfg.Log == nil {
+		return nil, errors.New("engine: Create requires a log pipeline")
+	}
+	e := newEngine(cfg)
+	e.next = uint64(MetaPage) + 1
+
+	// Format the catalog page.
+	meta := page.New(MetaPage, page.TypeMeta)
+	payload := btree.EmptyNodePayload()
+	rec := &wal.Record{Kind: wal.KindPageImage, Page: MetaPage,
+		PageType: page.TypeMeta, Value: payload}
+	lsn := cfg.Log.Append(rec)
+	meta.Data = payload
+	meta.LSN = lsn
+	if err := cfg.Pages.Write(meta); err != nil {
+		return nil, err
+	}
+	if err := e.metaPutLocked(metaNextKey, e.next); err != nil {
+		return nil, err
+	}
+	vs, err := versionstore.New(e, cfg.Log, page.InvalidID)
+	if err != nil {
+		return nil, err
+	}
+	e.vs = vs
+	vs.OnNewPage = e.persistVSPage
+
+	// Delimit bootstrap as a hardened group.
+	commitLSN := cfg.Log.Append(wal.NewCommit(0, 0))
+	if err := cfg.Log.WaitHarden(commitLSN); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Open attaches an engine to an existing database in cfg.Pages. Read-only
+// engines (secondaries) may open with a nil log.
+func Open(cfg Config) (*Engine, error) {
+	e := newEngine(cfg)
+	meta, err := cfg.Pages.Read(MetaPage)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotBootstrapped, err)
+	}
+	next, found, err := lookupU64(meta, metaNextKey)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: catalog missing allocator cursor", ErrNotBootstrapped)
+	}
+	e.next = next
+	vscur := page.InvalidID
+	if v, ok, err := lookupU64(meta, metaVSKey); err != nil {
+		return nil, err
+	} else if ok {
+		vscur = page.ID(v)
+	}
+	log := cfg.Log
+	if log == nil {
+		log = nopLog{}
+	}
+	vs, err := versionstore.New(e, log, vscur)
+	if err != nil {
+		return nil, err
+	}
+	e.vs = vs
+	vs.OnNewPage = e.persistVSPage
+	return e, nil
+}
+
+func newEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:    cfg,
+		clock:  txn.NewClock(),
+		locks:  txn.NewLockTable(),
+		tables: make(map[string]*btree.Tree),
+	}
+}
+
+// nopLog satisfies LogPipeline for read-only engines that never append.
+type nopLog struct{}
+
+func (nopLog) Append(*wal.Record) page.LSN {
+	panic("engine: append on read-only node")
+}
+
+func (nopLog) WaitHarden(page.LSN) error { return nil }
+
+// Clock exposes the timestamp clock (secondaries publish commit timestamps
+// from applied log; benches take snapshots).
+func (e *Engine) Clock() *txn.Clock { return e.clock }
+
+// VersionStore exposes the shared version store.
+func (e *Engine) VersionStore() *versionstore.Store { return e.vs }
+
+func (e *Engine) charge(d time.Duration) {
+	if e.cfg.Meter != nil {
+		e.cfg.Meter.Charge(d)
+	}
+}
+
+// --- btree.Pager implementation (the engine is its own pager) ---
+
+// Read fetches a page through the FCB layer.
+func (e *Engine) Read(id page.ID) (*page.Page, error) { return e.cfg.Pages.Read(id) }
+
+// Write installs a page through the FCB layer.
+func (e *Engine) Write(pg *page.Page) error { return e.cfg.Pages.Write(pg) }
+
+// Allocate hands out a fresh page ID and durably advances the allocator
+// cursor in the catalog. Callers hold commitMu (all allocation happens on
+// commit/DDL paths).
+func (e *Engine) Allocate(t page.Type) (*page.Page, error) {
+	if e.cfg.ReadOnly {
+		return nil, ErrReadOnly
+	}
+	id := page.ID(e.next)
+	e.next++
+	if err := e.metaPutLocked(metaNextKey, e.next); err != nil {
+		return nil, err
+	}
+	return page.New(id, t), nil
+}
+
+// persistVSPage records the version store's new append page in the catalog.
+func (e *Engine) persistVSPage(id page.ID) {
+	// Called from vs.Append, which runs under commitMu.
+	if err := e.metaPutLocked(metaVSKey, uint64(id)); err != nil {
+		e.failed = true
+	}
+}
+
+// metaPutLocked upserts a catalog cell (caller holds commitMu or is
+// bootstrapping single-threaded).
+func (e *Engine) metaPutLocked(key string, val uint64) error {
+	meta, err := e.cfg.Pages.Read(MetaPage)
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	rec := &wal.Record{Kind: wal.KindCellPut, Page: MetaPage,
+		PageType: page.TypeMeta, Key: []byte(key), Value: buf[:]}
+	e.cfg.Log.Append(rec)
+	if _, err := btree.Apply(meta, rec); err != nil {
+		return err
+	}
+	return e.cfg.Pages.Write(meta)
+}
+
+func lookupU64(meta *page.Page, key string) (uint64, bool, error) {
+	v, found, err := btree.LookupCell(meta, []byte(key))
+	if err != nil || !found {
+		return 0, found, err
+	}
+	if len(v) != 8 {
+		return 0, false, fmt.Errorf("engine: catalog cell %q has %d bytes", key, len(v))
+	}
+	return binary.LittleEndian.Uint64(v), true, nil
+}
+
+// --- catalog operations ---
+
+// CreateTable creates an empty table. DDL is auto-committed and durable on
+// return.
+func (e *Engine) CreateTable(name string) error {
+	if e.cfg.ReadOnly {
+		return ErrReadOnly
+	}
+	if name == "" || strings.ContainsRune(name, 0) {
+		return errors.New("engine: invalid table name")
+	}
+	e.commitMu.Lock()
+	if e.failed {
+		e.commitMu.Unlock()
+		return ErrEngineFailed
+	}
+	meta, err := e.cfg.Pages.Read(MetaPage)
+	if err != nil {
+		e.commitMu.Unlock()
+		return err
+	}
+	if _, exists, err := lookupU64(meta, tablePrefix+name); err != nil {
+		e.commitMu.Unlock()
+		return err
+	} else if exists {
+		e.commitMu.Unlock()
+		return fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	tree, err := btree.Create(e, e.cfg.Log, 0)
+	if err != nil {
+		e.commitMu.Unlock()
+		return err
+	}
+	if err := e.metaPutLocked(tablePrefix+name, uint64(tree.Root())); err != nil {
+		e.commitMu.Unlock()
+		return err
+	}
+	ts := e.clock.AllocateCommit()
+	commitLSN := e.cfg.Log.Append(wal.NewCommit(0, ts))
+	e.commitMu.Unlock()
+
+	if err := e.cfg.Log.WaitHarden(commitLSN); err != nil {
+		return err
+	}
+	e.clock.Publish(ts)
+	e.mu.Lock()
+	e.tables[name] = tree
+	e.mu.Unlock()
+	return nil
+}
+
+// tableTree resolves a table's B-tree, consulting the catalog page on miss
+// (so secondaries pick up DDL applied by the log).
+func (e *Engine) tableTree(name string) (*btree.Tree, error) {
+	e.mu.Lock()
+	if t, ok := e.tables[name]; ok {
+		e.mu.Unlock()
+		return t, nil
+	}
+	e.mu.Unlock()
+
+	meta, err := e.cfg.Pages.Read(MetaPage)
+	if err != nil {
+		return nil, err
+	}
+	root, found, err := lookupU64(meta, tablePrefix+name)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	log := e.cfg.Log
+	if log == nil {
+		log = nopLog{}
+	}
+	t := btree.Open(e, log, page.ID(root))
+	e.mu.Lock()
+	e.tables[name] = t
+	e.mu.Unlock()
+	return t, nil
+}
+
+// Tables lists table names in the catalog, sorted.
+func (e *Engine) Tables() ([]string, error) {
+	meta, err := e.cfg.Pages.Read(MetaPage)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	err = btree.RangeCells(meta, func(k, _ []byte) bool {
+		if strings.HasPrefix(string(k), tablePrefix) {
+			names = append(names, strings.TrimPrefix(string(k), tablePrefix))
+		}
+		return true
+	})
+	return names, err
+}
+
+// HasTable reports whether the table exists.
+func (e *Engine) HasTable(name string) bool {
+	_, err := e.tableTree(name)
+	return err == nil
+}
+
+// AllocatedPages reports how many pages the database has allocated — the
+// database's physical size in pages.
+func (e *Engine) AllocatedPages() int {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	return int(e.next) - 1
+}
+
+// WriteCheckpoint appends a checkpoint marker to the log and returns its
+// LSN (bookkeeping for recovery bounds).
+func (e *Engine) WriteCheckpoint() (page.LSN, error) {
+	if e.cfg.ReadOnly {
+		return 0, ErrReadOnly
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	rec := &wal.Record{Kind: wal.KindCheckpoint}
+	return e.cfg.Log.Append(rec), nil
+}
+
+// TruncateVersions advances the version-store watermark: snapshots older
+// than beforeTS may no longer resolve (aggressive log/version reclamation).
+func (e *Engine) TruncateVersions(beforeTS uint64) { e.vs.SetWatermark(beforeTS) }
+
+// Failed reports whether the engine poisoned itself mid-commit, and why.
+func (e *Engine) Failed() (bool, error) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	return e.failed, e.failCause
+}
+
+// withReadRetry runs f, retrying when it races log apply or page fetches.
+func (e *Engine) withReadRetry(f func() error) error {
+	const maxAttempts = 300
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err = f()
+		if err == nil || !errors.Is(err, btree.ErrInconsistent) {
+			return err
+		}
+		if e.cfg.WaitFresh != nil {
+			e.cfg.WaitFresh()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return err
+}

@@ -1,0 +1,430 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"socrates/internal/txn"
+	"socrates/internal/versionstore"
+	"socrates/internal/wal"
+)
+
+// Tx is one transaction under Snapshot Isolation. Reads see the database as
+// of the snapshot timestamp; writes buffer in the transaction (taking row
+// locks eagerly, first-writer-wins) and apply to pages only at commit — so
+// aborts are free and recovery needs no undo (§3.2).
+type Tx struct {
+	e        *Engine
+	id       uint64
+	snapshot uint64
+	readOnly bool
+	done     bool
+
+	writes   []writeOp
+	writeIdx map[string]int // lock key → index of the latest write
+	lockKeys []string
+}
+
+type writeOp struct {
+	table  string
+	key    []byte
+	value  []byte
+	delete bool
+}
+
+func lockKey(table string, key []byte) string {
+	return table + "\x00" + string(key)
+}
+
+// Begin starts a read-write transaction at the current snapshot.
+func (e *Engine) Begin() *Tx {
+	return &Tx{
+		e:        e,
+		id:       e.ids.Next(),
+		snapshot: e.clock.Snapshot(),
+		writeIdx: make(map[string]int),
+	}
+}
+
+// BeginRO starts a read-only transaction at the current snapshot.
+func (e *Engine) BeginRO() *Tx {
+	tx := e.Begin()
+	tx.readOnly = true
+	return tx
+}
+
+// BeginAt starts a read-only transaction at an explicit snapshot timestamp
+// (time travel; used by PITR verification and tests).
+func (e *Engine) BeginAt(snapshot uint64) *Tx {
+	tx := e.BeginRO()
+	tx.snapshot = snapshot
+	return tx
+}
+
+// Snapshot reports the transaction's snapshot timestamp.
+func (tx *Tx) Snapshot() uint64 { return tx.snapshot }
+
+// ID reports the transaction ID.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Get returns the value of key in table visible to this transaction,
+// including its own uncommitted writes.
+func (tx *Tx) Get(table string, key []byte) ([]byte, bool, error) {
+	if tx.done {
+		return nil, false, ErrTxDone
+	}
+	if i, ok := tx.writeIdx[lockKey(table, key)]; ok {
+		op := tx.writes[i]
+		if op.delete {
+			return nil, false, nil
+		}
+		return append([]byte(nil), op.value...), true, nil
+	}
+	tx.e.charge(cpuGet)
+	return tx.e.readVisible(table, key, tx.snapshot)
+}
+
+// readVisible resolves a row at a snapshot through the version chain.
+func (e *Engine) readVisible(table string, key []byte, snapshot uint64) ([]byte, bool, error) {
+	tree, err := e.tableTree(table)
+	if err != nil {
+		return nil, false, err
+	}
+	var payload []byte
+	var found bool
+	err = e.withReadRetry(func() error {
+		payload, found = nil, false
+		raw, ok, err := tree.Get(key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		head, err := versionstore.Decode(raw)
+		if err != nil {
+			return err
+		}
+		v, err := e.vs.Visible(head, snapshot)
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			return nil
+		}
+		payload = append([]byte(nil), v.Payload...)
+		found = true
+		return nil
+	})
+	return payload, found, err
+}
+
+// Put buffers an upsert of key→value, taking the row lock immediately.
+func (tx *Tx) Put(table string, key, value []byte) error {
+	return tx.write(writeOp{table: table, key: append([]byte(nil), key...),
+		value: append([]byte(nil), value...)})
+}
+
+// Delete buffers a deletion of key, taking the row lock immediately.
+func (tx *Tx) Delete(table string, key []byte) error {
+	return tx.write(writeOp{table: table, key: append([]byte(nil), key...), delete: true})
+}
+
+func (tx *Tx) write(op writeOp) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if tx.e.cfg.ReadOnly {
+		return ErrReadOnly
+	}
+	if _, err := tx.e.tableTree(op.table); err != nil {
+		return err
+	}
+	lk := lockKey(op.table, op.key)
+	if _, held := tx.writeIdx[lk]; !held {
+		if err := tx.e.locks.Acquire(lk, tx.id); err != nil {
+			return err
+		}
+		tx.lockKeys = append(tx.lockKeys, lk)
+	}
+	tx.e.charge(cpuPut)
+	if i, ok := tx.writeIdx[lk]; ok {
+		tx.writes[i] = op
+		return nil
+	}
+	tx.writes = append(tx.writes, op)
+	tx.writeIdx[lk] = len(tx.writes) - 1
+	return nil
+}
+
+// Scan streams rows of table with lo <= key < hi (nil hi = unbounded) at
+// the transaction's snapshot, overlaid with its own writes, in key order.
+func (tx *Tx) Scan(table string, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	rows, err := tx.e.scanVisible(table, lo, hi, tx.snapshot)
+	if err != nil {
+		return err
+	}
+	// Overlay the transaction's own writes in range.
+	if len(tx.writes) > 0 {
+		merged := make(map[string][]byte, len(rows))
+		order := make([]string, 0, len(rows))
+		for _, r := range rows {
+			merged[string(r.key)] = r.value
+			order = append(order, string(r.key))
+		}
+		changed := false
+		for _, i := range tx.writeIdx {
+			op := tx.writes[i]
+			if op.table != table {
+				continue
+			}
+			if lo != nil && bytes.Compare(op.key, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(op.key, hi) >= 0 {
+				continue
+			}
+			k := string(op.key)
+			if op.delete {
+				if _, ok := merged[k]; ok {
+					delete(merged, k)
+					changed = true
+				}
+				continue
+			}
+			if _, ok := merged[k]; !ok {
+				order = append(order, k)
+			}
+			merged[k] = op.value
+			changed = true
+		}
+		if changed {
+			sort.Strings(order)
+			for _, k := range order {
+				v, ok := merged[k]
+				if !ok {
+					continue
+				}
+				tx.e.charge(cpuScanRow)
+				if !fn([]byte(k), v) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+	for _, r := range rows {
+		tx.e.charge(cpuScanRow)
+		if !fn(r.key, r.value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+type kv struct {
+	key   []byte
+	value []byte
+}
+
+// scanVisible collects committed rows visible at the snapshot. It buffers
+// the result so a mid-scan inconsistency (racing log apply) restarts the
+// scan without re-emitting rows to the caller.
+func (e *Engine) scanVisible(table string, lo, hi []byte, snapshot uint64) ([]kv, error) {
+	tree, err := e.tableTree(table)
+	if err != nil {
+		return nil, err
+	}
+	var rows []kv
+	err = e.withReadRetry(func() error {
+		rows = rows[:0]
+		var inner error
+		err := tree.Scan(lo, hi, func(k, raw []byte) bool {
+			head, err := versionstore.Decode(raw)
+			if err != nil {
+				inner = err
+				return false
+			}
+			v, err := e.vs.Visible(head, snapshot)
+			if err != nil {
+				inner = err
+				return false
+			}
+			if v != nil {
+				rows = append(rows, kv{
+					key:   append([]byte(nil), k...),
+					value: append([]byte(nil), v.Payload...),
+				})
+			}
+			return true
+		})
+		if inner != nil {
+			return inner
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Commit applies the write set to pages, logs it as one group ending in the
+// commit record, waits for the log to harden, and publishes the commit
+// timestamp. On return the transaction is durable and visible.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	defer tx.releaseLocks()
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	e := tx.e
+	e.charge(cpuCommit)
+
+	e.commitMu.Lock()
+	if e.failed {
+		e.commitMu.Unlock()
+		return ErrEngineFailed
+	}
+	// First-updater-wins validation (Snapshot Isolation): if any row in
+	// the write set was committed after this transaction's snapshot, the
+	// commit must fail — otherwise it would silently overwrite an update
+	// it never saw (lost update). Validation runs before any page is
+	// touched, so a conflicting transaction aborts for free.
+	order := sortedWriteIndexes(tx)
+	for _, i := range order {
+		op := tx.writes[i]
+		if err := e.validateWriteLocked(tx.snapshot, op); err != nil {
+			e.commitMu.Unlock()
+			return err
+		}
+	}
+	ts := e.clock.AllocateCommit()
+	e.cfg.Log.Append(&wal.Record{Txn: tx.id, Kind: wal.KindTxnBegin})
+	for _, i := range order {
+		op := tx.writes[i]
+		if err := e.applyWriteLocked(tx.id, ts, op); err != nil {
+			// Pages may hold a partial transaction: poison the engine so
+			// the node restarts (crash-equivalent; the unhardened tail is
+			// discarded by every consumer).
+			e.failed = true
+			e.failCause = err
+			e.commitMu.Unlock()
+			return fmt.Errorf("%w: %v", ErrEngineFailed, err)
+		}
+	}
+	commitLSN := e.cfg.Log.Append(wal.NewCommit(tx.id, ts))
+	e.commitMu.Unlock()
+
+	if err := e.cfg.Log.WaitHarden(commitLSN); err != nil {
+		return err
+	}
+	e.clock.Publish(ts)
+	return nil
+}
+
+// sortedWriteIndexes returns the latest write per key in key order, which
+// keeps page access patterns deterministic.
+func sortedWriteIndexes(tx *Tx) []int {
+	idx := make([]int, 0, len(tx.writeIdx))
+	for _, i := range tx.writeIdx {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		wa, wb := tx.writes[idx[a]], tx.writes[idx[b]]
+		if wa.table != wb.table {
+			return wa.table < wb.table
+		}
+		return bytes.Compare(wa.key, wb.key) < 0
+	})
+	return idx
+}
+
+// validateWriteLocked rejects a write whose row changed after the
+// transaction's snapshot (first-updater-wins).
+func (e *Engine) validateWriteLocked(snapshot uint64, op writeOp) error {
+	tree, err := e.tableTree(op.table)
+	if err != nil {
+		return err
+	}
+	raw, found, err := tree.Get(op.key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return nil
+	}
+	head, err := versionstore.Decode(raw)
+	if err != nil {
+		return err
+	}
+	if head.CommitTS > snapshot {
+		return fmt.Errorf("%w: row committed at ts %d after snapshot %d",
+			txn.ErrWriteConflict, head.CommitTS, snapshot)
+	}
+	return nil
+}
+
+// applyWriteLocked installs one committed write: the old row head (if any)
+// moves into the version store, and the new head lands in the B-tree leaf.
+func (e *Engine) applyWriteLocked(txnID, ts uint64, op writeOp) error {
+	e.charge(cpuApply)
+	tree, err := e.tableTree(op.table)
+	if err != nil {
+		return err
+	}
+	raw, found, err := tree.Get(op.key)
+	if err != nil {
+		return err
+	}
+	var prev versionstore.Ptr
+	if found {
+		oldHead, err := versionstore.Decode(raw)
+		if err != nil {
+			return err
+		}
+		ptr, err := e.vs.Append(txnID, oldHead)
+		if err != nil {
+			return err
+		}
+		prev = ptr
+	}
+	newHead := &versionstore.Version{
+		CommitTS:  ts,
+		Prev:      prev,
+		Tombstone: op.delete,
+		Payload:   op.value,
+	}
+	return tree.Put(txnID, op.key, newHead.Encode())
+}
+
+// Abort discards the transaction. Nothing reached pages or the log except
+// possibly lock acquisitions, so abort is O(1) regardless of write count —
+// the ADR property.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.releaseLocks()
+}
+
+func (tx *Tx) releaseLocks() {
+	if len(tx.lockKeys) > 0 {
+		tx.e.locks.ReleaseAll(tx.lockKeys, tx.id)
+		tx.lockKeys = nil
+	}
+}
+
+var _ = errors.Is // keep errors imported for doc examples

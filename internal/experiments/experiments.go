@@ -1,0 +1,435 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7 and Appendix A) against the reproduction: Tables 1–7 and
+// Figure 4. The root bench suite (bench_test.go) and cmd/socrates-bench
+// both drive these functions; EXPERIMENTS.md records paper-vs-measured.
+//
+// Scaling: databases are page-count-scaled (a "1 TB" CDB database becomes a
+// few thousand rows with the same cache:data ratios), latencies use the
+// calibrated device profiles in simdisk, and all headline comparisons are
+// ratios, which survive the scaling (see DESIGN.md).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"socrates/internal/cdb"
+	"socrates/internal/cluster"
+	"socrates/internal/engine"
+	"socrates/internal/hadr"
+	"socrates/internal/metrics"
+	"socrates/internal/simdisk"
+	"socrates/internal/workload"
+	"socrates/internal/xstore"
+)
+
+// Options tunes experiment cost. Defaults suit `go test -bench`.
+type Options struct {
+	// Measure is the measurement window per data point.
+	Measure time.Duration
+	// WarmUp precedes each measurement.
+	WarmUp time.Duration
+	// SF is the CDB scale factor (rows per scaled table).
+	SF int
+	// Threads is the default client thread count.
+	Threads int
+}
+
+// Defaults fills unset options.
+func (o Options) defaults() Options {
+	if o.Measure == 0 {
+		o.Measure = 1500 * time.Millisecond
+	}
+	if o.WarmUp == 0 {
+		o.WarmUp = 400 * time.Millisecond
+	}
+	if o.SF == 0 {
+		o.SF = 2000
+	}
+	if o.Threads == 0 {
+		o.Threads = 64
+	}
+	return o
+}
+
+// --- deployment builders (real latency profiles) ---
+
+// newSocrates builds a production-shaped Socrates deployment: XIO or DD
+// landing zone, LAN fabric, local-SSD caches, HDD-backed XStore.
+func newSocrates(name string, lzProfile simdisk.Profile, cores, memPages, ssdPages int) (*cluster.Cluster, error) {
+	return cluster.New(cluster.Config{
+		Name:            name,
+		LZProfile:       lzProfile,
+		LZCapacity:      32 << 20,
+		ComputeMemPages: memPages,
+		ComputeSSDPages: ssdPages,
+		PSMemPages:      256,
+		PSPullBytes:     1 << 20,
+		PrimaryCores:    cores,
+		CheckpointEvery: 20 * time.Millisecond,
+		XStore:          xstore.Config{Profile: simdisk.HDD},
+	})
+}
+
+// newHADR builds the baseline with AZ-link replication and a log backup
+// whose egress is capped (its throughput ceiling, §7.4).
+func newHADR(name string, cores int, backupMBps float64, lagBudget int64) (*hadr.Cluster, error) {
+	cfg := hadr.Config{
+		Name:           name,
+		PrimaryCores:   cores,
+		LogBackupEvery: 10 * time.Millisecond,
+	}
+	if backupMBps > 0 {
+		cfg.Store = xstore.New(xstore.Config{Profile: simdisk.HDD, IngestMBps: backupMBps})
+	}
+	if lagBudget > 0 {
+		cfg.BackupLagBudget = lagBudget
+	}
+	return hadr.New(cfg)
+}
+
+// driveCDB runs the mix against an engine with the generic driver.
+// When cores > 0, each transaction burns its query-processing CPU through a
+// cores-wide gate, making throughput CPU-bound at that core count (the
+// Table 2 regime).
+func driveCDB(e *engine.Engine, w *cdb.Workload, mix cdb.Mix, threads, cores int,
+	meter *metrics.CPUMeter, o Options) workload.Metrics {
+	var gate chan struct{}
+	if cores > 0 {
+		gate = make(chan struct{}, cores)
+	}
+	return workload.Drive(func(id int) workload.Runner {
+		return cdb.Runner{C: w.NewClient(id), E: e, Mix: mix, Meter: meter, Gate: gate}
+	}, workload.Config{
+		Threads:  threads,
+		Duration: o.Measure,
+		WarmUp:   o.WarmUp,
+		Meter:    meter,
+	})
+}
+
+// --- Table 2: CDB default mix throughput, HADR vs Socrates ---
+
+// ThroughputRow is one system's row in Table 2.
+type ThroughputRow struct {
+	System   string
+	CPUPct   float64
+	WriteTPS float64
+	ReadTPS  float64
+	TotalTPS float64
+}
+
+// Table2 runs the CDB default mix on both architectures at equal scale
+// (paper: 8 cores, 64 client threads, 1 TB database).
+func Table2(o Options) (hadrRow, socRow ThroughputRow, err error) {
+	o = o.defaults()
+
+	h, err := newHADR("t2-hadr", 8, 0, 64<<20)
+	if err != nil {
+		return hadrRow, socRow, err
+	}
+	defer h.Close()
+	hw := cdb.New(o.SF)
+	if err := hw.Setup(h.Primary().Engine()); err != nil {
+		return hadrRow, socRow, err
+	}
+	hm := driveCDB(h.Primary().Engine(), hw, cdb.DefaultMix, o.Threads, 8, h.PrimaryMeter, o)
+	hadrRow = ThroughputRow{System: "HADR", CPUPct: hm.CPUPercent,
+		WriteTPS: hm.WriteTPS(), ReadTPS: hm.ReadTPS(), TotalTPS: hm.TotalTPS()}
+
+	// Socrates: cache sized to ~15% of the database (Table 3 config).
+	s, err := newSocrates("t2-soc", simdisk.XIO, 8, 48, 144)
+	if err != nil {
+		return hadrRow, socRow, err
+	}
+	defer s.Close()
+	sw := cdb.New(o.SF)
+	if err := sw.Setup(s.Primary().Engine); err != nil {
+		return hadrRow, socRow, err
+	}
+	sm := driveCDB(s.Primary().Engine, sw, cdb.DefaultMix, o.Threads, 8, s.PrimaryMeter, o)
+	if failed, cause := s.Primary().Engine.Failed(); failed {
+		return hadrRow, socRow, fmt.Errorf("table2: socrates engine poisoned: %w", cause)
+	}
+	socRow = ThroughputRow{System: "Socrates", CPUPct: sm.CPUPercent,
+		WriteTPS: sm.WriteTPS(), ReadTPS: sm.ReadTPS(), TotalTPS: sm.TotalTPS()}
+	return hadrRow, socRow, nil
+}
+
+// --- Tables 3 & 4: cache hit rates ---
+
+// CacheRow is one row of the cache-hit tables.
+type CacheRow struct {
+	Workload   string
+	DataPages  int
+	CachePages int
+	CacheRatio float64 // cache / data
+	HitPct     float64
+}
+
+// Table3 measures the Socrates primary's local cache hit rate under the
+// CDB default mix with a cache ≈ 15% of the database (paper: 52%).
+func Table3(o Options) (CacheRow, error) {
+	o = o.defaults()
+	// Estimate data pages from a scouting engine, then size the cache.
+	dataPages := estimateCDBDataPages(o.SF)
+	cachePages := dataPages * 15 / 100
+	mem := cachePages / 4
+	ssd := cachePages - mem
+
+	s, err := newSocrates("t3-soc", simdisk.XIO, 8, mem, ssd)
+	if err != nil {
+		return CacheRow{}, err
+	}
+	defer s.Close()
+	w := cdb.New(o.SF)
+	if err := w.Setup(s.Primary().Engine); err != nil {
+		return CacheRow{}, err
+	}
+	s.Primary().Pages().Cache().ResetStats()
+	_ = driveCDB(s.Primary().Engine, w, cdb.DefaultMix, 16, 8, s.PrimaryMeter, o)
+	return CacheRow{
+		Workload:   "CDB default",
+		DataPages:  dataPages,
+		CachePages: cachePages,
+		CacheRatio: float64(cachePages) / float64(dataPages),
+		HitPct:     100 * s.Primary().Pages().Cache().HitRate(),
+	}, nil
+}
+
+// Table4 measures the hit rate under the TPC-E-flavoured workload with a
+// cache ≈ 1% of the database (paper: 32%).
+func Table4(o Options) (CacheRow, error) {
+	o = o.defaults()
+	customers := o.SF * 3
+	dataPages := estimateTPCEDataPages(customers)
+	cachePages := dataPages / 75 // ≈ 1.3%, the paper's ratio
+	if cachePages < 4 {
+		cachePages = 4
+	}
+	mem := cachePages / 4
+	if mem < 1 {
+		mem = 1
+	}
+	ssd := cachePages - mem
+
+	s, err := newSocrates("t4-soc", simdisk.XIO, 8, mem, ssd)
+	if err != nil {
+		return CacheRow{}, err
+	}
+	defer s.Close()
+	// TPC-E workload import kept local to avoid the extra dependency in
+	// the builders above.
+	return runTPCECache(s, customers, dataPages, cachePages, o)
+}
+
+// --- Table 5: update-heavy log throughput ---
+
+// LogRow is one system's row in Table 5.
+type LogRow struct {
+	System  string
+	LogMBps float64
+	CPUPct  float64
+}
+
+// Table5 saturates both systems with the max-log CDB mix (paper: 16 cores,
+// 256 clients). HADR's log production throttles on its backup egress;
+// Socrates backups are XStore snapshots, so its log runs free.
+func Table5(o Options) (hadrRow, socRow LogRow, err error) {
+	o = o.defaults()
+	// The backup limiter's burst allowance covers ~1 s; the window must be
+	// comfortably longer to observe the steady-state throttle.
+	if o.Measure < 2500*time.Millisecond {
+		o.Measure = 2500 * time.Millisecond
+	}
+	threads := o.Threads
+
+	// HADR: the backup egress cap is the ceiling.
+	h, err := newHADR("t5-hadr", 16, 3, 512<<10)
+	if err != nil {
+		return hadrRow, socRow, err
+	}
+	defer h.Close()
+	hw := cdb.New(o.SF / 2)
+	if err := hw.Setup(h.Primary().Engine()); err != nil {
+		return hadrRow, socRow, err
+	}
+	hm := driveCDB(h.Primary().Engine(), hw, cdb.MaxLogMix, threads, 16, h.PrimaryMeter, o)
+	_, hBytes, _ := h.Writer().Stats()
+	_ = hm
+	hadrRow = LogRow{System: "HADR",
+		LogMBps: mbps(hBytes, o.Measure+o.WarmUp),
+		CPUPct:  h.PrimaryMeter.Utilization()}
+
+	s, err := newSocrates("t5-soc", simdisk.XIO, 16, 256, 512)
+	if err != nil {
+		return hadrRow, socRow, err
+	}
+	defer s.Close()
+	sw := cdb.New(o.SF / 2)
+	if err := sw.Setup(s.Primary().Engine); err != nil {
+		return hadrRow, socRow, err
+	}
+	_, before := s.Primary().Writer().Stats()
+	sm := driveCDB(s.Primary().Engine, sw, cdb.MaxLogMix, threads, 16, s.PrimaryMeter, o)
+	_, after := s.Primary().Writer().Stats()
+	_ = sm
+	if failed, cause := s.Primary().Engine.Failed(); failed {
+		return hadrRow, socRow, fmt.Errorf("table5: socrates engine poisoned: %w", cause)
+	}
+	socRow = LogRow{System: "Socrates",
+		LogMBps: mbps(after-before, o.Measure+o.WarmUp),
+		CPUPct:  s.PrimaryMeter.Utilization()}
+	return hadrRow, socRow, nil
+}
+
+// --- Table 6 / Figure 4 / Table 7: XIO vs DirectDrive (Appendix A) ---
+
+// LatencyRow is one service's row in Table 6.
+type LatencyRow struct {
+	Service string
+	Stats   metrics.Summary
+}
+
+// Table6 measures single-client UpdateLite commit latency with the landing
+// zone on XIO vs DirectDrive (paper: median 3300 µs vs 800 µs).
+func Table6(o Options) (xio, dd LatencyRow, err error) {
+	o = o.defaults()
+	for _, svc := range []struct {
+		name    string
+		profile simdisk.Profile
+		out     *LatencyRow
+	}{
+		{"XIO", simdisk.XIO, &xio},
+		{"DD", simdisk.DirectDrive, &dd},
+	} {
+		s, err := newSocrates("t6-"+svc.name, svc.profile, 64, 256, 0)
+		if err != nil {
+			return xio, dd, err
+		}
+		w := cdb.New(o.SF / 4)
+		if err := w.Setup(s.Primary().Engine); err != nil {
+			s.Close()
+			return xio, dd, err
+		}
+		m := driveCDB(s.Primary().Engine, w, cdb.UpdateLiteMix, 1, 0, s.PrimaryMeter, o)
+		*svc.out = LatencyRow{Service: svc.name, Stats: m.WriteLatency.Summarize()}
+		s.Close()
+	}
+	return xio, dd, nil
+}
+
+// CurvePoint is one point of Figure 4.
+type CurvePoint struct {
+	Service string
+	Threads int
+	TPS     float64
+}
+
+// Figure4 sweeps UpdateLite throughput over client thread counts for both
+// landing-zone services.
+func Figure4(o Options, threadCounts []int) ([]CurvePoint, error) {
+	o = o.defaults()
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	var points []CurvePoint
+	for _, svc := range []struct {
+		name    string
+		profile simdisk.Profile
+	}{
+		{"XIO", simdisk.XIO},
+		{"DD", simdisk.DirectDrive},
+	} {
+		for _, threads := range threadCounts {
+			// Fresh deployment per point (see Table7).
+			s, err := newSocrates(fmt.Sprintf("f4-%s-%d", svc.name, threads),
+				svc.profile, 64, 256, 0)
+			if err != nil {
+				return nil, err
+			}
+			w := cdb.New(o.SF / 4)
+			if err := w.Setup(s.Primary().Engine); err != nil {
+				s.Close()
+				return nil, err
+			}
+			m := driveCDB(s.Primary().Engine, w, cdb.UpdateLiteMix, threads, 0, s.PrimaryMeter, o)
+			points = append(points, CurvePoint{Service: svc.name, Threads: threads,
+				TPS: m.TotalTPS()})
+			s.Close()
+		}
+	}
+	return points, nil
+}
+
+// EfficiencyRow is one service's row in Table 7.
+type EfficiencyRow struct {
+	Service string
+	Threads int
+	LogMBps float64
+	CPUPct  float64
+}
+
+// Table7 searches the client thread count at which each service reaches the
+// target log rate and reports the primary CPU it burns there (paper: XIO
+// needs 8x the threads and ~3x the CPU of DD for the same 70 MB/s).
+func Table7(o Options, targetMBps float64) (xio, dd EfficiencyRow, err error) {
+	o = o.defaults()
+	if targetMBps == 0 {
+		targetMBps = 1.0 // scaled stand-in for the paper's 70 MB/s
+	}
+	for _, svc := range []struct {
+		name    string
+		profile simdisk.Profile
+		out     *EfficiencyRow
+	}{
+		{"XIO", simdisk.XIO, &xio},
+		{"DD", simdisk.DirectDrive, &dd},
+	} {
+		for _, threads := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+			// Fresh deployment per rung: version chains and table growth
+			// from earlier rungs must not distort later measurements.
+			s, err := newSocrates(fmt.Sprintf("t7-%s-%d", svc.name, threads),
+				svc.profile, 64, 256, 0)
+			if err != nil {
+				return xio, dd, err
+			}
+			w := cdb.New(o.SF / 4)
+			if err := w.Setup(s.Primary().Engine); err != nil {
+				s.Close()
+				return xio, dd, err
+			}
+			_, before := s.Primary().Writer().Stats()
+			_ = driveCDB(s.Primary().Engine, w, cdb.UpdateLiteMix, threads, 0, s.PrimaryMeter, o)
+			_, after := s.Primary().Writer().Stats()
+			rate := mbps(after-before, o.Measure+o.WarmUp)
+			*svc.out = EfficiencyRow{Service: svc.name, Threads: threads,
+				LogMBps: rate, CPUPct: s.PrimaryMeter.Utilization()}
+			s.Close()
+			if rate >= targetMBps {
+				break
+			}
+		}
+	}
+	return xio, dd, nil
+}
+
+func mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / d.Seconds()
+}
+
+// estimateCDBDataPages sizes a CDB database by loading it into a throwaway
+// in-memory engine and reading the allocator cursor.
+func estimateCDBDataPages(sf int) int {
+	e, pages := scratchEngine()
+	w := cdb.New(sf)
+	if err := w.Setup(e); err != nil {
+		return 64
+	}
+	return pages()
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"socrates/internal/cluster"
+	"socrates/internal/engine"
+	"socrates/internal/fcb"
+	"socrates/internal/tpce"
+	"socrates/internal/workload"
+)
+
+// scratchEngine builds a throwaway in-memory engine for sizing databases;
+// the returned func reports the pages allocated so far.
+func scratchEngine() (*engine.Engine, func() int) {
+	e, err := engine.Create(engine.Config{
+		Pages: fcb.NewMemFile(),
+		Log:   engine.NewMemPipeline(),
+	})
+	if err != nil {
+		panic("experiments: scratch engine: " + err.Error())
+	}
+	return e, func() int { return e.AllocatedPages() }
+}
+
+// estimateTPCEDataPages sizes a TPC-E database.
+func estimateTPCEDataPages(customers int) int {
+	e, pages := scratchEngine()
+	w := tpce.New(customers)
+	if err := w.Setup(e); err != nil {
+		return 64
+	}
+	return pages()
+}
+
+// runTPCECache loads the TPC-E workload onto the deployment and measures
+// the primary's cache hit rate.
+func runTPCECache(s *cluster.Cluster, customers, dataPages, cachePages int, o Options) (CacheRow, error) {
+	w := tpce.New(customers)
+	if err := w.Setup(s.Primary().Engine); err != nil {
+		return CacheRow{}, err
+	}
+	s.Primary().Pages().Cache().ResetStats()
+	_ = workload.Drive(func(id int) workload.Runner {
+		return w.NewClient(s.Primary().Engine, s.PrimaryMeter, id)
+	}, workload.Config{
+		Threads:  16,
+		Duration: o.Measure,
+		WarmUp:   o.WarmUp,
+		Meter:    s.PrimaryMeter,
+	})
+	return CacheRow{
+		Workload:   "TPC-E",
+		DataPages:  dataPages,
+		CachePages: cachePages,
+		CacheRatio: float64(cachePages) / float64(dataPages),
+		HitPct:     100 * s.Primary().Pages().Cache().HitRate(),
+	}, nil
+}

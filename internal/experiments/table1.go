@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"socrates/internal/cdb"
+	"socrates/internal/page"
+	"socrates/internal/simdisk"
+)
+
+// Table1Row is one goal line of Table 1: the measured value for the old
+// architecture ("Today" = HADR) and for Socrates.
+type Table1Row struct {
+	Metric   string
+	HADR     string
+	Socrates string
+}
+
+// Table1 measures the goal metrics of the paper's Table 1 on both stacks:
+// up/downsize cost scaling, storage copies, recovery time, commit latency,
+// and log throughput. (Max DB size and availability are design properties,
+// reported from configuration.)
+func Table1(o Options) ([]Table1Row, error) {
+	o = o.defaults()
+	short := o
+	if short.Measure > time.Second {
+		short.Measure = time.Second
+	}
+	var rows []Table1Row
+
+	// --- Up/downsize: O(data) reseed vs O(1) reattach ---
+	smallSeed, largeSeed, err := hadrReseedCost(o.SF/4, o.SF)
+	if err != nil {
+		return nil, err
+	}
+	socSmall, socLarge, err := socratesScaleCost(o.SF/4, o.SF)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Metric: "Upsize/downsize",
+		HADR: fmt.Sprintf("O(data): %.0fms @%d rows -> %.0fms @%d rows",
+			ms(smallSeed), o.SF/4, ms(largeSeed), o.SF),
+		Socrates: fmt.Sprintf("O(1): %.0fms @%d rows -> %.0fms @%d rows",
+			ms(socSmall), o.SF/4, ms(socLarge), o.SF),
+	})
+
+	// --- Storage impact: copies of the database ---
+	hadrCopies, socCopies, err := storageCopies(o.SF / 2)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Metric:   "Storage impact",
+		HADR:     fmt.Sprintf("%.1fx copies (+log backup)", hadrCopies),
+		Socrates: fmt.Sprintf("%.1fx copies (+snapshots)", socCopies),
+	})
+
+	// --- Commit latency: HADR quorum vs Socrates landing zone ---
+	hadrLat, socXIOLat, socDDLat, err := commitLatencies(short)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Metric: "Commit latency",
+		HADR:   fmt.Sprintf("%.2fms (AZ quorum)", ms(hadrLat)),
+		Socrates: fmt.Sprintf("%.2fms on DD (%.2fms on XIO)",
+			ms(socDDLat), ms(socXIOLat)),
+	})
+
+	// --- Log throughput (the Table 5 result, summarized) ---
+	hadrLog, socLog, err := Table5(short)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Metric:   "Log throughput",
+		HADR:     fmt.Sprintf("%.1f MB/s (backup-throttled)", hadrLog.LogMBps),
+		Socrates: fmt.Sprintf("%.1f MB/s", socLog.LogMBps),
+	})
+
+	// --- Recovery: failover to availability ---
+	hadrRec, socRec, err := recoveryTimes(o.SF / 2)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Metric:   "Recovery",
+		HADR:     fmt.Sprintf("O(1): %.0fms", ms(hadrRec)),
+		Socrates: fmt.Sprintf("O(1): %.0fms", ms(socRec)),
+	})
+
+	// Design properties (not measured).
+	rows = append(rows,
+		Table1Row{Metric: "Max DB size", HADR: "bounded by one machine",
+			Socrates: "bounded by page-server count (grows on demand)"},
+	)
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// hadrReseedCost measures HADR's add-replica time at two database sizes.
+func hadrReseedCost(smallSF, largeSF int) (small, large time.Duration, err error) {
+	for i, sf := range []int{smallSF, largeSF} {
+		h, err := newHADR(fmt.Sprintf("t1-hadr-seed%d", i), 8, 0, 64<<20)
+		if err != nil {
+			return 0, 0, err
+		}
+		w := cdb.New(sf)
+		if err := w.Setup(h.Primary().Engine()); err != nil {
+			h.Close()
+			return 0, 0, err
+		}
+		_, _, elapsed, err := h.SeedNewReplica(fmt.Sprintf("t1-new-%d", i))
+		h.Close()
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			small = elapsed
+		} else {
+			large = elapsed
+		}
+	}
+	return small, large, nil
+}
+
+// socratesScaleCost measures Socrates compute scale-up time at two sizes.
+func socratesScaleCost(smallSF, largeSF int) (small, large time.Duration, err error) {
+	for i, sf := range []int{smallSF, largeSF} {
+		s, err := newSocrates(fmt.Sprintf("t1-soc-scale%d", i), simdisk.DirectDrive, 8, 64, 128)
+		if err != nil {
+			return 0, 0, err
+		}
+		w := cdb.New(sf)
+		if err := w.Setup(s.Primary().Engine); err != nil {
+			s.Close()
+			return 0, 0, err
+		}
+		if err := s.WaitForCatchUp(30 * time.Second); err != nil {
+			s.Close()
+			return 0, 0, err
+		}
+		elapsed, err := s.ScaleCompute(128, 256)
+		s.Close()
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			small = elapsed
+		} else {
+			large = elapsed
+		}
+	}
+	return small, large, nil
+}
+
+// storageCopies measures how many copies of the database each architecture
+// stores in its fast+durable tiers.
+func storageCopies(sf int) (hadrCopies, socCopies float64, err error) {
+	h, err := newHADR("t1-hadr-store", 8, 0, 64<<20)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := cdb.New(sf)
+	if err := w.Setup(h.Primary().Engine()); err != nil {
+		h.Close()
+		return 0, 0, err
+	}
+	end := h.Writer().HardenedEnd()
+	for _, sec := range h.Secondaries() {
+		sec.WaitApplied(end, 10*time.Second)
+	}
+	primBytes := h.Primary().DataBytes()
+	if primBytes > 0 {
+		hadrCopies = float64(h.TotalDataBytes()) / float64(primBytes)
+	}
+	h.Close()
+
+	s, err := newSocrates("t1-soc-store", simdisk.DirectDrive, 8, 64, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	sw := cdb.New(sf)
+	if err := sw.Setup(s.Primary().Engine); err != nil {
+		s.Close()
+		return 0, 0, err
+	}
+	if err := s.WaitForCatchUp(30 * time.Second); err != nil {
+		s.Close()
+		return 0, 0, err
+	}
+	for _, srv := range s.PageServers() {
+		if _, err := srv.FlushForBackup(); err != nil {
+			s.Close()
+			return 0, 0, err
+		}
+	}
+	dbBytes := int64(s.Primary().Engine.AllocatedPages()) * page.Size
+	var psBytes int64
+	for _, srv := range s.PageServers() {
+		psBytes += int64(srv.Cache().Len()) * page.Size
+	}
+	// XStore checkpoint copy ≈ one copy; page servers ≈ one copy. The log
+	// archive is excluded from both (it is backup, like HADR's).
+	var checkpointBytes int64
+	for _, name := range s.Store.List("t1-soc-store/page/") {
+		if sz, err := s.Store.Size(name); err == nil {
+			checkpointBytes += sz
+		}
+	}
+	if dbBytes > 0 {
+		socCopies = float64(psBytes+checkpointBytes) / float64(dbBytes)
+	}
+	s.Close()
+	return hadrCopies, socCopies, nil
+}
+
+// commitLatencies measures single-client UpdateLite commit latency on all
+// three configurations.
+func commitLatencies(o Options) (hadrMed, socXIO, socDD time.Duration, err error) {
+	h, err := newHADR("t1-hadr-lat", 8, 0, 64<<20)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	w := cdb.New(o.SF / 4)
+	if err := w.Setup(h.Primary().Engine()); err != nil {
+		h.Close()
+		return 0, 0, 0, err
+	}
+	hm := driveCDB(h.Primary().Engine(), w, cdb.UpdateLiteMix, 1, 0, h.PrimaryMeter, o)
+	hadrMed = hm.WriteLatency.Median()
+	h.Close()
+
+	xio, dd, err := Table6(o)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return hadrMed, xio.Stats.Median, dd.Stats.Median, nil
+}
+
+// recoveryTimes measures failover-to-availability on both stacks.
+func recoveryTimes(sf int) (hadrRec, socRec time.Duration, err error) {
+	h, err := newHADR("t1-hadr-rec", 8, 0, 64<<20)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := cdb.New(sf)
+	if err := w.Setup(h.Primary().Engine()); err != nil {
+		h.Close()
+		return 0, 0, err
+	}
+	_, hadrRec, err = h.Failover()
+	h.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+
+	s, err := newSocrates("t1-soc-rec", simdisk.DirectDrive, 8, 64, 128)
+	if err != nil {
+		return 0, 0, err
+	}
+	sw := cdb.New(sf)
+	if err := sw.Setup(s.Primary().Engine); err != nil {
+		s.Close()
+		return 0, 0, err
+	}
+	if err := s.WaitForCatchUp(30 * time.Second); err != nil {
+		s.Close()
+		return 0, 0, err
+	}
+	_, socRec, err = s.Failover()
+	s.Close()
+	return hadrRec, socRec, err
+}

@@ -1,0 +1,127 @@
+package hadr
+
+import (
+	"sync"
+	"time"
+
+	"socrates/internal/fcb"
+	"socrates/internal/page"
+	"socrates/internal/simdisk"
+)
+
+// bufferedFile is an HADR node's page store: the full database cached in
+// memory (the reason "HADR has high performance: every compute node has a
+// full, local copy", §2) over a local-SSD shadow written back lazily.
+// Durability comes from the replicated log; the disk copy exists for
+// restart and for the O(size-of-data) seeding path.
+type bufferedFile struct {
+	disk *fcb.DiskFile
+
+	mu    sync.Mutex
+	mem   map[page.ID]*page.Page
+	dirty map[page.ID]struct{}
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newBufferedFile(dev *simdisk.Device) *bufferedFile {
+	disk, _ := fcb.OpenDisk(dev)
+	f := &bufferedFile{
+		disk:  disk,
+		mem:   make(map[page.ID]*page.Page),
+		dirty: make(map[page.ID]struct{}),
+		done:  make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.flushLoop()
+	return f
+}
+
+// Read serves from memory (the full copy), falling back to disk once.
+func (f *bufferedFile) Read(id page.ID) (*page.Page, error) {
+	f.mu.Lock()
+	if pg, ok := f.mem[id]; ok {
+		c := pg.Clone()
+		f.mu.Unlock()
+		return c, nil
+	}
+	f.mu.Unlock()
+	pg, err := f.disk.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.mem[id] = pg.Clone()
+	f.mu.Unlock()
+	return pg, nil
+}
+
+// Write installs the page in memory and schedules the disk write-back.
+func (f *bufferedFile) Write(pg *page.Page) error {
+	f.mu.Lock()
+	f.mem[pg.ID] = pg.Clone()
+	f.dirty[pg.ID] = struct{}{}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *bufferedFile) flushLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.done:
+			f.flushOnce()
+			return
+		case <-ticker.C:
+			f.flushOnce()
+		}
+	}
+}
+
+func (f *bufferedFile) flushOnce() {
+	f.mu.Lock()
+	batch := make([]*page.Page, 0, len(f.dirty))
+	for id := range f.dirty {
+		if pg, ok := f.mem[id]; ok {
+			batch = append(batch, pg.Clone())
+		}
+		delete(f.dirty, id)
+	}
+	f.mu.Unlock()
+	for _, pg := range batch {
+		_ = f.disk.Write(pg)
+	}
+}
+
+// FlushAll drains the dirty set to disk.
+func (f *bufferedFile) FlushAll() { f.flushOnce() }
+
+// Range iterates the durable on-disk copy (after draining dirty pages) —
+// the O(size-of-data) path used by replica seeding.
+func (f *bufferedFile) Range(fn func(*page.Page) bool) {
+	f.flushOnce()
+	f.disk.Range(fn)
+}
+
+// Len reports the page count of the in-memory copy.
+func (f *bufferedFile) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.mem)
+}
+
+// close stops the flusher after a final drain.
+func (f *bufferedFile) close() {
+	select {
+	case <-f.done:
+		return
+	default:
+	}
+	close(f.done)
+	f.wg.Wait()
+}
+
+var _ fcb.PageFile = (*bufferedFile)(nil)

@@ -1,0 +1,513 @@
+package hadr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"socrates/internal/engine"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/wal"
+	"socrates/internal/xstore"
+)
+
+// Cluster is a running HADR deployment: one primary, N-1 secondaries.
+type Cluster struct {
+	cfg Config
+
+	Net          *rbio.Network
+	Store        *xstore.Store
+	PrimaryMeter *metrics.CPUMeter
+
+	mu          sync.Mutex
+	primary     *Node
+	secondaries []*Node
+	writer      *writer
+}
+
+// New builds, bootstraps, and starts an HADR deployment.
+func New(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+	c := &Cluster{cfg: cfg, Net: cfg.Net}
+	if c.Net == nil {
+		c.Net = rbio.NewNetworkWith(AZLink)
+	}
+	c.Store = cfg.Store
+	if c.Store == nil {
+		c.Store = xstore.New(xstore.Config{})
+	}
+	c.PrimaryMeter = metrics.NewCPUMeter(cfg.PrimaryCores)
+
+	// Primary node plus secondaries, each a full replica.
+	c.primary = newNode(cfg.Name+"-0", cfg.DiskProfile, c.PrimaryMeter)
+	for i := 1; i < cfg.Replicas; i++ {
+		sec := newNode(fmt.Sprintf("%s-%d", cfg.Name, i), cfg.DiskProfile, nil)
+		sec.startApply()
+		c.Net.Serve(sec.name, sec.handler())
+		c.secondaries = append(c.secondaries, sec)
+	}
+
+	c.writer = newWriter(c, 1)
+	eng, err := engine.Create(engine.Config{
+		Pages: c.primary.pages,
+		Log:   c.writer,
+		Meter: c.PrimaryMeter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.primary.engine = eng
+
+	// Secondaries attach read-only engines once the catalog replicates.
+	end := c.writer.HardenedEnd()
+	for _, sec := range c.secondaries {
+		if !sec.WaitApplied(end, 5*time.Second) {
+			return nil, fmt.Errorf("hadr: %s never caught up during bootstrap", sec.name)
+		}
+		if err := sec.openSecondaryEngine(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Primary returns the current primary node.
+func (c *Cluster) Primary() *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
+}
+
+// Secondaries returns the current secondary nodes.
+func (c *Cluster) Secondaries() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Node(nil), c.secondaries...)
+}
+
+// Writer exposes the primary's log pipeline (throughput stats).
+func (c *Cluster) Writer() *writer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writer
+}
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	w := c.writer
+	secs := append([]*Node(nil), c.secondaries...)
+	prim := c.primary
+	c.mu.Unlock()
+	if w != nil {
+		w.Close()
+	}
+	for _, s := range secs {
+		s.stop()
+	}
+	if prim != nil {
+		prim.stop()
+	}
+}
+
+// TotalDataBytes reports the bytes stored across all replicas — the "4x
+// copies" storage impact of Table 1.
+func (c *Cluster) TotalDataBytes() int64 {
+	var total int64
+	total += c.Primary().DataBytes()
+	for _, s := range c.Secondaries() {
+		total += s.DataBytes()
+	}
+	return total
+}
+
+// Failover promotes the most caught-up secondary to primary. Recovery time
+// includes draining its apply queue; because each node already has a full
+// copy, no pages move — but a *replacement* replica to restore fault
+// tolerance costs O(size-of-data) (SeedNewReplica).
+func (c *Cluster) Failover() (*Node, time.Duration, error) {
+	start := time.Now()
+	c.mu.Lock()
+	oldWriter := c.writer
+	old := c.primary
+	if len(c.secondaries) == 0 {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("hadr: no secondary to promote")
+	}
+	// Most caught-up secondary wins.
+	best := c.secondaries[0]
+	for _, s := range c.secondaries[1:] {
+		if s.AppliedLSN() > best.AppliedLSN() {
+			best = s
+		}
+	}
+	rest := make([]*Node, 0, len(c.secondaries)-1)
+	for _, s := range c.secondaries {
+		if s != best {
+			rest = append(rest, s)
+		}
+	}
+	c.mu.Unlock()
+
+	oldWriter.Close()
+	old.stop()
+	hardened := oldWriter.HardenedEnd()
+
+	// The promoted node drains its queue to the hardened end.
+	if !best.WaitApplied(hardened, 10*time.Second) {
+		return nil, 0, fmt.Errorf("hadr: promoted node stuck at %d, need %d",
+			best.AppliedLSN(), hardened)
+	}
+	c.Net.Unserve(best.name)
+
+	c.mu.Lock()
+	c.primary = best
+	c.secondaries = rest
+	c.writer = newWriter(c, hardened)
+	c.mu.Unlock()
+
+	visible := uint64(0)
+	if best.engine != nil {
+		visible = best.engine.Clock().Visible()
+	}
+	eng, err := engine.Open(engine.Config{
+		Pages: best.pages,
+		Log:   c.writer,
+		Meter: c.PrimaryMeter,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	eng.Clock().Publish(visible)
+	best.engine = eng
+	return best, time.Since(start), nil
+}
+
+// SeedNewReplica adds a secondary by copying the full database from the
+// primary — the O(size-of-data) operation Socrates eliminates (§4.1.2).
+// It returns the new node, the bytes copied, and the elapsed time.
+func (c *Cluster) SeedNewReplica(name string) (*Node, int64, time.Duration, error) {
+	start := time.Now()
+	prim := c.Primary()
+	sec := newNode(name, c.cfg.DiskProfile, nil)
+
+	var copied int64
+	var copyErr error
+	prim.pages.Range(func(pg *page.Page) bool {
+		if err := sec.pages.Write(pg); err != nil {
+			copyErr = err
+			return false
+		}
+		copied += page.Size
+		return true
+	})
+	if copyErr != nil {
+		return nil, 0, 0, copyErr
+	}
+	sec.mu.Lock()
+	sec.applied = c.Writer().HardenedEnd()
+	sec.mu.Unlock()
+	sec.startApply()
+	c.Net.Serve(sec.name, sec.handler())
+	if err := sec.openSecondaryEngine(); err != nil {
+		return nil, 0, 0, err
+	}
+	if prim.engine != nil {
+		sec.engine.Clock().Publish(prim.engine.Clock().Visible())
+	}
+	c.mu.Lock()
+	c.secondaries = append(c.secondaries, sec)
+	c.mu.Unlock()
+	return sec, copied, time.Since(start), nil
+}
+
+// Range exposes the primary page file's Range for seeding (test support).
+func (n *Node) Range(fn func(*page.Page) bool) { n.pages.Range(fn) }
+
+// writer is the HADR primary's log pipeline: local log write plus quorum
+// log shipping, with backup-lag throttling.
+type writer struct {
+	c *Cluster
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*wal.Record
+	boundary int
+	nextLSN  page.LSN
+	hardened page.LSN
+	err      error
+	closed   bool
+
+	// Backup bookkeeping: [backedUp, hardened) is not yet in XStore; its
+	// size is capped by BackupLagBudget.
+	backedUp    page.LSN
+	unbackedLen int64
+	blockSizes  map[page.LSN]int64 // start LSN → encoded size (until backup)
+	blockOrder  []page.LSN
+
+	// completed tracks out-of-order quorum acks so the hardened watermark
+	// stays a prefix (ships are pipelined).
+	completed map[page.LSN]page.LSN
+
+	wg            sync.WaitGroup
+	ioWG          sync.WaitGroup
+	inflight      chan struct{}
+	bytesFlushed  metrics.Counter
+	blocksFlushed metrics.Counter
+	throttles     metrics.Counter
+}
+
+func newWriter(c *Cluster, startLSN page.LSN) *writer {
+	w := &writer{
+		c:          c,
+		nextLSN:    startLSN,
+		hardened:   startLSN,
+		backedUp:   startLSN,
+		blockSizes: make(map[page.LSN]int64),
+		completed:  make(map[page.LSN]page.LSN),
+		inflight:   make(chan struct{}, 8),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(2)
+	go w.flushLoop()
+	go w.backupLoop()
+	return w
+}
+
+// Append stages a record (engine.LogPipeline).
+func (w *writer) Append(rec *wal.Record) page.LSN {
+	w.mu.Lock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	w.pending = append(w.pending, rec)
+	switch rec.Kind {
+	case wal.KindTxnCommit, wal.KindTxnAbort, wal.KindCheckpoint, wal.KindNoop:
+		w.boundary = len(w.pending)
+		w.cond.Broadcast()
+	}
+	lsn := rec.LSN
+	w.mu.Unlock()
+	return lsn
+}
+
+// WaitHarden blocks until quorum hardening reaches lsn.
+func (w *writer) WaitHarden(lsn page.LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.hardened <= lsn && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.hardened <= lsn {
+		return ErrNoQuorum
+	}
+	return nil
+}
+
+// HardenedEnd reports the quorum-hardened watermark.
+func (w *writer) HardenedEnd() page.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hardened
+}
+
+// Stats reports blocks and bytes shipped, plus backup throttle events.
+func (w *writer) Stats() (blocks, bytes, throttles int64) {
+	return w.blocksFlushed.Load(), w.bytesFlushed.Load(), w.throttles.Load()
+}
+
+// Close stops the pipeline.
+func (w *writer) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.ioWG.Wait() // drain in-flight quorum rounds
+}
+
+func (w *writer) flushLoop() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		for w.boundary == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && w.boundary == 0) {
+			w.mu.Unlock()
+			return
+		}
+		// Backup-lag throttle: log production is "restricted to the level
+		// at which the log backup egress can be safely handled" (§7.4).
+		for w.unbackedLen > w.c.cfg.BackupLagBudget && !w.closed {
+			w.throttles.Inc()
+			waker := time.AfterFunc(time.Millisecond, w.cond.Broadcast)
+			w.cond.Wait()
+			waker.Stop()
+		}
+		if w.closed && w.boundary == 0 {
+			w.mu.Unlock()
+			return
+		}
+		recs := append([]*wal.Record(nil), w.pending[:w.boundary]...)
+		w.pending = w.pending[w.boundary:]
+		w.boundary = 0
+		w.mu.Unlock()
+
+		block := &wal.Block{
+			Start:   recs[0].LSN,
+			End:     recs[len(recs)-1].LSN + 1,
+			Records: recs,
+		}
+		// Pipelined shipping: several quorum rounds in flight, hardened
+		// watermark advanced as a prefix (same discipline as the Socrates
+		// landing zone).
+		w.inflight <- struct{}{}
+		w.ioWG.Add(1)
+		go func(block *wal.Block) {
+			defer w.ioWG.Done()
+			defer func() { <-w.inflight }()
+			if err := w.ship(block); err != nil {
+				w.mu.Lock()
+				if w.err == nil {
+					w.err = err
+				}
+				w.cond.Broadcast()
+				w.mu.Unlock()
+				return
+			}
+			size := int64(block.EncodedSize())
+			w.blocksFlushed.Inc()
+			w.bytesFlushed.Add(size)
+
+			w.mu.Lock()
+			w.completed[block.Start] = block.End
+			for {
+				end, ok := w.completed[w.hardened]
+				if !ok {
+					break
+				}
+				delete(w.completed, w.hardened)
+				w.hardened = end
+			}
+			w.blockSizes[block.Start] = size
+			w.blockOrder = append(w.blockOrder, block.Start)
+			w.unbackedLen += size
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}(block)
+	}
+}
+
+// ship hardens the block locally and on a quorum of secondaries, applying
+// it locally as well (the primary is also a replica).
+func (w *writer) ship(block *wal.Block) error {
+	prim := w.c.Primary()
+	if err := prim.harden(block); err != nil {
+		return err
+	}
+	secs := w.c.Secondaries()
+	need := w.c.cfg.Quorum - 1 // local copy already hardened
+	if need > len(secs) {
+		return ErrNoQuorum
+	}
+	payload := block.Encode()
+	acks := make(chan error, len(secs))
+	for _, sec := range secs {
+		go func(name string) {
+			client := rbio.NewClient(w.c.Net.Dial(name))
+			resp, err := client.Call(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload})
+			if err == nil {
+				err = resp.Err()
+			}
+			acks <- err
+		}(sec.name)
+	}
+	got, fails := 0, 0
+	for range secs {
+		if err := <-acks; err == nil {
+			got++
+			if got >= need {
+				// The primary's pages were already updated by the engine's
+				// commit path; nothing to apply locally.
+				return nil
+			}
+		} else {
+			fails++
+			if fails > len(secs)-need {
+				return fmt.Errorf("%w: %d/%d secondaries failed", ErrNoQuorum, fails, len(secs))
+			}
+		}
+	}
+	if got >= need {
+		return nil
+	}
+	return ErrNoQuorum
+}
+
+// backupLoop ships the un-backed-up log range to XStore on a cadence. Its
+// egress is capped by the store's ingest limit; a slow backup stalls log
+// production via the lag budget.
+func (w *writer) backupLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.c.cfg.LogBackupEvery)
+	defer ticker.Stop()
+	for {
+		w.mu.Lock()
+		closed := w.closed
+		w.mu.Unlock()
+		if closed {
+			w.backupOnce() // final drain
+			return
+		}
+		<-ticker.C
+		w.backupOnce()
+	}
+}
+
+func (w *writer) backupOnce() {
+	w.mu.Lock()
+	if len(w.blockOrder) == 0 {
+		w.mu.Unlock()
+		return
+	}
+	starts := w.blockOrder
+	w.blockOrder = nil
+	var total int64
+	for _, s := range starts {
+		total += w.blockSizes[s]
+		delete(w.blockSizes, s)
+	}
+	w.mu.Unlock()
+
+	// The backup payload is a synthetic run of the same size as the log
+	// range: what matters is the egress it consumes at XStore.
+	if err := w.c.Store.Append(w.c.cfg.Name+"/logbackup", make([]byte, total)); err != nil {
+		// XStore unavailable: re-queue so the lag budget keeps throttling.
+		w.mu.Lock()
+		for _, s := range starts {
+			w.blockSizes[s] = 0 // sizes merged into the front entry below
+		}
+		w.blockSizes[starts[0]] = total
+		w.blockOrder = append(starts, w.blockOrder...)
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Lock()
+	w.unbackedLen -= total
+	if w.unbackedLen < 0 {
+		w.unbackedLen = 0
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+var _ engine.LogPipeline = (*writer)(nil)

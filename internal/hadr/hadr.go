@@ -1,0 +1,318 @@
+// Package hadr implements the pre-Socrates SQL DB architecture (§2,
+// Figure 1): a log-replicated state machine of four nodes — one primary and
+// three secondaries — each holding a full local copy of the database.
+//
+// It is the evaluation baseline for every comparison in the paper:
+//
+//   - commits harden by achieving quorum across the replica set (the
+//     primary's local log write plus acknowledgements from secondaries),
+//     paying a cross-availability-zone round trip (~3 ms, Table 1);
+//   - the primary must also drive the log backup to XStore itself, every
+//     "five minutes"; when the backup egress cannot keep up, log production
+//     throttles — the bottleneck behind Table 5;
+//   - every operational workflow is O(size-of-data): seeding a new replica
+//     copies the whole database, and scale-up is a reseed (Table 1).
+package hadr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"socrates/internal/btree"
+	"socrates/internal/engine"
+	"socrates/internal/fcb"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+	"socrates/internal/xstore"
+)
+
+// AZLink models one cross-availability-zone network hop, the latency HADR
+// pays on every quorum commit.
+var AZLink = simdisk.Profile{
+	Name:       "az-link",
+	ReadBase:   1300 * time.Microsecond,
+	WriteBase:  1300 * time.Microsecond,
+	PerKB:      250 * time.Nanosecond,
+	JitterFrac: 0.15,
+	TailProb:   0.001,
+	TailFactor: 12,
+	ReadCPU:    10 * time.Microsecond,
+	WriteCPU:   10 * time.Microsecond,
+}
+
+// ErrNoQuorum reports a commit that could not reach enough replicas.
+var ErrNoQuorum = errors.New("hadr: replication quorum lost")
+
+// Config describes an HADR deployment.
+type Config struct {
+	// Name prefixes node addresses and backup blobs.
+	Name string
+	// Replicas is the node count including the primary (default 4).
+	Replicas int
+	// Quorum is the number of nodes (including the primary) that must
+	// harden a block before commit (default 3).
+	Quorum int
+	// Net is the replication fabric (default: an AZLink-latency network).
+	Net *rbio.Network
+	// Store is the XStore account receiving log/full backups.
+	Store *xstore.Store
+	// LogBackupEvery is the log backup cadence — the paper's five minutes,
+	// scaled (default 25 ms).
+	LogBackupEvery time.Duration
+	// BackupLagBudget is how many un-backed-up log bytes may accumulate
+	// before log production throttles (the local log cannot be truncated
+	// past the backup point; default 1 MiB).
+	BackupLagBudget int64
+	// DiskProfile is the node-local storage class (default LocalSSD).
+	DiskProfile simdisk.Profile
+	// PrimaryCores sizes the primary's CPU meter (default 8).
+	PrimaryCores int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "hadr"
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 4
+	}
+	if c.Quorum == 0 {
+		c.Quorum = 3
+	}
+	if c.LogBackupEvery == 0 {
+		c.LogBackupEvery = 25 * time.Millisecond
+	}
+	if c.BackupLagBudget == 0 {
+		c.BackupLagBudget = 1 << 20
+	}
+	if c.DiskProfile.Name == "" {
+		c.DiskProfile = simdisk.LocalSSD
+	}
+	if c.PrimaryCores == 0 {
+		c.PrimaryCores = 8
+	}
+}
+
+// Node is one HADR replica: a full local database copy plus a local log.
+type Node struct {
+	name   string
+	pages  *bufferedFile
+	disk   *simdisk.Device
+	logDev *simdisk.Device
+	logEnd int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*wal.Block // hardened locally, not yet applied
+	applied page.LSN
+	maxTS   uint64         // highest applied commit timestamp
+	engine  *engine.Engine // read-only while secondary; nil until first open
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newNode(name string, diskProfile simdisk.Profile, meter *metrics.CPUMeter) *Node {
+	var opts []simdisk.Option
+	if meter != nil {
+		opts = append(opts, simdisk.WithCPU(meter))
+	}
+	disk := simdisk.New(diskProfile, opts...)
+	n := &Node{
+		name:    name,
+		pages:   newBufferedFile(disk),
+		disk:    disk,
+		logDev:  simdisk.New(diskProfile, opts...),
+		applied: 1,
+		done:    make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// Name reports the node name.
+func (n *Node) Name() string { return n.name }
+
+// AppliedLSN reports the node's apply watermark.
+func (n *Node) AppliedLSN() page.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applied
+}
+
+// Engine returns the node's engine (read-only on secondaries).
+func (n *Node) Engine() *engine.Engine { return n.engine }
+
+// harden persists a block to the node's local log. It is the durability
+// half of the replicated state machine.
+func (n *Node) harden(b *wal.Block) error {
+	enc := b.Encode()
+	n.mu.Lock()
+	off := n.logEnd
+	n.logEnd += int64(len(enc))
+	n.mu.Unlock()
+	return n.logDev.WriteAt(enc, off)
+}
+
+// enqueue schedules a hardened block for (async) apply.
+func (n *Node) enqueue(b *wal.Block) {
+	n.mu.Lock()
+	n.queue = append(n.queue, b)
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// startApply runs the secondary apply loop.
+func (n *Node) startApply() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			n.mu.Lock()
+			for len(n.queue) == 0 {
+				select {
+				case <-n.done:
+					n.mu.Unlock()
+					return
+				default:
+				}
+				waker := time.AfterFunc(time.Millisecond, n.cond.Broadcast)
+				n.cond.Wait()
+				waker.Stop()
+			}
+			batch := n.queue
+			n.queue = nil
+			n.mu.Unlock()
+			for _, b := range batch {
+				n.applyBlock(b)
+			}
+		}
+	}()
+}
+
+// applyBlock applies every record of the block to the local full copy. In
+// HADR every node has every page, so nothing is ever skipped.
+func (n *Node) applyBlock(b *wal.Block) {
+	for _, rec := range b.Records {
+		switch {
+		case rec.Kind == wal.KindTxnCommit:
+			ts := rec.CommitTS()
+			n.mu.Lock()
+			if ts > n.maxTS {
+				n.maxTS = ts
+			}
+			eng := n.engine
+			n.mu.Unlock()
+			if eng != nil {
+				eng.Clock().Publish(ts)
+			}
+		case rec.IsPageOp():
+			pg, err := n.pages.Read(rec.Page)
+			if errors.Is(err, fcb.ErrNotFound) {
+				pg = page.New(rec.Page, rec.PageType)
+			} else if err != nil {
+				continue
+			}
+			if applied, err := btree.Apply(pg, rec); err == nil && applied {
+				_ = n.pages.Write(pg)
+			}
+		}
+	}
+	n.mu.Lock()
+	if b.End > n.applied {
+		n.applied = b.End
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// WaitApplied blocks until the node applied through lsn.
+func (n *Node) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.applied < lsn {
+		if time.Now().After(deadline) {
+			return false
+		}
+		waker := time.AfterFunc(time.Millisecond, n.cond.Broadcast)
+		n.cond.Wait()
+		waker.Stop()
+	}
+	return true
+}
+
+// handler serves replication traffic: a feed block is hardened to the local
+// log, queued for apply, and acknowledged.
+func (n *Node) handler() rbio.Handler {
+	return func(req *rbio.Request) *rbio.Response {
+		switch req.Type {
+		case rbio.MsgPing:
+			return rbio.Ok()
+		case rbio.MsgFeedBlock:
+			b, _, err := wal.DecodeBlock(req.Payload)
+			if err != nil {
+				return rbio.Errorf("bad block: %v", err)
+			}
+			if err := n.harden(b); err != nil {
+				return rbio.Errorf("harden: %v", err)
+			}
+			n.enqueue(b)
+			resp := rbio.Ok()
+			resp.LSN = b.End
+			return resp
+		case rbio.MsgReadState:
+			resp := rbio.Ok()
+			resp.LSN = n.AppliedLSN()
+			return resp
+		default:
+			return rbio.Errorf("hadr: unsupported message %v", req.Type)
+		}
+	}
+}
+
+// stop halts the apply loop and the page flusher.
+func (n *Node) stop() {
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	close(n.done)
+	n.cond.Broadcast()
+	n.wg.Wait()
+	n.pages.close()
+}
+
+// DataBytes reports the bytes of the node's full local copy (after
+// draining the write-back queue so the disk shadow is complete).
+func (n *Node) DataBytes() int64 {
+	n.pages.FlushAll()
+	return n.disk.Size()
+}
+
+// openSecondaryEngine attaches a read-only engine once the catalog exists.
+func (n *Node) openSecondaryEngine() error {
+	eng, err := engine.Open(engine.Config{
+		Pages:    n.pages,
+		ReadOnly: true,
+		WaitFresh: func() {
+			time.Sleep(200 * time.Microsecond)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	eng.Clock().Publish(n.maxTS)
+	n.engine = eng
+	n.mu.Unlock()
+	return nil
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,262 @@
+package hekaton
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"socrates/internal/simdisk"
+)
+
+func newDev() *simdisk.Device { return simdisk.New(simdisk.Instant) }
+
+func TestPutGetDelete(t *testing.T) {
+	tb, err := Open(newDev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tb.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	if err := tb.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Get("a"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if err := tb.Delete("never-existed"); err != nil {
+		t.Fatal("deleting absent key should be a no-op")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	tb, _ := Open(newDev())
+	_ = tb.Put("k", []byte("orig"))
+	v, _ := tb.Get("k")
+	v[0] = 'X'
+	v2, _ := tb.Get("k")
+	if string(v2) != "orig" {
+		t.Fatal("Get leaked internal buffer")
+	}
+}
+
+func TestRecoveryAfterRestart(t *testing.T) {
+	dev := newDev()
+	tb, _ := Open(dev)
+	for i := 0; i < 50; i++ {
+		_ = tb.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	_ = tb.Delete("k10")
+	_ = tb.Put("k20", []byte("updated"))
+
+	// "Crash": reopen from the same device.
+	tb2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Len() != 49 {
+		t.Fatalf("recovered %d rows, want 49", tb2.Len())
+	}
+	if _, ok := tb2.Get("k10"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, _ := tb2.Get("k20"); string(v) != "updated" {
+		t.Fatalf("k20 = %q", v)
+	}
+}
+
+func TestRecoveryStopsAtTornTail(t *testing.T) {
+	dev := newDev()
+	tb, _ := Open(dev)
+	_ = tb.Put("safe", []byte("durable"))
+	// Simulate a torn write: append garbage that looks like a partial entry.
+	end := tb.LogBytes()
+	if err := dev.WriteAt([]byte{opPut, 5, 0}, end); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tb2.Get("safe"); !ok || string(v) != "durable" {
+		t.Fatal("durable prefix lost")
+	}
+	if tb2.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", tb2.Len())
+	}
+	// The table remains writable after recovering past a tear.
+	if err := tb2.Put("after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	tb3, _ := Open(dev)
+	if _, ok := tb3.Get("after"); !ok {
+		t.Fatal("post-tear write lost")
+	}
+}
+
+func TestRecoveryRejectsBadMagic(t *testing.T) {
+	dev := newDev()
+	_ = dev.WriteAt([]byte("this is not a hekaton table......"), 0)
+	if _, err := Open(dev); err == nil {
+		t.Fatal("bad magic should fail open")
+	}
+}
+
+func TestCheckpointCompactsAndRecovers(t *testing.T) {
+	dev := newDev()
+	tb, _ := Open(dev)
+	for i := 0; i < 100; i++ {
+		_ = tb.Put("hot", []byte(fmt.Sprintf("gen%d", i)))
+	}
+	before := tb.LogBytes()
+	if err := tb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := tb.LogBytes()
+	if after >= before {
+		t.Fatalf("checkpoint did not compact: %d -> %d", before, after)
+	}
+	// Post-checkpoint mutations land in the append region.
+	_ = tb.Put("hot", []byte("post-ckpt"))
+	_ = tb.Put("new", []byte("row"))
+
+	tb2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tb2.Get("hot"); string(v) != "post-ckpt" {
+		t.Fatalf("hot = %q", v)
+	}
+	if v, _ := tb2.Get("new"); string(v) != "row" {
+		t.Fatalf("new = %q", v)
+	}
+}
+
+func TestCheckpointEmptyTable(t *testing.T) {
+	dev := newDev()
+	tb, _ := Open(dev)
+	_ = tb.Put("x", []byte("y"))
+	_ = tb.Delete("x")
+	if err := tb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Len() != 0 {
+		t.Fatalf("rows = %d", tb2.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	tb, _ := Open(newDev())
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		_ = tb.Put(k, []byte(v))
+	}
+	got := map[string]string{}
+	tb.Range(func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	if len(got) != 3 || got["a"] != "1" || got["b"] != "2" || got["c"] != "3" {
+		t.Fatalf("range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tb.Range(func(string, []byte) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early-stop range visited %d", count)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	dev := newDev()
+	tb, _ := Open(dev)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if err := tb.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tb.Len() != 240 {
+		t.Fatalf("rows = %d, want 240", tb.Len())
+	}
+	tb2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Len() != 240 {
+		t.Fatalf("recovered rows = %d, want 240", tb2.Len())
+	}
+}
+
+// Property: after any op sequence and a restart, the table matches a map.
+func TestRecoveryModelEquivalence(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Val    []byte
+		Delete bool
+		Ckpt   bool
+	}
+	f := func(ops []op) bool {
+		dev := newDev()
+		tb, err := Open(dev)
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%8)
+			switch {
+			case o.Ckpt:
+				if tb.Checkpoint() != nil {
+					return false
+				}
+			case o.Delete:
+				if tb.Delete(key) != nil {
+					return false
+				}
+				delete(model, key)
+			default:
+				if tb.Put(key, o.Val) != nil {
+					return false
+				}
+				model[key] = append([]byte(nil), o.Val...)
+			}
+		}
+		re, err := Open(dev)
+		if err != nil {
+			return false
+		}
+		if re.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := re.Get(k)
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package metrics provides the measurement primitives used throughout the
+// Socrates reproduction: a simulated CPU meter (so experiments can report the
+// paper's CPU% columns deterministically), latency histograms with the
+// min/median/max/stdev statistics the paper's Table 6 reports, and plain
+// counters.
+//
+// The CPU meter models a node with a fixed number of cores. Code paths charge
+// the meter with the simulated CPU cost of the work they represent (for
+// example, an XIO REST call charges more CPU than a DirectDrive call, which
+// is the root cause of the paper's Table 7 result). Utilization is the
+// charged busy time divided by wall-clock time times core count.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CPUMeter accounts simulated CPU time for a node with a fixed core count.
+// It is safe for concurrent use.
+type CPUMeter struct {
+	cores   int
+	busyNS  atomic.Int64
+	started atomic.Int64 // wall-clock start, unix nanos
+}
+
+// NewCPUMeter returns a meter for a node with the given number of cores.
+func NewCPUMeter(cores int) *CPUMeter {
+	if cores <= 0 {
+		cores = 1
+	}
+	m := &CPUMeter{cores: cores}
+	m.started.Store(time.Now().UnixNano())
+	return m
+}
+
+// Cores reports the simulated core count.
+func (m *CPUMeter) Cores() int { return m.cores }
+
+// Charge adds d of simulated CPU busy time.
+func (m *CPUMeter) Charge(d time.Duration) {
+	if d > 0 {
+		m.busyNS.Add(int64(d))
+	}
+}
+
+// Busy reports the total charged busy time.
+func (m *CPUMeter) Busy() time.Duration { return time.Duration(m.busyNS.Load()) }
+
+// Reset zeroes the busy time and restarts the wall clock.
+func (m *CPUMeter) Reset() {
+	m.busyNS.Store(0)
+	m.started.Store(time.Now().UnixNano())
+}
+
+// Utilization reports simulated CPU utilization in percent since the last
+// Reset, clamped to [0, 100]. A node that charged 1 core-second of work over
+// a 1 s window on a 4-core meter reports 25%.
+func (m *CPUMeter) Utilization() float64 {
+	wall := time.Since(time.Unix(0, m.started.Load()))
+	if wall <= 0 {
+		return 0
+	}
+	u := 100 * float64(m.busyNS.Load()) / (float64(wall) * float64(m.cores))
+	if u < 0 {
+		return 0
+	}
+	if u > 100 {
+		return 100
+	}
+	return u
+}
+
+// UtilizationOver reports utilization assuming the given wall-clock window
+// instead of the meter's own clock. Useful when the caller controls the
+// measurement window precisely.
+func (m *CPUMeter) UtilizationOver(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	u := 100 * float64(m.busyNS.Load()) / (float64(wall) * float64(m.cores))
+	if u > 100 {
+		u = 100
+	}
+	return u
+}
+
+// Histogram collects duration samples and reports order statistics. It keeps
+// every sample; experiment windows are short enough that this is cheap, and
+// it keeps Median exact, matching how the paper reports latency.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Min reports the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max reports the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Median reports the middle sample (lower median for even counts).
+func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
+
+// Quantile reports the q-th quantile (0 <= q <= 1) by nearest-rank.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	idx := int(q * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.samples[idx]
+}
+
+// Mean reports the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	return time.Duration(sum / float64(len(h.samples)))
+}
+
+// Stdev reports the population standard deviation, or 0 if fewer than two
+// samples were observed.
+func (h *Histogram) Stdev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		sq += d * d
+	}
+	return time.Duration(math.Sqrt(sq / float64(n)))
+}
+
+// Summary holds the statistics the paper's latency tables report.
+type Summary struct {
+	Count  int
+	Min    time.Duration
+	Median time.Duration
+	Mean   time.Duration
+	Max    time.Duration
+	Stdev  time.Duration
+}
+
+// Summarize computes all statistics in one pass over the sorted samples.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return Summary{}
+	}
+	h.sortLocked()
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		sq += d * d
+	}
+	return Summary{
+		Count:  n,
+		Min:    h.samples[0],
+		Median: h.samples[n/2],
+		Mean:   time.Duration(mean),
+		Max:    h.samples[n-1],
+		Stdev:  time.Duration(math.Sqrt(sq / float64(n))),
+	}
+}
+
+// String formats the summary in microseconds, mirroring the paper's Table 6.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%dus median=%dus max=%dus stdev=%dus",
+		s.Count, s.Min.Microseconds(), s.Median.Microseconds(),
+		s.Max.Microseconds(), s.Stdev.Microseconds())
+}
+
+// Counter is a concurrency-safe monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load reports the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Rate divides the counter by a wall-clock window, yielding events/second.
+func (c *Counter) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.v.Load()) / window.Seconds()
+}
+
+// Gauge is a concurrency-safe instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load reports the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCPUMeterChargeAndBusy(t *testing.T) {
+	m := NewCPUMeter(4)
+	if m.Cores() != 4 {
+		t.Fatalf("cores = %d, want 4", m.Cores())
+	}
+	m.Charge(10 * time.Millisecond)
+	m.Charge(5 * time.Millisecond)
+	if got := m.Busy(); got != 15*time.Millisecond {
+		t.Fatalf("busy = %v, want 15ms", got)
+	}
+}
+
+func TestCPUMeterIgnoresNegativeCharge(t *testing.T) {
+	m := NewCPUMeter(1)
+	m.Charge(-time.Second)
+	if m.Busy() != 0 {
+		t.Fatalf("busy = %v, want 0", m.Busy())
+	}
+}
+
+func TestCPUMeterUtilizationOver(t *testing.T) {
+	m := NewCPUMeter(2)
+	m.Charge(time.Second) // 1 core-second over a 1s window on 2 cores = 50%
+	got := m.UtilizationOver(time.Second)
+	if got < 49.9 || got > 50.1 {
+		t.Fatalf("utilization = %v, want 50", got)
+	}
+}
+
+func TestCPUMeterUtilizationClamped(t *testing.T) {
+	m := NewCPUMeter(1)
+	m.Charge(time.Hour)
+	if got := m.UtilizationOver(time.Second); got != 100 {
+		t.Fatalf("utilization = %v, want clamped to 100", got)
+	}
+	if got := m.UtilizationOver(0); got != 0 {
+		t.Fatalf("utilization over zero window = %v, want 0", got)
+	}
+}
+
+func TestCPUMeterReset(t *testing.T) {
+	m := NewCPUMeter(1)
+	m.Charge(time.Second)
+	m.Reset()
+	if m.Busy() != 0 {
+		t.Fatalf("busy after reset = %v, want 0", m.Busy())
+	}
+}
+
+func TestCPUMeterZeroCoresDefaultsToOne(t *testing.T) {
+	m := NewCPUMeter(0)
+	if m.Cores() != 1 {
+		t.Fatalf("cores = %d, want 1", m.Cores())
+	}
+}
+
+func TestCPUMeterConcurrentCharge(t *testing.T) {
+	m := NewCPUMeter(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Charge(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Busy(); got != 16*1000*time.Microsecond {
+		t.Fatalf("busy = %v, want 16ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Median() != 0 ||
+		h.Mean() != 0 || h.Stdev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	s := h.Summarize()
+	if s.Count != 0 {
+		t.Fatalf("summary count = %d, want 0", s.Count)
+	}
+}
+
+func TestHistogramOrderStatistics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []time.Duration{5, 1, 4, 2, 3} {
+		h.Observe(v * time.Millisecond)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Errorf("min = %v, want 1ms", got)
+	}
+	if got := h.Max(); got != 5*time.Millisecond {
+		t.Errorf("max = %v, want 5ms", got)
+	}
+	if got := h.Median(); got != 3*time.Millisecond {
+		t.Errorf("median = %v, want 3ms", got)
+	}
+	if got := h.Mean(); got != 3*time.Millisecond {
+		t.Errorf("mean = %v, want 3ms", got)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v, want 100", got)
+	}
+	if got := h.Quantile(0.99); got < 95 || got > 100 {
+		t.Errorf("q99 = %v, want near 100", got)
+	}
+}
+
+func TestHistogramStdev(t *testing.T) {
+	h := NewHistogram()
+	// Samples 2 and 4: mean 3, population stdev 1.
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Stdev(); got != 1 {
+		t.Fatalf("stdev = %v, want 1", got)
+	}
+}
+
+func TestHistogramStdevSingleSampleIsZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	if got := h.Stdev(); got != 0 {
+		t.Fatalf("stdev of one sample = %v, want 0", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("count after reset = %d, want 0", h.Count())
+	}
+}
+
+func TestHistogramSummarizeMatchesIndividualStats(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 257; i++ {
+		h.Observe(time.Duration(r.Intn(1_000_000)))
+	}
+	s := h.Summarize()
+	if s.Min != h.Min() || s.Max != h.Max() || s.Median != h.Median() ||
+		s.Mean != h.Mean() || s.Stdev != h.Stdev() || s.Count != h.Count() {
+		t.Fatalf("summary %+v disagrees with individual statistics", s)
+	}
+}
+
+func TestHistogramSummaryString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500 * time.Microsecond)
+	got := h.Summarize().String()
+	want := "n=1 min=1500us median=1500us max=1500us stdev=0us"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max for any sample set.
+func TestHistogramOrderingProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(time.Duration(v))
+		}
+		s := h.Summarize()
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(n*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Load() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Load())
+	}
+	if got := c.Rate(2 * time.Second); got != 5 {
+		t.Fatalf("rate = %v, want 5", got)
+	}
+	if got := c.Rate(0); got != 0 {
+		t.Fatalf("rate over zero window = %v, want 0", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("counter after reset = %d, want 0", c.Load())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Load() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Load())
+	}
+}

@@ -1,0 +1,212 @@
+// Package page defines the on-disk page format shared by every tier of the
+// Socrates stack: compute-node buffer pools, RBPEX caches, page servers, and
+// the checkpoint files in XStore all traffic in these 8 KiB pages.
+//
+// A page carries its own LSN (the LSN of the last log record applied to it),
+// which is the linchpin of the GetPage@LSN protocol (§4.4): redo is
+// idempotent because a record is applied only when record.LSN > page.LSN,
+// and a reader can demand a page "at least as new as" a given LSN.
+//
+// The package also defines the range partitioning that assigns pages to
+// page servers (§4.6): partition k owns pages [k*PagesPerPartition,
+// (k+1)*PagesPerPartition).
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Size is the fixed page size in bytes, matching SQL Server's 8 KiB pages.
+const Size = 8192
+
+// HeaderSize is the number of bytes of header preceding the payload.
+const HeaderSize = 32
+
+// MaxData is the payload capacity of a page.
+const MaxData = Size - HeaderSize
+
+const magic = 0x50C7A7E5 // "SOCRATES"
+
+// ID identifies a page within a database. IDs are dense and allocated by
+// the primary's space manager.
+type ID uint64
+
+// InvalidID is the zero, never-allocated page ID.
+const InvalidID ID = 0
+
+// LSN is a log sequence number. The primary allocates LSNs from a single
+// monotonic space; a page's LSN records the last change applied to it.
+type LSN uint64
+
+// Uint64 returns the LSN as a raw integer for serialization.
+func (l LSN) Uint64() uint64 { return uint64(l) }
+
+// Type tags what a page stores.
+type Type uint8
+
+// Page types.
+const (
+	TypeFree     Type = iota // unallocated
+	TypeMeta                 // database/system catalog page
+	TypeInternal             // B-tree interior node
+	TypeLeaf                 // B-tree leaf node
+	TypeVersion              // version-store page
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeFree:
+		return "free"
+	case TypeMeta:
+		return "meta"
+	case TypeInternal:
+		return "internal"
+	case TypeLeaf:
+		return "leaf"
+	case TypeVersion:
+		return "version"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ErrChecksum reports a torn or corrupted page image.
+var ErrChecksum = errors.New("page: checksum mismatch")
+
+// ErrBadMagic reports a buffer that is not a page image.
+var ErrBadMagic = errors.New("page: bad magic")
+
+// ErrTooLarge reports a payload exceeding MaxData.
+var ErrTooLarge = errors.New("page: payload too large")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum covers the whole header (except the checksum field itself) plus
+// the first n payload bytes, so any bit flip in a page image is detected.
+func checksum(buf []byte, n int) uint32 {
+	sum := crc32.Checksum(buf[0:24], crcTable)
+	sum = crc32.Update(sum, crcTable, buf[28:32])
+	return crc32.Update(sum, crcTable, buf[HeaderSize:HeaderSize+n])
+}
+
+// Page is the in-memory representation of one database page.
+type Page struct {
+	ID   ID
+	LSN  LSN
+	Type Type
+	Data []byte // payload, at most MaxData bytes
+}
+
+// New returns an empty page of the given type.
+func New(id ID, t Type) *Page {
+	return &Page{ID: id, Type: t}
+}
+
+// Clone returns a deep copy.
+func (p *Page) Clone() *Page {
+	c := *p
+	c.Data = append([]byte(nil), p.Data...)
+	return &c
+}
+
+// Encode serializes the page into a fresh Size-byte image with checksum.
+//
+// Layout (little endian):
+//
+//	[0:4)   magic
+//	[4:12)  page ID
+//	[12:20) page LSN
+//	[20:21) type
+//	[21:22) reserved
+//	[22:24) payload length
+//	[24:28) checksum (crc32c over bytes [0:24) with this field zeroed, plus payload)
+//	[28:32) reserved
+//	[32:..) payload
+func (p *Page) Encode() ([]byte, error) {
+	if len(p.Data) > MaxData {
+		return nil, fmt.Errorf("%w: %d bytes on page %d", ErrTooLarge, len(p.Data), p.ID)
+	}
+	buf := make([]byte, Size)
+	binary.LittleEndian.PutUint32(buf[0:4], magic)
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(p.ID))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(p.LSN))
+	buf[20] = byte(p.Type)
+	binary.LittleEndian.PutUint16(buf[22:24], uint16(len(p.Data)))
+	copy(buf[HeaderSize:], p.Data)
+	binary.LittleEndian.PutUint32(buf[24:28], checksum(buf, len(p.Data)))
+	return buf, nil
+}
+
+// Decode parses and verifies a page image produced by Encode.
+func Decode(buf []byte) (*Page, error) {
+	if len(buf) != Size {
+		return nil, fmt.Errorf("page: image is %d bytes, want %d", len(buf), Size)
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	n := int(binary.LittleEndian.Uint16(buf[22:24]))
+	if n > MaxData {
+		return nil, fmt.Errorf("%w: declared payload %d", ErrTooLarge, n)
+	}
+	want := binary.LittleEndian.Uint32(buf[24:28])
+	if checksum(buf, n) != want {
+		return nil, fmt.Errorf("%w on page %d", ErrChecksum,
+			binary.LittleEndian.Uint64(buf[4:12]))
+	}
+	p := &Page{
+		ID:   ID(binary.LittleEndian.Uint64(buf[4:12])),
+		LSN:  LSN(binary.LittleEndian.Uint64(buf[12:20])),
+		Type: Type(buf[20]),
+		Data: append([]byte(nil), buf[HeaderSize:HeaderSize+n]...),
+	}
+	return p, nil
+}
+
+// PeekLSN extracts the LSN from an encoded image without full decoding.
+func PeekLSN(buf []byte) (LSN, error) {
+	if len(buf) < 20 {
+		return 0, fmt.Errorf("page: image too short")
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+		return 0, ErrBadMagic
+	}
+	return LSN(binary.LittleEndian.Uint64(buf[12:20])), nil
+}
+
+// PartitionID identifies a page-server partition.
+type PartitionID uint32
+
+// Partitioning maps pages to page-server partitions by dense ranges.
+// The paper sizes partitions at 128 GB (§6); experiments here scale the
+// page count down while preserving the range-partitioned structure.
+type Partitioning struct {
+	// PagesPerPartition is the number of pages each partition owns.
+	PagesPerPartition uint64
+}
+
+// PartitionOf reports which partition owns the page.
+func (pt Partitioning) PartitionOf(id ID) PartitionID {
+	if pt.PagesPerPartition == 0 {
+		return 0
+	}
+	return PartitionID(uint64(id) / pt.PagesPerPartition)
+}
+
+// Range reports the page range [lo, hi) owned by a partition.
+func (pt Partitioning) Range(part PartitionID) (lo, hi ID) {
+	lo = ID(uint64(part) * pt.PagesPerPartition)
+	hi = lo + ID(pt.PagesPerPartition)
+	return lo, hi
+}
+
+// Partitions reports how many partitions cover pages [0, maxPage].
+func (pt Partitioning) Partitions(maxPage ID) int {
+	if pt.PagesPerPartition == 0 {
+		return 1
+	}
+	return int(uint64(maxPage)/pt.PagesPerPartition) + 1
+}

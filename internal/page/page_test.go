@@ -1,0 +1,212 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Page{ID: 42, LSN: 1000, Type: TypeLeaf, Data: []byte("row data")}
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != Size {
+		t.Fatalf("image size = %d, want %d", len(buf), Size)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != p.ID || got.LSN != p.LSN || got.Type != p.Type || !bytes.Equal(got.Data, p.Data) {
+		t.Fatalf("decoded %+v, want %+v", got, p)
+	}
+}
+
+func TestEncodeEmptyPayload(t *testing.T) {
+	p := New(7, TypeMeta)
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 0 || got.ID != 7 || got.Type != TypeMeta {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestEncodeMaxPayload(t *testing.T) {
+	p := &Page{ID: 1, Type: TypeLeaf, Data: make([]byte, MaxData)}
+	if _, err := p.Encode(); err != nil {
+		t.Fatalf("max payload should encode: %v", err)
+	}
+	p.Data = make([]byte, MaxData+1)
+	if _, err := p.Encode(); !errors.Is(err, ErrTooLarge) {
+		t.Fatal("oversized payload should fail")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := &Page{ID: 9, LSN: 5, Type: TypeLeaf, Data: []byte("abcdef")}
+	buf, _ := p.Encode()
+
+	flipped := append([]byte(nil), buf...)
+	flipped[HeaderSize+2] ^= 0xFF // corrupt payload
+	if _, err := Decode(flipped); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload corruption: err = %v, want ErrChecksum", err)
+	}
+
+	flipped = append([]byte(nil), buf...)
+	flipped[5] ^= 0xFF // corrupt page ID in header
+	if _, err := Decode(flipped); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("header corruption: err = %v, want ErrChecksum", err)
+	}
+
+	flipped = append([]byte(nil), buf...)
+	flipped[0] = 0 // break magic
+	if _, err := Decode(flipped); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	if _, err := Decode(buf[:100]); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+}
+
+func TestDecodeRejectsOversizedDeclaredLength(t *testing.T) {
+	p := &Page{ID: 1, Type: TypeLeaf, Data: []byte("x")}
+	buf, _ := p.Encode()
+	buf[22] = 0xFF
+	buf[23] = 0xFF // declared length 65535 > MaxData
+	if _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestPeekLSN(t *testing.T) {
+	p := &Page{ID: 3, LSN: 77, Type: TypeLeaf}
+	buf, _ := p.Encode()
+	lsn, err := PeekLSN(buf)
+	if err != nil || lsn != 77 {
+		t.Fatalf("peek = %d, %v", lsn, err)
+	}
+	if _, err := PeekLSN([]byte{1, 2}); err == nil {
+		t.Fatal("short peek should fail")
+	}
+	buf[0] = 0
+	if _, err := PeekLSN(buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := &Page{ID: 1, LSN: 2, Type: TypeLeaf, Data: []byte("shared?")}
+	c := p.Clone()
+	c.Data[0] = 'X'
+	c.LSN = 99
+	if p.Data[0] != 's' || p.LSN != 2 {
+		t.Fatal("clone is not deep")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeFree: "free", TypeMeta: "meta", TypeInternal: "internal",
+		TypeLeaf: "leaf", TypeVersion: "version", Type(99): "type(99)",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary pages.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(id uint64, lsn uint64, ty uint8, data []byte) bool {
+		if len(data) > MaxData {
+			data = data[:MaxData]
+		}
+		p := &Page{ID: ID(id), LSN: LSN(lsn), Type: Type(ty % 5), Data: data}
+		buf, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.ID == p.ID && got.LSN == p.LSN && got.Type == p.Type &&
+			bytes.Equal(got.Data, p.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-bit flip in a nonempty image is detected.
+func TestChecksumDetectsBitFlips(t *testing.T) {
+	p := &Page{ID: 123, LSN: 456, Type: TypeLeaf, Data: []byte("sensitive row payload")}
+	buf, _ := p.Encode()
+	limit := HeaderSize + len(p.Data)
+	for i := 0; i < limit; i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestPartitioning(t *testing.T) {
+	pt := Partitioning{PagesPerPartition: 100}
+	if pt.PartitionOf(0) != 0 || pt.PartitionOf(99) != 0 {
+		t.Fatal("pages 0-99 should be partition 0")
+	}
+	if pt.PartitionOf(100) != 1 || pt.PartitionOf(250) != 2 {
+		t.Fatal("partition boundaries wrong")
+	}
+	lo, hi := pt.Range(2)
+	if lo != 200 || hi != 300 {
+		t.Fatalf("range(2) = [%d,%d)", lo, hi)
+	}
+	if n := pt.Partitions(250); n != 3 {
+		t.Fatalf("partitions(250) = %d, want 3", n)
+	}
+	if n := pt.Partitions(0); n != 1 {
+		t.Fatalf("partitions(0) = %d, want 1", n)
+	}
+}
+
+func TestPartitioningZeroIsSinglePartition(t *testing.T) {
+	pt := Partitioning{}
+	if pt.PartitionOf(12345) != 0 {
+		t.Fatal("zero partitioning should map everything to partition 0")
+	}
+	if pt.Partitions(12345) != 1 {
+		t.Fatal("zero partitioning should report one partition")
+	}
+}
+
+// Property: every page falls inside the range its partition reports.
+func TestPartitionRangeProperty(t *testing.T) {
+	f := func(id uint32, per uint16) bool {
+		if per == 0 {
+			return true
+		}
+		pt := Partitioning{PagesPerPartition: uint64(per)}
+		part := pt.PartitionOf(ID(id))
+		lo, hi := pt.Range(part)
+		return ID(id) >= lo && ID(id) < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

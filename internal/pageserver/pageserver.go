@@ -1,0 +1,655 @@
+// Package pageserver implements the Socrates storage tier (§4.6). A page
+// server owns one partition of the database and does three jobs:
+//
+//  1. keep its copy of the partition current by applying the (filtered) log
+//     pulled from XLOG;
+//  2. answer GetPage@LSN requests from compute nodes, waiting until its
+//     applied LSN passes the requested LSN so it can never return a stale
+//     page (§4.4), and serving multi-page range reads from the covering,
+//     stride-preserving RBPEX with a single I/O;
+//  3. checkpoint modified pages to XStore (with write aggregation and
+//     insulation from transient XStore outages) so backups are XStore
+//     snapshots and the "truth" of the database is always in cheap storage.
+//
+// Page servers are stateless in the durability sense: a lost page server is
+// rebuilt from the last XStore checkpoint plus the log tail, and a new
+// replica seeds asynchronously while already serving requests.
+package pageserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"socrates/internal/btree"
+	"socrates/internal/metrics"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/rbpex"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+	"socrates/internal/xstore"
+)
+
+// ErrStopped reports an operation on a stopped server.
+var ErrStopped = errors.New("pageserver: stopped")
+
+// Config assembles a page server.
+type Config struct {
+	// Partition this server subscribes to in the XLOG filter.
+	Partition page.PartitionID
+	// Partitioning maps pages to partitions (shared cluster config).
+	Partitioning page.Partitioning
+	// RangeLo / RangeHi, when RangeHi > 0, override the served page range
+	// with a sub-range of the partition — this is how a partition is split
+	// into finer shards for faster recovery (§6): each half still filters
+	// on the parent partition's log annotation but serves and checkpoints
+	// only its own range.
+	RangeLo, RangeHi page.ID
+	// Name is this server's identity (XLOG consumer, checkpoint metadata).
+	Name string
+	// XLOG is the client to the XLOG service for pulls and progress.
+	XLOG *rbio.Client
+	// Store is the XStore account holding checkpoints.
+	Store *xstore.Store
+	// BlobPrefix namespaces this database's checkpoint blobs, e.g. "db1/".
+	// Page blobs share one namespace (BlobPrefix + "page/<id>") so any
+	// server covering a range can seed any of its pages; per-server
+	// metadata lives at BlobPrefix + "meta/<name>".
+	BlobPrefix string
+	// CacheSSD and CacheMeta are local SSD devices for the covering RBPEX.
+	CacheSSD, CacheMeta *simdisk.Device
+	// MemPages sizes the RBPEX memory tier (default 64).
+	MemPages int
+	// StartLSN is where log apply begins for a brand-new database (1).
+	StartLSN page.LSN
+	// PullBytes bounds one pull batch (default 256 KiB).
+	PullBytes int
+	// Meter, if set, is charged simulated CPU for page-server work.
+	Meter *metrics.CPUMeter
+	// CheckpointEvery is the checkpoint cadence (default 50 ms).
+	CheckpointEvery time.Duration
+	// Seed, if true, seeds the cache from the XStore checkpoint
+	// asynchronously at startup (new server / replica / restart without
+	// intact local SSD).
+	Seed bool
+}
+
+// Server is one page server.
+type Server struct {
+	cfg   Config
+	cache *rbpex.Cache
+	lo    page.ID // partition page range [lo, hi)
+	hi    page.ID
+
+	mu          sync.Mutex
+	applied     page.LSN // next LSN to pull (everything below is applied)
+	appliedCond *sync.Cond
+	dirty       map[page.ID]struct{}
+	seeding     bool
+	ckptLSN     page.LSN // resume LSN persisted with the last checkpoint
+	xstoreDown  bool     // observed outage: checkpointing deferred
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	served   metrics.Counter
+	waits    metrics.Counter
+	applies  metrics.Counter
+	rangeIOs metrics.Counter
+}
+
+// New builds (and starts) a page server. If the local cache devices hold a
+// previous incarnation's RBPEX, it is recovered and apply resumes from the
+// persisted checkpoint LSN; otherwise the server starts from StartLSN or —
+// with cfg.Seed — from the XStore checkpoint.
+func New(cfg Config) (*Server, error) {
+	if cfg.XLOG == nil || cfg.Store == nil {
+		return nil, errors.New("pageserver: XLOG client and Store are required")
+	}
+	if cfg.MemPages <= 0 {
+		cfg.MemPages = 64
+	}
+	if cfg.PullBytes <= 0 {
+		cfg.PullBytes = 256 << 10
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 50 * time.Millisecond
+	}
+	if cfg.StartLSN == 0 {
+		cfg.StartLSN = 1
+	}
+	lo, hi := cfg.Partitioning.Range(cfg.Partition)
+	if cfg.Partitioning.PagesPerPartition == 0 {
+		lo, hi = 0, page.ID(1<<22) // single partition covering 4M pages
+	}
+	if cfg.RangeHi > 0 {
+		lo, hi = cfg.RangeLo, cfg.RangeHi
+	}
+	cache, err := rbpex.Open(rbpex.Config{
+		MemPages: cfg.MemPages,
+		SSDPages: int(hi - lo),
+		Covering: true,
+		Base:     lo,
+		SSD:      cfg.CacheSSD,
+		Meta:     cfg.CacheMeta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		lo:    lo,
+		hi:    hi,
+		dirty: make(map[page.ID]struct{}),
+		done:  make(chan struct{}),
+	}
+	s.appliedCond = sync.NewCond(&s.mu)
+
+	// Decide the apply resume point: persisted checkpoint meta (if any),
+	// else the configured start.
+	s.applied = cfg.StartLSN
+	s.ckptLSN = cfg.StartLSN
+	if meta, err := s.readMeta(); err == nil {
+		s.applied = meta
+		s.ckptLSN = meta
+		// RBPEX may hold pages newer than the checkpoint; redo is
+		// idempotent, so resuming from the checkpoint LSN is safe and the
+		// recovered cache saves the refetch (§3.3).
+	}
+	if cfg.Seed {
+		s.seeding = true
+		s.wg.Add(1)
+		go s.seedLoop()
+	}
+	s.wg.Add(2)
+	go s.applyLoop()
+	go s.checkpointLoop()
+	return s, nil
+}
+
+// Stop halts background work (final checkpoint attempt included).
+func (s *Server) Stop() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+	_ = s.checkpointOnce()
+}
+
+// Partition reports the owned partition.
+func (s *Server) Partition() page.PartitionID { return s.cfg.Partition }
+
+// Range reports the owned page range [lo, hi).
+func (s *Server) Range() (page.ID, page.ID) { return s.lo, s.hi }
+
+// Owns reports whether the server owns the page.
+func (s *Server) Owns(id page.ID) bool { return id >= s.lo && id < s.hi }
+
+// AppliedLSN reports the apply watermark (next LSN to pull).
+func (s *Server) AppliedLSN() page.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Seeding reports whether background seeding is still running.
+func (s *Server) Seeding() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seeding
+}
+
+// Cache exposes the covering RBPEX (stats for experiments).
+func (s *Server) Cache() *rbpex.Cache { return s.cache }
+
+// Stats reports pages served, GetPage waits, and records applied.
+func (s *Server) Stats() (served, waits, applies int64) {
+	return s.served.Load(), s.waits.Load(), s.applies.Load()
+}
+
+func (s *Server) charge(d time.Duration) {
+	if s.cfg.Meter != nil {
+		s.cfg.Meter.Charge(d)
+	}
+}
+
+// --- blob naming ---
+
+func (s *Server) pageBlob(id page.ID) string {
+	return s.cfg.BlobPrefix + "page/" + strconv.FormatUint(uint64(id), 10)
+}
+
+func (s *Server) metaBlob() string {
+	return s.cfg.BlobPrefix + "meta/" + s.cfg.Name
+}
+
+func (s *Server) readMeta() (page.LSN, error) {
+	buf, err := s.cfg.Store.Get(s.metaBlob())
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < 8 {
+		return 0, errors.New("pageserver: short meta blob")
+	}
+	return page.LSN(binary.LittleEndian.Uint64(buf)), nil
+}
+
+func (s *Server) writeMeta(lsn page.LSN) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], lsn.Uint64())
+	return s.cfg.Store.Put(s.metaBlob(), buf[:])
+}
+
+// --- log apply ---
+
+func (s *Server) applyLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		if !s.pullOnce() {
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+}
+
+// pullOnce pulls and applies one batch; reports whether progress was made.
+func (s *Server) pullOnce() bool {
+	s.mu.Lock()
+	from := s.applied
+	s.mu.Unlock()
+
+	resp, err := s.cfg.XLOG.Call(&rbio.Request{
+		Type:      rbio.MsgPullBlocks,
+		LSN:       from,
+		Partition: int32(s.cfg.Partition),
+		MaxBytes:  int32(s.cfg.PullBytes),
+		Consumer:  s.cfg.Name,
+	})
+	if err != nil || resp.Status != rbio.StatusOK {
+		return false
+	}
+	next := resp.LSN
+	payload := resp.Payload
+	// Coalesce the batch: a page touched by many records in one pull is
+	// read once, mutated in memory, and written through once — without
+	// this, a write burst outruns the apply loop and GetPage@LSN waits
+	// pile up behind the lag.
+	touched := make(map[page.ID]*page.Page)
+	for len(payload) > 0 {
+		b, n, err := wal.DecodeBlock(payload)
+		if err != nil {
+			return false
+		}
+		payload = payload[n:]
+		for _, rec := range b.Records {
+			if err := s.applyRecordTo(touched, rec); err != nil {
+				return false
+			}
+		}
+	}
+	for _, pg := range touched {
+		s.applies.Inc()
+		s.markDirty(pg.ID)
+		if err := s.cache.Put(pg); err != nil {
+			return false
+		}
+	}
+	if next == from {
+		return false
+	}
+	s.mu.Lock()
+	s.applied = next
+	s.appliedCond.Broadcast()
+	s.mu.Unlock()
+	_, _ = s.cfg.XLOG.Call(&rbio.Request{
+		Type: rbio.MsgReportApplied, Consumer: s.cfg.Name, LSN: next})
+	return true
+}
+
+// applyRecordTo applies one redo record into the batch's touched-page set;
+// pages are looked up (cache, then XStore for seeding gaps) at most once
+// per batch.
+func (s *Server) applyRecordTo(touched map[page.ID]*page.Page, rec *wal.Record) error {
+	if !rec.IsPageOp() || !s.Owns(rec.Page) {
+		return nil
+	}
+	s.charge(4 * time.Microsecond)
+	pg, ok := touched[rec.Page]
+	if !ok {
+		pg, ok = s.cache.Get(rec.Page)
+		if !ok {
+			// Not cached: either a freshly allocated page (image record)
+			// or a page whose checkpoint copy is in XStore (seeding).
+			if rec.Kind == wal.KindPageImage {
+				npg, err := btree.NewFormatted(rec)
+				if err != nil {
+					return err
+				}
+				touched[npg.ID] = npg
+				return nil
+			}
+			fetched, err := s.fetchFromStore(rec.Page)
+			if err != nil {
+				return fmt.Errorf("pageserver: page %d needed for redo: %w", rec.Page, err)
+			}
+			pg = fetched
+		}
+		touched[rec.Page] = pg
+	}
+	_, err := btree.Apply(pg, rec)
+	return err
+}
+
+func (s *Server) markDirty(id page.ID) {
+	s.mu.Lock()
+	s.dirty[id] = struct{}{}
+	s.mu.Unlock()
+}
+
+// fetchFromStore loads one page's checkpoint copy from XStore into the
+// cache (on-demand seeding).
+func (s *Server) fetchFromStore(id page.ID) (*page.Page, error) {
+	buf, err := s.cfg.Store.Get(s.pageBlob(id))
+	if err != nil {
+		return nil, err
+	}
+	pg, err := page.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cache.Seed(pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// --- seeding ---
+
+// seedLoop lays down the covering copy from the XStore checkpoint in the
+// background while the server is already serving (§4.6: "its RBPEX is
+// seeded asynchronously while the Page Server is already available").
+func (s *Server) seedLoop() {
+	defer s.wg.Done()
+	prefix := s.cfg.BlobPrefix + "page/"
+	for _, name := range s.cfg.Store.List(prefix) {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		idStr := name[len(prefix):]
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil || !s.Owns(page.ID(id)) {
+			continue
+		}
+		if s.cache.Contains(page.ID(id)) {
+			continue // already fetched on demand or applied from log
+		}
+		buf, err := s.cfg.Store.Get(name)
+		if err != nil {
+			continue // transient; on-demand fetch covers the gap
+		}
+		pg, err := page.Decode(buf)
+		if err != nil {
+			continue
+		}
+		_ = s.cache.Seed(pg)
+	}
+	s.mu.Lock()
+	s.seeding = false
+	s.mu.Unlock()
+}
+
+// --- checkpointing ---
+
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			_ = s.checkpointOnce()
+		}
+	}
+}
+
+// checkpointOnce ships the current dirty set to XStore and persists the
+// resume LSN. On an XStore outage the dirty set is retained ("pages that
+// were written in RBPEX but not in XStore are remembered") and the
+// checkpoint resumes when XStore is back (§4.6).
+func (s *Server) checkpointOnce() error {
+	s.mu.Lock()
+	if len(s.dirty) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	resume := s.applied
+	batch := make([]page.ID, 0, len(s.dirty))
+	for id := range s.dirty {
+		batch = append(batch, id)
+	}
+	s.mu.Unlock()
+
+	// Write aggregation: pages go out in one sweep; the xstore ingest
+	// limiter sees a large sequential burst rather than scattered I/Os.
+	written := make([]page.ID, 0, len(batch))
+	for _, id := range batch {
+		pg, ok := s.cache.Get(id)
+		if !ok {
+			written = append(written, id) // vanished: nothing to persist
+			continue
+		}
+		buf, err := pg.Encode()
+		if err != nil {
+			return err
+		}
+		if err := s.cfg.Store.Put(s.pageBlob(id), buf); err != nil {
+			s.noteOutage(true)
+			s.clearDirty(written)
+			return err // keep the remainder dirty; retry next tick
+		}
+		written = append(written, id)
+	}
+	if err := s.writeMeta(resume); err != nil {
+		s.noteOutage(true)
+		s.clearDirty(written)
+		return err
+	}
+	s.noteOutage(false)
+	s.clearDirty(written)
+	s.mu.Lock()
+	s.ckptLSN = resume
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) clearDirty(ids []page.ID) {
+	s.mu.Lock()
+	for _, id := range ids {
+		delete(s.dirty, id)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) noteOutage(down bool) {
+	s.mu.Lock()
+	s.xstoreDown = down
+	s.mu.Unlock()
+}
+
+// XStoreDown reports whether the last checkpoint attempt hit an outage.
+func (s *Server) XStoreDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.xstoreDown
+}
+
+// DirtyPages reports the size of the un-checkpointed dirty set.
+func (s *Server) DirtyPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dirty)
+}
+
+// FlushForBackup forces a full checkpoint so an XStore snapshot taken right
+// after captures every applied page. Returns the resume LSN captured.
+func (s *Server) FlushForBackup() (page.LSN, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := s.checkpointOnce()
+		if err == nil && s.DirtyPages() == 0 {
+			s.mu.Lock()
+			lsn := s.ckptLSN
+			s.mu.Unlock()
+			return lsn, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = errors.New("pageserver: dirty set did not drain")
+			}
+			return 0, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// --- GetPage@LSN ---
+
+// waitApplied blocks until the apply watermark passes lsn (applied > lsn
+// means the record at lsn has been applied), with a timeout.
+func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.applied <= lsn {
+		s.waits.Inc()
+		if time.Now().After(deadline) {
+			return false
+		}
+		// Wake periodically to honor the deadline.
+		waker := time.AfterFunc(2*time.Millisecond, s.appliedCond.Broadcast)
+		s.appliedCond.Wait()
+		waker.Stop()
+	}
+	return true
+}
+
+// GetPage serves one page at an LSN at least minLSN (the §4.4 protocol).
+func (s *Server) GetPage(id page.ID, minLSN page.LSN) (*page.Page, error) {
+	if !s.Owns(id) {
+		return nil, fmt.Errorf("pageserver: page %d outside partition [%d,%d)", id, s.lo, s.hi)
+	}
+	if !s.waitApplied(minLSN, 5*time.Second) {
+		return nil, fmt.Errorf("pageserver: apply lag: applied %d, need > %d",
+			s.AppliedLSN(), minLSN)
+	}
+	s.charge(6 * time.Microsecond)
+	if pg, ok := s.cache.Get(id); ok {
+		s.served.Inc()
+		return pg, nil
+	}
+	// Covering cache miss: only possible while seeding — fetch on demand.
+	pg, err := s.fetchFromStore(id)
+	if err != nil {
+		return nil, fmt.Errorf("pageserver: page %d not found: %w", id, err)
+	}
+	s.served.Inc()
+	return pg, nil
+}
+
+// GetPageRange serves count consecutive pages starting at start with one
+// cache I/O (stride-preserving layout), for scan offloading.
+func (s *Server) GetPageRange(start page.ID, count int, minLSN page.LSN) ([]*page.Page, error) {
+	if start < s.lo || start+page.ID(count) > s.hi {
+		return nil, fmt.Errorf("pageserver: range outside partition")
+	}
+	if !s.waitApplied(minLSN, 5*time.Second) {
+		return nil, errors.New("pageserver: apply lag on range read")
+	}
+	s.rangeIOs.Inc()
+	pages, err := s.cache.ReadRange(start, count)
+	if err != nil {
+		return nil, err
+	}
+	s.served.Add(int64(count))
+	return pages, nil
+}
+
+// Handler exposes the server over RBIO.
+func (s *Server) Handler() rbio.Handler {
+	return func(req *rbio.Request) *rbio.Response {
+		switch req.Type {
+		case rbio.MsgPing:
+			return rbio.Ok()
+		case rbio.MsgGetPage:
+			if req.MaxBytes > 1 {
+				pages, err := s.GetPageRange(req.Page, int(req.MaxBytes), req.LSN)
+				if err != nil {
+					return rbio.Retryf("range: %v", err)
+				}
+				return pagesResponse(pages)
+			}
+			pg, err := s.GetPage(req.Page, req.LSN)
+			if err != nil {
+				return rbio.Retryf("get-page: %v", err)
+			}
+			return pagesResponse([]*page.Page{pg})
+		case rbio.MsgScanCells:
+			return s.handleScanCells(req)
+		case rbio.MsgReadState:
+			resp := rbio.Ok()
+			resp.LSN = s.AppliedLSN()
+			return resp
+		default:
+			return rbio.Errorf("pageserver: unsupported message %v", req.Type)
+		}
+	}
+}
+
+func pagesResponse(pages []*page.Page) *rbio.Response {
+	payload := make([]byte, 0, len(pages)*page.Size)
+	for _, pg := range pages {
+		buf, err := pg.Encode()
+		if err != nil {
+			return rbio.Errorf("encode: %v", err)
+		}
+		payload = append(payload, buf...)
+	}
+	resp := rbio.Ok()
+	resp.Payload = payload
+	if len(pages) > 0 {
+		resp.LSN = pages[len(pages)-1].LSN
+	}
+	return resp
+}
+
+// DecodePages parses a MsgGetPage response payload.
+func DecodePages(payload []byte) ([]*page.Page, error) {
+	if len(payload)%page.Size != 0 {
+		return nil, fmt.Errorf("pageserver: payload of %d bytes is not page-aligned", len(payload))
+	}
+	pages := make([]*page.Page, 0, len(payload)/page.Size)
+	for off := 0; off < len(payload); off += page.Size {
+		pg, err := page.Decode(payload[off : off+page.Size])
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, pg)
+	}
+	return pages, nil
+}

@@ -1,0 +1,367 @@
+package pageserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+	"socrates/internal/xlog"
+	"socrates/internal/xstore"
+)
+
+// rig wires one page server to a real XLOG service.
+type rig struct {
+	lz    *xlog.LandingZone
+	svc   *xlog.Service
+	store *xstore.Store
+	net   *rbio.Network
+	bld   *wal.Builder
+	pt    page.Partitioning
+}
+
+func newRig(t *testing.T, pt page.Partitioning) *rig {
+	t.Helper()
+	vol := simdisk.New(simdisk.Instant)
+	lz, err := xlog.NewLandingZone(vol, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := xstore.New(xstore.Config{Profile: simdisk.Instant})
+	svc, err := xlog.New(xlog.Config{
+		LZ: lz, LT: store, LTBlob: "lt",
+		CacheDevice: simdisk.New(simdisk.Instant),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	net := rbio.NewInstantNetwork()
+	net.Serve("xlog", svc.Handler())
+	return &rig{lz: lz, svc: svc, store: store, net: net,
+		bld: wal.NewBuilder(1, pt), pt: pt}
+}
+
+func (r *rig) server(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Partitioning = r.pt
+	cfg.XLOG = rbio.NewClient(r.net.Dial("xlog"))
+	cfg.Store = r.store
+	if cfg.CacheSSD == nil {
+		cfg.CacheSSD = simdisk.New(simdisk.Instant)
+	}
+	if cfg.CacheMeta == nil {
+		cfg.CacheMeta = simdisk.New(simdisk.Instant)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "ps-test"
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 2 * time.Millisecond
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+// emit publishes records through the LZ + XLOG pipeline (one block).
+func (r *rig) emit(t *testing.T, recs ...*wal.Record) page.LSN {
+	t.Helper()
+	for _, rec := range recs {
+		r.bld.Append(rec)
+	}
+	b := r.bld.Flush()
+	if err := r.lz.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	r.svc.Feed(b)
+	r.svc.ReportHardened(r.lz.HardenedEnd())
+	return b.End
+}
+
+// imageRec builds a page-image record with a recognizable payload.
+func imageRec(id page.ID, marker byte) *wal.Record {
+	return &wal.Record{Kind: wal.KindPageImage, Page: id,
+		PageType: page.TypeLeaf, Value: []byte{marker, marker, marker}}
+}
+
+func TestApplyAndGetPage(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{})
+	end := r.emit(t, imageRec(5, 'a'), wal.NewCommit(1, 1))
+
+	pg, err := srv.GetPage(5, end-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID != 5 || pg.Data[0] != 'a' {
+		t.Fatalf("page = %+v", pg)
+	}
+	served, _, applies := srv.Stats()
+	if served != 1 || applies == 0 {
+		t.Fatalf("stats: served=%d applies=%d", served, applies)
+	}
+}
+
+func TestGetPageWaitsForApply(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{})
+	r.emit(t, imageRec(7, 'x'), wal.NewCommit(1, 1))
+
+	// Ask for an LSN that does not exist yet; publish it shortly after.
+	target := r.bld.NextLSN() + 1 // the commit record of the next block
+	done := make(chan error, 1)
+	go func() {
+		pg, err := srv.GetPage(7, target)
+		if err == nil && pg.Data[0] != 'y' {
+			err = fmt.Errorf("stale page served: %q", pg.Data)
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r.emit(t, imageRec(7, 'y'), wal.NewCommit(2, 2))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetPage did not return")
+	}
+}
+
+func TestGetPageLSNNeverStale(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{})
+	r.emit(t, imageRec(3, 'a'), wal.NewCommit(1, 1))
+	end2 := r.emit(t, imageRec(3, 'b'), wal.NewCommit(2, 2))
+
+	pg, err := srv.GetPage(3, end2-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Data[0] != 'b' {
+		t.Fatalf("stale page: %q", pg.Data)
+	}
+	if pg.LSN < end2-2 {
+		t.Fatalf("page LSN %d below requested", pg.LSN)
+	}
+}
+
+func TestOwnershipRejected(t *testing.T) {
+	pt := page.Partitioning{PagesPerPartition: 10}
+	r := newRig(t, pt)
+	srv := r.server(t, Config{Partition: 0})
+	if _, err := srv.GetPage(25, 0); err == nil {
+		t.Fatal("foreign page served")
+	}
+}
+
+func TestFilteredApplyOnlyOwnPartition(t *testing.T) {
+	pt := page.Partitioning{PagesPerPartition: 10}
+	r := newRig(t, pt)
+	srv0 := r.server(t, Config{Partition: 0, Name: "ps0"})
+	srv1 := r.server(t, Config{Partition: 1, Name: "ps1"})
+
+	end := r.emit(t, imageRec(5, 'a'), imageRec(15, 'b'), wal.NewCommit(1, 1))
+	p0, err := srv0.GetPage(5, end-1)
+	if err != nil || p0.Data[0] != 'a' {
+		t.Fatalf("srv0: %+v %v", p0, err)
+	}
+	p1, err := srv1.GetPage(15, end-1)
+	if err != nil || p1.Data[0] != 'b' {
+		t.Fatalf("srv1: %+v %v", p1, err)
+	}
+	// Each applied only its own record.
+	_, _, a0 := srv0.Stats()
+	_, _, a1 := srv1.Stats()
+	if a0 != 1 || a1 != 1 {
+		t.Fatalf("applies: %d %d", a0, a1)
+	}
+}
+
+func TestCheckpointPersistsToXStore(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{BlobPrefix: "db/"})
+	end := r.emit(t, imageRec(4, 'z'), wal.NewCommit(1, 1))
+	if _, err := srv.GetPage(4, end-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.FlushForBackup(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.store.Exists("db/page/4") {
+		t.Fatal("checkpoint blob missing")
+	}
+	if srv.DirtyPages() != 0 {
+		t.Fatalf("dirty = %d after flush", srv.DirtyPages())
+	}
+}
+
+func TestXStoreOutageInsulation(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{BlobPrefix: "db/"})
+	r.store.SetOutage(true)
+	end := r.emit(t, imageRec(9, 'q'), wal.NewCommit(1, 1))
+
+	// Serving continues during the outage.
+	pg, err := srv.GetPage(9, end-1)
+	if err != nil || pg.Data[0] != 'q' {
+		t.Fatalf("serve during outage: %+v %v", pg, err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if srv.DirtyPages() == 0 {
+		t.Fatal("dirty set lost during outage")
+	}
+	// Outage clears: checkpointing resumes and catches up.
+	r.store.SetOutage(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.DirtyPages() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.DirtyPages() != 0 {
+		t.Fatal("checkpoint did not resume after outage")
+	}
+	if !r.store.Exists("db/page/9") {
+		t.Fatal("page never reached XStore")
+	}
+}
+
+func TestRestartWithRecoveredRBPEX(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	ssd := simdisk.New(simdisk.Instant)
+	meta := simdisk.New(simdisk.Instant)
+	srv := r.server(t, Config{BlobPrefix: "db/", CacheSSD: ssd, CacheMeta: meta})
+	end := r.emit(t, imageRec(2, 'm'), wal.NewCommit(1, 1))
+	if _, err := srv.GetPage(2, end-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.FlushForBackup(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+
+	// Restart over the same local devices: RBPEX recovers, apply resumes
+	// from the checkpoint LSN, and the page is served without reseeding.
+	reads0, _, _, _ := r.store.Stats()
+	srv2 := r.server(t, Config{BlobPrefix: "db/", CacheSSD: ssd, CacheMeta: meta})
+	pg, err := srv2.GetPage(2, end-1)
+	if err != nil || pg.Data[0] != 'm' {
+		t.Fatalf("after restart: %+v %v", pg, err)
+	}
+	reads1, _, _, _ := r.store.Stats()
+	// The restart may read its small metadata blob, but must not refetch
+	// page blobs: the recovered RBPEX already holds them.
+	if reads1-reads0 > 2 {
+		t.Fatalf("restart read %d blobs from XStore despite recovered RBPEX", reads1-reads0)
+	}
+}
+
+func TestColdStartSeedsFromXStore(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{BlobPrefix: "db/", Name: "gen1"})
+	end := r.emit(t, imageRec(1, 'a'), imageRec(2, 'b'), imageRec(3, 'c'),
+		wal.NewCommit(1, 1))
+	if _, err := srv.GetPage(3, end-1); err != nil {
+		t.Fatal(err)
+	}
+	resume, err := srv.FlushForBackup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+
+	// A replacement server with fresh local devices seeds from XStore and
+	// serves everything.
+	srv2 := r.server(t, Config{BlobPrefix: "db/", Name: "gen2",
+		StartLSN: resume, Seed: true})
+	for i, want := range []byte{'a', 'b', 'c'} {
+		pg, err := srv2.GetPage(page.ID(i+1), end-1)
+		if err != nil || pg.Data[0] != want {
+			t.Fatalf("page %d after reseed: %+v %v", i+1, pg, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv2.Seeding() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv2.Seeding() {
+		t.Fatal("seeding never finished")
+	}
+}
+
+func TestRangeReadSingleIO(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{MemPages: 1})
+	var recs []*wal.Record
+	for i := 1; i <= 8; i++ {
+		recs = append(recs, imageRec(page.ID(i), byte('0'+i)))
+	}
+	recs = append(recs, wal.NewCommit(1, 1))
+	end := r.emit(t, recs...)
+
+	// Ensure pages reached the SSD tier, then count device reads.
+	if !srv.waitApplied(end-1, 2*time.Second) {
+		t.Fatal("apply lag")
+	}
+	pages, err := srv.GetPageRange(2, 4, end-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 4 || pages[0].ID != 2 || pages[3].ID != 5 {
+		t.Fatalf("range = %d pages", len(pages))
+	}
+}
+
+func TestHandlerGetPageAndRange(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{})
+	end := r.emit(t, imageRec(1, 'a'), imageRec(2, 'b'), wal.NewCommit(1, 1))
+
+	r.net.Serve("ps", srv.Handler())
+	c := rbio.NewClient(r.net.Dial("ps"))
+
+	resp, err := c.Call(&rbio.Request{Type: rbio.MsgGetPage, Page: 1, LSN: end - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := DecodePages(resp.Payload)
+	if err != nil || len(pages) != 1 || pages[0].Data[0] != 'a' {
+		t.Fatalf("single: %v %v", pages, err)
+	}
+
+	resp, err = c.Call(&rbio.Request{Type: rbio.MsgGetPage, Page: 1,
+		LSN: end - 1, MaxBytes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err = DecodePages(resp.Payload)
+	if err != nil || len(pages) != 2 || pages[1].Data[0] != 'b' {
+		t.Fatalf("range: %v %v", pages, err)
+	}
+
+	resp, err = c.Call(&rbio.Request{Type: rbio.MsgReadState})
+	if err != nil || resp.LSN != srv.AppliedLSN() {
+		t.Fatalf("state: %+v %v", resp, err)
+	}
+}
+
+func TestDecodePagesRejectsMisaligned(t *testing.T) {
+	if _, err := DecodePages(make([]byte, 100)); err == nil {
+		t.Fatal("misaligned payload accepted")
+	}
+}
+
+func TestApplyLagTimesOut(t *testing.T) {
+	r := newRig(t, page.Partitioning{})
+	srv := r.server(t, Config{})
+	if srv.waitApplied(9999, 20*time.Millisecond) {
+		t.Fatal("waitApplied returned for unreachable LSN")
+	}
+}

@@ -1,0 +1,284 @@
+// Package rbio implements the Remote Block I/O protocol (§3.4): the typed,
+// versioned, stateless request/response protocol Socrates tiers use to talk
+// to each other. GetPage@LSN, XLOG block pulls, consumer progress reports,
+// and the lossy primary→XLOG feed all travel over RBIO.
+//
+// The protocol properties the paper calls out are all present:
+//
+//   - strongly typed: requests and responses are structured messages with a
+//     fixed binary codec, not raw byte blobs;
+//   - automatic versioning: every frame carries the protocol version and
+//     servers reject incompatible callers;
+//   - resilient to transient failures: clients retry retryable statuses and
+//     transport errors with backoff;
+//   - QoS support for best-replica selection: clients track an EWMA of
+//     per-endpoint latency and a Selector routes each call to the currently
+//     fastest healthy endpoint.
+//
+// Two transports are provided: an in-process transport with a simulated
+// network latency profile (used by single-process clusters and tests, with
+// optional lossy fire-and-forget semantics for the XLOG feed), and a TCP
+// transport with length-prefixed frames (used by cmd/socratesd).
+package rbio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"socrates/internal/page"
+)
+
+// Version is the protocol version spoken by this build. Servers accept
+// requests whose version matches; mismatches fail with StatusVersion.
+const Version uint16 = 1
+
+// MsgType identifies an RBIO operation.
+type MsgType uint8
+
+// RBIO operations.
+const (
+	MsgPing          MsgType = iota // liveness / RTT probe
+	MsgGetPage                      // GetPage@LSN: Page, LSN → page image
+	MsgPullBlocks                   // log consumer pull: LSN, Partition, MaxBytes → blocks
+	MsgReportApplied                // consumer progress report: Consumer, LSN
+	MsgFeedBlock                    // lossy primary→XLOG feed: Payload = encoded block
+	MsgHardenReport                 // primary→XLOG: LSN = hardened watermark
+	MsgWritePages                   // checkpoint/seeding page transfer: Payload = page images
+	MsgReadState                    // introspection: current applied/hardened LSNs
+	MsgScanCells                    // pushdown: count/filter cells in a page range (§4.1.5)
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgPing:
+		return "ping"
+	case MsgGetPage:
+		return "get-page"
+	case MsgPullBlocks:
+		return "pull-blocks"
+	case MsgReportApplied:
+		return "report-applied"
+	case MsgFeedBlock:
+		return "feed-block"
+	case MsgHardenReport:
+		return "harden-report"
+	case MsgWritePages:
+		return "write-pages"
+	case MsgReadState:
+		return "read-state"
+	case MsgScanCells:
+		return "scan-cells"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(m))
+	}
+}
+
+// Status is the outcome of a request.
+type Status uint8
+
+// Statuses. StatusRetry marks transient conditions the client should retry
+// (e.g. a page server still seeding); StatusError is terminal.
+const (
+	StatusOK Status = iota
+	StatusRetry
+	StatusError
+	StatusVersion // protocol version mismatch
+	StatusNotFound
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetry:
+		return "retry"
+	case StatusError:
+		return "error"
+	case StatusVersion:
+		return "version-mismatch"
+	case StatusNotFound:
+		return "not-found"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Request is an RBIO request. Field meaning depends on Type; unused fields
+// are zero.
+type Request struct {
+	Version   uint16
+	Type      MsgType
+	Page      page.ID  // MsgGetPage
+	LSN       page.LSN // MsgGetPage (min LSN), MsgPullBlocks (from), reports
+	Partition int32    // MsgPullBlocks filter; -1 = unfiltered (secondaries)
+	MaxBytes  int32    // MsgPullBlocks budget
+	Consumer  string   // consumer identity for progress/leases
+	Payload   []byte   // MsgFeedBlock, MsgWritePages
+}
+
+// Response is an RBIO response.
+type Response struct {
+	Version uint16
+	Status  Status
+	Error   string   // human-readable cause when Status != StatusOK
+	LSN     page.LSN // context-dependent: applied LSN, next pull LSN, ...
+	Payload []byte   // page image(s) or encoded blocks
+}
+
+// Ok builds a success response.
+func Ok() *Response { return &Response{Version: Version, Status: StatusOK} }
+
+// Errorf builds a terminal error response.
+func Errorf(format string, args ...any) *Response {
+	return &Response{Version: Version, Status: StatusError, Error: fmt.Sprintf(format, args...)}
+}
+
+// Retryf builds a retryable response.
+func Retryf(format string, args ...any) *Response {
+	return &Response{Version: Version, Status: StatusRetry, Error: fmt.Sprintf(format, args...)}
+}
+
+// Err converts a non-OK response into a Go error (nil for StatusOK).
+func (r *Response) Err() error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusRetry:
+		return fmt.Errorf("%w: %s", ErrRetryable, r.Error)
+	case StatusVersion:
+		return fmt.Errorf("%w: %s", ErrVersion, r.Error)
+	case StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, r.Error)
+	default:
+		return errors.New(r.Error)
+	}
+}
+
+// Sentinel errors surfaced by Response.Err and the client.
+var (
+	ErrRetryable   = errors.New("rbio: retryable")
+	ErrVersion     = errors.New("rbio: protocol version mismatch")
+	ErrNotFound    = errors.New("rbio: not found")
+	ErrUnavailable = errors.New("rbio: endpoint unavailable")
+)
+
+// Handler processes one request. Handlers must be stateless with respect to
+// the connection: every request is self-describing (§3.4).
+type Handler func(*Request) *Response
+
+// --- binary codec (shared by both transports) ---
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf []byte, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// EncodeRequest serializes a request.
+func EncodeRequest(r *Request) []byte {
+	buf := make([]byte, 0, 32+len(r.Consumer)+len(r.Payload))
+	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
+	buf = append(buf, byte(r.Type))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Page))
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN.Uint64())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Partition))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.MaxBytes))
+	buf = appendString(buf, r.Consumer)
+	buf = appendBytes(buf, r.Payload)
+	return buf
+}
+
+// DecodeRequest parses a request frame.
+func DecodeRequest(buf []byte) (*Request, error) {
+	const fixed = 2 + 1 + 8 + 8 + 4 + 4 + 2
+	if len(buf) < fixed {
+		return nil, errors.New("rbio: short request frame")
+	}
+	r := &Request{
+		Version:   binary.LittleEndian.Uint16(buf[0:2]),
+		Type:      MsgType(buf[2]),
+		Page:      page.ID(binary.LittleEndian.Uint64(buf[3:11])),
+		LSN:       page.LSN(binary.LittleEndian.Uint64(buf[11:19])),
+		Partition: int32(binary.LittleEndian.Uint32(buf[19:23])),
+		MaxBytes:  int32(binary.LittleEndian.Uint32(buf[23:27])),
+	}
+	pos := 27
+	slen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
+	pos += 2
+	if len(buf) < pos+slen+4 {
+		return nil, errors.New("rbio: truncated request consumer")
+	}
+	r.Consumer = string(buf[pos : pos+slen])
+	pos += slen
+	plen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	if len(buf) != pos+plen {
+		return nil, errors.New("rbio: request payload length mismatch")
+	}
+	if plen > 0 {
+		r.Payload = append([]byte(nil), buf[pos:pos+plen]...)
+	}
+	return r, nil
+}
+
+// EncodeResponse serializes a response.
+func EncodeResponse(r *Response) []byte {
+	buf := make([]byte, 0, 24+len(r.Error)+len(r.Payload))
+	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
+	buf = append(buf, byte(r.Status))
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN.Uint64())
+	buf = appendString(buf, r.Error)
+	buf = appendBytes(buf, r.Payload)
+	return buf
+}
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(buf []byte) (*Response, error) {
+	const fixed = 2 + 1 + 8 + 2
+	if len(buf) < fixed {
+		return nil, errors.New("rbio: short response frame")
+	}
+	r := &Response{
+		Version: binary.LittleEndian.Uint16(buf[0:2]),
+		Status:  Status(buf[2]),
+		LSN:     page.LSN(binary.LittleEndian.Uint64(buf[3:11])),
+	}
+	pos := 11
+	slen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
+	pos += 2
+	if len(buf) < pos+slen+4 {
+		return nil, errors.New("rbio: truncated response error")
+	}
+	r.Error = string(buf[pos : pos+slen])
+	pos += slen
+	plen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	if len(buf) != pos+plen {
+		return nil, errors.New("rbio: response payload length mismatch")
+	}
+	if plen > 0 {
+		r.Payload = append([]byte(nil), buf[pos:pos+plen]...)
+	}
+	return r, nil
+}
+
+// checkVersion wraps a handler with protocol version enforcement.
+func checkVersion(h Handler) Handler {
+	return func(req *Request) *Response {
+		if req.Version != Version {
+			return &Response{Version: Version, Status: StatusVersion,
+				Error: fmt.Sprintf("server speaks v%d, caller sent v%d", Version, req.Version)}
+		}
+		resp := h(req)
+		if resp == nil {
+			resp = Errorf("nil response from handler for %v", req.Type)
+		}
+		resp.Version = Version
+		return resp
+	}
+}

@@ -1,0 +1,407 @@
+package rbio
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"socrates/internal/page"
+)
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	r := &Request{
+		Version: Version, Type: MsgGetPage, Page: 42, LSN: 99,
+		Partition: -1, MaxBytes: 1 << 20, Consumer: "secondary-1",
+		Payload: []byte{1, 2, 3},
+	}
+	got, err := DecodeRequest(EncodeRequest(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("got %+v, want %+v", got, r)
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	r := &Response{Version: Version, Status: StatusRetry, Error: "seeding",
+		LSN: 1234, Payload: []byte("blockdata")}
+	got, err := DecodeResponse(EncodeResponse(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("got %+v, want %+v", got, r)
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	req := EncodeRequest(&Request{Type: MsgPing, Consumer: "c", Payload: []byte("xy")})
+	for cut := 0; cut < len(req); cut++ {
+		if _, err := DecodeRequest(req[:cut]); err == nil {
+			t.Fatalf("request truncation at %d undetected", cut)
+		}
+	}
+	resp := EncodeResponse(&Response{Status: StatusOK, Error: "e", Payload: []byte("z")})
+	for cut := 0; cut < len(resp); cut++ {
+		if _, err := DecodeResponse(resp[:cut]); err == nil {
+			t.Fatalf("response truncation at %d undetected", cut)
+		}
+	}
+}
+
+// Property: request codec round-trips arbitrary field values.
+func TestRequestCodecProperty(t *testing.T) {
+	f := func(ty uint8, pg uint64, lsn uint64, part int32, mb int32, consumer string, payload []byte) bool {
+		if len(consumer) > 1000 {
+			consumer = consumer[:1000]
+		}
+		r := &Request{Version: Version, Type: MsgType(ty), Page: page.ID(pg),
+			LSN: page.LSN(lsn), Partition: part, MaxBytes: mb, Consumer: consumer}
+		if len(payload) > 0 {
+			r.Payload = payload
+		}
+		got, err := DecodeRequest(EncodeRequest(r))
+		return err == nil && reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseErr(t *testing.T) {
+	if Ok().Err() != nil {
+		t.Fatal("OK should map to nil error")
+	}
+	if !errors.Is(Retryf("x").Err(), ErrRetryable) {
+		t.Fatal("retry should map to ErrRetryable")
+	}
+	vr := &Response{Status: StatusVersion}
+	if !errors.Is(vr.Err(), ErrVersion) {
+		t.Fatal("version should map to ErrVersion")
+	}
+	nf := &Response{Status: StatusNotFound, Error: "gone"}
+	if !errors.Is(nf.Err(), ErrNotFound) {
+		t.Fatal("not-found should map to ErrNotFound")
+	}
+	if Errorf("boom").Err() == nil {
+		t.Fatal("error should map to non-nil")
+	}
+}
+
+func TestInprocCallRoundTrip(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("ps-0", func(req *Request) *Response {
+		if req.Type != MsgGetPage || req.Page != 7 {
+			return Errorf("unexpected request")
+		}
+		resp := Ok()
+		resp.LSN = 55
+		resp.Payload = []byte("page-image")
+		return resp
+	})
+	c := NewClient(net.Dial("ps-0"))
+	resp, err := c.Call(&Request{Type: MsgGetPage, Page: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.LSN != 55 || string(resp.Payload) != "page-image" {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+func TestInprocVersionEnforcement(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("x", func(*Request) *Response { return Ok() })
+	conn := net.Dial("x")
+	resp, err := conn.Call(&Request{Version: 999, Type: MsgPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusVersion {
+		t.Fatalf("status = %v, want version mismatch", resp.Status)
+	}
+}
+
+func TestInprocUnavailableAndRecovery(t *testing.T) {
+	net := NewInstantNetwork()
+	c := NewClient(net.Dial("ghost"), WithRetries(2), WithBackoff(0))
+	if _, err := c.Call(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	// Node comes up under the same address; the old conn reaches it.
+	net.Serve("ghost", func(*Request) *Response { return Ok() })
+	if _, err := c.Call(&Request{Type: MsgPing}); err != nil {
+		t.Fatalf("after serve: %v", err)
+	}
+}
+
+func TestClientRetriesRetryableStatus(t *testing.T) {
+	net := NewInstantNetwork()
+	var calls atomic.Int32
+	net.Serve("s", func(*Request) *Response {
+		if calls.Add(1) < 3 {
+			return Retryf("not ready")
+		}
+		return Ok()
+	})
+	c := NewClient(net.Dial("s"), WithRetries(5), WithBackoff(0))
+	resp, err := c.Call(&Request{Type: MsgPing})
+	if err != nil || resp.Status != StatusOK {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("s", func(*Request) *Response { return Retryf("never ready") })
+	c := NewClient(net.Dial("s"), WithRetries(3), WithBackoff(0))
+	_, err := c.Call(&Request{Type: MsgPing})
+	if !errors.Is(err, ErrRetryable) {
+		t.Fatalf("err = %v, want ErrRetryable", err)
+	}
+}
+
+func TestClientDoesNotRetryTerminalError(t *testing.T) {
+	net := NewInstantNetwork()
+	var calls atomic.Int32
+	net.Serve("s", func(*Request) *Response {
+		calls.Add(1)
+		return Errorf("terminal")
+	})
+	c := NewClient(net.Dial("s"), WithRetries(5), WithBackoff(0))
+	resp, err := c.Call(&Request{Type: MsgPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || calls.Load() != 1 {
+		t.Fatalf("status=%v calls=%d", resp.Status, calls.Load())
+	}
+}
+
+func TestLossySendDrops(t *testing.T) {
+	net := NewInstantNetwork()
+	var received atomic.Int32
+	net.Serve("xlog", func(*Request) *Response {
+		received.Add(1)
+		return Ok()
+	})
+	net.SetLoss(1.0) // drop everything
+	c := NewClient(net.Dial("xlog"))
+	for i := 0; i < 20; i++ {
+		if err := c.Send(&Request{Type: MsgFeedBlock}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	if received.Load() != 0 {
+		t.Fatalf("received %d sends despite 100%% loss", received.Load())
+	}
+	net.SetLoss(0)
+	_ = c.Send(&Request{Type: MsgFeedBlock})
+	deadline := time.Now().Add(time.Second)
+	for received.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if received.Load() != 1 {
+		t.Fatal("send after loss cleared did not arrive")
+	}
+}
+
+func TestSendToUnknownAddrFails(t *testing.T) {
+	net := NewInstantNetwork()
+	if err := net.Dial("nobody").Send(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnserveSimulatesCrash(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("n", func(*Request) *Response { return Ok() })
+	c := NewClient(net.Dial("n"), WithRetries(1), WithBackoff(0))
+	if _, err := c.Call(&Request{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	net.Unserve("n")
+	if _, err := c.Call(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSelectorPrefersFasterEndpoint(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("fast", func(*Request) *Response { return Ok() })
+	net.Serve("slow", func(*Request) *Response {
+		time.Sleep(3 * time.Millisecond)
+		return Ok()
+	})
+	fast := NewClient(net.Dial("fast"))
+	slow := NewClient(net.Dial("slow"))
+	sel := NewSelector(fast, slow)
+	// Warm both EWMAs.
+	for i := 0; i < 4; i++ {
+		if _, err := sel.Call(&Request{Type: MsgPing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sel.Best(); got != fast {
+		t.Fatalf("Best() = %s, want fast", got.Addr())
+	}
+}
+
+func TestSelectorFailsOver(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("up", func(*Request) *Response { return Ok() })
+	dead := NewClient(net.Dial("down"), WithRetries(1), WithBackoff(0))
+	up := NewClient(net.Dial("up"), WithRetries(1), WithBackoff(0))
+	sel := NewSelector(dead, up)
+	resp, err := sel.Call(&Request{Type: MsgPing})
+	if err != nil || resp.Status != StatusOK {
+		t.Fatalf("failover failed: %v", err)
+	}
+}
+
+func TestSelectorEmpty(t *testing.T) {
+	sel := NewSelector()
+	if _, err := sel.Call(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	if sel.Best() != nil {
+		t.Fatal("Best of empty selector should be nil")
+	}
+	sel.Add(NewClient(NewInstantNetwork().Dial("x")))
+	if sel.Len() != 1 {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(req *Request) *Response {
+		resp := Ok()
+		resp.LSN = req.LSN + 1
+		resp.Payload = append([]byte("echo:"), req.Payload...)
+		return resp
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	resp, err := c.Call(&Request{Type: MsgGetPage, LSN: 10, Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.LSN != 11 || string(resp.Payload) != "echo:hi" {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+func TestTCPOnewayFrame(t *testing.T) {
+	var got atomic.Int32
+	srv, err := ServeTCP("127.0.0.1:0", func(req *Request) *Response {
+		if req.Type == MsgFeedBlock {
+			got.Add(1)
+		}
+		return Ok()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&Request{Version: Version, Type: MsgFeedBlock}); err != nil {
+		t.Fatal(err)
+	}
+	// A subsequent call on the same conn proves frame boundaries are intact.
+	c := NewClient(conn)
+	if _, err := c.Call(&Request{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("oneway frames received = %d", got.Load())
+	}
+}
+
+func TestTCPVersionMismatch(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(*Request) *Response { return Ok() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call(&Request{Version: 77, Type: MsgPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusVersion {
+		t.Fatalf("status = %v", resp.Status)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(req *Request) *Response {
+		resp := Ok()
+		resp.LSN = req.LSN
+		return resp
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			conn, err := DialTCP(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			c := NewClient(conn)
+			for j := 0; j < 30; j++ {
+				want := page.LSN(n*1000 + j)
+				resp, err := c.Call(&Request{Type: MsgPing, LSN: want})
+				if err != nil || resp.LSN != want {
+					t.Errorf("worker %d: %v %v", n, resp, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestEWMAPenalizesFailures(t *testing.T) {
+	net := NewInstantNetwork()
+	c := NewClient(net.Dial("gone"), WithRetries(1), WithBackoff(0))
+	_, _ = c.Call(&Request{Type: MsgPing})
+	if c.Failures() != 1 {
+		t.Fatalf("failures = %d", c.Failures())
+	}
+	if c.EWMA() < 100*time.Millisecond {
+		t.Fatalf("failed endpoint EWMA = %v, want heavy penalty", c.EWMA())
+	}
+}

@@ -1,0 +1,313 @@
+package rbio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"socrates/internal/simdisk"
+)
+
+// Conn is one client connection to an RBIO endpoint.
+type Conn interface {
+	// Call sends a request and waits for the response.
+	Call(*Request) (*Response, error)
+	// Send delivers a request fire-and-forget: no response, no delivery
+	// guarantee. The lossy primary→XLOG feed uses this path (§4.3).
+	Send(*Request) error
+	// Addr identifies the remote endpoint.
+	Addr() string
+	// Close releases the connection.
+	Close() error
+}
+
+// --- in-process transport ---
+
+// Network is an in-process RBIO fabric with a simulated latency profile.
+// Single-process clusters (and all tests) run on it; the latency model makes
+// remote I/O genuinely slower than local cache hits, as in the paper.
+type Network struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	profile  simdisk.Profile
+	rng      *rand.Rand
+	loss     float64 // fire-and-forget drop probability
+	maxDelay time.Duration
+}
+
+// NewNetwork creates a fabric with the LAN latency profile.
+func NewNetwork() *Network {
+	return &Network{
+		handlers: make(map[string]Handler),
+		profile:  simdisk.LAN,
+		rng:      rand.New(rand.NewSource(42)),
+	}
+}
+
+// NewInstantNetwork creates a zero-latency fabric for unit tests.
+func NewInstantNetwork() *Network {
+	return NewNetworkWith(simdisk.Instant)
+}
+
+// NewNetworkWith creates a fabric with a custom latency profile — e.g. a
+// cross-availability-zone link for HADR replication.
+func NewNetworkWith(p simdisk.Profile) *Network {
+	n := NewNetwork()
+	n.profile = p
+	return n
+}
+
+// SetLoss sets the drop probability for fire-and-forget sends. Calls are
+// never dropped (they ride a reliable channel).
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	n.loss = p
+	n.mu.Unlock()
+}
+
+// SetReorderWindow makes fire-and-forget sends arrive with up to d of extra
+// random delay, so later sends can overtake earlier ones (the "lossy
+// protocol" of §4.3 reorders as well as drops).
+func (n *Network) SetReorderWindow(d time.Duration) {
+	n.mu.Lock()
+	n.maxDelay = d
+	n.mu.Unlock()
+}
+
+// Serve registers a handler under addr, replacing any previous registration.
+func (n *Network) Serve(addr string, h Handler) {
+	n.mu.Lock()
+	n.handlers[addr] = checkVersion(h)
+	n.mu.Unlock()
+}
+
+// Unserve removes addr, simulating a node going down.
+func (n *Network) Unserve(addr string) {
+	n.mu.Lock()
+	delete(n.handlers, addr)
+	n.mu.Unlock()
+}
+
+// latency computes one network hop's delay for a payload of the given size.
+func (n *Network) latency(bytes int) time.Duration {
+	p := n.profile
+	lat := p.ReadBase + time.Duration(float64(p.PerKB)*float64(bytes)/1024)
+	n.mu.Lock()
+	if p.JitterFrac > 0 {
+		lat = time.Duration(float64(lat) * (1 + p.JitterFrac*(2*n.rng.Float64()-1)))
+	}
+	if p.TailProb > 0 && n.rng.Float64() < p.TailProb {
+		lat = time.Duration(float64(lat) * p.TailFactor)
+	}
+	n.mu.Unlock()
+	return lat
+}
+
+// Dial opens a connection to addr. The handler is resolved per call, so a
+// node that restarts under the same address is reachable over old conns.
+func (n *Network) Dial(addr string) Conn {
+	return &inprocConn{net: n, addr: addr}
+}
+
+type inprocConn struct {
+	net  *Network
+	addr string
+}
+
+func (c *inprocConn) resolve() (Handler, error) {
+	c.net.mu.Lock()
+	h, ok := c.net.handlers[c.addr]
+	c.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, c.addr)
+	}
+	return h, nil
+}
+
+func (c *inprocConn) Call(req *Request) (*Response, error) {
+	h, err := c.resolve()
+	if err != nil {
+		return nil, err
+	}
+	simdisk.SleepPrecise(c.net.latency(len(req.Payload) + 64))
+	resp := h(req)
+	simdisk.SleepPrecise(c.net.latency(len(resp.Payload) + 32))
+	return resp, nil
+}
+
+func (c *inprocConn) Send(req *Request) error {
+	h, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	c.net.mu.Lock()
+	drop := c.net.rng.Float64() < c.net.loss
+	var extra time.Duration
+	if c.net.maxDelay > 0 {
+		extra = time.Duration(c.net.rng.Int63n(int64(c.net.maxDelay)))
+	}
+	c.net.mu.Unlock()
+	if drop {
+		return nil // silently lost, as a lossy datagram would be
+	}
+	delay := c.net.latency(len(req.Payload)+64) + extra
+	go func() {
+		simdisk.SleepPrecise(delay)
+		h(req)
+	}()
+	return nil
+}
+
+func (c *inprocConn) Addr() string { return c.addr }
+func (c *inprocConn) Close() error { return nil }
+
+// --- TCP transport ---
+
+// Frame kinds on the wire: a call expects a response, a oneway does not.
+const (
+	frameCall   = 0
+	frameOneway = 1
+)
+
+// maxFrame bounds a frame to defend against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// TCPServer serves RBIO over TCP with length-prefixed binary frames.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// ServeTCP starts a server on addr (e.g. "127.0.0.1:0").
+func ServeTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{ln: ln, handler: checkVersion(h)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for active connections to drain.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		kind, frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		resp := s.handler(req)
+		if kind == frameOneway {
+			continue
+		}
+		if err := writeFrame(conn, frameCall, EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	head := make([]byte, 5)
+	binary.LittleEndian.PutUint32(head, uint32(len(payload)))
+	head[4] = kind
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(head)
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("rbio: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return head[4], payload, nil
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	addr string
+}
+
+// DialTCP connects to an RBIO TCP endpoint. Calls on one connection are
+// serialized; open several connections for parallelism.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return &tcpConn{conn: c, addr: addr}, nil
+}
+
+func (c *tcpConn) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, frameCall, EncodeRequest(req)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	_, frame, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return DecodeResponse(frame)
+}
+
+func (c *tcpConn) Send(req *Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, frameOneway, EncodeRequest(req)); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Addr() string { return c.addr }
+func (c *tcpConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,438 @@
+package rbpex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"socrates/internal/page"
+	"socrates/internal/simdisk"
+)
+
+func mkPage(id page.ID, lsn page.LSN, marker byte) *page.Page {
+	return &page.Page{ID: id, LSN: lsn, Type: page.TypeLeaf, Data: []byte{marker}}
+}
+
+func sparseCache(t *testing.T, memPages, ssdPages int) (*Cache, Config) {
+	t.Helper()
+	cfg := Config{
+		MemPages: memPages,
+		SSDPages: ssdPages,
+		SSD:      simdisk.New(simdisk.Instant),
+		Meta:     simdisk.New(simdisk.Instant),
+	}
+	if ssdPages == 0 {
+		cfg.SSD, cfg.Meta = nil, nil
+	}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cfg
+}
+
+func TestMemHit(t *testing.T) {
+	c, _ := sparseCache(t, 4, 0)
+	if err := c.Put(mkPage(1, 10, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	pg, ok := c.Get(1)
+	if !ok || pg.LSN != 10 || pg.Data[0] != 'a' {
+		t.Fatalf("get = %+v %v", pg, ok)
+	}
+	m, s, x := c.Stats()
+	if m != 1 || s != 0 || x != 0 {
+		t.Fatalf("stats = %d %d %d", m, s, x)
+	}
+}
+
+func TestMiss(t *testing.T) {
+	c, _ := sparseCache(t, 4, 0)
+	if _, ok := c.Get(99); ok {
+		t.Fatal("phantom hit")
+	}
+	if _, _, x := c.Stats(); x != 1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestPutStoresCopy(t *testing.T) {
+	c, _ := sparseCache(t, 4, 0)
+	pg := mkPage(1, 1, 'a')
+	_ = c.Put(pg)
+	pg.Data[0] = 'Z' // caller mutates after Put
+	got, _ := c.Get(1)
+	if got.Data[0] != 'a' {
+		t.Fatal("cache aliased caller's page")
+	}
+	got.Data[0] = 'Y' // reader mutates the returned copy
+	again, _ := c.Get(1)
+	if again.Data[0] != 'a' {
+		t.Fatal("Get leaked internal page")
+	}
+}
+
+func TestMemEvictionToSSD(t *testing.T) {
+	c, _ := sparseCache(t, 2, 8)
+	for i := 1; i <= 3; i++ {
+		_ = c.Put(mkPage(page.ID(i), page.LSN(i), byte(i)))
+	}
+	// Page 1 was LRU and demoted to SSD.
+	pg, ok := c.Get(1)
+	if !ok || pg.Data[0] != 1 {
+		t.Fatalf("SSD get = %+v %v", pg, ok)
+	}
+	_, ssdHits, _ := c.Stats()
+	if ssdHits != 1 {
+		t.Fatalf("ssdHits = %d", ssdHits)
+	}
+}
+
+func TestEvictionWithoutSSDFiresHook(t *testing.T) {
+	var mu sync.Mutex
+	evicted := map[page.ID]page.LSN{}
+	cfg := Config{
+		MemPages: 2,
+		OnEvict: func(id page.ID, lsn page.LSN) {
+			mu.Lock()
+			evicted[id] = lsn
+			mu.Unlock()
+		},
+	}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Put(mkPage(1, 11, 'a'))
+	_ = c.Put(mkPage(2, 12, 'b'))
+	_ = c.Put(mkPage(3, 13, 'c'))
+	mu.Lock()
+	defer mu.Unlock()
+	if lsn, ok := evicted[1]; !ok || lsn != 11 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+}
+
+func TestSSDEvictionFiresHookWithLSN(t *testing.T) {
+	var mu sync.Mutex
+	evicted := map[page.ID]page.LSN{}
+	cfg := Config{
+		MemPages: 1,
+		SSDPages: 2,
+		SSD:      simdisk.New(simdisk.Instant),
+		Meta:     simdisk.New(simdisk.Instant),
+		OnEvict: func(id page.ID, lsn page.LSN) {
+			mu.Lock()
+			evicted[id] = lsn
+			mu.Unlock()
+		},
+	}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill: mem holds 1 page, SSD holds 2; the 4th insert pushes the
+	// oldest page out of the cache entirely.
+	for i := 1; i <= 4; i++ {
+		_ = c.Put(mkPage(page.ID(i), page.LSN(i*10), byte(i)))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if lsn, ok := evicted[1]; !ok || lsn != 10 {
+		t.Fatalf("evicted = %v, want page 1 at LSN 10", evicted)
+	}
+}
+
+func TestLRUOrderRespectsAccess(t *testing.T) {
+	c, _ := sparseCache(t, 2, 4)
+	_ = c.Put(mkPage(1, 1, 'a'))
+	_ = c.Put(mkPage(2, 2, 'b'))
+	if _, ok := c.Get(1); !ok { // touch 1 so 2 becomes LRU
+		t.Fatal("page 1 missing")
+	}
+	_ = c.Put(mkPage(3, 3, 'c')) // evicts 2, not 1
+	c.ResetStats()
+	_, _ = c.Get(1)
+	m, s, _ := c.Stats()
+	if m != 1 || s != 0 {
+		t.Fatalf("page 1 should still be a mem hit (m=%d s=%d)", m, s)
+	}
+}
+
+func TestUpdateRefreshesVersion(t *testing.T) {
+	c, _ := sparseCache(t, 2, 4)
+	_ = c.Put(mkPage(1, 1, 'a'))
+	_ = c.Put(mkPage(1, 5, 'A')) // newer version of the same page
+	// Force a demotion and re-read from SSD to check the latest landed.
+	_ = c.Put(mkPage(2, 2, 'b'))
+	_ = c.Put(mkPage(3, 3, 'c'))
+	pg, ok := c.Get(1)
+	if !ok || pg.LSN != 5 || pg.Data[0] != 'A' {
+		t.Fatalf("got %+v", pg)
+	}
+}
+
+func TestGetLSNAndContains(t *testing.T) {
+	c, _ := sparseCache(t, 1, 4)
+	_ = c.Put(mkPage(1, 7, 'a'))
+	if lsn, ok := c.GetLSN(1); !ok || lsn != 7 {
+		t.Fatalf("mem lsn = %d %v", lsn, ok)
+	}
+	_ = c.Put(mkPage(2, 8, 'b')) // demotes 1 to SSD
+	if lsn, ok := c.GetLSN(1); !ok || lsn != 7 {
+		t.Fatalf("ssd lsn = %d %v", lsn, ok)
+	}
+	if !c.Contains(1) || !c.Contains(2) || c.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	if _, ok := c.GetLSN(3); ok {
+		t.Fatal("phantom LSN")
+	}
+}
+
+func TestRecoveryRestoresSSDTier(t *testing.T) {
+	ssd := simdisk.New(simdisk.Instant)
+	meta := simdisk.New(simdisk.Instant)
+	cfg := Config{MemPages: 2, SSDPages: 8, SSD: ssd, Meta: meta}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		_ = c.Put(mkPage(page.ID(i), page.LSN(i*100), byte(i)))
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a new cache over the same devices.
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		pg, ok := re.Get(page.ID(i))
+		if !ok || pg.LSN != page.LSN(i*100) || pg.Data[0] != byte(i) {
+			t.Fatalf("page %d after recovery: %+v %v", i, pg, ok)
+		}
+	}
+	min, found := re.MinSSDLSN()
+	if !found || min != 100 {
+		t.Fatalf("MinSSDLSN = %d %v", min, found)
+	}
+}
+
+func TestRecoveryWithoutFlushLosesOnlyMemTier(t *testing.T) {
+	ssd := simdisk.New(simdisk.Instant)
+	meta := simdisk.New(simdisk.Instant)
+	cfg := Config{MemPages: 2, SSDPages: 8, SSD: ssd, Meta: meta}
+	c, _ := Open(cfg)
+	for i := 1; i <= 4; i++ {
+		_ = c.Put(mkPage(page.ID(i), page.LSN(i), byte(i)))
+	}
+	// Pages 1 and 2 were demoted; 3 and 4 are memory-only. Crash now.
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Contains(1) || !re.Contains(2) {
+		t.Fatal("SSD-tier pages lost")
+	}
+	if re.Contains(3) || re.Contains(4) {
+		t.Fatal("mem-tier pages survived a crash (impossible)")
+	}
+}
+
+func TestSlotReuseAfterEviction(t *testing.T) {
+	c, _ := sparseCache(t, 1, 2)
+	for i := 1; i <= 6; i++ {
+		_ = c.Put(mkPage(page.ID(i), page.LSN(i), byte(i)))
+	}
+	// Slots must not grow beyond SSDPages.
+	if c.cfg.SSD.Size() > int64(2*page.Size) {
+		t.Fatalf("SSD grew to %d bytes, want <= %d", c.cfg.SSD.Size(), 2*page.Size)
+	}
+}
+
+func coveringCache(t *testing.T, base page.ID, pages int) *Cache {
+	t.Helper()
+	c, err := Open(Config{
+		MemPages: 2,
+		SSDPages: pages,
+		Covering: true,
+		Base:     base,
+		SSD:      simdisk.New(simdisk.Instant),
+		Meta:     simdisk.New(simdisk.Instant),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoveringSeedAndReadRange(t *testing.T) {
+	c := coveringCache(t, 100, 16)
+	for i := 0; i < 16; i++ {
+		if err := c.Seed(mkPage(100+page.ID(i), 1, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads0, _, _, _ := c.cfg.SSD.Stats()
+	pages, err := c.ReadRange(104, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads1, _, _, _ := c.cfg.SSD.Stats()
+	if reads1-reads0 != 1 {
+		t.Fatalf("range read used %d I/Os, want 1 (stride-preserving)", reads1-reads0)
+	}
+	if len(pages) != 8 {
+		t.Fatalf("got %d pages", len(pages))
+	}
+	for i, pg := range pages {
+		if pg.ID != 104+page.ID(i) || pg.Data[0] != byte(i+4) {
+			t.Fatalf("page %d = %+v", i, pg)
+		}
+	}
+}
+
+func TestCoveringReadRangePrefersMemTier(t *testing.T) {
+	c := coveringCache(t, 0, 8)
+	for i := 0; i < 8; i++ {
+		_ = c.Seed(mkPage(page.ID(i), 1, 0))
+	}
+	// A newer version of page 3 lives in the memory tier only.
+	_ = c.Put(mkPage(3, 9, 99))
+	pages, err := c.ReadRange(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages[3].LSN != 9 || pages[3].Data[0] != 99 {
+		t.Fatalf("range returned stale page 3: %+v", pages[3])
+	}
+}
+
+func TestCoveringNeverEvictsSSD(t *testing.T) {
+	c := coveringCache(t, 0, 64)
+	for i := 0; i < 64; i++ {
+		_ = c.Seed(mkPage(page.ID(i), 1, byte(i)))
+	}
+	// Churn the memory tier hard; every page must stay readable.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 64; i++ {
+			pg, ok := c.Get(page.ID(i))
+			if !ok || pg.Data[0] != byte(i) {
+				t.Fatalf("page %d lost (round %d)", i, round)
+			}
+		}
+	}
+	if c.Len() != 64 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestRangeReadOnSparseFails(t *testing.T) {
+	c, _ := sparseCache(t, 2, 4)
+	if _, err := c.ReadRange(0, 2); err != ErrNotCovered {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRangeOutsidePartitionFails(t *testing.T) {
+	c := coveringCache(t, 100, 8)
+	if _, err := c.ReadRange(99, 2); err == nil {
+		t.Fatal("below-base range should fail")
+	}
+	if _, err := c.ReadRange(104, 8); err == nil {
+		t.Fatal("overflowing range should fail")
+	}
+}
+
+func TestCoveringRecovery(t *testing.T) {
+	ssd := simdisk.New(simdisk.Instant)
+	meta := simdisk.New(simdisk.Instant)
+	cfg := Config{MemPages: 2, SSDPages: 8, Covering: true, Base: 50,
+		SSD: ssd, Meta: meta}
+	c, _ := Open(cfg)
+	for i := 0; i < 8; i++ {
+		_ = c.Seed(mkPage(50+page.ID(i), page.LSN(i+1), byte(i)))
+	}
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := re.ReadRange(50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range pages {
+		if pg.Data[0] != byte(i) {
+			t.Fatalf("recovered page %d = %+v", i, pg)
+		}
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c, _ := sparseCache(t, 4, 0)
+	_ = c.Put(mkPage(1, 1, 'a'))
+	_, _ = c.Get(1) // hit
+	_, _ = c.Get(2) // miss
+	_, _ = c.Get(1) // hit
+	if got := c.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", got)
+	}
+	c.ResetStats()
+	if c.HitRate() != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{MemPages: 0}); err == nil {
+		t.Fatal("MemPages=0 should fail")
+	}
+	if _, err := Open(Config{MemPages: 1, SSDPages: 4}); err == nil {
+		t.Fatal("missing devices should fail")
+	}
+	if _, err := Open(Config{MemPages: 1, Covering: true}); err == nil {
+		t.Fatal("covering without SSDPages should fail")
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	c, _ := sparseCache(t, 16, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := page.ID(i % 32)
+				if i%3 == 0 {
+					if err := c.Put(mkPage(id, page.LSN(i), byte(w))); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					c.Get(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestManyPagesStress(t *testing.T) {
+	c, _ := sparseCache(t, 8, 32)
+	for i := 0; i < 500; i++ {
+		id := page.ID(i % 64)
+		_ = c.Put(&page.Page{ID: id, LSN: page.LSN(i + 1), Type: page.TypeLeaf,
+			Data: []byte(fmt.Sprintf("payload-%d", i))})
+	}
+	if c.Len() > 40 {
+		t.Fatalf("cache len %d exceeds capacity", c.Len())
+	}
+}

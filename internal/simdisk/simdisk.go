@@ -1,0 +1,536 @@
+// Package simdisk simulates the storage devices and services Socrates runs
+// on in Azure. The paper's evaluation is driven almost entirely by the
+// latency, throughput, and CPU-cost differences between four device classes:
+//
+//   - Local SSD: fast (~80 µs), attached, non-durable. Backs RBPEX and the
+//     XLOG destaging cache.
+//   - XIO (Azure Premium Storage): remote, three-way replicated, durable.
+//     Writes are priced like REST calls: milliseconds of latency and a high
+//     CPU cost per call. Implements the landing zone in production.
+//   - DirectDrive (DD): the newer RDMA-based service from Appendix A —
+//     sub-millisecond writes and a much lower CPU cost per call.
+//   - HDD: cheap, slow, throughput-capped spindles. Models the media under
+//     XStore.
+//
+// A Device is a byte-addressable volume with a latency model (base cost +
+// per-byte transfer + jitter + a rare tail spike), a token-bucket throughput
+// cap, a per-call simulated CPU charge, and failure injection (one-shot
+// errors and sticky outages). Latency is realized by sleeping, so wall-clock
+// measurements of code built on simdisk have the same shape as the paper's.
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"socrates/internal/metrics"
+)
+
+// ErrOutage is returned while a device is in an injected outage.
+var ErrOutage = errors.New("simdisk: device outage")
+
+// ErrOutOfRange is returned for reads beyond the written extent.
+var ErrOutOfRange = errors.New("simdisk: read out of range")
+
+// Profile describes the performance model of a device class.
+type Profile struct {
+	Name string
+
+	// ReadBase and WriteBase are the fixed per-call latencies.
+	ReadBase  time.Duration
+	WriteBase time.Duration
+
+	// PerKB is the additional transfer latency per KiB moved.
+	PerKB time.Duration
+
+	// JitterFrac is the half-width of the uniform jitter applied to each
+	// call's latency (0.2 = ±20%).
+	JitterFrac float64
+
+	// TailProb is the probability that a call hits a tail spike whose
+	// latency is TailFactor times the nominal latency. Models the ~40 ms
+	// max latencies both XIO and DD exhibit in Table 6.
+	TailProb   float64
+	TailFactor float64
+
+	// ReadCPU and WriteCPU are the simulated CPU costs charged to the
+	// calling node per call. The XIO/DD gap here reproduces Table 7.
+	ReadCPU  time.Duration
+	WriteCPU time.Duration
+
+	// ThroughputMBps caps sustained bandwidth through a token bucket.
+	// Zero means uncapped.
+	ThroughputMBps float64
+}
+
+// Canonical device profiles, calibrated against the paper's numbers
+// (Table 1 commit latencies, Table 6 XIO vs DD, §4.1.1 device roles).
+var (
+	// LocalSSD models a locally attached NVMe drive.
+	LocalSSD = Profile{
+		Name:       "local-ssd",
+		ReadBase:   70 * time.Microsecond,
+		WriteBase:  80 * time.Microsecond,
+		PerKB:      150 * time.Nanosecond,
+		JitterFrac: 0.15,
+		TailProb:   0.0005,
+		TailFactor: 8,
+		ReadCPU:    4 * time.Microsecond,
+		WriteCPU:   5 * time.Microsecond,
+	}
+
+	// XIO models Azure Premium Storage: REST-priced remote replicated
+	// storage. A single-threaded commit through a 3-replica quorum write
+	// lands near the paper's 2.5-3.3 ms.
+	XIO = Profile{
+		Name:           "xio",
+		ReadBase:       1200 * time.Microsecond,
+		WriteBase:      2800 * time.Microsecond,
+		PerKB:          900 * time.Nanosecond,
+		JitterFrac:     0.2,
+		TailProb:       0.002,
+		TailFactor:     12,
+		ReadCPU:        90 * time.Microsecond,
+		WriteCPU:       150 * time.Microsecond,
+		ThroughputMBps: 400,
+	}
+
+	// DirectDrive models the RDMA-based service from Appendix A: ~4x lower
+	// median latency and far cheaper calls (Win32 path, no REST).
+	DirectDrive = Profile{
+		Name:           "directdrive",
+		ReadBase:       280 * time.Microsecond,
+		WriteBase:      450 * time.Microsecond,
+		PerKB:          250 * time.Nanosecond,
+		JitterFrac:     0.25,
+		TailProb:       0.002,
+		TailFactor:     50,
+		ReadCPU:        18 * time.Microsecond,
+		WriteCPU:       30 * time.Microsecond,
+		ThroughputMBps: 900,
+	}
+
+	// HDD models the spindles under XStore: cheap, slow, bandwidth-capped.
+	HDD = Profile{
+		Name:           "hdd",
+		ReadBase:       4 * time.Millisecond,
+		WriteBase:      5 * time.Millisecond,
+		PerKB:          6 * time.Microsecond,
+		JitterFrac:     0.3,
+		TailProb:       0.003,
+		TailFactor:     6,
+		ReadCPU:        8 * time.Microsecond,
+		WriteCPU:       10 * time.Microsecond,
+		ThroughputMBps: 200,
+	}
+
+	// LAN models one intra-datacenter network hop (used by RBIO's
+	// in-process transport and HADR log shipping).
+	LAN = Profile{
+		Name:       "lan",
+		ReadBase:   120 * time.Microsecond,
+		WriteBase:  120 * time.Microsecond,
+		PerKB:      90 * time.Nanosecond,
+		JitterFrac: 0.25,
+		TailProb:   0.001,
+		TailFactor: 20,
+		ReadCPU:    6 * time.Microsecond,
+		WriteCPU:   6 * time.Microsecond,
+	}
+
+	// Instant is a zero-latency profile for tests that need determinism
+	// and speed rather than timing fidelity.
+	Instant = Profile{Name: "instant"}
+)
+
+// Scaled returns a copy of the profile with all latencies multiplied by f.
+// Experiments use this to compress wall-clock time while preserving ratios.
+func (p Profile) Scaled(f float64) Profile {
+	q := p
+	q.ReadBase = time.Duration(float64(p.ReadBase) * f)
+	q.WriteBase = time.Duration(float64(p.WriteBase) * f)
+	q.PerKB = time.Duration(float64(p.PerKB) * f)
+	return q
+}
+
+// Device is a simulated byte-addressable volume. All methods are safe for
+// concurrent use.
+type Device struct {
+	profile Profile
+	cpu     *metrics.CPUMeter // may be nil
+	bucket  *tokenBucket      // nil when uncapped
+
+	mu      sync.Mutex
+	data    []byte
+	rng     *rand.Rand
+	outage  bool
+	failOne error // returned by the next call, then cleared
+
+	reads  metrics.Counter
+	writes metrics.Counter
+	bytesR metrics.Counter
+	bytesW metrics.Counter
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithCPU attaches the CPU meter charged by this device's calls. Devices
+// belong to a node; the node's meter is charged for the I/O issue cost.
+func WithCPU(m *metrics.CPUMeter) Option { return func(d *Device) { d.cpu = m } }
+
+// WithSeed fixes the jitter RNG seed for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(d *Device) { d.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates a device with the given profile.
+func New(p Profile, opts ...Option) *Device {
+	d := &Device{
+		profile: p,
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	if p.ThroughputMBps > 0 {
+		d.bucket = newTokenBucket(p.ThroughputMBps * 1024 * 1024)
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Profile reports the device's performance profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// SetOutage toggles a sticky outage: while set, every call fails with
+// ErrOutage. Models the transient XStore outages §4.6 describes.
+func (d *Device) SetOutage(on bool) {
+	d.mu.Lock()
+	d.outage = on
+	d.mu.Unlock()
+}
+
+// FailNext makes the next call (only) return err.
+func (d *Device) FailNext(err error) {
+	d.mu.Lock()
+	d.failOne = err
+	d.mu.Unlock()
+}
+
+// Stats reports cumulative operation and byte counts: reads, writes,
+// bytes read, bytes written.
+func (d *Device) Stats() (reads, writes, bytesRead, bytesWritten int64) {
+	return d.reads.Load(), d.writes.Load(), d.bytesR.Load(), d.bytesW.Load()
+}
+
+// Size reports the current extent of the volume in bytes.
+func (d *Device) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.data))
+}
+
+// checkFailure consumes injected failures; returns a non-nil error if the
+// call should fail.
+func (d *Device) checkFailure() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.outage {
+		return ErrOutage
+	}
+	if d.failOne != nil {
+		err := d.failOne
+		d.failOne = nil
+		return err
+	}
+	return nil
+}
+
+// latency computes and consumes the simulated latency for a call of n bytes.
+func (d *Device) latency(base time.Duration, n int) time.Duration {
+	lat := base + time.Duration(float64(d.profile.PerKB)*float64(n)/1024)
+	d.mu.Lock()
+	if d.profile.JitterFrac > 0 {
+		j := 1 + d.profile.JitterFrac*(2*d.rng.Float64()-1)
+		lat = time.Duration(float64(lat) * j)
+	}
+	if d.profile.TailProb > 0 && d.rng.Float64() < d.profile.TailProb {
+		lat = time.Duration(float64(lat) * d.profile.TailFactor)
+	}
+	d.mu.Unlock()
+	return lat
+}
+
+func (d *Device) charge(cpu time.Duration) {
+	if d.cpu != nil {
+		d.cpu.Charge(cpu)
+	}
+}
+
+// ReadAt fills p from offset off. Reading past the written extent returns
+// ErrOutOfRange; short reads do not occur.
+func (d *Device) ReadAt(p []byte, off int64) error {
+	if err := d.checkFailure(); err != nil {
+		return err
+	}
+	if d.bucket != nil {
+		d.bucket.acquire(len(p))
+	}
+	sleep(d.latency(d.profile.ReadBase, len(p)))
+	d.charge(d.profile.ReadCPU)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(d.data)) {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, len(p), len(d.data))
+	}
+	copy(p, d.data[off:])
+	d.reads.Inc()
+	d.bytesR.Add(int64(len(p)))
+	return nil
+}
+
+// WriteAt stores p at offset off, growing the volume as needed. The call
+// returns after the simulated write latency, modelling a durable write.
+func (d *Device) WriteAt(p []byte, off int64) error {
+	lat, err := d.writeRaw(p, off)
+	if err != nil {
+		return err
+	}
+	sleep(lat)
+	return nil
+}
+
+// writeRaw stores p at off, charging CPU and consuming throughput tokens
+// but NOT sleeping; it returns the latency the write would have cost.
+// Replicated quorum writes use it to pay one combined sleep for the whole
+// replica set.
+func (d *Device) writeRaw(p []byte, off int64) (time.Duration, error) {
+	if err := d.checkFailure(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("simdisk: negative offset %d", off)
+	}
+	if d.bucket != nil {
+		d.bucket.acquire(len(p))
+	}
+	lat := d.latency(d.profile.WriteBase, len(p))
+	d.charge(d.profile.WriteCPU)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.growTo(off + int64(len(p)))
+	copy(d.data[off:], p)
+	d.writes.Inc()
+	d.bytesW.Add(int64(len(p)))
+	return lat, nil
+}
+
+// growTo extends the volume to end bytes with amortized O(1) reallocation
+// (append-only devices — logs, blob stores — would otherwise copy the whole
+// volume on every write). Caller holds d.mu.
+func (d *Device) growTo(end int64) {
+	if end <= int64(len(d.data)) {
+		return
+	}
+	if end <= int64(cap(d.data)) {
+		old := len(d.data)
+		d.data = d.data[:end]
+		// Zero the re-exposed region: a shrink may have left stale bytes
+		// in the spare capacity.
+		for i := old; i < int(end); i++ {
+			d.data[i] = 0
+		}
+		return
+	}
+	newCap := int64(cap(d.data)) * 2
+	if newCap < end {
+		newCap = end
+	}
+	if newCap < 64<<10 {
+		newCap = 64 << 10
+	}
+	grown := make([]byte, end, newCap)
+	copy(grown, d.data)
+	d.data = grown
+}
+
+// Truncate shrinks or grows the volume to n bytes without I/O latency
+// (a metadata operation).
+func (d *Device) Truncate(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n <= int64(len(d.data)) {
+		d.data = d.data[:n]
+		return
+	}
+	d.growTo(n)
+}
+
+// sleep pauses for d, skipping the syscall for sub-resolution waits so the
+// Instant profile costs nothing.
+func sleep(d time.Duration) { SleepPrecise(d) }
+
+// SleepPrecise pauses for d with sub-millisecond accuracy. time.Sleep on
+// many hosts has ~1 ms granularity, which would flatten the latency gaps
+// the experiments depend on (an 80 µs SSD read vs a 450 µs DirectDrive
+// write). Rather than having every waiter spin — which collapses on small
+// hosts once tens of simulated I/Os are in flight — all waiters park on
+// channels and one shared dispatcher goroutine watches the clock and wakes
+// them at their deadlines.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-dispatcher.after(time.Now().Add(d))
+}
+
+// sleepDispatcher is the shared wake-up service: a min-heap of deadlines
+// drained by a single clock-watching goroutine.
+type sleepDispatcher struct {
+	mu      sync.Mutex
+	heap    waiterHeap
+	running bool
+	wake    chan struct{}
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+var dispatcher = &sleepDispatcher{wake: make(chan struct{}, 1)}
+
+func (s *sleepDispatcher) after(deadline time.Time) chan struct{} {
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.heap.push(waiter{deadline: deadline, ch: ch})
+	if !s.running {
+		s.running = true
+		go s.run()
+	}
+	s.mu.Unlock()
+	// A new (possibly earlier) deadline must interrupt a dispatcher that
+	// settled into a long real sleep.
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return ch
+}
+
+func (s *sleepDispatcher) run() {
+	for {
+		s.mu.Lock()
+		now := time.Now()
+		for len(s.heap) > 0 && !s.heap[0].deadline.After(now) {
+			close(s.heap.pop().ch)
+		}
+		if len(s.heap) == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		next := s.heap[0].deadline.Sub(now)
+		s.mu.Unlock()
+		if next > 3*time.Millisecond {
+			// Far-off deadline: a real (wakeable) sleep; its ~1 ms slack
+			// is absorbed by the spin re-check below the cutoff.
+			t := time.NewTimer(next - 2*time.Millisecond)
+			select {
+			case <-t.C:
+			case <-s.wake:
+				t.Stop()
+			}
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// waiterHeap is a min-heap on deadline.
+type waiterHeap []waiter
+
+func (h *waiterHeap) push(w waiter) {
+	*h = append(*h, w)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].deadline.Before((*h)[parent].deadline) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *waiterHeap) pop() waiter {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].deadline.Before((*h)[smallest].deadline) {
+			smallest = l
+		}
+		if r < n && (*h)[r].deadline.Before((*h)[smallest].deadline) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// tokenBucket rate-limits bytes/second with a one-second burst.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(bytesPerSec float64) *tokenBucket {
+	return &tokenBucket{rate: bytesPerSec, tokens: bytesPerSec, last: time.Now()}
+}
+
+// acquire blocks until n byte-tokens are available.
+func (b *tokenBucket) acquire(n int) {
+	need := float64(n)
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.rate { // burst cap: one second of tokens
+			b.tokens = b.rate
+		}
+		b.last = now
+		if b.tokens >= need {
+			b.tokens -= need
+			b.mu.Unlock()
+			return
+		}
+		deficit := need - b.tokens
+		b.mu.Unlock()
+		wait := time.Duration(deficit / b.rate * float64(time.Second))
+		if wait < 100*time.Microsecond {
+			wait = 100 * time.Microsecond
+		}
+		time.Sleep(wait)
+	}
+}

@@ -1,0 +1,129 @@
+package sqlengine
+
+import "fmt"
+
+// ColType is a column's declared type.
+type ColType int
+
+// Column types.
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeText
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Column is one column definition.
+type Column struct {
+	Name string
+	Type ColType
+	PK   bool
+}
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Table   string
+	Columns []Column
+}
+
+// DropTableStmt drops a table.
+type DropTableStmt struct{ Table string }
+
+// InsertStmt inserts rows.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty = declared order
+	Rows    [][]Expr
+}
+
+// SelectStmt queries rows.
+type SelectStmt struct {
+	Table   string
+	Items   []SelectItem // empty + Star for SELECT *
+	Star    bool
+	Where   Expr // nil = all rows
+	OrderBy string
+	Desc    bool
+	Limit   int // -1 = unlimited
+}
+
+// SelectItem is one projection: a column or an aggregate.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Agg   string // "", COUNT, SUM, AVG, MIN, MAX
+	Star  bool   // COUNT(*)
+}
+
+// UpdateStmt updates rows.
+type UpdateStmt struct {
+	Table string
+	Set   map[string]Expr
+	Where Expr
+}
+
+// DeleteStmt deletes rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// Transaction control and introspection statements.
+type (
+	BeginStmt      struct{}
+	CommitStmt     struct{}
+	RollbackStmt   struct{}
+	ShowTablesStmt struct{}
+)
+
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+func (*ShowTablesStmt) stmt()  {}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// ColumnRef references a column by name.
+type ColumnRef struct{ Name string }
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// BinaryExpr applies an operator to two operands.
+type BinaryExpr struct {
+	Op   string // = != < <= > >= AND OR + - * /
+	L, R Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string // NOT, -
+	E  Expr
+}
+
+func (*ColumnRef) expr()  {}
+func (*Literal) expr()    {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}

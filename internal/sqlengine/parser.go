@@ -1,0 +1,554 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles one SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkSymbol, ";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tkEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.peek()
+	if t.kind != kind || (text != "" && t.text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, fmt.Errorf("sql: expected %s, got %q at %d", want, t.text, t.pos)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) keyword(kw string) bool { return p.accept(tkKeyword, kw) }
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tkKeyword {
+		return nil, fmt.Errorf("sql: expected statement, got %q", t.text)
+	}
+	switch t.text {
+	case "CREATE":
+		return p.createTable()
+	case "DROP":
+		return p.dropTable()
+	case "INSERT":
+		return p.insert()
+	case "SELECT":
+		return p.selectStmt()
+	case "UPDATE":
+		return p.update()
+	case "DELETE":
+		return p.delete()
+	case "BEGIN":
+		p.advance()
+		return &BeginStmt{}, nil
+	case "COMMIT":
+		p.advance()
+		return &CommitStmt{}, nil
+	case "ROLLBACK":
+		p.advance()
+		return &RollbackStmt{}, nil
+	case "SHOW":
+		p.advance()
+		if _, err := p.expect(tkKeyword, "TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTablesStmt{}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %q", t.text)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.advance() // CREATE
+	if _, err := p.expect(tkKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ty := p.advance()
+		if ty.kind != tkKeyword {
+			return nil, fmt.Errorf("sql: expected column type, got %q", ty.text)
+		}
+		var ct ColType
+		switch ty.text {
+		case "INT":
+			ct = TypeInt
+		case "FLOAT":
+			ct = TypeFloat
+		case "TEXT":
+			ct = TypeText
+		default:
+			return nil, fmt.Errorf("sql: unknown type %q", ty.text)
+		}
+		c := Column{Name: col, Type: ct}
+		if p.keyword("PRIMARY") {
+			if _, err := p.expect(tkKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			c.PK = true
+		}
+		stmt.Columns = append(stmt.Columns, c)
+		if p.accept(tkSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return stmt, nil
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	p.advance() // DROP
+	if _, err := p.expect(tkKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: name}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.advance() // INSERT
+	if _, err := p.expect(tkKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.accept(tkSymbol, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if p.accept(tkSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tkKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tkSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.advance() // SELECT
+	stmt := &SelectStmt{Limit: -1}
+	if p.accept(tkSymbol, "*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if p.keyword("WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.keyword("ORDER") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.OrderBy = col
+		if p.keyword("DESC") {
+			stmt.Desc = true
+		} else {
+			p.keyword("ASC")
+		}
+	}
+	if p.keyword("LIMIT") {
+		t, err := p.expect(tkNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+var aggregates = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tkKeyword && aggregates[t.text] {
+		p.advance()
+		item := SelectItem{Agg: t.text}
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return item, err
+		}
+		if p.accept(tkSymbol, "*") {
+			if t.text != "COUNT" {
+				return item, fmt.Errorf("sql: %s(*) is not valid", t.text)
+			}
+			item.Star = true
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return item, err
+			}
+			item.Expr = e
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return item, err
+		}
+		if p.keyword("AS") {
+			alias, err := p.ident()
+			if err != nil {
+				return item, err
+			}
+			item.Alias = alias
+		}
+		return item, nil
+	}
+	e, err := p.expression()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	p.advance() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name, Set: map[string]Expr{}}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set[col] = e
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
+	}
+	if p.keyword("WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	p.advance() // DELETE
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name}
+	if p.keyword("WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+// expression parses with precedence: OR < AND < NOT < comparison < add < mul.
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.keyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tkSymbol {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkSymbol && (t.text == "+" || t.text == "-") {
+			p.advance()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkSymbol && (t.text == "*" || t.text == "/") {
+			p.advance()
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tkNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &Literal{Val: FloatValue(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &Literal{Val: IntValue(n)}, nil
+
+	case t.kind == tkString:
+		p.advance()
+		return &Literal{Val: TextValue(t.text)}, nil
+
+	case t.kind == tkKeyword && t.text == "NULL":
+		p.advance()
+		return &Literal{Val: NullValue()}, nil
+
+	case t.kind == tkIdent:
+		p.advance()
+		return &ColumnRef{Name: t.text}, nil
+
+	case t.kind == tkSymbol && t.text == "(":
+		p.advance()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tkSymbol && t.text == "-":
+		p.advance()
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q at %d", t.text, t.pos)
+}

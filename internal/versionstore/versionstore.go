@@ -1,0 +1,276 @@
+// Package versionstore implements the shared, persistent version store
+// (§3.1): the row-version chains that let every node — primary,
+// secondaries, and point-in-time readers — run Snapshot Isolation over
+// pages fetched "from different points in time".
+//
+// In HADR, versions lived in node-local temporary storage. Socrates cannot
+// do that: compute nodes share pages through the storage tier, so versions
+// must be shared too. Here, version entries are appended into pages of
+// type page.TypeVersion, encoded as ordinary cells keyed by slot number.
+// Because they are plain page mutations, they flow through the log and the
+// page servers exactly like B-tree pages: a secondary resolves a version
+// pointer by fetching the version page via GetPage@LSN like any other page.
+//
+// A version entry holds the row payload as of a commit timestamp plus a
+// pointer to the previous (older) version, forming a chain from newest to
+// oldest. The newest version of a row lives in the B-tree leaf itself (in
+// the same encoding); the chain hangs off it.
+package versionstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"socrates/internal/btree"
+	"socrates/internal/page"
+	"socrates/internal/wal"
+)
+
+// ErrTruncated reports a read below the truncation watermark: the snapshot
+// is too old and the versions it needs may have been reclaimed.
+var ErrTruncated = errors.New("versionstore: version truncated below watermark")
+
+// ErrNotFound reports a dangling version pointer.
+var ErrNotFound = errors.New("versionstore: version not found")
+
+// Ptr locates one version entry: (version page, slot). The zero Ptr is nil.
+type Ptr struct {
+	Page page.ID
+	Slot uint32
+}
+
+// IsNil reports whether the pointer is the nil pointer.
+func (p Ptr) IsNil() bool { return p.Page == page.InvalidID }
+
+// Version is one row version: the payload as of CommitTS, with Prev
+// pointing at the next-older version. A tombstone records a deletion.
+// This same encoding is used for the newest version inside B-tree leaves.
+type Version struct {
+	CommitTS  uint64
+	Prev      Ptr
+	Tombstone bool
+	Payload   []byte
+}
+
+// Encode serializes the version.
+//
+// Layout: flags u8 | commitTS u64 | prevPage u64 | prevSlot u32 | payload
+func (v *Version) Encode() []byte {
+	buf := make([]byte, 0, 21+len(v.Payload))
+	var flags byte
+	if v.Tombstone {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, v.CommitTS)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Prev.Page))
+	buf = binary.LittleEndian.AppendUint32(buf, v.Prev.Slot)
+	return append(buf, v.Payload...)
+}
+
+// Decode parses a version produced by Encode.
+func Decode(buf []byte) (*Version, error) {
+	if len(buf) < 21 {
+		return nil, fmt.Errorf("versionstore: version blob of %d bytes", len(buf))
+	}
+	v := &Version{
+		Tombstone: buf[0]&1 != 0,
+		CommitTS:  binary.LittleEndian.Uint64(buf[1:9]),
+		Prev: Ptr{
+			Page: page.ID(binary.LittleEndian.Uint64(buf[9:17])),
+			Slot: binary.LittleEndian.Uint32(buf[17:21]),
+		},
+	}
+	if len(buf) > 21 {
+		v.Payload = append([]byte(nil), buf[21:]...)
+	}
+	return v, nil
+}
+
+func slotKey(slot uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], slot)
+	return b[:]
+}
+
+// Store is one database's version store. The primary appends; every node
+// reads. Reads go through the same Pager as B-tree pages, so on replicas
+// they transparently trigger GetPage@LSN fetches.
+type Store struct {
+	pager btree.Pager
+	log   wal.Logger
+
+	mu        sync.Mutex
+	cur       page.ID // current append page; InvalidID before first append
+	curSlots  uint32
+	curSize   int
+	watermark uint64
+	pages     int // version pages allocated by this incarnation
+
+	// OnNewPage, if set, is called after a fresh version page becomes
+	// current, so the engine can persist the pointer in its catalog.
+	OnNewPage func(id page.ID)
+}
+
+// New creates a store handle. cur is the current append page recorded in
+// the catalog (InvalidID for a fresh database); its fill state is recovered
+// from the page itself.
+func New(pager btree.Pager, log wal.Logger, cur page.ID) (*Store, error) {
+	s := &Store{pager: pager, log: log, cur: cur}
+	if cur != page.InvalidID {
+		pg, err := pager.Read(cur)
+		if err != nil {
+			return nil, fmt.Errorf("versionstore: recovering append page: %w", err)
+		}
+		count, err := btree.CellCount(pg)
+		if err != nil {
+			return nil, err
+		}
+		size, err := btree.PayloadSize(pg)
+		if err != nil {
+			return nil, err
+		}
+		s.curSlots = uint32(count)
+		s.curSize = size
+	}
+	return s, nil
+}
+
+// CurrentPage reports the current append page (for catalog persistence).
+func (s *Store) CurrentPage() page.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// PagesAllocated reports how many version pages this incarnation allocated.
+func (s *Store) PagesAllocated() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages
+}
+
+// Append durably adds a version entry (primary only; caller holds the
+// engine's single-writer lock) and returns its pointer.
+func (s *Store) Append(txn uint64, v *Version) (Ptr, error) {
+	enc := v.Encode()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	need := btree.CellOverhead + 4 + len(enc)
+	if s.cur == page.InvalidID || s.curSize+need > page.MaxData {
+		if err := s.newPageLocked(txn); err != nil {
+			return Ptr{}, err
+		}
+	}
+	slot := s.curSlots
+	rec := &wal.Record{
+		Txn: txn, Kind: wal.KindCellPut, Page: s.cur,
+		PageType: page.TypeVersion, Key: slotKey(slot), Value: enc,
+	}
+	s.log.Append(rec)
+	pg, err := s.pager.Read(s.cur)
+	if err != nil {
+		return Ptr{}, err
+	}
+	if _, err := btree.Apply(pg, rec); err != nil {
+		return Ptr{}, err
+	}
+	if err := s.pager.Write(pg); err != nil {
+		return Ptr{}, err
+	}
+	s.curSlots++
+	s.curSize += need
+	return Ptr{Page: s.cur, Slot: slot}, nil
+}
+
+// newPageLocked allocates and formats a fresh version page.
+func (s *Store) newPageLocked(txn uint64) error {
+	pg, err := s.pager.Allocate(page.TypeVersion)
+	if err != nil {
+		return err
+	}
+	payload := btree.EmptyNodePayload()
+	rec := &wal.Record{
+		Txn: txn, Kind: wal.KindPageImage, Page: pg.ID,
+		PageType: page.TypeVersion, Value: payload,
+	}
+	lsn := s.log.Append(rec)
+	pg.Type = page.TypeVersion
+	pg.Data = payload
+	pg.LSN = lsn
+	if err := s.pager.Write(pg); err != nil {
+		return err
+	}
+	s.cur = pg.ID
+	s.curSlots = 0
+	s.curSize = len(payload)
+	s.pages++
+	if s.OnNewPage != nil {
+		s.OnNewPage(pg.ID)
+	}
+	return nil
+}
+
+// Get fetches one version entry.
+func (s *Store) Get(ptr Ptr) (*Version, error) {
+	if ptr.IsNil() {
+		return nil, fmt.Errorf("%w: nil pointer", ErrNotFound)
+	}
+	pg, err := s.pager.Read(ptr.Page)
+	if err != nil {
+		return nil, err
+	}
+	val, found, err := btree.LookupCell(pg, slotKey(ptr.Slot))
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: page %d slot %d", ErrNotFound, ptr.Page, ptr.Slot)
+	}
+	return Decode(val)
+}
+
+// Visible walks the chain starting at head (the newest version, typically
+// decoded from a B-tree leaf row) and returns the version visible at
+// snapshot ts, or nil if the row did not exist at ts.
+func (s *Store) Visible(head *Version, ts uint64) (*Version, error) {
+	v := head
+	for {
+		if v.CommitTS <= ts {
+			if v.Tombstone {
+				return nil, nil
+			}
+			return v, nil
+		}
+		if v.Prev.IsNil() {
+			return nil, nil // row did not exist at ts
+		}
+		if wm := s.Watermark(); ts < wm {
+			return nil, fmt.Errorf("%w: snapshot %d below watermark %d", ErrTruncated, ts, wm)
+		}
+		var err error
+		v, err = s.Get(v.Prev)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// SetWatermark advances the truncation watermark: snapshots older than ts
+// may no longer resolve versions. The physical pages are reclaimed lazily.
+func (s *Store) SetWatermark(ts uint64) {
+	s.mu.Lock()
+	if ts > s.watermark {
+		s.watermark = ts
+	}
+	s.mu.Unlock()
+}
+
+// Watermark reports the truncation watermark.
+func (s *Store) Watermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}

@@ -1,0 +1,333 @@
+// Package wal defines the Socrates log: record and block formats, the
+// binary codec, and the block builder the primary uses to assemble log
+// blocks for the landing zone and the XLOG feed.
+//
+// The log is physiological: records describe page-level mutations (put or
+// delete a cell on a page, install a whole page image) plus transaction
+// control records. Redo is idempotent — a record applies to a page only if
+// the record's LSN is newer than the page's LSN — which is what makes the
+// GetPage@LSN protocol and multi-consumer log apply safe.
+//
+// Records are grouped into blocks, the unit of landing-zone writes and XLOG
+// dissemination. Each block carries an out-of-band annotation listing the
+// page-server partitions its records touch, so XLOG can filter dissemination
+// per page server (§4.6: "the Primary includes sufficient out-of-band
+// annotations for each log block").
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"socrates/internal/page"
+)
+
+// Kind discriminates log record types.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindNoop       Kind = iota // padding / testing
+	KindTxnBegin               // transaction started
+	KindTxnCommit              // transaction committed; Value = commit timestamp (8 bytes)
+	KindTxnAbort               // transaction aborted
+	KindPageImage              // full after-image of a page (structural ops)
+	KindCellPut                // put Key→Value into a page's cell area
+	KindCellDelete             // delete Key from a page's cell area
+	KindCheckpoint             // checkpoint marker (bookkeeping)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNoop:
+		return "noop"
+	case KindTxnBegin:
+		return "begin"
+	case KindTxnCommit:
+		return "commit"
+	case KindTxnAbort:
+		return "abort"
+	case KindPageImage:
+		return "page-image"
+	case KindCellPut:
+		return "cell-put"
+	case KindCellDelete:
+		return "cell-delete"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one log record. Page, PageType, Key, and Value are meaningful
+// only for the page-mutation kinds.
+type Record struct {
+	LSN      page.LSN
+	Txn      uint64
+	Kind     Kind
+	Page     page.ID
+	PageType page.Type
+	Key      []byte
+	Value    []byte
+}
+
+// IsPageOp reports whether the record mutates a page.
+func (r *Record) IsPageOp() bool {
+	switch r.Kind {
+	case KindPageImage, KindCellPut, KindCellDelete:
+		return true
+	}
+	return false
+}
+
+// CommitTS extracts the commit timestamp from a KindTxnCommit record.
+func (r *Record) CommitTS() uint64 {
+	if r.Kind != KindTxnCommit || len(r.Value) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.Value)
+}
+
+// NewCommit builds a commit record carrying the commit timestamp.
+func NewCommit(txn, commitTS uint64) *Record {
+	v := make([]byte, 8)
+	binary.LittleEndian.PutUint64(v, commitTS)
+	return &Record{Txn: txn, Kind: KindTxnCommit, Value: v}
+}
+
+// encodedSize reports the exact encoding size of the record.
+func (r *Record) encodedSize() int {
+	return 1 + 8 + 8 + 8 + 1 + 4 + len(r.Key) + 4 + len(r.Value)
+}
+
+// appendTo encodes the record onto buf.
+func (r *Record) appendTo(buf []byte) []byte {
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN.Uint64())
+	buf = binary.LittleEndian.AppendUint64(buf, r.Txn)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Page))
+	buf = append(buf, byte(r.PageType))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Key)))
+	buf = append(buf, r.Key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Value)))
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// decodeRecord parses one record from buf, returning it and the bytes consumed.
+func decodeRecord(buf []byte) (*Record, int, error) {
+	const fixed = 1 + 8 + 8 + 8 + 1 + 4
+	if len(buf) < fixed {
+		return nil, 0, errors.New("wal: truncated record header")
+	}
+	r := &Record{Kind: Kind(buf[0])}
+	r.LSN = page.LSN(binary.LittleEndian.Uint64(buf[1:9]))
+	r.Txn = binary.LittleEndian.Uint64(buf[9:17])
+	r.Page = page.ID(binary.LittleEndian.Uint64(buf[17:25]))
+	r.PageType = page.Type(buf[25])
+	klen := int(binary.LittleEndian.Uint32(buf[26:30]))
+	pos := 30
+	if len(buf) < pos+klen+4 {
+		return nil, 0, errors.New("wal: truncated record key")
+	}
+	if klen > 0 {
+		r.Key = append([]byte(nil), buf[pos:pos+klen]...)
+	}
+	pos += klen
+	vlen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	if len(buf) < pos+vlen {
+		return nil, 0, errors.New("wal: truncated record value")
+	}
+	if vlen > 0 {
+		r.Value = append([]byte(nil), buf[pos:pos+vlen]...)
+	}
+	pos += vlen
+	return r, pos, nil
+}
+
+// Block is the unit of landing-zone writes and XLOG dissemination: a run of
+// consecutive records [Start, End) plus the partition annotation.
+type Block struct {
+	Start      page.LSN           // LSN of the first record
+	End        page.LSN           // LSN after the last record
+	Partitions []page.PartitionID // partitions touched, sorted
+	Records    []*Record
+}
+
+// Touches reports whether the block contains records for the partition.
+func (b *Block) Touches(pt page.PartitionID) bool {
+	for _, p := range b.Partitions {
+		if p == pt {
+			return true
+		}
+	}
+	return false
+}
+
+const blockMagic = 0xB10C50C7
+
+// ErrBadBlock reports a corrupt or truncated block image.
+var ErrBadBlock = errors.New("wal: bad block")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes the block with a checksum.
+//
+// Layout (little endian):
+//
+//	magic u32 | start u64 | end u64 | nrec u32 | npart u16 |
+//	partitions u32 each | payloadLen u32 | crc u32 | records...
+func (b *Block) Encode() []byte {
+	payload := make([]byte, 0, 64)
+	for _, r := range b.Records {
+		payload = r.appendTo(payload)
+	}
+	head := make([]byte, 0, 34+4*len(b.Partitions))
+	head = binary.LittleEndian.AppendUint32(head, blockMagic)
+	head = binary.LittleEndian.AppendUint64(head, b.Start.Uint64())
+	head = binary.LittleEndian.AppendUint64(head, b.End.Uint64())
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(b.Records)))
+	head = binary.LittleEndian.AppendUint16(head, uint16(len(b.Partitions)))
+	for _, p := range b.Partitions {
+		head = binary.LittleEndian.AppendUint32(head, uint32(p))
+	}
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(payload)))
+	head = binary.LittleEndian.AppendUint32(head, crc32.Checksum(payload, crcTable))
+	return append(head, payload...)
+}
+
+// DecodeBlock parses a block image produced by Encode, returning the block
+// and the total bytes consumed (blocks may be concatenated in a stream).
+func DecodeBlock(buf []byte) (*Block, int, error) {
+	if len(buf) < 26 {
+		return nil, 0, fmt.Errorf("%w: short header", ErrBadBlock)
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != blockMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadBlock)
+	}
+	b := &Block{
+		Start: page.LSN(binary.LittleEndian.Uint64(buf[4:12])),
+		End:   page.LSN(binary.LittleEndian.Uint64(buf[12:20])),
+	}
+	nrec := int(binary.LittleEndian.Uint32(buf[20:24]))
+	npart := int(binary.LittleEndian.Uint16(buf[24:26]))
+	pos := 26
+	if len(buf) < pos+4*npart+8 {
+		return nil, 0, fmt.Errorf("%w: short partition list", ErrBadBlock)
+	}
+	for i := 0; i < npart; i++ {
+		b.Partitions = append(b.Partitions,
+			page.PartitionID(binary.LittleEndian.Uint32(buf[pos:pos+4])))
+		pos += 4
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	wantCRC := binary.LittleEndian.Uint32(buf[pos : pos+4])
+	pos += 4
+	if len(buf) < pos+plen {
+		return nil, 0, fmt.Errorf("%w: short payload", ErrBadBlock)
+	}
+	payload := buf[pos : pos+plen]
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadBlock)
+	}
+	rest := payload
+	for i := 0; i < nrec; i++ {
+		r, n, err := decodeRecord(rest)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: record %d: %v", ErrBadBlock, i, err)
+		}
+		b.Records = append(b.Records, r)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrBadBlock, len(rest))
+	}
+	return b, pos + plen, nil
+}
+
+// EncodedSize reports the exact size Encode will produce.
+func (b *Block) EncodedSize() int {
+	n := 34 + 4*len(b.Partitions)
+	for _, r := range b.Records {
+		n += r.encodedSize()
+	}
+	return n
+}
+
+// ComputePartitions returns the sorted set of partitions the records touch
+// under the given partitioning.
+func ComputePartitions(records []*Record, pt page.Partitioning) []page.PartitionID {
+	seen := make(map[page.PartitionID]struct{})
+	for _, r := range records {
+		if r.IsPageOp() {
+			seen[pt.PartitionOf(r.Page)] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]page.PartitionID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Builder accumulates records into a block. The primary's log writer keeps
+// one Builder per in-flight block and flushes on size or commit boundaries.
+type Builder struct {
+	pt      page.Partitioning
+	records []*Record
+	next    page.LSN
+	start   page.LSN
+	bytes   int
+}
+
+// NewBuilder creates a builder that assigns LSNs starting at next and
+// annotates partitions under pt.
+func NewBuilder(next page.LSN, pt page.Partitioning) *Builder {
+	return &Builder{pt: pt, next: next, start: next}
+}
+
+// Append assigns the next LSN to r and adds it to the pending block.
+func (bld *Builder) Append(r *Record) page.LSN {
+	r.LSN = bld.next
+	bld.next++
+	bld.records = append(bld.records, r)
+	bld.bytes += r.encodedSize()
+	return r.LSN
+}
+
+// PendingBytes reports the encoded size of the pending records.
+func (bld *Builder) PendingBytes() int { return bld.bytes }
+
+// PendingCount reports the number of pending records.
+func (bld *Builder) PendingCount() int { return len(bld.records) }
+
+// NextLSN reports the LSN the next appended record will receive.
+func (bld *Builder) NextLSN() page.LSN { return bld.next }
+
+// Flush cuts a block containing all pending records and resets the builder
+// for the following block. Flushing with no pending records returns nil.
+func (bld *Builder) Flush() *Block {
+	if len(bld.records) == 0 {
+		return nil
+	}
+	b := &Block{
+		Start:      bld.start,
+		End:        bld.next,
+		Partitions: ComputePartitions(bld.records, bld.pt),
+		Records:    bld.records,
+	}
+	bld.records = nil
+	bld.bytes = 0
+	bld.start = bld.next
+	return b
+}

@@ -1,0 +1,149 @@
+// Package workload provides the generic multi-threaded benchmark driver
+// shared by the CDB and TPC-E workload generators: N client threads issue
+// transactions against a database for a fixed window and the driver
+// aggregates the numbers the paper's tables report — read/write/total TPS,
+// commit latency statistics, and abort counts.
+package workload
+
+import (
+	"sync"
+	"time"
+
+	"socrates/internal/metrics"
+)
+
+// Kind classifies one executed transaction.
+type Kind int
+
+// Transaction kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// Outcome describes one executed transaction.
+type Outcome struct {
+	Kind    Kind
+	Latency time.Duration
+	Aborted bool
+}
+
+// Runner issues one transaction per call. Each driver thread owns one
+// Runner, so implementations need not be safe for concurrent use.
+type Runner interface {
+	Run() (Outcome, error)
+}
+
+// Config tunes a drive.
+type Config struct {
+	// Threads is the client thread count (the paper's "client threads").
+	Threads int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// WarmUp runs the workload without measuring first (cache warming).
+	WarmUp time.Duration
+	// Meter, if set, is reset at the start of the measurement window so
+	// CPU% covers exactly the measured interval.
+	Meter *metrics.CPUMeter
+}
+
+// Metrics aggregates a drive's results.
+type Metrics struct {
+	ReadTxns  int64
+	WriteTxns int64
+	Aborts    int64
+	Errors    int64
+	Elapsed   time.Duration
+	// WriteLatency collects commit latencies of write transactions —
+	// the paper's Table 6 statistics.
+	WriteLatency *metrics.Histogram
+	// CPUPercent is the meter utilization over the window (0 if no meter).
+	CPUPercent float64
+}
+
+// TotalTPS reports total committed transactions per second.
+func (m Metrics) TotalTPS() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.ReadTxns+m.WriteTxns) / m.Elapsed.Seconds()
+}
+
+// ReadTPS reports read transactions per second.
+func (m Metrics) ReadTPS() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.ReadTxns) / m.Elapsed.Seconds()
+}
+
+// WriteTPS reports write transactions per second.
+func (m Metrics) WriteTPS() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.WriteTxns) / m.Elapsed.Seconds()
+}
+
+// Drive runs cfg.Threads runners until the window closes and aggregates
+// results. newRunner is called once per thread with the thread index.
+func Drive(newRunner func(id int) Runner, cfg Config) Metrics {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	runners := make([]Runner, cfg.Threads)
+	for i := range runners {
+		runners[i] = newRunner(i)
+	}
+
+	if cfg.WarmUp > 0 {
+		runPhase(runners, cfg.WarmUp, nil)
+	}
+	if cfg.Meter != nil {
+		cfg.Meter.Reset()
+	}
+	m := &Metrics{WriteLatency: metrics.NewHistogram()}
+	start := time.Now()
+	runPhase(runners, cfg.Duration, m)
+	m.Elapsed = time.Since(start)
+	if cfg.Meter != nil {
+		m.CPUPercent = cfg.Meter.UtilizationOver(m.Elapsed)
+	}
+	return *m
+}
+
+// runPhase executes all runners until the deadline; if m is non-nil it
+// accumulates outcomes (locked; the histogram locks internally).
+func runPhase(runners []Runner, d time.Duration, m *Metrics) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, r := range runners {
+		wg.Add(1)
+		go func(r Runner) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				out, err := r.Run()
+				if m == nil {
+					continue
+				}
+				mu.Lock()
+				switch {
+				case err != nil:
+					m.Errors++
+				case out.Aborted:
+					m.Aborts++
+				case out.Kind == Write:
+					m.WriteTxns++
+				default:
+					m.ReadTxns++
+				}
+				mu.Unlock()
+				if err == nil && !out.Aborted && out.Kind == Write {
+					m.WriteLatency.Observe(out.Latency)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

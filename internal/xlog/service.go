@@ -1,0 +1,537 @@
+package xlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+	"socrates/internal/xstore"
+)
+
+// Service is the XLOG process (§4.3, Figure 3). The primary feeds it log
+// blocks over a lossy fire-and-forget channel and reports the hardened
+// watermark after landing-zone quorum writes. The service:
+//
+//   - parks feed blocks in the pending area (speculative logging guard),
+//   - promotes blocks to the LogBroker's in-memory sequence map only once
+//     they are hardened, filling feed gaps by reading the LZ,
+//   - destages promoted blocks to a fixed-size local SSD block cache and
+//     appends them to the long-term archive (LT) in XStore, then releases
+//     the LZ space,
+//   - serves consumer pulls (secondaries unfiltered, page servers filtered
+//     by partition annotation) from, in order: sequence map, SSD cache, LZ,
+//     and LT as the last resort,
+//   - tracks consumer leases and applied-LSN progress.
+//
+// The service keeps no authoritative state: everything is rebuilt from the
+// LZ and LT on restart (Recover), preserving the paper's "stateless XLOG
+// process" property.
+type Service struct {
+	lz  *LandingZone
+	lt  *lt
+	ssd *blockCache
+
+	mu          sync.Mutex
+	pending     map[page.LSN]entry // by Start; not yet hardened
+	broker      []entry            // sequence map, sorted by Start
+	brokerBytes int
+	budget      int      // sequence-map memory budget in bytes
+	promoted    page.LSN // end LSN of the last promoted block
+	destaged    page.LSN // end LSN of the last destaged block
+	maxCommitTS uint64   // highest commit timestamp in promoted log
+
+	consumers map[string]*consumer
+
+	destageKick chan struct{}
+	done        chan struct{}
+	wg          sync.WaitGroup
+
+	feedReceived, feedStale, gapFills int
+}
+
+type consumer struct {
+	applied  page.LSN
+	lastSeen time.Time
+}
+
+// entry pairs a block with its encoded bytes, so dissemination never
+// re-encodes (blocks are immutable once hardened).
+type entry struct {
+	b   *wal.Block
+	enc []byte
+}
+
+// Config sizes a Service.
+type Config struct {
+	// LZ is the landing zone shared with the primary.
+	LZ *LandingZone
+	// LT is the XStore account holding the long-term log archive.
+	LT *xstore.Store
+	// LTBlob names the archive blob (one per database).
+	LTBlob string
+	// CacheDevice is the local SSD for the destaging block cache; nil
+	// disables the cache tier.
+	CacheDevice *simdisk.Device
+	// CacheBytes bounds the SSD block cache (default 4 MiB).
+	CacheBytes int64
+	// BrokerBytes bounds the in-memory sequence map (default 1 MiB).
+	BrokerBytes int
+}
+
+// New starts an XLOG service over a fresh log.
+func New(cfg Config) (*Service, error) {
+	s, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.promoted = cfg.LZ.HardenedEnd()
+	s.destaged = s.promoted
+	s.start()
+	return s, nil
+}
+
+// Recover starts an XLOG service over existing LZ and LT state (process
+// restart): the LT index is rebuilt by scanning the archive blob, and
+// promotion resumes from the destaged watermark.
+func Recover(cfg Config) (*Service, error) {
+	s, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.lt.recover(); err != nil {
+		return nil, err
+	}
+	s.destaged = s.lt.end()
+	if s.destaged == 0 {
+		s.destaged = 1
+	}
+	s.promoted = s.destaged
+	s.maxCommitTS = s.lt.maxCommitTS()
+	// Re-promote anything hardened in the LZ but not yet destaged.
+	s.promoteTo(s.lz.HardenedEnd())
+	s.start()
+	return s, nil
+}
+
+func build(cfg Config) (*Service, error) {
+	if cfg.LZ == nil || cfg.LT == nil || cfg.LTBlob == "" {
+		return nil, errors.New("xlog: LZ, LT, and LTBlob are required")
+	}
+	if cfg.BrokerBytes <= 0 {
+		cfg.BrokerBytes = 1 << 20
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 4 << 20
+	}
+	s := &Service{
+		lz:          cfg.LZ,
+		lt:          &lt{store: cfg.LT, blob: cfg.LTBlob},
+		pending:     make(map[page.LSN]entry),
+		budget:      cfg.BrokerBytes,
+		consumers:   make(map[string]*consumer),
+		destageKick: make(chan struct{}, 1),
+		done:        make(chan struct{}),
+	}
+	if cfg.CacheDevice != nil {
+		s.ssd = newBlockCache(cfg.CacheDevice, cfg.CacheBytes)
+	}
+	return s, nil
+}
+
+func (s *Service) start() {
+	s.wg.Add(1)
+	go s.destageLoop()
+}
+
+// Close stops the destager after a final pass. Idempotent.
+func (s *Service) Close() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+}
+
+// --- ingest side ---
+
+// Feed receives one block from the lossy primary feed into the pending
+// area. Blocks below the promoted watermark are stale duplicates. The
+// encoded form is retained alongside so dissemination never re-encodes;
+// pass nil to have it computed.
+func (s *Service) Feed(b *wal.Block) { s.FeedEncoded(b, nil) }
+
+// FeedEncoded is Feed with the block's already-encoded bytes.
+func (s *Service) FeedEncoded(b *wal.Block, enc []byte) {
+	if enc == nil {
+		enc = b.Encode()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.feedReceived++
+	if b.End <= s.promoted {
+		s.feedStale++
+		return
+	}
+	s.pending[b.Start] = entry{b: b, enc: enc}
+}
+
+// ReportHardened tells the service every block with End <= lsn is durable
+// in the LZ; they become visible to consumers (promotion).
+func (s *Service) ReportHardened(lsn page.LSN) {
+	s.promoteTo(lsn)
+	select {
+	case s.destageKick <- struct{}{}:
+	default:
+	}
+}
+
+// promoteTo moves hardened blocks from the pending area into the broker in
+// LSN order, reading the LZ to fill gaps left by the lossy feed.
+func (s *Service) promoteTo(lsn page.LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.promoted < lsn {
+		e, ok := s.pending[s.promoted]
+		if !ok {
+			// Gap: the feed lost or reordered this block; the LZ has it.
+			s.mu.Unlock()
+			lb, found, err := s.lz.Read(s.promoted)
+			s.mu.Lock()
+			if err != nil || !found {
+				return // cannot promote past the gap yet
+			}
+			s.gapFills++
+			e = entry{b: lb, enc: lb.Encode()}
+		} else {
+			delete(s.pending, s.promoted)
+		}
+		if e.b.End > lsn {
+			// Hardened watermark splits this block (should not happen:
+			// hardening is per block) — wait for the next report.
+			s.pending[e.b.Start] = e
+			return
+		}
+		s.broker = append(s.broker, e)
+		s.brokerBytes += len(e.enc)
+		s.promoted = e.b.End
+		for _, rec := range e.b.Records {
+			if rec.Kind == wal.KindTxnCommit {
+				if ts := rec.CommitTS(); ts > s.maxCommitTS {
+					s.maxCommitTS = ts
+				}
+			}
+		}
+	}
+	// Drop stale pending blocks the promotion passed over.
+	for start, e := range s.pending {
+		if e.b.End <= s.promoted {
+			delete(s.pending, start)
+		}
+	}
+}
+
+// --- destaging pipeline ---
+
+func (s *Service) destageLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			s.destageOnce() // final drain
+			return
+		case <-s.destageKick:
+		case <-ticker.C:
+		}
+		s.destageOnce()
+	}
+}
+
+// destageOnce writes every promoted-but-not-destaged block to the SSD cache
+// and LT (one aggregated LT append), releases LZ space, and trims the
+// broker to its memory budget.
+func (s *Service) destageOnce() {
+	s.mu.Lock()
+	var batch []entry
+	for _, e := range s.broker {
+		if e.b.Start >= s.destaged {
+			batch = append(batch, e)
+		}
+	}
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		s.trimBroker()
+		return
+	}
+	var ltBuf []byte
+	blocks := make([]*wal.Block, 0, len(batch))
+	for _, e := range batch {
+		if s.ssd != nil {
+			s.ssd.put(e.b.Start, e.enc)
+		}
+		ltBuf = append(ltBuf, e.enc...)
+		blocks = append(blocks, e.b)
+	}
+	if err := s.lt.append(blocks, ltBuf); err != nil {
+		// LT (XStore) outage: keep blocks in LZ + broker; retry next tick.
+		return
+	}
+	end := batch[len(batch)-1].b.End
+	s.mu.Lock()
+	if end > s.destaged {
+		s.destaged = end
+	}
+	s.mu.Unlock()
+	s.lz.ReleaseUpTo(end)
+	s.trimBroker()
+}
+
+// trimBroker evicts destaged blocks from the front of the sequence map
+// until it fits the memory budget.
+func (s *Service) trimBroker() {
+	s.mu.Lock()
+	for s.brokerBytes > s.budget && len(s.broker) > 0 {
+		e := s.broker[0]
+		if e.b.End > s.destaged {
+			break // never evict blocks that exist nowhere else
+		}
+		s.broker = s.broker[1:]
+		s.brokerBytes -= len(e.enc)
+	}
+	s.mu.Unlock()
+}
+
+// --- consumer side ---
+
+// HardenedEnd reports the dissemination watermark: consumers may read up to
+// (not including) this LSN.
+func (s *Service) HardenedEnd() page.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// Pull returns encoded blocks starting exactly at fromLSN, at most
+// maxBytes' worth, filtered to the given partition (negative = all blocks,
+// used by secondaries). Filtered-out blocks are skipped but still advance
+// the returned next-pull LSN, which is the XLOG-side half of the §4.6
+// block-filtering optimization. The returned next LSN equals fromLSN when
+// nothing new is available.
+func (s *Service) Pull(fromLSN page.LSN, partition int32, maxBytes int) ([]byte, page.LSN, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	var out []byte
+	next := fromLSN
+	for len(out) < maxBytes {
+		s.mu.Lock()
+		promoted := s.promoted
+		s.mu.Unlock()
+		if next >= promoted {
+			break
+		}
+		e, err := s.lookup(next)
+		if err != nil {
+			return nil, fromLSN, err
+		}
+		if e.b == nil {
+			break // gap not yet resolvable
+		}
+		if partition < 0 || e.b.Touches(page.PartitionID(partition)) {
+			out = append(out, e.enc...)
+		}
+		next = e.b.End
+	}
+	return out, next, nil
+}
+
+// lookup finds the block starting at the LSN across the storage hierarchy:
+// sequence map → SSD cache → LZ → LT.
+func (s *Service) lookup(start page.LSN) (entry, error) {
+	s.mu.Lock()
+	i := sort.Search(len(s.broker), func(i int) bool { return s.broker[i].b.Start >= start })
+	if i < len(s.broker) && s.broker[i].b.Start == start {
+		e := s.broker[i]
+		s.mu.Unlock()
+		return e, nil
+	}
+	s.mu.Unlock()
+
+	if s.ssd != nil {
+		if enc, ok := s.ssd.get(start); ok {
+			b, _, err := wal.DecodeBlock(enc)
+			if err == nil {
+				return entry{b: b, enc: enc}, nil
+			}
+		}
+	}
+	b, found, err := s.lz.Read(start)
+	if err == nil && found {
+		return entry{b: b, enc: b.Encode()}, nil
+	}
+	lb, err := s.lt.read(start)
+	if err != nil || lb == nil {
+		return entry{}, err
+	}
+	return entry{b: lb, enc: lb.Encode()}, nil
+}
+
+// RegisterConsumer creates or refreshes a consumer lease.
+func (s *Service) RegisterConsumer(id string) {
+	s.mu.Lock()
+	if c, ok := s.consumers[id]; ok {
+		c.lastSeen = time.Now()
+	} else {
+		s.consumers[id] = &consumer{lastSeen: time.Now()}
+	}
+	s.mu.Unlock()
+}
+
+// ReportApplied records consumer progress and refreshes its lease.
+func (s *Service) ReportApplied(id string, lsn page.LSN) {
+	s.mu.Lock()
+	c, ok := s.consumers[id]
+	if !ok {
+		c = &consumer{}
+		s.consumers[id] = c
+	}
+	if lsn > c.applied {
+		c.applied = lsn
+	}
+	c.lastSeen = time.Now()
+	s.mu.Unlock()
+}
+
+// ExpireLeases drops consumers silent for longer than ttl and returns how
+// many were dropped.
+func (s *Service) ExpireLeases(ttl time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	cutoff := time.Now().Add(-ttl)
+	for id, c := range s.consumers {
+		if c.lastSeen.Before(cutoff) {
+			delete(s.consumers, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// ConsumerProgress reports a consumer's applied LSN.
+func (s *Service) ConsumerProgress(id string) (page.LSN, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.consumers[id]
+	if !ok {
+		return 0, false
+	}
+	return c.applied, true
+}
+
+// MinAppliedLSN reports the slowest live consumer's progress (drives
+// version-store truncation and LT cleanup decisions).
+func (s *Service) MinAppliedLSN() page.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min page.LSN
+	first := true
+	for _, c := range s.consumers {
+		if first || c.applied < min {
+			min, first = c.applied, false
+		}
+	}
+	return min
+}
+
+// Stats reports feed/dissemination counters: feed blocks received, stale
+// feed blocks dropped, and gaps filled from the LZ.
+func (s *Service) Stats() (received, stale, gapFills int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feedReceived, s.feedStale, s.gapFills
+}
+
+// MaxCommitTS reports the highest commit timestamp observed in promoted
+// log — a recovering primary republishes it to restore visibility (§5).
+func (s *Service) MaxCommitTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxCommitTS
+}
+
+// DestagedEnd reports the destaging watermark.
+func (s *Service) DestagedEnd() page.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.destaged
+}
+
+// WaitDestaged blocks until destaging reaches lsn or the timeout elapses.
+func (s *Service) WaitDestaged(lsn page.LSN, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.DestagedEnd() >= lsn {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("xlog: destaging did not reach %d", lsn)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Handler exposes the service over RBIO.
+func (s *Service) Handler() rbio.Handler {
+	return func(req *rbio.Request) *rbio.Response {
+		switch req.Type {
+		case rbio.MsgPing:
+			return rbio.Ok()
+		case rbio.MsgFeedBlock:
+			b, _, err := wal.DecodeBlock(req.Payload)
+			if err != nil {
+				return rbio.Errorf("bad feed block: %v", err)
+			}
+			s.FeedEncoded(b, req.Payload)
+			return rbio.Ok()
+		case rbio.MsgHardenReport:
+			s.ReportHardened(req.LSN)
+			return rbio.Ok()
+		case rbio.MsgPullBlocks:
+			if req.Consumer != "" {
+				s.RegisterConsumer(req.Consumer)
+			}
+			payload, next, err := s.Pull(req.LSN, req.Partition, int(req.MaxBytes))
+			if err != nil {
+				return rbio.Errorf("pull: %v", err)
+			}
+			resp := rbio.Ok()
+			resp.LSN = next
+			resp.Payload = payload
+			return resp
+		case rbio.MsgReportApplied:
+			s.ReportApplied(req.Consumer, req.LSN)
+			return rbio.Ok()
+		case rbio.MsgReadState:
+			resp := rbio.Ok()
+			resp.LSN = s.HardenedEnd()
+			var buf [16]byte
+			binary.LittleEndian.PutUint64(buf[0:8], s.DestagedEnd().Uint64())
+			binary.LittleEndian.PutUint64(buf[8:16], s.MaxCommitTS())
+			resp.Payload = buf[:]
+			return resp
+		default:
+			return rbio.Errorf("xlog: unsupported message %v", req.Type)
+		}
+	}
+}

@@ -1,0 +1,556 @@
+package xlog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+	"socrates/internal/xstore"
+)
+
+// mkBlocks builds n contiguous blocks starting at LSN 1, each with one
+// cell-put record on the given page (so partition annotations are real).
+func mkBlocks(n int, pageOf func(i int) page.ID, pt page.Partitioning) []*wal.Block {
+	bld := wal.NewBuilder(1, pt)
+	var blocks []*wal.Block
+	for i := 0; i < n; i++ {
+		bld.Append(&wal.Record{
+			Kind: wal.KindCellPut, Page: pageOf(i),
+			Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v"),
+		})
+		blocks = append(blocks, bld.Flush())
+	}
+	return blocks
+}
+
+func newLZ(t *testing.T, capacity int64) (*LandingZone, simdisk.Volume) {
+	t.Helper()
+	vol := simdisk.New(simdisk.Instant)
+	lz, err := NewLandingZone(vol, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lz, vol
+}
+
+func TestLZWriteReadRoundTrip(t *testing.T) {
+	lz, _ := newLZ(t, 1<<20)
+	blocks := mkBlocks(5, func(i int) page.ID { return page.ID(i) }, page.Partitioning{})
+	for _, b := range blocks {
+		if err := lz.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lz.HardenedEnd() != blocks[4].End {
+		t.Fatalf("hardened = %d, want %d", lz.HardenedEnd(), blocks[4].End)
+	}
+	got, found, err := lz.Read(blocks[2].Start)
+	if err != nil || !found {
+		t.Fatalf("read: %v %v", found, err)
+	}
+	if got.Start != blocks[2].Start || len(got.Records) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	if _, found, _ := lz.Read(9999); found {
+		t.Fatal("phantom block")
+	}
+}
+
+func TestLZReleaseFreesSpace(t *testing.T) {
+	lz, _ := newLZ(t, 1<<20)
+	blocks := mkBlocks(10, func(i int) page.ID { return 1 }, page.Partitioning{})
+	for _, b := range blocks {
+		_ = lz.Write(b)
+	}
+	if lz.Retained() != 10 {
+		t.Fatalf("retained = %d", lz.Retained())
+	}
+	lz.ReleaseUpTo(blocks[4].End)
+	if lz.Retained() != 5 {
+		t.Fatalf("retained after release = %d", lz.Retained())
+	}
+	if _, found, _ := lz.Read(blocks[2].Start); found {
+		t.Fatal("released block still readable")
+	}
+	if _, found, _ := lz.Read(blocks[7].Start); !found {
+		t.Fatal("retained block vanished")
+	}
+}
+
+func TestLZBackpressureTimesOut(t *testing.T) {
+	lz, _ := newLZ(t, lzDataStart+4096)
+	bld := wal.NewBuilder(1, page.Partitioning{})
+	start := time.Now()
+	var err error
+	for i := 0; i < 100; i++ {
+		bld.Append(&wal.Record{Kind: wal.KindCellPut, Page: 1,
+			Key: []byte("k"), Value: make([]byte, 256)})
+		if err = lz.Write(bld.Flush()); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrLZTimeout) {
+		t.Fatalf("err = %v, want ErrLZTimeout", err)
+	}
+	if time.Since(start) < 4*time.Second {
+		t.Fatal("timed out too fast (no backpressure wait)")
+	}
+	if lz.Stalls() == 0 {
+		t.Fatal("no stalls recorded")
+	}
+}
+
+func TestLZWraparound(t *testing.T) {
+	// Small ring; continuous release keeps space available across wraps.
+	lz, _ := newLZ(t, lzDataStart+8192)
+	bld := wal.NewBuilder(1, page.Partitioning{})
+	var last *wal.Block
+	for i := 0; i < 100; i++ {
+		bld.Append(&wal.Record{Kind: wal.KindCellPut, Page: 1,
+			Key: []byte(fmt.Sprintf("k%03d", i)), Value: make([]byte, 300)})
+		b := bld.Flush()
+		if err := lz.Write(b); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		last = b
+		// Destage promptly: keep only the most recent couple of blocks.
+		if b.End > 3 {
+			lz.ReleaseUpTo(b.End - 2)
+		}
+	}
+	got, found, err := lz.Read(last.Start)
+	if err != nil || !found || got.End != last.End {
+		t.Fatalf("after wraps: %v %v", found, err)
+	}
+	if lz.HardenedEnd() != last.End {
+		t.Fatalf("hardened = %d", lz.HardenedEnd())
+	}
+}
+
+func TestLZRecoveryFindsHardenedEnd(t *testing.T) {
+	vol := simdisk.New(simdisk.Instant)
+	lz, err := NewLandingZone(vol, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := mkBlocks(20, func(i int) page.ID { return page.ID(i % 3) },
+		page.Partitioning{PagesPerPartition: 1})
+	for _, b := range blocks {
+		if err := lz.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := lz.HardenedEnd()
+
+	re, err := RecoverLandingZone(vol, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.HardenedEnd() != want {
+		t.Fatalf("recovered hardened = %d, want %d", re.HardenedEnd(), want)
+	}
+	got, found, err := re.Read(blocks[10].Start)
+	if err != nil || !found || got.End != blocks[10].End {
+		t.Fatalf("recovered read: %v %v", found, err)
+	}
+	// Writes continue after recovery.
+	bld := wal.NewBuilder(want, page.Partitioning{})
+	bld.Append(&wal.Record{Kind: wal.KindNoop})
+	if err := re.Write(bld.Flush()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLZRecoveryRejectsForeignVolume(t *testing.T) {
+	vol := simdisk.New(simdisk.Instant)
+	_ = vol.WriteAt(make([]byte, 128), 0)
+	if _, err := RecoverLandingZone(vol, 1<<20); err == nil {
+		t.Fatal("foreign volume accepted")
+	}
+}
+
+// --- service tests ---
+
+type testRig struct {
+	lz  *LandingZone
+	svc *Service
+	st  *xstore.Store
+}
+
+func newRig(t *testing.T, brokerBytes int) *testRig {
+	t.Helper()
+	lz, _ := newLZ(t, 4<<20)
+	st := xstore.New(xstore.Config{Profile: simdisk.Instant})
+	svc, err := New(Config{
+		LZ: lz, LT: st, LTBlob: "lt/db1",
+		CacheDevice: simdisk.New(simdisk.Instant),
+		CacheBytes:  64 << 10,
+		BrokerBytes: brokerBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return &testRig{lz: lz, svc: svc, st: st}
+}
+
+// publish pushes blocks through the full primary-side path: LZ write, feed,
+// harden report.
+func (r *testRig) publish(t *testing.T, blocks []*wal.Block, feed bool) {
+	t.Helper()
+	for _, b := range blocks {
+		if err := r.lz.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		if feed {
+			r.svc.Feed(b)
+		}
+	}
+	r.svc.ReportHardened(r.lz.HardenedEnd())
+}
+
+func decodeAll(t *testing.T, payload []byte) []*wal.Block {
+	t.Helper()
+	var out []*wal.Block
+	for len(payload) > 0 {
+		b, n, err := wal.DecodeBlock(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+		payload = payload[n:]
+	}
+	return out
+}
+
+func TestServeFromSequenceMap(t *testing.T) {
+	r := newRig(t, 1<<20)
+	blocks := mkBlocks(10, func(i int) page.ID { return page.ID(i) }, page.Partitioning{})
+	r.publish(t, blocks, true)
+
+	payload, next, err := r.svc.Pull(1, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, payload)
+	if len(got) != 10 || next != blocks[9].End {
+		t.Fatalf("pulled %d blocks, next=%d", len(got), next)
+	}
+	received, stale, gaps := r.svc.Stats()
+	if received != 10 || stale != 0 || gaps != 0 {
+		t.Fatalf("stats = %d %d %d", received, stale, gaps)
+	}
+}
+
+func TestSpeculativeBlocksInvisibleUntilHardened(t *testing.T) {
+	r := newRig(t, 1<<20)
+	blocks := mkBlocks(3, func(i int) page.ID { return 1 }, page.Partitioning{})
+	// Feed only: nothing hardened yet.
+	for _, b := range blocks {
+		r.svc.Feed(b)
+	}
+	payload, next, err := r.svc.Pull(1, -1, 0)
+	if err != nil || len(payload) != 0 || next != 1 {
+		t.Fatalf("unhardened blocks visible: %d bytes, next=%d", len(payload), next)
+	}
+	// Now harden through the LZ.
+	for _, b := range blocks {
+		_ = r.lz.Write(b)
+	}
+	r.svc.ReportHardened(r.lz.HardenedEnd())
+	payload, next, _ = r.svc.Pull(1, -1, 0)
+	if len(decodeAll(t, payload)) != 3 || next != blocks[2].End {
+		t.Fatal("hardened blocks not served")
+	}
+}
+
+func TestGapFillFromLZ(t *testing.T) {
+	r := newRig(t, 1<<20)
+	blocks := mkBlocks(6, func(i int) page.ID { return 1 }, page.Partitioning{})
+	for i, b := range blocks {
+		_ = r.lz.Write(b)
+		if i%2 == 0 { // half the feed messages are lost
+			r.svc.Feed(b)
+		}
+	}
+	r.svc.ReportHardened(r.lz.HardenedEnd())
+	payload, next, err := r.svc.Pull(1, -1, 0)
+	if err != nil || next != blocks[5].End {
+		t.Fatalf("pull after loss: next=%d err=%v", next, err)
+	}
+	if len(decodeAll(t, payload)) != 6 {
+		t.Fatal("missing blocks despite LZ gap fill")
+	}
+	_, _, gaps := r.svc.Stats()
+	if gaps != 3 {
+		t.Fatalf("gap fills = %d, want 3", gaps)
+	}
+}
+
+func TestOutOfOrderFeed(t *testing.T) {
+	r := newRig(t, 1<<20)
+	blocks := mkBlocks(5, func(i int) page.ID { return 1 }, page.Partitioning{})
+	for _, b := range blocks {
+		_ = r.lz.Write(b)
+	}
+	// Feed arrives reversed.
+	for i := len(blocks) - 1; i >= 0; i-- {
+		r.svc.Feed(blocks[i])
+	}
+	r.svc.ReportHardened(r.lz.HardenedEnd())
+	payload, _, _ := r.svc.Pull(1, -1, 0)
+	got := decodeAll(t, payload)
+	if len(got) != 5 {
+		t.Fatalf("got %d blocks", len(got))
+	}
+	for i, b := range got {
+		if b.Start != blocks[i].Start {
+			t.Fatalf("block %d out of order", i)
+		}
+	}
+}
+
+func TestPartitionFilteredPull(t *testing.T) {
+	r := newRig(t, 1<<20)
+	pt := page.Partitioning{PagesPerPartition: 10}
+	// Even blocks touch partition 0 (pages 0-9), odd touch partition 1.
+	blocks := mkBlocks(10, func(i int) page.ID {
+		if i%2 == 0 {
+			return page.ID(i % 10)
+		}
+		return page.ID(10 + i%10)
+	}, pt)
+	r.publish(t, blocks, true)
+
+	payload, next, err := r.svc.Pull(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(t, payload)
+	if len(got) != 5 {
+		t.Fatalf("filtered pull returned %d blocks, want 5", len(got))
+	}
+	for _, b := range got {
+		if !b.Touches(1) {
+			t.Fatalf("block [%d,%d) does not touch partition 1", b.Start, b.End)
+		}
+	}
+	// The cursor still advances past skipped blocks.
+	if next != blocks[9].End {
+		t.Fatalf("next = %d, want %d", next, blocks[9].End)
+	}
+}
+
+func TestPullBudgetLimitsBatch(t *testing.T) {
+	r := newRig(t, 1<<20)
+	blocks := mkBlocks(20, func(i int) page.ID { return 1 }, page.Partitioning{})
+	r.publish(t, blocks, true)
+	oneBlock := blocks[0].EncodedSize()
+	payload, next, _ := r.svc.Pull(1, -1, oneBlock*3)
+	got := decodeAll(t, payload)
+	if len(got) < 3 || len(got) > 4 {
+		t.Fatalf("budgeted pull returned %d blocks", len(got))
+	}
+	// Follow-up pull continues from next.
+	payload2, _, _ := r.svc.Pull(next, -1, 0)
+	if len(decodeAll(t, payload2))+len(got) != 20 {
+		t.Fatal("continuation lost blocks")
+	}
+}
+
+func TestDestagingReleasesLZAndServesFromLowerTiers(t *testing.T) {
+	// Tiny broker budget forces eviction to SSD cache / LT.
+	r := newRig(t, 256)
+	blocks := mkBlocks(30, func(i int) page.ID { return 1 }, page.Partitioning{})
+	r.publish(t, blocks, true)
+	if err := r.svc.WaitDestaged(blocks[29].End, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Give the destager a beat to trim and release.
+	time.Sleep(20 * time.Millisecond)
+	if r.lz.Retained() != 0 {
+		t.Fatalf("LZ retains %d blocks after destaging", r.lz.Retained())
+	}
+	// All blocks still served (from SSD cache or LT).
+	payload, next, err := r.svc.Pull(1, -1, 1<<20)
+	if err != nil || next != blocks[29].End {
+		t.Fatalf("pull: next=%d err=%v", next, err)
+	}
+	if len(decodeAll(t, payload)) != 30 {
+		t.Fatal("blocks lost after destaging")
+	}
+	// And the LT blob physically holds the archive.
+	if size, _ := r.st.Size("lt/db1"); size == 0 {
+		t.Fatal("LT archive empty")
+	}
+}
+
+func TestXStoreOutageDefersDestaging(t *testing.T) {
+	r := newRig(t, 1<<20)
+	r.st.SetOutage(true)
+	blocks := mkBlocks(5, func(i int) page.ID { return 1 }, page.Partitioning{})
+	r.publish(t, blocks, true)
+	time.Sleep(30 * time.Millisecond)
+	if r.svc.DestagedEnd() >= blocks[4].End {
+		t.Fatal("destaging advanced during XStore outage")
+	}
+	if r.lz.Retained() != 5 {
+		t.Fatal("LZ released blocks that were never archived")
+	}
+	// Consumers are unaffected: the broker serves everything.
+	payload, _, _ := r.svc.Pull(1, -1, 0)
+	if len(decodeAll(t, payload)) != 5 {
+		t.Fatal("pull failed during outage")
+	}
+	r.st.SetOutage(false)
+	if err := r.svc.WaitDestaged(blocks[4].End, 2*time.Second); err != nil {
+		t.Fatal("destaging did not resume after outage")
+	}
+}
+
+func TestServiceRecovery(t *testing.T) {
+	lz, _ := newLZ(t, 4<<20)
+	st := xstore.New(xstore.Config{Profile: simdisk.Instant})
+	cfg := Config{LZ: lz, LT: st, LTBlob: "lt/db1",
+		CacheDevice: simdisk.New(simdisk.Instant), CacheBytes: 64 << 10}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := mkBlocks(12, func(i int) page.ID { return 1 }, page.Partitioning{})
+	for _, b := range blocks {
+		_ = lz.Write(b)
+		svc.Feed(b)
+	}
+	svc.ReportHardened(lz.HardenedEnd())
+	if err := svc.WaitDestaged(blocks[11].End, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	// Restart the XLOG process: state rebuilt from LZ + LT.
+	cfg.CacheDevice = simdisk.New(simdisk.Instant) // cache is volatile
+	re, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.HardenedEnd() != blocks[11].End {
+		t.Fatalf("recovered hardened end = %d", re.HardenedEnd())
+	}
+	payload, next, err := re.Pull(1, -1, 1<<20)
+	if err != nil || next != blocks[11].End {
+		t.Fatalf("recovered pull: next=%d err=%v", next, err)
+	}
+	if len(decodeAll(t, payload)) != 12 {
+		t.Fatal("recovered service lost blocks")
+	}
+}
+
+func TestConsumerProgressAndLeases(t *testing.T) {
+	r := newRig(t, 1<<20)
+	r.svc.RegisterConsumer("sec-1")
+	r.svc.RegisterConsumer("ps-0")
+	r.svc.ReportApplied("sec-1", 100)
+	r.svc.ReportApplied("ps-0", 50)
+	if got, _ := r.svc.ConsumerProgress("sec-1"); got != 100 {
+		t.Fatalf("progress = %d", got)
+	}
+	if r.svc.MinAppliedLSN() != 50 {
+		t.Fatalf("min applied = %d", r.svc.MinAppliedLSN())
+	}
+	// Progress never regresses.
+	r.svc.ReportApplied("sec-1", 90)
+	if got, _ := r.svc.ConsumerProgress("sec-1"); got != 100 {
+		t.Fatal("progress regressed")
+	}
+	if dropped := r.svc.ExpireLeases(time.Hour); dropped != 0 {
+		t.Fatalf("dropped %d live leases", dropped)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if dropped := r.svc.ExpireLeases(time.Nanosecond); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if _, ok := r.svc.ConsumerProgress("sec-1"); ok {
+		t.Fatal("expired consumer still present")
+	}
+}
+
+func TestStaleFeedDropped(t *testing.T) {
+	r := newRig(t, 1<<20)
+	blocks := mkBlocks(3, func(i int) page.ID { return 1 }, page.Partitioning{})
+	r.publish(t, blocks, true)
+	r.svc.Feed(blocks[0]) // duplicate of an already promoted block
+	_, stale, _ := r.svc.Stats()
+	if stale != 1 {
+		t.Fatalf("stale = %d", stale)
+	}
+}
+
+func TestHandlerOverRBIO(t *testing.T) {
+	r := newRig(t, 1<<20)
+	net := rbio.NewInstantNetwork()
+	net.Serve("xlog", r.svc.Handler())
+	client := rbio.NewClient(net.Dial("xlog"))
+
+	blocks := mkBlocks(4, func(i int) page.ID { return 1 }, page.Partitioning{})
+	for _, b := range blocks {
+		_ = r.lz.Write(b)
+		if err := client.Send(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: b.Encode()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // sends are async
+	resp, err := client.Call(&rbio.Request{Type: rbio.MsgHardenReport, LSN: r.lz.HardenedEnd()})
+	if err != nil || resp.Status != rbio.StatusOK {
+		t.Fatalf("harden report: %+v %v", resp, err)
+	}
+	resp, err = client.Call(&rbio.Request{
+		Type: rbio.MsgPullBlocks, LSN: 1, Partition: -1, Consumer: "sec-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decodeAll(t, resp.Payload)) != 4 || resp.LSN != blocks[3].End {
+		t.Fatalf("pull via rbio: %d bytes, next=%d", len(resp.Payload), resp.LSN)
+	}
+	resp, err = client.Call(&rbio.Request{Type: rbio.MsgReportApplied,
+		Consumer: "sec-1", LSN: resp.LSN})
+	if err != nil || resp.Status != rbio.StatusOK {
+		t.Fatal("report applied failed")
+	}
+	resp, err = client.Call(&rbio.Request{Type: rbio.MsgReadState})
+	if err != nil || resp.LSN != blocks[3].End {
+		t.Fatalf("read state: %+v %v", resp, err)
+	}
+}
+
+func TestBlockCacheEviction(t *testing.T) {
+	c := newBlockCache(simdisk.New(simdisk.Instant), 1000)
+	for i := 0; i < 10; i++ {
+		c.put(page.LSN(i*10+1), make([]byte, 300))
+	}
+	entries, bytes := c.stats()
+	if bytes > 1000 {
+		t.Fatalf("cache over budget: %d bytes", bytes)
+	}
+	if entries == 0 {
+		t.Fatal("cache empty after puts")
+	}
+	// Oldest entries evicted, newest present.
+	if _, ok := c.get(1); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := c.get(91); !ok {
+		t.Fatal("newest entry missing")
+	}
+	// Oversized entries are skipped without damage.
+	c.put(9999, make([]byte, 2000))
+	if _, ok := c.get(9999); ok {
+		t.Fatal("oversized entry cached")
+	}
+}

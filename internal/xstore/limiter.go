@@ -1,0 +1,45 @@
+package xstore
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a token bucket over bytes/second with a one-second burst,
+// used for the store-level ingest and egress caps.
+type limiter struct {
+	mu     sync.Mutex
+	rate   float64
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(bytesPerSec float64) *limiter {
+	return &limiter{rate: bytesPerSec, tokens: bytesPerSec, last: time.Now()}
+}
+
+// acquire blocks until n byte-tokens are available.
+func (l *limiter) acquire(n int) {
+	need := float64(n)
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.rate {
+			l.tokens = l.rate
+		}
+		l.last = now
+		if l.tokens >= need {
+			l.tokens -= need
+			l.mu.Unlock()
+			return
+		}
+		deficit := need - l.tokens
+		l.mu.Unlock()
+		wait := time.Duration(deficit / l.rate * float64(time.Second))
+		if wait < 100*time.Microsecond {
+			wait = 100 * time.Microsecond
+		}
+		time.Sleep(wait)
+	}
+}

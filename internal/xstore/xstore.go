@@ -1,0 +1,464 @@
+// Package xstore simulates Azure Storage (XStore): the cheap, durable,
+// hard-disk-based, log-structured blob service that holds the "truth" of
+// every Socrates database (§4.7).
+//
+// The store is log-structured (Rosenblum/Ousterhout style, as [19] in the
+// paper): every write appends to a single device-backed log, and a blob is
+// a list of extents into that log. This gives the two properties Socrates
+// leans on:
+//
+//   - Snapshot is a constant-time metadata operation: it copies the blob map
+//     (pointers into the log) and moves no data. Backups cost nothing on the
+//     compute path (§3.5).
+//   - Restore is likewise a metadata copy: new blobs are created pointing at
+//     the snapshotted extents; copy-on-write falls out because new writes
+//     always append fresh extents.
+//
+// Throughput is capped by the HDD device profile plus optional ingest and
+// egress limits — the ingest limit is what throttles HADR's log backup in
+// the paper's Table 5 experiment.
+package xstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"socrates/internal/simdisk"
+)
+
+// ErrNotFound is returned when a blob or snapshot does not exist.
+var ErrNotFound = errors.New("xstore: not found")
+
+// extent is a contiguous run of bytes in the store's log.
+type extent struct {
+	off    int64
+	length int64
+}
+
+// blobMeta describes one blob version as a list of extents.
+type blobMeta struct {
+	extents []extent
+	size    int64
+	modSeq  uint64 // logical time of last modification
+}
+
+func (b *blobMeta) clone() *blobMeta {
+	c := &blobMeta{size: b.size, modSeq: b.modSeq}
+	c.extents = append([]extent(nil), b.extents...)
+	return c
+}
+
+// snapshot is a frozen view of the blob namespace at a logical time.
+type snapshot struct {
+	seq   uint64
+	taken time.Time
+	blobs map[string]*blobMeta
+}
+
+// Config tunes a Store.
+type Config struct {
+	// Profile is the device model under the store. Defaults to simdisk.HDD.
+	Profile simdisk.Profile
+	// IngestMBps caps write bandwidth into the store (0 = uncapped).
+	// This is the knob that throttles HADR log backups (Table 5).
+	IngestMBps float64
+	// EgressMBps caps read bandwidth out of the store (0 = uncapped).
+	EgressMBps float64
+	// Seed fixes device jitter for reproducible runs.
+	Seed int64
+}
+
+// Store is a simulated XStore account. All methods are safe for concurrent
+// use.
+type Store struct {
+	dev    *simdisk.Device
+	ingest *limiter
+	egress *limiter
+
+	mu        sync.Mutex
+	head      int64 // next append offset in the log
+	seq       uint64
+	blobs     map[string]*blobMeta
+	snapshots map[string]*snapshot
+}
+
+// New creates an empty store.
+func New(cfg Config) *Store {
+	p := cfg.Profile
+	if p.Name == "" {
+		p = simdisk.HDD
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Store{
+		dev:       simdisk.New(p, simdisk.WithSeed(seed)),
+		blobs:     make(map[string]*blobMeta),
+		snapshots: make(map[string]*snapshot),
+	}
+	if cfg.IngestMBps > 0 {
+		s.ingest = newLimiter(cfg.IngestMBps * 1024 * 1024)
+	}
+	if cfg.EgressMBps > 0 {
+		s.egress = newLimiter(cfg.EgressMBps * 1024 * 1024)
+	}
+	return s
+}
+
+// SetOutage injects or clears a sticky outage on the underlying device.
+// Used to exercise the page-server insulation path (§4.6).
+func (s *Store) SetOutage(on bool) { s.dev.SetOutage(on) }
+
+// Seq reports the store's logical clock (advances on every mutation).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Stats reports cumulative device reads, writes, bytes read, bytes written.
+func (s *Store) Stats() (reads, writes, bytesRead, bytesWritten int64) {
+	return s.dev.Stats()
+}
+
+// appendLog writes data at the head of the log and returns its extent.
+// Callers must not hold s.mu (device I/O sleeps).
+func (s *Store) appendLog(data []byte) (extent, error) {
+	if s.ingest != nil {
+		s.ingest.acquire(len(data))
+	}
+	s.mu.Lock()
+	off := s.head
+	s.head += int64(len(data))
+	s.mu.Unlock()
+	if err := s.dev.WriteAt(data, off); err != nil {
+		return extent{}, err
+	}
+	return extent{off: off, length: int64(len(data))}, nil
+}
+
+// Put stores data as a complete new version of the named blob.
+func (s *Store) Put(name string, data []byte) error {
+	ext, err := s.appendLog(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.blobs[name] = &blobMeta{extents: []extent{ext}, size: ext.length, modSeq: s.seq}
+	return nil
+}
+
+// Append adds data to the end of the named blob, creating it if absent.
+// This is the LT log-archive write path: destaging appends log ranges.
+func (s *Store) Append(name string, data []byte) error {
+	ext, err := s.appendLog(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	b := s.blobs[name]
+	if b == nil {
+		b = &blobMeta{}
+		s.blobs[name] = b
+	}
+	b.extents = append(b.extents, ext)
+	b.size += ext.length
+	b.modSeq = s.seq
+	return nil
+}
+
+// Get returns the full contents of the named blob.
+func (s *Store) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	b, ok := s.blobs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: blob %q", ErrNotFound, name)
+	}
+	meta := b.clone()
+	s.mu.Unlock()
+	return s.readMeta(meta, 0, meta.size)
+}
+
+// ReadAt reads length bytes from the blob starting at off.
+func (s *Store) ReadAt(name string, off, length int64) ([]byte, error) {
+	s.mu.Lock()
+	b, ok := s.blobs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: blob %q", ErrNotFound, name)
+	}
+	meta := b.clone()
+	s.mu.Unlock()
+	if off < 0 || off+length > meta.size {
+		return nil, fmt.Errorf("xstore: read [%d,%d) beyond blob %q size %d",
+			off, off+length, name, meta.size)
+	}
+	return s.readMeta(meta, off, length)
+}
+
+// readMeta gathers [off, off+length) across the blob's extents.
+func (s *Store) readMeta(b *blobMeta, off, length int64) ([]byte, error) {
+	if s.egress != nil {
+		s.egress.acquire(int(length))
+	}
+	out := make([]byte, 0, length)
+	pos := int64(0)
+	for _, e := range b.extents {
+		if length == 0 {
+			break
+		}
+		if off >= pos+e.length {
+			pos += e.length
+			continue
+		}
+		start := off - pos
+		if start < 0 {
+			start = 0
+		}
+		n := e.length - start
+		if n > length {
+			n = length
+		}
+		buf := make([]byte, n)
+		if err := s.dev.ReadAt(buf, e.off+start); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		off += n
+		length -= n
+		pos += e.length
+	}
+	if length != 0 {
+		return nil, fmt.Errorf("xstore: short read, %d bytes missing", length)
+	}
+	return out, nil
+}
+
+// Size reports the size of the named blob.
+func (s *Store) Size(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: blob %q", ErrNotFound, name)
+	}
+	return b.size, nil
+}
+
+// Delete removes the named blob. Snapshots referencing it are unaffected:
+// the extents stay in the log.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[name]; !ok {
+		return fmt.Errorf("%w: blob %q", ErrNotFound, name)
+	}
+	s.seq++
+	delete(s.blobs, name)
+	return nil
+}
+
+// Exists reports whether the named blob exists.
+func (s *Store) Exists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blobs[name]
+	return ok
+}
+
+// List returns the names of blobs with the given prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for n := range s.blobs {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot freezes the current blob namespace under the given snapshot
+// name. It is a metadata-only operation: no data moves, regardless of how
+// many terabytes the blobs hold (§3.5, §4.7).
+func (s *Store) Snapshot(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	snap := &snapshot{seq: s.seq, taken: time.Now(), blobs: make(map[string]*blobMeta, len(s.blobs))}
+	for n, b := range s.blobs {
+		snap.blobs[n] = b.clone()
+	}
+	s.snapshots[name] = snap
+	return nil
+}
+
+// SnapshotInfo reports a snapshot's logical sequence and wall-clock time.
+func (s *Store) SnapshotInfo(name string) (seq uint64, taken time.Time, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snapshots[name]
+	if !ok {
+		return 0, time.Time{}, fmt.Errorf("%w: snapshot %q", ErrNotFound, name)
+	}
+	return snap.seq, snap.taken, nil
+}
+
+// Snapshots lists snapshot names sorted by logical time.
+func (s *Store) Snapshots() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.snapshots))
+	for n := range s.snapshots {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return s.snapshots[names[i]].seq < s.snapshots[names[j]].seq
+	})
+	return names
+}
+
+// DeleteSnapshot removes a snapshot (its extents stay until Compact).
+func (s *Store) DeleteSnapshot(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.snapshots[name]; !ok {
+		return fmt.Errorf("%w: snapshot %q", ErrNotFound, name)
+	}
+	delete(s.snapshots, name)
+	return nil
+}
+
+// Restore materializes the blobs captured by the snapshot as new live blobs
+// named dstPrefix+originalName. Like Snapshot, this is a constant-time
+// metadata copy — the restored blobs alias the snapshotted extents, which is
+// what lets a PITR of a 100 TB database start in minutes (§4.7).
+func (s *Store) Restore(snapName, dstPrefix string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snapshots[snapName]
+	if !ok {
+		return fmt.Errorf("%w: snapshot %q", ErrNotFound, snapName)
+	}
+	s.seq++
+	for n, b := range snap.blobs {
+		nb := b.clone()
+		nb.modSeq = s.seq
+		s.blobs[dstPrefix+n] = nb
+	}
+	return nil
+}
+
+// GetFromSnapshot reads a blob's contents as of the snapshot.
+func (s *Store) GetFromSnapshot(snapName, blobName string) ([]byte, error) {
+	s.mu.Lock()
+	snap, ok := s.snapshots[snapName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: snapshot %q", ErrNotFound, snapName)
+	}
+	b, ok := snap.blobs[blobName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: blob %q in snapshot %q", ErrNotFound, blobName, snapName)
+	}
+	meta := b.clone()
+	s.mu.Unlock()
+	return s.readMeta(meta, 0, meta.size)
+}
+
+// ListFromSnapshot lists blob names in a snapshot with the prefix, sorted.
+func (s *Store) ListFromSnapshot(snapName, prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snapshots[snapName]
+	if !ok {
+		return nil, fmt.Errorf("%w: snapshot %q", ErrNotFound, snapName)
+	}
+	var names []string
+	for n := range snap.blobs {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LiveBytes reports bytes reachable from live blobs (not snapshots).
+func (s *Store) LiveBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, b := range s.blobs {
+		total += b.size
+	}
+	return total
+}
+
+// LogBytes reports the total size of the append log, including garbage.
+func (s *Store) LogBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head
+}
+
+// Compact rewrites all live data (current blobs and every snapshot's blobs)
+// into a fresh log, dropping unreferenced extents. This models the LT blob
+// cleanup job (§4.3). It is an O(live data) background task.
+func (s *Store) Compact() error {
+	// Phase 1: under the lock, capture every blob version to keep.
+	s.mu.Lock()
+	type item struct {
+		meta  *blobMeta
+		apply func(ext extent)
+	}
+	var items []item
+	for _, b := range s.blobs {
+		b := b
+		items = append(items, item{meta: b.clone(), apply: func(ext extent) {
+			b.extents = []extent{ext}
+		}})
+	}
+	for _, snap := range s.snapshots {
+		for _, b := range snap.blobs {
+			b := b
+			items = append(items, item{meta: b.clone(), apply: func(ext extent) {
+				b.extents = []extent{ext}
+			}})
+		}
+	}
+	s.mu.Unlock()
+
+	// Phase 2: read each version and rewrite it contiguously. Concurrent
+	// writers keep appending beyond the captured head; their extents are
+	// untouched. We rewrite into the existing log head (append), then drop
+	// nothing physically — the simulated device reclaims space via
+	// Truncate only when the store is otherwise idle, which tests arrange.
+	for _, it := range items {
+		data, err := s.readMeta(it.meta, 0, it.meta.size)
+		if err != nil {
+			return err
+		}
+		ext, err := s.appendLog(data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		it.apply(ext)
+		s.mu.Unlock()
+	}
+	return nil
+}

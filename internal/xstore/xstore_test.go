@@ -1,0 +1,428 @@
+package xstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"socrates/internal/simdisk"
+)
+
+func newFast() *Store { return New(Config{Profile: simdisk.Instant}) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newFast()
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "alpha" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newFast()
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutReplacesVersion(t *testing.T) {
+	s := newFast()
+	_ = s.Put("a", []byte("v1"))
+	_ = s.Put("a", []byte("version-two"))
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version-two" {
+		t.Fatalf("got %q", got)
+	}
+	n, _ := s.Size("a")
+	if n != int64(len("version-two")) {
+		t.Fatalf("size = %d", n)
+	}
+}
+
+func TestAppendBuildsMultiExtentBlob(t *testing.T) {
+	s := newFast()
+	for i := 0; i < 5; i++ {
+		if err := s.Append("log", []byte(fmt.Sprintf("rec%d;", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "rec0;rec1;rec2;rec3;rec4;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadAtSpansExtents(t *testing.T) {
+	s := newFast()
+	_ = s.Append("b", []byte("aaaa"))
+	_ = s.Append("b", []byte("bbbb"))
+	_ = s.Append("b", []byte("cccc"))
+	got, err := s.ReadAt("b", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aabbbbcc" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadAtBounds(t *testing.T) {
+	s := newFast()
+	_ = s.Put("b", []byte("12345"))
+	if _, err := s.ReadAt("b", 3, 10); err == nil {
+		t.Fatal("read past end should fail")
+	}
+	if _, err := s.ReadAt("b", -1, 2); err == nil {
+		t.Fatal("negative offset should fail")
+	}
+	got, err := s.ReadAt("b", 5, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero-length read at end: %v %q", err, got)
+	}
+}
+
+func TestDeleteAndExists(t *testing.T) {
+	s := newFast()
+	_ = s.Put("a", []byte("x"))
+	if !s.Exists("a") {
+		t.Fatal("blob should exist")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("a") {
+		t.Fatal("blob should be gone")
+	}
+	if err := s.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestListByPrefix(t *testing.T) {
+	s := newFast()
+	for _, n := range []string{"db1/p0", "db1/p1", "db2/p0"} {
+		_ = s.Put(n, []byte("x"))
+	}
+	got := s.List("db1/")
+	if len(got) != 2 || got[0] != "db1/p0" || got[1] != "db1/p1" {
+		t.Fatalf("list = %v", got)
+	}
+	if all := s.List(""); len(all) != 3 {
+		t.Fatalf("full list = %v", all)
+	}
+}
+
+func TestSnapshotIsolatesFromLaterWrites(t *testing.T) {
+	s := newFast()
+	_ = s.Put("data", []byte("before"))
+	if err := s.Snapshot("snap1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Put("data", []byte("after"))
+	_ = s.Put("new", []byte("created-later"))
+
+	got, err := s.GetFromSnapshot("snap1", "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "before" {
+		t.Fatalf("snapshot read %q, want before", got)
+	}
+	if _, err := s.GetFromSnapshot("snap1", "new"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("later blob visible in snapshot: %v", err)
+	}
+	// Live view unaffected.
+	live, _ := s.Get("data")
+	if string(live) != "after" {
+		t.Fatalf("live read %q", live)
+	}
+}
+
+func TestSnapshotSurvivesDelete(t *testing.T) {
+	s := newFast()
+	_ = s.Put("data", []byte("precious"))
+	_ = s.Snapshot("snap")
+	_ = s.Delete("data")
+	got, err := s.GetFromSnapshot("snap", "data")
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("snapshot lost data: %v %q", err, got)
+	}
+}
+
+// TestSnapshotIsConstantTime is the paper's headline backup property: the
+// snapshot cost must not depend on data size (§3.5).
+func TestSnapshotIsConstantTime(t *testing.T) {
+	s := newFast()
+	_ = s.Put("small", make([]byte, 1024))
+	timeSnap := func(name string) time.Duration {
+		start := time.Now()
+		if err := s.Snapshot(name); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	small := timeSnap("s1")
+	_ = s.Put("big", make([]byte, 16<<20))
+	big := timeSnap("s2")
+	// Both must be quick metadata ops; allow generous slack for scheduling.
+	if small > 50*time.Millisecond || big > 50*time.Millisecond {
+		t.Fatalf("snapshot not constant-time: small=%v big=%v", small, big)
+	}
+	r, _, br, _ := s.Stats()
+	_ = r
+	if br != 0 {
+		t.Fatalf("snapshot moved %d bytes of data", br)
+	}
+}
+
+func TestRestoreCreatesIndependentBlobs(t *testing.T) {
+	s := newFast()
+	_ = s.Put("db/page0", []byte("zero"))
+	_ = s.Put("db/page1", []byte("one"))
+	_ = s.Snapshot("bak")
+	_ = s.Put("db/page0", []byte("ZERO-MUTATED"))
+
+	if err := s.Restore("bak", "restored/"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("restored/db/page0")
+	if err != nil || string(got) != "zero" {
+		t.Fatalf("restored read: %v %q", err, got)
+	}
+	// Copy-on-write: writing the restored blob must not disturb the
+	// original or the snapshot.
+	_ = s.Put("restored/db/page0", []byte("patched"))
+	orig, _ := s.Get("db/page0")
+	if string(orig) != "ZERO-MUTATED" {
+		t.Fatalf("original disturbed: %q", orig)
+	}
+	snap, _ := s.GetFromSnapshot("bak", "db/page0")
+	if string(snap) != "zero" {
+		t.Fatalf("snapshot disturbed: %q", snap)
+	}
+}
+
+func TestRestoreMissingSnapshot(t *testing.T) {
+	s := newFast()
+	if err := s.Restore("ghost", "x/"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotsOrderedByTime(t *testing.T) {
+	s := newFast()
+	_ = s.Snapshot("b")
+	_ = s.Snapshot("a")
+	_ = s.Snapshot("c")
+	got := s.Snapshots()
+	if len(got) != 3 || got[0] != "b" || got[1] != "a" || got[2] != "c" {
+		t.Fatalf("snapshots = %v, want creation order", got)
+	}
+	seqB, _, _ := s.SnapshotInfo("b")
+	seqC, _, _ := s.SnapshotInfo("c")
+	if seqB >= seqC {
+		t.Fatalf("snapshot seqs not monotonic: %d %d", seqB, seqC)
+	}
+}
+
+func TestDeleteSnapshot(t *testing.T) {
+	s := newFast()
+	_ = s.Snapshot("s")
+	if err := s.DeleteSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteSnapshot("s"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListFromSnapshot(t *testing.T) {
+	s := newFast()
+	_ = s.Put("db/a", []byte("1"))
+	_ = s.Snapshot("s")
+	_ = s.Put("db/b", []byte("2"))
+	names, err := s.ListFromSnapshot("s", "db/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "db/a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCompactPreservesAllVersions(t *testing.T) {
+	s := newFast()
+	_ = s.Put("a", []byte("a-v1"))
+	_ = s.Snapshot("snap")
+	_ = s.Put("a", []byte("a-v2"))
+	for i := 0; i < 3; i++ {
+		_ = s.Append("log", []byte("entry;"))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("a"); string(got) != "a-v2" {
+		t.Fatalf("live blob after compact: %q", got)
+	}
+	if got, _ := s.GetFromSnapshot("snap", "a"); string(got) != "a-v1" {
+		t.Fatalf("snapshot blob after compact: %q", got)
+	}
+	if got, _ := s.Get("log"); string(got) != "entry;entry;entry;" {
+		t.Fatalf("appended blob after compact: %q", got)
+	}
+}
+
+func TestOutagePropagates(t *testing.T) {
+	s := newFast()
+	_ = s.Put("a", []byte("x"))
+	s.SetOutage(true)
+	if err := s.Put("b", []byte("y")); err == nil {
+		t.Fatal("put during outage should fail")
+	}
+	if _, err := s.Get("a"); err == nil {
+		t.Fatal("get during outage should fail")
+	}
+	s.SetOutage(false)
+	if _, err := s.Get("a"); err != nil {
+		t.Fatalf("after outage: %v", err)
+	}
+}
+
+func TestLiveAndLogBytes(t *testing.T) {
+	s := newFast()
+	_ = s.Put("a", make([]byte, 100))
+	_ = s.Put("a", make([]byte, 100)) // old version becomes garbage
+	if s.LiveBytes() != 100 {
+		t.Fatalf("live = %d, want 100", s.LiveBytes())
+	}
+	if s.LogBytes() != 200 {
+		t.Fatalf("log = %d, want 200", s.LogBytes())
+	}
+}
+
+func TestIngestCapThrottles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	s := New(Config{Profile: simdisk.Instant, IngestMBps: 1})
+	_ = s.Put("burst", make([]byte, 1<<20)) // consume the burst allowance
+	start := time.Now()
+	_ = s.Put("x", make([]byte, 512<<10)) // 0.5 MiB at 1 MiB/s
+	if e := time.Since(start); e < 300*time.Millisecond {
+		t.Fatalf("ingest-capped put took %v, want >= 300ms", e)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := newFast()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			name := fmt.Sprintf("blob-%d", n)
+			payload := bytes.Repeat([]byte{byte(n)}, 256)
+			for j := 0; j < 40; j++ {
+				if err := s.Put(name, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := s.Get(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("worker %d read torn blob", n)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Property: a random interleaving of Put/Append per blob matches a simple
+// map[string][]byte model.
+func TestBlobModelEquivalence(t *testing.T) {
+	type op struct {
+		Name   uint8
+		Append bool
+		Data   []byte
+	}
+	f := func(ops []op) bool {
+		s := newFast()
+		model := map[string][]byte{}
+		for _, o := range ops {
+			name := fmt.Sprintf("b%d", o.Name%4)
+			if o.Append {
+				if err := s.Append(name, o.Data); err != nil {
+					return false
+				}
+				model[name] = append(model[name], o.Data...)
+			} else {
+				if err := s.Put(name, o.Data); err != nil {
+					return false
+				}
+				model[name] = append([]byte(nil), o.Data...)
+			}
+		}
+		for name, want := range model {
+			got, err := s.Get(name)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshots are immutable under any later mutation sequence.
+func TestSnapshotImmutabilityProperty(t *testing.T) {
+	f := func(initial, later [][]byte) bool {
+		s := newFast()
+		want := map[string][]byte{}
+		for i, d := range initial {
+			name := fmt.Sprintf("b%d", i%3)
+			_ = s.Put(name, d)
+			want[name] = append([]byte(nil), d...)
+		}
+		_ = s.Snapshot("frozen")
+		for i, d := range later {
+			name := fmt.Sprintf("b%d", i%3)
+			_ = s.Append(name, d)
+		}
+		for name, w := range want {
+			got, err := s.GetFromSnapshot("frozen", name)
+			if err != nil || !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package socrates
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRandomOpsModelEquivalence drives a full deployment (all four tiers)
+// with a random operation stream — inserts, updates, deletes, failovers,
+// backups — and checks the database against a plain map after every
+// disruptive event and at the end.
+func TestRandomOpsModelEquivalence(t *testing.T) {
+	db := openFast(t, Config{Name: "model"})
+	kv := db.KV()
+	if err := kv.CreateTable("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	model := map[string]string{}
+	key := func(i int) string { return fmt.Sprintf("k%04d", i) }
+
+	verify := func(context string) {
+		t.Helper()
+		got := map[string]string{}
+		tx := db.KV().BeginRO()
+		if err := tx.Scan("m", nil, nil, func(k, v []byte) bool {
+			got[string(k)] = string(v)
+			return true
+		}); err != nil {
+			t.Fatalf("%s: scan: %v", context, err)
+		}
+		if len(got) != len(model) {
+			t.Fatalf("%s: %d rows, want %d", context, len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("%s: %s = %q, want %q", context, k, got[k], v)
+			}
+		}
+	}
+
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(100); {
+		case op < 60: // upsert
+			k, v := key(rng.Intn(300)), fmt.Sprintf("v%d", step)
+			tx := db.KV().Begin()
+			if err := tx.Put("m", []byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case op < 80: // delete
+			k := key(rng.Intn(300))
+			tx := db.KV().Begin()
+			if err := tx.Delete("m", []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case op < 85: // multi-row transaction
+			tx := db.KV().Begin()
+			staged := map[string]string{}
+			for i := 0; i < 5; i++ {
+				k, v := key(rng.Intn(300)), fmt.Sprintf("m%d-%d", step, i)
+				if err := tx.Put("m", []byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				staged[k] = v
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range staged {
+				model[k] = v
+			}
+		case op < 90: // abort: no model change
+			tx := db.KV().Begin()
+			_ = tx.Put("m", []byte(key(rng.Intn(300))), []byte("discarded"))
+			tx.Abort()
+		case op < 96: // read probe
+			k := key(rng.Intn(300))
+			v, found, err := db.KV().BeginRO().Get("m", []byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, ok := model[k]
+			if found != ok || (found && string(v) != want) {
+				t.Fatalf("step %d: %s = %q/%v, want %q/%v", step, k, v, found, want, ok)
+			}
+		case op < 98: // failover mid-stream
+			if _, err := db.Failover(); err != nil {
+				t.Fatal(err)
+			}
+			verify(fmt.Sprintf("after failover at step %d", step))
+		default: // backup (constant-time, should not disturb anything)
+			if err := db.Backup(fmt.Sprintf("b%d", step)); err != nil {
+				t.Fatal(err)
+			}
+			verify(fmt.Sprintf("after backup at step %d", step))
+		}
+	}
+	verify("final")
+
+	// The replicated tiers converge to the same state.
+	if err := db.WaitForReplication(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package socrates is a from-scratch Go reproduction of "Socrates: The New
+// SQL Server in the Cloud" (Antonopoulos et al., SIGMOD 2019) — the
+// disaggregated OLTP database architecture shipped as Azure SQL DB
+// Hyperscale.
+//
+// A Socrates database separates durability from availability across four
+// tiers, all implemented in this module:
+//
+//   - compute nodes (one read-write primary, any number of read-only
+//     secondaries) run the relational engine over sparse RBPEX caches and
+//     fetch missing pages with GetPage@LSN;
+//   - the XLOG service owns the log: the primary commits into a
+//     quorum-replicated landing zone, and XLOG disseminates hardened blocks
+//     to consumers and destages them to the long-term archive;
+//   - page servers each keep one partition current by applying the
+//     filtered log, serve pages, and checkpoint to XStore;
+//   - XStore (simulated Azure Storage) durably holds checkpoints and log
+//     archive, with constant-time snapshots for backup/restore.
+//
+// Open starts a complete single-process deployment over a simulated Azure
+// storage substrate and returns a handle that speaks SQL:
+//
+//	db, err := socrates.Open(socrates.Config{})
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+//	db.Exec(`INSERT INTO t VALUES (1, 'hello')`)
+//	res, _ := db.Exec(`SELECT v FROM t WHERE id = 1`)
+//
+// The handle also exposes the paper's operational workflows: Failover,
+// AddSecondary, SplitPageServer, Backup, and PointInTimeRestore.
+package socrates
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"socrates/internal/cluster"
+	"socrates/internal/engine"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/sqlengine"
+	"socrates/internal/xstore"
+)
+
+// Re-exported result types so callers need not import internals.
+type (
+	// Result is the outcome of one SQL statement.
+	Result = sqlengine.Result
+	// Value is one SQL value in a result row.
+	Value = sqlengine.Value
+	// Session is a SQL session with optional explicit transactions.
+	Session = sqlengine.Session
+)
+
+// LZService selects the storage service implementing the landing zone —
+// the Appendix A experiment knob. Swapping services changes no other code,
+// exactly as the paper claims.
+type LZService int
+
+// Landing-zone service choices.
+const (
+	// XIO is Azure Premium Storage: the production configuration (§7.1).
+	XIO LZService = iota
+	// DirectDrive is the faster RDMA-based service of Appendix A.
+	DirectDrive
+	// InstantLZ is a zero-latency landing zone for tests.
+	InstantLZ
+)
+
+// Config tunes a deployment. The zero value is a sensible single-node
+// development deployment (one primary, one page server, XIO landing zone).
+type Config struct {
+	// Name names the database (defaults to "db").
+	Name string
+	// Secondaries is the number of read-scale secondary compute nodes.
+	Secondaries int
+	// PageServers is the initial page-server (partition) count.
+	PageServers int
+	// PagesPerPartition sizes partitions; required if PageServers > 1.
+	// The cluster grows extra page servers on demand as the database
+	// grows past the provisioned partitions.
+	PagesPerPartition uint64
+	// LZ selects the landing-zone storage service.
+	LZ LZService
+	// CacheMemPages / CacheSSDPages size each compute node's RBPEX tiers.
+	CacheMemPages, CacheSSDPages int
+	// Cores sizes the primary's simulated CPU meter.
+	Cores int
+	// Fast replaces every simulated device with zero-latency variants —
+	// full protocol fidelity without wall-clock cost (for tests/examples).
+	Fast bool
+}
+
+// DB is a running Socrates deployment plus its SQL front end.
+type DB struct {
+	cluster *cluster.Cluster
+
+	mu  sync.RWMutex
+	sql *sqlengine.DB
+}
+
+// Open builds, bootstraps, and starts a deployment.
+func Open(cfg Config) (*DB, error) {
+	ccfg := cluster.Config{
+		Name:              cfg.Name,
+		Secondaries:       cfg.Secondaries,
+		PageServers:       cfg.PageServers,
+		PagesPerPartition: cfg.PagesPerPartition,
+		ComputeMemPages:   cfg.CacheMemPages,
+		ComputeSSDPages:   cfg.CacheSSDPages,
+		PrimaryCores:      cfg.Cores,
+	}
+	switch cfg.LZ {
+	case XIO:
+		ccfg.LZProfile = simdisk.XIO
+	case DirectDrive:
+		ccfg.LZProfile = simdisk.DirectDrive
+	case InstantLZ:
+		ccfg.LZProfile = simdisk.Instant
+	default:
+		return nil, fmt.Errorf("socrates: unknown landing-zone service %d", cfg.LZ)
+	}
+	if cfg.Fast {
+		ccfg.LZProfile = simdisk.Instant
+		ccfg.LocalSSD = simdisk.Instant
+		ccfg.Net = rbio.NewInstantNetwork()
+		ccfg.XStore = xstore.Config{Profile: simdisk.Instant}
+		ccfg.CheckpointEvery = 5 * time.Millisecond
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cluster: c, sql: sqlengine.New(c.Primary().Engine)}, nil
+}
+
+// Close stops every node of the deployment.
+func (db *DB) Close() { db.cluster.Close() }
+
+// Exec parses and runs one SQL statement with auto-commit.
+func (db *DB) Exec(sql string) (*Result, error) { return db.front().Exec(sql) }
+
+// Session opens a SQL session on the primary (BEGIN/COMMIT supported).
+func (db *DB) Session() *Session { return db.front().Session() }
+
+// front returns the current SQL front end (swapped on failover).
+func (db *DB) front() *sqlengine.DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.sql
+}
+
+// ReadSession opens a SQL session against a read-only secondary.
+func (db *DB) ReadSession(secondary string) (*Session, error) {
+	sec, ok := db.cluster.Secondary(secondary)
+	if !ok {
+		return nil, fmt.Errorf("socrates: no secondary %q", secondary)
+	}
+	return sqlengine.New(sec.Engine).Session(), nil
+}
+
+// KV exposes the primary's transactional key-value engine directly (the
+// layer the SQL front end compiles onto).
+func (db *DB) KV() *engine.Engine { return db.cluster.Primary().Engine }
+
+// Cluster exposes the deployment for operational inspection (experiments,
+// metrics, failure injection).
+func (db *DB) Cluster() *cluster.Cluster { return db.cluster }
+
+// --- operational workflows (§5, §6) ---
+
+// Failover crashes the primary and recovers a fresh one; returns the time
+// to availability. SQL traffic transparently continues on the new primary.
+func (db *DB) Failover() (time.Duration, error) {
+	p, d, err := db.cluster.Failover()
+	if err != nil {
+		return d, err
+	}
+	db.mu.Lock()
+	db.sql = sqlengine.New(p.Engine)
+	db.mu.Unlock()
+	return d, nil
+}
+
+// AddSecondary attaches a read-scale secondary (O(1): no data copied).
+func (db *DB) AddSecondary(name string) error {
+	_, err := db.cluster.AddSecondary(name)
+	return err
+}
+
+// RemoveSecondary detaches a secondary.
+func (db *DB) RemoveSecondary(name string) error {
+	return db.cluster.RemoveSecondary(name)
+}
+
+// Secondaries lists attached secondaries.
+func (db *DB) Secondaries() []string { return db.cluster.Secondaries() }
+
+// WaitForReplication blocks until all page servers and secondaries applied
+// the log through the current hardened end.
+func (db *DB) WaitForReplication(timeout time.Duration) error {
+	return db.cluster.WaitForCatchUp(timeout)
+}
+
+// SplitPageServer shards a partition into two page servers (finer sharding
+// for faster recovery, §6).
+func (db *DB) SplitPageServer(partition uint32) error {
+	return db.cluster.SplitPageServer(page.PartitionID(partition))
+}
+
+// AddPageServerReplica adds a hot replica of a partition's page server.
+func (db *DB) AddPageServerReplica(partition uint32) error {
+	return db.cluster.AddPageServerReplica(page.PartitionID(partition))
+}
+
+// Backup takes a named constant-time backup (XStore snapshot).
+func (db *DB) Backup(name string) error { return db.cluster.Backup(name) }
+
+// BackupLSN reports the current hardened log position, usable as a
+// PointInTimeRestore target.
+func (db *DB) BackupLSN() uint64 { return db.cluster.LZ.HardenedEnd().Uint64() }
+
+// RestoredDB is a read-only database materialized by PointInTimeRestore.
+type RestoredDB struct {
+	sql *sqlengine.DB
+}
+
+// Exec runs a read-only SQL statement against the restored image.
+func (r *RestoredDB) Exec(sql string) (*Result, error) { return r.sql.Exec(sql) }
+
+// PointInTimeRestore materializes the database as of targetLSN (0 = end of
+// log) from a named backup: constant-time snapshot restore plus a bounded
+// log-range replay (§4.7).
+func (db *DB) PointInTimeRestore(backup string, targetLSN uint64) (*RestoredDB, error) {
+	eng, _, err := db.cluster.PointInTimeRestore(backup, page.LSN(targetLSN))
+	if err != nil {
+		return nil, err
+	}
+	return &RestoredDB{sql: sqlengine.New(eng)}, nil
+}
+
+// Stats reports headline deployment metrics.
+type Stats struct {
+	HardenedLSN    uint64  // durable log end
+	LogBytes       int64   // bytes flushed to the landing zone
+	CacheHitRate   float64 // primary RBPEX hit rate
+	RemoteFetches  int64   // GetPage@LSN calls issued by the primary
+	PageServers    int
+	Secondaries    int
+	XStoreLiveMB   float64
+	CPUUtilization float64
+}
+
+// Stats snapshots deployment metrics.
+func (db *DB) Stats() Stats {
+	p := db.cluster.Primary()
+	_, bytes := p.Writer().Stats()
+	return Stats{
+		HardenedLSN:    p.HardenedEnd().Uint64(),
+		LogBytes:       bytes,
+		CacheHitRate:   p.Pages().Cache().HitRate(),
+		RemoteFetches:  p.Pages().Fetches(),
+		PageServers:    len(db.cluster.PageServers()),
+		Secondaries:    len(db.cluster.Secondaries()),
+		XStoreLiveMB:   float64(db.cluster.Store.LiveBytes()) / (1 << 20),
+		CPUUtilization: db.cluster.PrimaryMeter.Utilization(),
+	}
+}
+
+// ErrNoBackup is returned by PointInTimeRestore for unknown backup names.
+var ErrNoBackup = cluster.ErrNoBackup
+
+// IsNoBackup reports whether err is an unknown-backup error.
+func IsNoBackup(err error) bool { return errors.Is(err, cluster.ErrNoBackup) }
