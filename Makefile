@@ -1,0 +1,37 @@
+# Pre-commit loop: make lint test race
+
+GO ?= go
+
+# Packages whose -race runs are fast and deterministic; the experiments
+# package replays paper-scale workloads and is exercised separately via
+# `make bench` / cmd/socrates-bench.
+RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
+             ./internal/cluster ./internal/xlog ./internal/pageserver
+
+.PHONY: all lint fmt vet test race bench clean
+
+all: lint test
+
+lint: fmt vet
+	$(GO) run ./cmd/socrates-vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

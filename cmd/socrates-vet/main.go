@@ -1,0 +1,93 @@
+// Command socrates-vet runs the Socrates-specific static-analysis suite
+// (internal/analysis) over the repo: errlint, lsnlint, locklint, sleeplint,
+// and atomiclint, each encoding one of the paper's cross-tier invariants.
+//
+// Usage:
+//
+//	socrates-vet [-passes=errlint,lsnlint,...] [patterns...]
+//
+// Patterns are package directories or "dir/..." subtrees (default "./...").
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"socrates/internal/analysis"
+)
+
+func main() {
+	passNames := flag.String("passes", "", "comma-separated pass subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: socrates-vet [-passes=a,b] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	passes := analysis.AllPasses()
+	if *passNames != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*passNames, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []analysis.Pass
+		for _, p := range passes {
+			if want[p.Name()] {
+				selected = append(selected, p)
+				delete(want, p.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "socrates-vet: unknown pass %q\n", name)
+			os.Exit(2)
+		}
+		passes = selected
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		importPath, err := loader.ImportPathFor(dir)
+		if err != nil {
+			fatal(err)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := analysis.Run(pkgs, passes)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "socrates-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socrates-vet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,280 @@
+// Package analysis is the socrates-vet static-analysis suite: five
+// domain-specific passes that encode the cross-tier invariants the paper's
+// architecture depends on (durability-before-ack, LSN monotonicity, lock
+// discipline in the caches, no sleep-polling on hot paths, and coherent
+// atomics). Each pass is pure stdlib — go/ast + go/types — and runs over
+// type-checked packages produced by the Loader.
+//
+// Intentional violations are annotated in source with directives of the form
+//
+//	//socrates:<name> <reason>
+//
+// placed on the offending line, the line above it, or (for function-scoped
+// directives such as lsn-helper or sleep-ok) in the function's doc comment.
+// A directive without a reason is itself a diagnostic: the allowlist is only
+// useful if every entry says why.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from one pass.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Pass is one analyzer.
+type Pass interface {
+	Name() string
+	Run(pkg *Package) []Diagnostic
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("socrates/internal/xlog")
+	Dir   string // directory on disk
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	directives map[*ast.File]map[int]directive // line -> directive, per file
+}
+
+// directive is one //socrates:<name> <reason> annotation.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+}
+
+const directivePrefix = "//socrates:"
+
+// parseDirective extracts a directive from one comment, if present.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name := rest
+	reason := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	return directive{name: name, reason: reason, pos: c.Pos()}, true
+}
+
+// fileDirectives lazily builds the line -> directive map for a file.
+func (p *Package) fileDirectives(f *ast.File) map[int]directive {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int]directive)
+	}
+	if m, ok := p.directives[f]; ok {
+		return m
+	}
+	m := make(map[int]directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok {
+				m[p.Fset.Position(c.Pos()).Line] = d
+			}
+		}
+	}
+	p.directives[f] = m
+	return m
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Package) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// DirectiveAt reports whether a //socrates:<name> directive covers the node:
+// on the node's line, on the line above it, or in the doc comment of the
+// enclosing function declaration.
+func (p *Package) DirectiveAt(name string, node ast.Node) bool {
+	f := p.fileOf(node.Pos())
+	if f == nil {
+		return false
+	}
+	m := p.fileDirectives(f)
+	line := p.Fset.Position(node.Pos()).Line
+	if d, ok := m[line]; ok && d.name == name {
+		return true
+	}
+	if d, ok := m[line-1]; ok && d.name == name {
+		return true
+	}
+	if fn := p.enclosingFunc(f, node.Pos()); fn != nil && fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if d, ok := parseDirective(c); ok && d.name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether the function declaration carries the named
+// directive in its doc comment.
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c); ok && d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc finds the function declaration containing pos.
+func (p *Package) enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// diag builds a Diagnostic at the node's position.
+func (p *Package) diag(pass string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(node.Pos()),
+		Pass:    pass,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// knownDirectives is every directive name a pass consumes; anything else
+// spelled //socrates:... is a typo worth flagging.
+var knownDirectives = map[string]bool{
+	"ignore-err": true, // errlint: intentionally dropped error
+	"lsn-helper": true, // lsnlint: function is an approved LSN-ordering helper
+	"lsn-ok":     true, // lsnlint: one approved raw-LSN expression
+	"lock-ok":    true, // locklint: reviewed lock-discipline exception
+	"sleep-ok":   true, // sleeplint: intentional sleep (pacing, backoff, simulation)
+	"atomic-ok":  true, // atomiclint: reviewed mixed access (e.g. pre-publication init)
+}
+
+// CheckDirectives validates every //socrates: annotation in the package:
+// unknown names and missing reasons are diagnostics. It runs as an implicit
+// sixth pass so the allowlist itself stays auditable.
+func CheckDirectives(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				if !knownDirectives[d.name] {
+					out = append(out, Diagnostic{
+						Pos:     pkg.Fset.Position(d.pos),
+						Pass:    "directive",
+						Message: fmt.Sprintf("unknown directive //socrates:%s", d.name),
+					})
+					continue
+				}
+				if d.reason == "" {
+					out = append(out, Diagnostic{
+						Pos:     pkg.Fset.Position(d.pos),
+						Pass:    "directive",
+						Message: fmt.Sprintf("//socrates:%s needs a reason", d.name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AllPasses returns the full suite in its default (repo) configuration.
+func AllPasses() []Pass {
+	return []Pass{
+		DefaultErrlint(),
+		NewLSNLint(),
+		NewLockLint(),
+		DefaultSleeplint(),
+		NewAtomicLint(),
+	}
+}
+
+// Run applies the passes (plus directive validation) to every package and
+// returns the combined, position-sorted findings.
+func Run(pkgs []*Package, passes []Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, CheckDirectives(pkg)...)
+		for _, pass := range passes {
+			out = append(out, pass.Run(pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}
+
+// --- shared type helpers ---
+
+// calleeObject resolves the called function/method object, or nil.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// calleePkgPath reports the defining package path of the callee ("" for
+// builtins and type conversions).
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicLint flags variables (typically struct fields) that are accessed
+// both through sync/atomic functions and through plain reads or writes in
+// the same package. Mixing the two silently forfeits the happens-before
+// edges the atomic calls were supposed to provide: the plain access races
+// with every atomic one, and -race only catches it when the schedule
+// cooperates. In a watermark-heavy system like Socrates (applied / hardened
+// / destaged LSNs advancing on hot paths) this is exactly the class of bug
+// that shows up as a stale read once in a million batches.
+//
+// The analysis is package-local: it collects every object whose address is
+// passed to a sync/atomic call, then reports every use of those objects
+// outside a sync/atomic argument. Reviewed exceptions (e.g. plain writes
+// strictly before any goroutine is spawned) are annotated
+// //socrates:atomic-ok <reason>.
+type AtomicLint struct{}
+
+// NewAtomicLint returns the pass.
+func NewAtomicLint() *AtomicLint { return &AtomicLint{} }
+
+// Name implements Pass.
+func (a *AtomicLint) Name() string { return "atomiclint" }
+
+type span struct{ lo, hi token.Pos }
+
+// Run implements Pass.
+func (a *AtomicLint) Run(pkg *Package) []Diagnostic {
+	// Phase 1: objects whose address feeds sync/atomic, plus the source
+	// spans of those atomic calls.
+	atomicObjs := make(map[types.Object]bool)
+	var atomicSpans []span
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleePkgPath(pkg.Info, call) != "sync/atomic" {
+				return true
+			}
+			atomicSpans = append(atomicSpans, span{call.Pos(), call.End()})
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := referencedObject(pkg.Info, un.X); obj != nil {
+					atomicObjs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	inAtomic := func(pos token.Pos) bool {
+		for _, s := range atomicSpans {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Phase 2: plain uses of those objects.
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || !atomicObjs[obj] || inAtomic(id.Pos()) {
+				return true
+			}
+			if pkg.DirectiveAt("atomic-ok", id) {
+				return true
+			}
+			out = append(out, pkg.diag("atomiclint", id,
+				"%s is accessed with sync/atomic elsewhere in this package but read/written plainly here; use atomic access (or the sync/atomic types) everywhere, or annotate //socrates:atomic-ok <reason>",
+				id.Name))
+			return true
+		})
+	}
+	return out
+}
+
+// referencedObject resolves the variable object behind x.f / x / (*x).f.
+func referencedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.StarExpr:
+		return referencedObject(info, x.X)
+	case *ast.IndexExpr:
+		return referencedObject(info, x.X)
+	}
+	return nil
+}

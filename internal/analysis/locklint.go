@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockLint enforces the lock discipline the compute / page-server caches
+// depend on, with three checks:
+//
+//  1. lock-by-value: a sync.Mutex (or a struct containing one) copied via
+//     assignment, value parameter, or range variable — the copy and the
+//     original no longer exclude each other;
+//  2. lock-without-unlock: a function that calls X.Lock()/X.RLock() but
+//     never unlocks X (neither inline nor deferred) — the hallmark of a
+//     leaked critical section;
+//  3. lock-across-I/O: a statement executed while a lock is held that sends
+//     on a channel or calls across a package boundary into a
+//     (simulated-latency) I/O package. Holding a cache mutex across a
+//     simdisk write turns a microsecond critical section into a
+//     millisecond one and is how the paper's GetPage@LSN tail latencies
+//     regress. Calls within an I/O package itself are exempt: its own
+//     mutexes guard its bookkeeping, and most intra-package calls (index
+//     updates, metadata clones) never touch the simulated device.
+//
+// The held-lock tracking is an intra-procedural linear approximation: it
+// follows statement order, branches inherit the held set, and an unlock on
+// any path clears it (under-approximating, so exotic control flow yields
+// false negatives rather than false positives). Reviewed exceptions are
+// annotated //socrates:lock-ok <reason>.
+type LockLint struct {
+	// IOPkgs are import-path substrings whose calls count as I/O for
+	// check 3.
+	IOPkgs []string
+}
+
+// NewLockLint returns the pass configured for the Socrates tree.
+func NewLockLint() *LockLint {
+	return &LockLint{IOPkgs: []string{
+		"socrates/internal/simdisk",
+		"socrates/internal/xstore",
+	}}
+}
+
+// Name implements Pass.
+func (l *LockLint) Name() string { return "locklint" }
+
+// containsLock reports whether t is or embeds a sync lock type by value.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "Cond", "WaitGroup", "Once":
+				return true
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockType(t types.Type) bool { return containsLock(t, make(map[types.Type]bool)) }
+
+// syncLockCall classifies a statement as a Lock/Unlock call on a sync
+// primitive and returns the receiver key ("s.mu").
+func syncLockCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return types.ExprString(sel.X), obj.Name(), true
+	}
+	return "", "", false
+}
+
+// Run implements Pass.
+func (l *LockLint) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, l.checkCopies(pkg, fn)...)
+			out = append(out, l.checkBalance(pkg, fn)...)
+			out = append(out, l.checkHeldAcross(pkg, fn)...)
+		}
+	}
+	return out
+}
+
+// --- check 1: lock copies ---
+
+func (l *LockLint) checkCopies(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	flag := func(node ast.Node, what string) {
+		if pkg.DirectiveAt("lock-ok", node) {
+			return
+		}
+		out = append(out, pkg.diag("locklint", node,
+			"%s copies a value containing a sync lock; pass a pointer instead", what))
+	}
+	// Value parameters (and receivers) of lock-containing type.
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if lockType(tv.Type) {
+				flag(field, what)
+			}
+		}
+	}
+	checkFields(fn.Recv, "receiver")
+	checkFields(fn.Type.Params, "parameter")
+	// Assignments and range variables copying a lock-containing value.
+	copySource := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) || isBlank(st.Lhs[i]) || !copySource(rhs) {
+					continue
+				}
+				tv, ok := pkg.Info.Types[rhs]
+				if !ok {
+					continue
+				}
+				if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+					continue
+				}
+				if lockType(tv.Type) {
+					flag(st, "assignment")
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Value == nil || isBlank(st.Value) {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[st.Value]; ok && lockType(tv.Type) {
+				flag(st, "range variable")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// --- check 2: Lock without any Unlock ---
+
+func (l *LockLint) checkBalance(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	locks := make(map[string][]ast.Node) // key -> Lock call sites
+	unlocked := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := syncLockCall(pkg.Info, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock", "RLock":
+			locks[key] = append(locks[key], call)
+		case "Unlock", "RUnlock":
+			unlocked[key] = true
+		}
+		return true
+	})
+	var out []Diagnostic
+	for key, sites := range locks {
+		if unlocked[key] {
+			continue
+		}
+		for _, site := range sites {
+			if pkg.DirectiveAt("lock-ok", site) {
+				continue
+			}
+			out = append(out, pkg.diag("locklint", site,
+				"%s is locked but never unlocked in this function; add a defer %s.Unlock() or annotate //socrates:lock-ok <reason>",
+				key, key))
+		}
+	}
+	return out
+}
+
+// --- check 3: lock held across channel send / I/O call ---
+
+func (l *LockLint) checkHeldAcross(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	held := make(map[string]bool)
+	flag := func(node ast.Node, key, what string) {
+		if pkg.DirectiveAt("lock-ok", node) {
+			return
+		}
+		out = append(out, pkg.diag("locklint", node,
+			"%s while %s is held; release the lock first or annotate //socrates:lock-ok <reason>", what, key))
+	}
+	// risky scans one statement's expressions for sends and I/O calls,
+	// without descending into function literals (their body runs later).
+	risky := func(st ast.Stmt) {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				for key := range held {
+					flag(e, key, "channel send")
+				}
+			case *ast.CallExpr:
+				if _, _, isLock := syncLockCall(pkg.Info, e); isLock {
+					return true
+				}
+				path := calleePkgPath(pkg.Info, e)
+				if path == pkg.Path {
+					return true // intra-package call, not an I/O-tier crossing
+				}
+				for _, io := range l.IOPkgs {
+					if path != "" && containsPath(path, io) {
+						for key := range held {
+							flag(e, key, "I/O call into "+path)
+						}
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	var walkStmts func(list []ast.Stmt)
+	walkStmt := func(st ast.Stmt) {}
+	walkStmts = func(list []ast.Stmt) {
+		for _, st := range list {
+			walkStmt(st)
+		}
+	}
+	walkStmt = func(st ast.Stmt) {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if key, method, ok := syncLockCall(pkg.Info, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						risky(st) // sends/I/O in the Lock args themselves
+						held[key] = true
+						return
+					case "Unlock", "RUnlock":
+						delete(held, key)
+						return
+					}
+				}
+			}
+			risky(st)
+		case *ast.DeferStmt:
+			if key, method, ok := syncLockCall(pkg.Info, s.Call); ok &&
+				(method == "Unlock" || method == "RUnlock") {
+				// defer X.Unlock(): X stays held for the rest of the
+				// function; subsequent sends/I/O still flag.
+				_ = key
+				return
+			}
+			risky(st)
+		case *ast.BlockStmt:
+			walkStmts(s.List)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			risky(&ast.ExprStmt{X: s.Cond})
+			walkStmts(s.Body.List)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			walkStmts(s.Body.List)
+		case *ast.RangeStmt:
+			walkStmts(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			// Select communications are scheduling points by design; only
+			// inspect the case bodies.
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.GoStmt:
+			// The goroutine body runs without our lock context.
+		default:
+			risky(st)
+		}
+	}
+	walkStmts(fn.Body.List)
+	return out
+}
+
+// containsPath reports whether the import path contains the pattern.
+func containsPath(path, pattern string) bool {
+	return pattern != "" && strings.Contains(path, pattern)
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LSNLint flags raw arithmetic and ordering comparisons on LSN-typed values
+// outside approved helpers. The log tier's core invariant is that LSNs form
+// one monotonic space managed by the primary (§4.3-§4.4): watermarks only
+// advance, redo applies a record only when record.LSN > page.LSN, and a
+// hardened prefix never has holes. Scattered raw `lsn+1` / `a < b`
+// expressions are where that invariant silently erodes (an off-by-one in a
+// watermark comparison is a lost-write, not a crash), so ordering logic is
+// funneled through the page.LSN methods (Next, Prev, Before, AtLeast, ...)
+// or through functions explicitly blessed as watermark helpers with a
+// //socrates:lsn-helper <reason> doc directive.
+//
+// Approved contexts, in which raw expressions are allowed:
+//   - methods declared on the LSN type itself (they ARE the helpers);
+//   - functions carrying //socrates:lsn-helper in their doc comment;
+//   - a single expression annotated //socrates:lsn-ok <reason>.
+//
+// Equality (== / !=) is always allowed: it carries no ordering assumption.
+type LSNLint struct {
+	// TypeName is the named type to protect (default "LSN").
+	TypeName string
+}
+
+// NewLSNLint returns the pass with the default LSN type name.
+func NewLSNLint() *LSNLint { return &LSNLint{TypeName: "LSN"} }
+
+// Name implements Pass.
+func (l *LSNLint) Name() string { return "lsnlint" }
+
+// isLSN reports whether t (or its pointer-elem) is a named type called
+// TypeName with an integer underlying type.
+func (l *LSNLint) isLSN(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != l.TypeName {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func (l *LSNLint) exprIsLSN(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && l.isLSN(tv.Type)
+}
+
+var lsnArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true, token.REM: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true,
+}
+
+var lsnOrderOps = map[token.Token]bool{
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+// approvedFunc reports whether fn is an approved helper: a method on the
+// LSN type or a function annotated //socrates:lsn-helper.
+func (l *LSNLint) approvedFunc(pkg *Package, fn *ast.FuncDecl) bool {
+	if FuncDirective(fn, "lsn-helper") {
+		return true
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return l.isLSN(t)
+}
+
+// Run implements Pass.
+func (l *LSNLint) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	flag := func(node ast.Node, what, op string) {
+		if pkg.DirectiveAt("lsn-ok", node) {
+			return
+		}
+		out = append(out, pkg.diag("lsnlint", node,
+			"raw LSN %s (%s) outside an approved helper; use the page.LSN methods or annotate the helper //socrates:lsn-helper <reason>",
+			what, op))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || l.approvedFunc(pkg, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					if !l.exprIsLSN(pkg.Info, e.X) && !l.exprIsLSN(pkg.Info, e.Y) {
+						return true
+					}
+					if lsnArithOps[e.Op] {
+						flag(e, "arithmetic", e.Op.String())
+					} else if lsnOrderOps[e.Op] {
+						flag(e, "ordering comparison", e.Op.String())
+					}
+				case *ast.AssignStmt:
+					if lsnArithOps[e.Tok] && len(e.Lhs) == 1 && l.exprIsLSN(pkg.Info, e.Lhs[0]) {
+						flag(e, "arithmetic", e.Tok.String())
+					}
+				case *ast.IncDecStmt:
+					if l.exprIsLSN(pkg.Info, e.X) {
+						flag(e, "arithmetic", e.Tok.String())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

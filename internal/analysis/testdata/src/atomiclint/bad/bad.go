@@ -1,0 +1,25 @@
+// Package bad is an atomiclint fixture: a counter touched both atomically
+// and plainly.
+package bad
+
+import "sync/atomic"
+
+// Stats mixes access modes on served.
+type Stats struct {
+	served int64
+}
+
+// Inc updates the counter atomically.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.served, 1)
+}
+
+// Served reads the same field without atomic — a silent data race.
+func (s *Stats) Served() int64 {
+	return s.served // want atomiclint: plain read of atomic field
+}
+
+// Reset writes the same field without atomic.
+func (s *Stats) Reset() {
+	s.served = 0 // want atomiclint: plain write of atomic field
+}

@@ -1,0 +1,28 @@
+// Package clean is the atomiclint negative fixture: one access mode per
+// field.
+package clean
+
+import "sync/atomic"
+
+// Stats keeps every access to served atomic; typedCount uses the
+// race-proof atomic.Int64 wrapper type.
+type Stats struct {
+	served     int64
+	typedCount atomic.Int64
+}
+
+// Inc updates the counter atomically.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.served, 1)
+	s.typedCount.Add(1)
+}
+
+// Served reads atomically too.
+func (s *Stats) Served() int64 {
+	return atomic.LoadInt64(&s.served)
+}
+
+// TypedCount reads the wrapper type (always safe).
+func (s *Stats) TypedCount() int64 {
+	return s.typedCount.Load()
+}

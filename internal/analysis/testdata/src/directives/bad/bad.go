@@ -1,0 +1,10 @@
+// Package bad is the directive-validation fixture.
+package bad
+
+// Annotated carries one unknown directive and one reason-less known one.
+func Annotated() int {
+	//socrates:ignroe-err typo'd name is flagged as unknown
+	x := 1
+	//socrates:sleep-ok
+	return x
+}

@@ -1,0 +1,36 @@
+// Package bad is an errlint fixture: durability-critical errors dropped.
+package bad
+
+import "errors"
+
+// harden pretends to be a durability-critical write (the fixture package
+// itself is configured as critical in the test).
+func harden(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty block")
+	}
+	return nil
+}
+
+func hardenAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("bad offset")
+	}
+	return len(b), nil
+}
+
+// DropStatement discards the error by calling harden as a statement.
+func DropStatement(b []byte) {
+	harden(b) // want errlint: statement drop
+}
+
+// DropBlank discards the error via the blank identifier.
+func DropBlank(b []byte) {
+	_ = harden(b) // want errlint: blank drop
+}
+
+// DropTuple discards only the error half of a tuple.
+func DropTuple(b []byte) int {
+	n, _ := hardenAt(b, 4) // want errlint: tuple blank drop
+	return n
+}

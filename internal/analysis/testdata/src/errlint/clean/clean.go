@@ -1,0 +1,42 @@
+// Package clean is the errlint negative fixture: every critical error is
+// propagated, checked, or explicitly annotated.
+package clean
+
+import "errors"
+
+func harden(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty block")
+	}
+	return nil
+}
+
+func hardenAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("bad offset")
+	}
+	return len(b), nil
+}
+
+func note(string) {}
+
+// Propagate returns the critical error to the caller.
+func Propagate(b []byte) error {
+	return harden(b)
+}
+
+// Check handles the critical error locally.
+func Check(b []byte) {
+	if err := harden(b); err != nil {
+		note(err.Error())
+	}
+	if _, err := hardenAt(b, 4); err != nil {
+		note(err.Error())
+	}
+}
+
+// Annotated drops the error deliberately, with a recorded reason.
+func Annotated(b []byte) {
+	//socrates:ignore-err fixture: best-effort prefetch, next write retries
+	_ = harden(b)
+}

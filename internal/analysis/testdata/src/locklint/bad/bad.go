@@ -1,0 +1,36 @@
+// Package bad is a locklint fixture: copied locks, leaked critical
+// sections, and work done while holding a mutex.
+package bad
+
+import "sync"
+
+// Cache guards a map with a mutex.
+type Cache struct {
+	mu sync.Mutex
+	m  map[int]int
+	ch chan int
+}
+
+// ByValue copies the lock through a value parameter.
+func ByValue(c Cache) int { // want locklint: parameter copies lock
+	return len(c.m)
+}
+
+// CopyAssign copies a lock-containing struct by assignment.
+func CopyAssign(c *Cache) Cache {
+	snapshot := *c // want locklint: assignment copies lock
+	return snapshot
+}
+
+// Leak locks without ever unlocking.
+func Leak(c *Cache) int {
+	c.mu.Lock() // want locklint: never unlocked
+	return len(c.m)
+}
+
+// SendWhileHeld sends on a channel inside the critical section.
+func SendWhileHeld(c *Cache, v int) {
+	c.mu.Lock()
+	c.ch <- v // want locklint: send under lock
+	c.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+// Package clean is the locklint negative fixture: pointers, balanced
+// critical sections, and no blocking work under the lock.
+package clean
+
+import "sync"
+
+// Cache guards a map with a mutex.
+type Cache struct {
+	mu sync.Mutex
+	m  map[int]int
+	ch chan int
+}
+
+// ByPointer takes the lock owner by pointer.
+func ByPointer(c *Cache) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Balanced locks and unlocks inline.
+func Balanced(c *Cache, k, v int) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// SendOutside snapshots under the lock and sends after releasing it.
+func SendOutside(c *Cache, k int) {
+	c.mu.Lock()
+	v := c.m[k]
+	c.mu.Unlock()
+	c.ch <- v
+}

@@ -1,0 +1,26 @@
+// Package bad is a lsnlint fixture: raw LSN arithmetic and ordering.
+package bad
+
+// LSN mirrors page.LSN for the fixture.
+type LSN uint64
+
+// NextRaw does raw arithmetic on an LSN. // want lsnlint
+func NextRaw(l LSN) LSN {
+	return l + 1 // want lsnlint: arithmetic
+}
+
+// CompareRaw does a raw ordering comparison. // want lsnlint
+func CompareRaw(a, b LSN) bool {
+	return a < b // want lsnlint: ordering
+}
+
+// AdvanceRaw increments a watermark in place.
+func AdvanceRaw(l *LSN) {
+	*l++ // want lsnlint: inc/dec
+}
+
+// AccumulateRaw uses a compound assignment.
+func AccumulateRaw(l LSN, n uint64) LSN {
+	l += LSN(n) // want lsnlint: compound assign
+	return l
+}

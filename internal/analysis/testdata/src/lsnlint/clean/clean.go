@@ -1,0 +1,35 @@
+// Package clean is the lsnlint negative fixture: ordering goes through LSN
+// methods, blessed helpers, or annotated expressions.
+package clean
+
+// LSN mirrors page.LSN for the fixture.
+type LSN uint64
+
+// Next is a method on LSN: raw arithmetic is allowed here — this IS the
+// approved helper.
+func (l LSN) Next() LSN { return l + 1 }
+
+// Before is the approved ordering helper.
+func (l LSN) Before(o LSN) bool { return l < o }
+
+// Advance is an approved watermark helper.
+//
+//socrates:lsn-helper fixture: the one place this watermark moves
+func Advance(w *LSN, to LSN) {
+	if *w < to {
+		*w = to
+	}
+}
+
+// UseHelpers exercises the helpers; nothing raw remains.
+func UseHelpers(a, b LSN) LSN {
+	if a.Before(b) {
+		return b.Next()
+	}
+	if a == b { // equality carries no ordering assumption
+		return a
+	}
+	//socrates:lsn-ok fixture: scaled display value, not a watermark
+	approx := a / 2
+	return approx
+}

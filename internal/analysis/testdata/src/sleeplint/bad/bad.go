@@ -1,0 +1,27 @@
+// Package bad is a sleeplint fixture: a classic sleep-poll catch-up loop.
+package bad
+
+import (
+	"sync"
+	"time"
+)
+
+// Watermark is polled by waiters.
+type Watermark struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Load reads the watermark.
+func (w *Watermark) Load() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.v
+}
+
+// WaitAtLeast polls with time.Sleep until the watermark catches up.
+func (w *Watermark) WaitAtLeast(target uint64) {
+	for w.Load() < target {
+		time.Sleep(time.Millisecond) // want sleeplint: poll loop
+	}
+}

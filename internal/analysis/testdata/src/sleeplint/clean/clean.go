@@ -1,0 +1,47 @@
+// Package clean is the sleeplint negative fixture: waiters park on a
+// sync.Cond, and the one intentional sleep is annotated.
+package clean
+
+import (
+	"sync"
+	"time"
+)
+
+// Watermark signals waiters on every advance.
+type Watermark struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	v    uint64
+}
+
+// NewWatermark builds a signalling watermark.
+func NewWatermark() *Watermark {
+	w := &Watermark{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Advance publishes a new value and wakes waiters.
+func (w *Watermark) Advance(v uint64) {
+	w.mu.Lock()
+	if v > w.v {
+		w.v = v
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// WaitAtLeast blocks on the condition variable — no polling.
+func (w *Watermark) WaitAtLeast(target uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.v < target {
+		w.cond.Wait()
+	}
+}
+
+// Backoff pauses deliberately between retries.
+func Backoff(attempt int) {
+	//socrates:sleep-ok fixture: retry backoff is a deliberate pause, not a poll
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}

@@ -21,7 +21,7 @@ func Apply(pg *page.Page, rec *wal.Record) (bool, error) {
 	if rec.Page != pg.ID {
 		return false, fmt.Errorf("btree: record for page %d applied to page %d", rec.Page, pg.ID)
 	}
-	if rec.LSN <= pg.LSN {
+	if rec.LSN.AtMost(pg.LSN) {
 		return false, nil // already reflected
 	}
 	switch rec.Kind {

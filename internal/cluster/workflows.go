@@ -60,40 +60,33 @@ func (c *Cluster) addSecondary(name string, delay time.Duration) (*compute.Secon
 }
 
 // WaitForCatchUp blocks until every page server and secondary has applied
-// the log through the current hardened end.
+// the log through the current hardened end. Each node exposes a
+// condition-variable wait on its apply watermark, so this blocks on apply
+// signals instead of polling.
 func (c *Cluster) WaitForCatchUp(timeout time.Duration) error {
 	target := c.LZ.HardenedEnd()
 	deadline := time.Now().Add(timeout)
-	for {
-		behind := ""
-		for _, srv := range c.PageServers() {
-			if srv.AppliedLSN() < target {
-				behind = fmt.Sprintf("page server at %d", srv.AppliedLSN())
-				break
-			}
+	for _, srv := range c.PageServers() {
+		// waitApplied waits for applied > lsn, so pass target's predecessor
+		// to observe applied >= target.
+		if !srv.WaitApplied(target.Prev(), time.Until(deadline)) {
+			return fmt.Errorf("cluster: catch-up to %d timed out: page server at %d",
+				target, srv.AppliedLSN())
 		}
-		if behind == "" {
-			c.mu.Lock()
-			secs := make([]*compute.Secondary, 0, len(c.secondaries))
-			for _, s := range c.secondaries {
-				secs = append(secs, s)
-			}
-			c.mu.Unlock()
-			for _, s := range secs {
-				if s.AppliedLSN() < target {
-					behind = fmt.Sprintf("%s at %d", s.Name(), s.AppliedLSN())
-					break
-				}
-			}
-		}
-		if behind == "" {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: catch-up to %d timed out: %s", target, behind)
-		}
-		time.Sleep(time.Millisecond)
 	}
+	c.mu.Lock()
+	secs := make([]*compute.Secondary, 0, len(c.secondaries))
+	for _, s := range c.secondaries {
+		secs = append(secs, s)
+	}
+	c.mu.Unlock()
+	for _, s := range secs {
+		if !s.WaitApplied(target, time.Until(deadline)) {
+			return fmt.Errorf("cluster: catch-up to %d timed out: %s at %d",
+				target, s.Name(), s.AppliedLSN())
+		}
+	}
+	return nil
 }
 
 // RemoveSecondary stops and forgets a secondary.
@@ -272,7 +265,7 @@ func (c *Cluster) partitionResume(part page.PartitionID) page.LSN {
 		if srv.Partition() != part {
 			continue
 		}
-		if lsn := srv.AppliedLSN(); first || lsn < min {
+		if lsn := srv.AppliedLSN(); first || lsn.Before(min) {
 			min, first = lsn, false
 		}
 	}
@@ -295,7 +288,7 @@ func (c *Cluster) Backup(name string) error {
 		if err != nil {
 			return err
 		}
-		if first || lsn < resume {
+		if first || lsn.Before(resume) {
 			resume, first = lsn, false
 		}
 	}

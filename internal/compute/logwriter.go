@@ -72,7 +72,7 @@ func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning,
 func (w *LogWriter) Append(rec *wal.Record) page.LSN {
 	w.mu.Lock()
 	rec.LSN = w.nextLSN
-	w.nextLSN++
+	w.nextLSN = w.nextLSN.Next()
 	w.pending = append(w.pending, rec)
 	switch rec.Kind {
 	case wal.KindTxnCommit, wal.KindTxnAbort, wal.KindCheckpoint, wal.KindNoop:
@@ -88,13 +88,13 @@ func (w *LogWriter) Append(rec *wal.Record) page.LSN {
 func (w *LogWriter) WaitHarden(lsn page.LSN) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.hardened <= lsn && w.err == nil && !w.closed {
+	for w.hardened.AtMost(lsn) && w.err == nil && !w.closed {
 		w.cond.Wait()
 	}
 	if w.err != nil {
 		return w.err
 	}
-	if w.hardened <= lsn {
+	if w.hardened.AtMost(lsn) {
 		return ErrWriterClosed
 	}
 	return nil
@@ -193,7 +193,7 @@ func (w *LogWriter) flushLoop() {
 
 		block := &wal.Block{
 			Start:      recs[0].LSN,
-			End:        recs[len(recs)-1].LSN + 1,
+			End:        recs[len(recs)-1].LSN.Next(),
 			Partitions: wal.ComputePartitions(recs, w.pt),
 			Records:    recs,
 		}
@@ -220,6 +220,7 @@ func (w *LogWriter) flushLoop() {
 			// the durability path: "The Primary writes log blocks into the
 			// LZ and to the XLOG process in parallel."
 			if w.feed != nil {
+				//socrates:ignore-err the XLOG feed is lossy by design (§4.3); a dropped block is gap-filled from the LZ during promotion
 				_ = w.feed.Send(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: res.Payload()})
 			}
 			if err := w.lz.Complete(res); err != nil {
@@ -236,7 +237,7 @@ func (w *LogWriter) flushLoop() {
 
 			hardened := w.lz.HardenedEnd()
 			w.mu.Lock()
-			if hardened > w.hardened {
+			if hardened.After(w.hardened) {
 				w.hardened = hardened
 			}
 			w.cond.Broadcast()
@@ -246,6 +247,7 @@ func (w *LogWriter) flushLoop() {
 			// Reports may arrive out of order; the watermark is monotone,
 			// so a stale report is a no-op at the XLOG service.
 			if w.feed != nil {
+				//socrates:ignore-err the harden report is off the durability path; the watermark is monotone, so the next report supersedes a lost one
 				_, _ = w.feed.Call(&rbio.Request{Type: rbio.MsgHardenReport, LSN: hardened})
 			}
 		}(block, res)

@@ -67,7 +67,7 @@ func (f *RemotePageFile) Fetches() int64 { return f.fetches.Load() }
 
 func (f *RemotePageFile) noteEvicted(id page.ID, lsn page.LSN) {
 	f.mu.Lock()
-	if lsn > f.evicted[id] {
+	if lsn.After(f.evicted[id]) {
 		f.evicted[id] = lsn
 	}
 	f.mu.Unlock()

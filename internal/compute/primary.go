@@ -65,7 +65,7 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 
 	// The GetPage@LSN floor for pages this node has never seen: everything
 	// in the database is at most as new as the hardened end at attach time.
-	floorLSN := startLSN - 1
+	floorLSN := startLSN.Prev()
 	if cfg.Bootstrap {
 		floorLSN = 0
 	}
@@ -128,6 +128,7 @@ func (p *Primary) HardenedEnd() page.LSN { return p.writer.HardenedEnd() }
 // Close stops the log pipeline. The node holds no durable state (§4.2):
 // dropping it loses nothing.
 func (p *Primary) Close() {
+	//socrates:ignore-err compute is stateless (§4.2); the cache flush is a best-effort warm-restart aid, and a failed destage only costs refetches
 	_ = p.pages.Cache().FlushAll()
 	p.writer.Close()
 }

@@ -92,12 +92,7 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 	// The freshness floor for never-seen pages: every record below the
 	// node's applied watermark — i.e. LSNs up to applied-1 — may have
 	// touched the page, so the page server must have applied that far.
-	floor := func() page.LSN {
-		if a := s.AppliedLSN(); a > 0 {
-			return a - 1
-		}
-		return 0
-	}
+	floor := func() page.LSN { return s.AppliedLSN().Prev() }
 	pages, err := NewRemotePageFile(rbpex.Config{
 		MemPages: cfg.CacheMemPages,
 		SSDPages: cfg.CacheSSDPages,
@@ -154,7 +149,7 @@ func (s *Secondary) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.applied < lsn {
+	for s.applied.Before(lsn) {
 		if time.Now().After(deadline) {
 			return false
 		}
@@ -198,10 +193,17 @@ func (s *Secondary) applyLoop() {
 		default:
 		}
 		if s.applyDelay > 0 {
+			//socrates:sleep-ok applyDelay models a geo-replica's WAN propagation lag; the delay IS the semantics, not a poll
 			time.Sleep(s.applyDelay)
 		}
 		if !s.pullOnce() {
-			time.Sleep(300 * time.Microsecond)
+			// Nothing new at the XLOG service. The pull model has no local
+			// condition to wait on, so back off briefly but stay killable.
+			select {
+			case <-s.done:
+				return
+			case <-time.After(300 * time.Microsecond):
+			}
 		}
 	}
 }
@@ -239,6 +241,7 @@ func (s *Secondary) pullOnce() bool {
 	s.applied = resp.LSN
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
 	_, _ = s.xlog.Call(&rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.name, LSN: resp.LSN})
 	return true

@@ -432,6 +432,7 @@ func (e *Engine) withReadRetry(f func() error) error {
 		if e.cfg.WaitFresh != nil {
 			e.cfg.WaitFresh()
 		} else {
+			//socrates:sleep-ok bounded micro-backoff for read/apply races when no WaitFresh signal hook is configured; nodes with an apply loop install one
 			time.Sleep(50 * time.Microsecond)
 		}
 	}

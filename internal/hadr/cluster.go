@@ -41,9 +41,16 @@ func New(cfg Config) (*Cluster, error) {
 	c.PrimaryMeter = metrics.NewCPUMeter(cfg.PrimaryCores)
 
 	// Primary node plus secondaries, each a full replica.
-	c.primary = newNode(cfg.Name+"-0", cfg.DiskProfile, c.PrimaryMeter)
+	prim, err := newNode(cfg.Name+"-0", cfg.DiskProfile, c.PrimaryMeter)
+	if err != nil {
+		return nil, err
+	}
+	c.primary = prim
 	for i := 1; i < cfg.Replicas; i++ {
-		sec := newNode(fmt.Sprintf("%s-%d", cfg.Name, i), cfg.DiskProfile, nil)
+		sec, err := newNode(fmt.Sprintf("%s-%d", cfg.Name, i), cfg.DiskProfile, nil)
+		if err != nil {
+			return nil, err
+		}
 		sec.startApply()
 		c.Net.Serve(sec.name, sec.handler())
 		c.secondaries = append(c.secondaries, sec)
@@ -139,7 +146,7 @@ func (c *Cluster) Failover() (*Node, time.Duration, error) {
 	// Most caught-up secondary wins.
 	best := c.secondaries[0]
 	for _, s := range c.secondaries[1:] {
-		if s.AppliedLSN() > best.AppliedLSN() {
+		if s.AppliedLSN().After(best.AppliedLSN()) {
 			best = s
 		}
 	}
@@ -191,7 +198,10 @@ func (c *Cluster) Failover() (*Node, time.Duration, error) {
 func (c *Cluster) SeedNewReplica(name string) (*Node, int64, time.Duration, error) {
 	start := time.Now()
 	prim := c.Primary()
-	sec := newNode(name, c.cfg.DiskProfile, nil)
+	sec, err := newNode(name, c.cfg.DiskProfile, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 
 	var copied int64
 	var copyErr error
@@ -280,7 +290,7 @@ func newWriter(c *Cluster, startLSN page.LSN) *writer {
 func (w *writer) Append(rec *wal.Record) page.LSN {
 	w.mu.Lock()
 	rec.LSN = w.nextLSN
-	w.nextLSN++
+	w.nextLSN = w.nextLSN.Next()
 	w.pending = append(w.pending, rec)
 	switch rec.Kind {
 	case wal.KindTxnCommit, wal.KindTxnAbort, wal.KindCheckpoint, wal.KindNoop:
@@ -296,13 +306,13 @@ func (w *writer) Append(rec *wal.Record) page.LSN {
 func (w *writer) WaitHarden(lsn page.LSN) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.hardened <= lsn && w.err == nil && !w.closed {
+	for w.hardened.AtMost(lsn) && w.err == nil && !w.closed {
 		w.cond.Wait()
 	}
 	if w.err != nil {
 		return w.err
 	}
-	if w.hardened <= lsn {
+	if w.hardened.AtMost(lsn) {
 		return ErrNoQuorum
 	}
 	return nil
@@ -364,7 +374,7 @@ func (w *writer) flushLoop() {
 
 		block := &wal.Block{
 			Start:   recs[0].LSN,
-			End:     recs[len(recs)-1].LSN + 1,
+			End:     recs[len(recs)-1].LSN.Next(),
 			Records: recs,
 		}
 		// Pipelined shipping: several quorum rounds in flight, hardened

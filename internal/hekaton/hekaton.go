@@ -160,6 +160,8 @@ func decodeEntry(buf []byte) (n int, op byte, key, val []byte, err error) {
 }
 
 // Put durably stores key→val.
+//
+//socrates:lock-ok the durable log append is intentionally serialized under the table lock: per-key entry order in the log must match the in-memory apply order
 func (t *Table) Put(key string, val []byte) error {
 	entry := encodeEntry(opPut, key, val)
 	t.mu.Lock()
@@ -173,6 +175,8 @@ func (t *Table) Put(key string, val []byte) error {
 }
 
 // Delete durably removes key. Deleting an absent key is a no-op.
+//
+//socrates:lock-ok the durable log append is intentionally serialized under the table lock: per-key entry order in the log must match the in-memory apply order
 func (t *Table) Delete(key string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -221,6 +225,8 @@ func (t *Table) Range(fn func(key string, val []byte) bool) {
 // Checkpoint compacts the durable log: the current contents become the
 // snapshot region and the append log restarts empty. Bounded log growth is
 // what keeps RBPEX recovery fast.
+//
+//socrates:lock-ok compaction must exclude writers for the whole snapshot+header sequence; a concurrent append would land inside the region being overwritten
 func (t *Table) Checkpoint() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()

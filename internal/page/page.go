@@ -39,10 +39,69 @@ const InvalidID ID = 0
 
 // LSN is a log sequence number. The primary allocates LSNs from a single
 // monotonic space; a page's LSN records the last change applied to it.
+//
+// Every tier of the stack orders itself by LSN watermarks (hardened,
+// promoted, destaged, applied), so ordering and arithmetic on LSNs go
+// through the methods below rather than raw operators: the lsnlint pass in
+// internal/analysis flags raw `lsn+1` / `a < b` expressions outside
+// approved helpers, which keeps the monotonicity invariant auditable in
+// one place.
 type LSN uint64
 
 // Uint64 returns the LSN as a raw integer for serialization.
 func (l LSN) Uint64() uint64 { return uint64(l) }
+
+// Next returns the LSN immediately after l (the next record slot).
+func (l LSN) Next() LSN { return l + 1 }
+
+// Prev returns the LSN immediately before l; the zero LSN has no
+// predecessor and maps to itself.
+func (l LSN) Prev() LSN {
+	if l == 0 {
+		return 0
+	}
+	return l - 1
+}
+
+// Add advances l by n slots.
+func (l LSN) Add(n uint64) LSN { return l + LSN(n) }
+
+// Before reports l < o.
+func (l LSN) Before(o LSN) bool { return l < o }
+
+// AtMost reports l <= o.
+func (l LSN) AtMost(o LSN) bool { return l <= o }
+
+// After reports l > o.
+func (l LSN) After(o LSN) bool { return l > o }
+
+// AtLeast reports l >= o.
+func (l LSN) AtLeast(o LSN) bool { return l >= o }
+
+// Distance reports how many slots separate from (inclusive) and l
+// (exclusive); it is 0 when l precedes from.
+func (l LSN) Distance(from LSN) uint64 {
+	if l < from {
+		return 0
+	}
+	return uint64(l - from)
+}
+
+// MaxLSN returns the later of a and b.
+func MaxLSN(a, b LSN) LSN {
+	if a.Before(b) {
+		return b
+	}
+	return a
+}
+
+// MinLSN returns the earlier of a and b.
+func MinLSN(a, b LSN) LSN {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
 
 // Type tags what a page stores.
 type Type uint8

@@ -181,6 +181,7 @@ func (s *Server) Stop() {
 	}
 	close(s.done)
 	s.wg.Wait()
+	//socrates:ignore-err the shutdown checkpoint is best-effort; the dirty set is re-derivable by redo from the persisted resume LSN
 	_ = s.checkpointOnce()
 }
 
@@ -198,6 +199,14 @@ func (s *Server) AppliedLSN() page.LSN {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.applied
+}
+
+// WaitApplied blocks until the apply watermark passes lsn (applied > lsn,
+// i.e. the record at lsn has been applied) or the timeout elapses; it
+// reports whether the watermark got there. Cluster workflows use it to wait
+// for catch-up on the apply signal instead of polling.
+func (s *Server) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
+	return s.waitApplied(lsn, timeout)
 }
 
 // Seeding reports whether background seeding is still running.
@@ -259,7 +268,13 @@ func (s *Server) applyLoop() {
 		default:
 		}
 		if !s.pullOnce() {
-			time.Sleep(500 * time.Microsecond)
+			// Nothing new at the XLOG service. The pull model has no local
+			// condition to wait on, so back off briefly but stay killable.
+			select {
+			case <-s.done:
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
 		}
 	}
 }
@@ -313,6 +328,7 @@ func (s *Server) pullOnce() bool {
 	s.applied = next
 	s.appliedCond.Broadcast()
 	s.mu.Unlock()
+	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
 	_, _ = s.cfg.XLOG.Call(&rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.cfg.Name, LSN: next})
 	return true
@@ -405,6 +421,7 @@ func (s *Server) seedLoop() {
 		if err != nil {
 			continue
 		}
+		//socrates:ignore-err a failed background seed is recovered by the on-demand fetchFromStore path; seeding is purely a warm-up (§4.6)
 		_ = s.cache.Seed(pg)
 	}
 	s.mu.Lock()
@@ -423,6 +440,7 @@ func (s *Server) checkpointLoop() {
 		case <-s.done:
 			return
 		case <-ticker.C:
+			//socrates:ignore-err an XStore outage keeps the batch dirty and sets xstoreDown; the next tick retries (§4.6)
 			_ = s.checkpointOnce()
 		}
 	}
@@ -524,7 +542,13 @@ func (s *Server) FlushForBackup() (page.LSN, error) {
 			}
 			return 0, err
 		}
-		time.Sleep(time.Millisecond)
+		// More log arrived between checkpoint sweeps; give the apply loop a
+		// beat and retry, but bail out if the server stops underneath us.
+		select {
+		case <-s.done:
+			return 0, errors.New("pageserver: stopped during backup flush")
+		case <-time.After(time.Millisecond):
+		}
 	}
 }
 
@@ -536,7 +560,7 @@ func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.applied <= lsn {
+	for s.applied.AtMost(lsn) {
 		s.waits.Inc()
 		if time.Now().After(deadline) {
 			return false

@@ -85,6 +85,7 @@ func (c *Client) Call(req *Request) (*Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 && c.backoff > 0 {
+			//socrates:sleep-ok linear retry backoff against a remote peer; there is no local condition to wait on
 			time.Sleep(c.backoff * time.Duration(attempt))
 		}
 		start := time.Now()

@@ -245,6 +245,8 @@ func (c *Cache) Put(pg *page.Page) error {
 }
 
 // promote is Put for pages read back from the SSD tier.
+//
+//socrates:ignore-err promotion only refreshes the memory tier; the SSD copy just read remains authoritative, so a failed promote costs one re-read
 func (c *Cache) promote(pg *page.Page) { _ = c.put(pg) }
 
 func (c *Cache) put(pg *page.Page) error {
@@ -302,7 +304,7 @@ func (c *Cache) demote(pg *page.Page) error {
 	}
 	c.mu.Lock()
 	e, exists := c.ssd[pg.ID]
-	if exists && e.lsn >= pg.LSN {
+	if exists && e.lsn.AtLeast(pg.LSN) {
 		// SSD already has this version or newer; just refresh recency.
 		if !c.cfg.Covering {
 			c.ssdLRU.MoveToFront(e.elt)
@@ -555,7 +557,7 @@ func (c *Cache) MinSSDLSN() (page.LSN, bool) {
 	var min page.LSN
 	found := false
 	for _, e := range c.ssd {
-		if !found || e.lsn < min {
+		if !found || e.lsn.Before(min) {
 			min, found = e.lsn, true
 		}
 	}

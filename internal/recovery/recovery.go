@@ -49,7 +49,7 @@ func (r *Replayer) Records() int64 { return r.records }
 // ApplyRecord applies one record. Records at or beyond stopLSN (nonzero)
 // are skipped — the point-in-time cut.
 func (r *Replayer) ApplyRecord(rec *wal.Record, stopLSN page.LSN) error {
-	if stopLSN != 0 && rec.LSN >= stopLSN {
+	if stopLSN != 0 && rec.LSN.AtLeast(stopLSN) {
 		return nil
 	}
 	switch {
@@ -81,8 +81,8 @@ func (r *Replayer) ApplyRecord(rec *wal.Record, stopLSN page.LSN) error {
 			}
 		}
 	}
-	if rec.LSN >= r.applied {
-		r.applied = rec.LSN + 1
+	if rec.LSN.AtLeast(r.applied) {
+		r.applied = rec.LSN.Next()
 	}
 	return nil
 }
@@ -115,7 +115,7 @@ type Puller interface {
 // everything available) from the source. Returns the LSN reached.
 func (r *Replayer) ReplayRange(src Puller, from, stopLSN page.LSN) (page.LSN, error) {
 	cursor := from
-	for stopLSN == 0 || cursor < stopLSN {
+	for stopLSN == 0 || cursor.Before(stopLSN) {
 		payload, next, err := src.Pull(cursor, -1, 1<<20)
 		if err != nil {
 			return cursor, err

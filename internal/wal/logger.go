@@ -30,7 +30,7 @@ func (l *MemLog) Append(r *Record) page.LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	r.LSN = l.next
-	l.next++
+	l.next = l.next.Next()
 	l.recs = append(l.recs, r)
 	return r.LSN
 }
@@ -55,7 +55,7 @@ func (l *MemLog) Since(from page.LSN) []*Record {
 	defer l.mu.Unlock()
 	var out []*Record
 	for _, r := range l.recs {
-		if r.LSN >= from {
+		if r.LSN.AtLeast(from) {
 			out = append(out, r)
 		}
 	}

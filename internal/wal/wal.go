@@ -299,7 +299,7 @@ func NewBuilder(next page.LSN, pt page.Partitioning) *Builder {
 // Append assigns the next LSN to r and adds it to the pending block.
 func (bld *Builder) Append(r *Record) page.LSN {
 	r.LSN = bld.next
-	bld.next++
+	bld.next = bld.next.Next()
 	bld.records = append(bld.records, r)
 	bld.bytes += r.encodedSize()
 	return r.LSN

@@ -151,7 +151,7 @@ func RecoverLandingZone(vol simdisk.Volume, capacity int64) (*LandingZone, error
 		if expect != 0 && b.Start != expect {
 			break // stale pre-wrap entry: we hit the frontier
 		}
-		if b.Start < lz.tailLSN {
+		if b.Start.Before(lz.tailLSN) {
 			break
 		}
 		lz.index[b.Start] = lzExtent{off: off, len: 8 + n, end: b.End}
@@ -338,7 +338,7 @@ func (lz *LandingZone) ReleaseUpTo(lsn page.LSN) {
 	for len(lz.order) > 0 {
 		start := lz.order[0]
 		ext, done := lz.index[start]
-		if !done || ext.end > lsn {
+		if !done || ext.end.After(lsn) {
 			break // reserved-but-unwritten space is never released
 		}
 		delete(lz.index, start)

@@ -45,7 +45,10 @@ type Service struct {
 	budget      int      // sequence-map memory budget in bytes
 	promoted    page.LSN // end LSN of the last promoted block
 	destaged    page.LSN // end LSN of the last destaged block
-	maxCommitTS uint64   // highest commit timestamp in promoted log
+	// destagedCond (on mu) is broadcast whenever destaged advances, so
+	// WaitDestaged blocks on a signal instead of polling.
+	destagedCond *sync.Cond
+	maxCommitTS  uint64 // highest commit timestamp in promoted log
 
 	consumers map[string]*consumer
 
@@ -139,6 +142,7 @@ func build(cfg Config) (*Service, error) {
 		destageKick: make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
+	s.destagedCond = sync.NewCond(&s.mu)
 	if cfg.CacheDevice != nil {
 		s.ssd = newBlockCache(cfg.CacheDevice, cfg.CacheBytes)
 	}
@@ -177,7 +181,7 @@ func (s *Service) FeedEncoded(b *wal.Block, enc []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.feedReceived++
-	if b.End <= s.promoted {
+	if b.End.AtMost(s.promoted) {
 		s.feedStale++
 		return
 	}
@@ -199,7 +203,7 @@ func (s *Service) ReportHardened(lsn page.LSN) {
 func (s *Service) promoteTo(lsn page.LSN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.promoted < lsn {
+	for s.promoted.Before(lsn) {
 		e, ok := s.pending[s.promoted]
 		if !ok {
 			// Gap: the feed lost or reordered this block; the LZ has it.
@@ -214,7 +218,7 @@ func (s *Service) promoteTo(lsn page.LSN) {
 		} else {
 			delete(s.pending, s.promoted)
 		}
-		if e.b.End > lsn {
+		if e.b.End.After(lsn) {
 			// Hardened watermark splits this block (should not happen:
 			// hardening is per block) — wait for the next report.
 			s.pending[e.b.Start] = e
@@ -233,7 +237,7 @@ func (s *Service) promoteTo(lsn page.LSN) {
 	}
 	// Drop stale pending blocks the promotion passed over.
 	for start, e := range s.pending {
-		if e.b.End <= s.promoted {
+		if e.b.End.AtMost(s.promoted) {
 			delete(s.pending, start)
 		}
 	}
@@ -264,7 +268,7 @@ func (s *Service) destageOnce() {
 	s.mu.Lock()
 	var batch []entry
 	for _, e := range s.broker {
-		if e.b.Start >= s.destaged {
+		if e.b.Start.AtLeast(s.destaged) {
 			batch = append(batch, e)
 		}
 	}
@@ -288,8 +292,9 @@ func (s *Service) destageOnce() {
 	}
 	end := batch[len(batch)-1].b.End
 	s.mu.Lock()
-	if end > s.destaged {
+	if end.After(s.destaged) {
 		s.destaged = end
+		s.destagedCond.Broadcast()
 	}
 	s.mu.Unlock()
 	s.lz.ReleaseUpTo(end)
@@ -302,7 +307,7 @@ func (s *Service) trimBroker() {
 	s.mu.Lock()
 	for s.brokerBytes > s.budget && len(s.broker) > 0 {
 		e := s.broker[0]
-		if e.b.End > s.destaged {
+		if e.b.End.After(s.destaged) {
 			break // never evict blocks that exist nowhere else
 		}
 		s.broker = s.broker[1:]
@@ -337,7 +342,7 @@ func (s *Service) Pull(fromLSN page.LSN, partition int32, maxBytes int) ([]byte,
 		s.mu.Lock()
 		promoted := s.promoted
 		s.mu.Unlock()
-		if next >= promoted {
+		if next.AtLeast(promoted) {
 			break
 		}
 		e, err := s.lookup(next)
@@ -359,7 +364,7 @@ func (s *Service) Pull(fromLSN page.LSN, partition int32, maxBytes int) ([]byte,
 // sequence map → SSD cache → LZ → LT.
 func (s *Service) lookup(start page.LSN) (entry, error) {
 	s.mu.Lock()
-	i := sort.Search(len(s.broker), func(i int) bool { return s.broker[i].b.Start >= start })
+	i := sort.Search(len(s.broker), func(i int) bool { return s.broker[i].b.Start.AtLeast(start) })
 	if i < len(s.broker) && s.broker[i].b.Start == start {
 		e := s.broker[i]
 		s.mu.Unlock()
@@ -405,7 +410,7 @@ func (s *Service) ReportApplied(id string, lsn page.LSN) {
 		c = &consumer{}
 		s.consumers[id] = c
 	}
-	if lsn > c.applied {
+	if lsn.After(c.applied) {
 		c.applied = lsn
 	}
 	c.lastSeen = time.Now()
@@ -447,7 +452,7 @@ func (s *Service) MinAppliedLSN() page.LSN {
 	var min page.LSN
 	first := true
 	for _, c := range s.consumers {
-		if first || c.applied < min {
+		if first || c.applied.Before(min) {
 			min, first = c.applied, false
 		}
 	}
@@ -478,17 +483,21 @@ func (s *Service) DestagedEnd() page.LSN {
 }
 
 // WaitDestaged blocks until destaging reaches lsn or the timeout elapses.
+// It waits on the destage condition variable rather than polling: every
+// watermark advance broadcasts, and a timer wakes the wait at the deadline.
 func (s *Service) WaitDestaged(lsn page.LSN, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for {
-		if s.DestagedEnd() >= lsn {
-			return nil
+	waker := time.AfterFunc(timeout, s.destagedCond.Broadcast)
+	defer waker.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.destaged.Before(lsn) {
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("xlog: destaging did not reach %d (at %d)", lsn, s.destaged)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("xlog: destaging did not reach %d", lsn)
-		}
-		time.Sleep(time.Millisecond)
+		s.destagedCond.Wait()
 	}
+	return nil
 }
 
 // Handler exposes the service over RBIO.

@@ -43,9 +43,7 @@ func (l *lt) append(batch []*wal.Block, buf []byte) error {
 		n := int64(b.EncodedSize())
 		l.index[b.Start] = ltExtent{off: off, length: n}
 		off += n
-		if b.End > l.last {
-			l.last = b.End
-		}
+		l.last = page.MaxLSN(l.last, b.End)
 		l.noteCommits(b)
 	}
 	l.size = off
@@ -69,19 +67,22 @@ func (l *lt) read(start page.LSN) (*wal.Block, error) {
 	return b, err
 }
 
-// recover rebuilds the index by scanning the archive blob.
+// recover rebuilds the index by scanning the archive blob. The XStore reads
+// happen before l.mu is taken so a slow (simulated-latency) fetch never
+// stalls concurrent readers of the index.
 func (l *lt) recover() error {
+	var data []byte
+	if l.store.Exists(l.blob) {
+		var err error
+		data, err = l.store.Get(l.blob)
+		if err != nil {
+			return err
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.index = make(map[page.LSN]ltExtent)
 	l.size, l.last = 0, 0
-	if !l.store.Exists(l.blob) {
-		return nil
-	}
-	data, err := l.store.Get(l.blob)
-	if err != nil {
-		return err
-	}
 	off := int64(0)
 	rest := data
 	for len(rest) > 0 {
@@ -90,9 +91,7 @@ func (l *lt) recover() error {
 			break // torn tail: everything before it is indexed
 		}
 		l.index[b.Start] = ltExtent{off: off, length: int64(n)}
-		if b.End > l.last {
-			l.last = b.End
-		}
+		l.last = page.MaxLSN(l.last, b.End)
 		l.noteCommits(b)
 		off += int64(n)
 		rest = rest[n:]

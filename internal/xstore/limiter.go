@@ -40,6 +40,7 @@ func (l *limiter) acquire(n int) {
 		if wait < 100*time.Microsecond {
 			wait = 100 * time.Microsecond
 		}
+		//socrates:sleep-ok token-bucket pacing: the computed sleep IS the rate limit; tokens refill with time, not with an event to wait on
 		time.Sleep(wait)
 	}
 }
