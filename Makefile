@@ -6,7 +6,8 @@ GO ?= go
 # package replays paper-scale workloads and is exercised separately via
 # `make bench` / cmd/socrates-bench.
 RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
-             ./internal/cluster ./internal/xlog ./internal/pageserver
+             ./internal/cluster ./internal/xlog ./internal/pageserver \
+             ./internal/obs
 
 .PHONY: all lint fmt vet test race bench clean
 

@@ -1,6 +1,7 @@
 // Command socrates-vet runs the Socrates-specific static-analysis suite
 // (internal/analysis) over the repo: errlint, lsnlint, locklint, sleeplint,
-// and atomiclint, each encoding one of the paper's cross-tier invariants.
+// atomiclint, and ctxlint, each encoding one of the paper's cross-tier
+// invariants (ctxlint guards the context-first tracing discipline).
 //
 // Usage:
 //

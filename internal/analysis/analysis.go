@@ -1,9 +1,10 @@
-// Package analysis is the socrates-vet static-analysis suite: five
+// Package analysis is the socrates-vet static-analysis suite: six
 // domain-specific passes that encode the cross-tier invariants the paper's
 // architecture depends on (durability-before-ack, LSN monotonicity, lock
-// discipline in the caches, no sleep-polling on hot paths, and coherent
-// atomics). Each pass is pure stdlib — go/ast + go/types — and runs over
-// type-checked packages produced by the Loader.
+// discipline in the caches, no sleep-polling on hot paths, coherent
+// atomics, and the context-first tracing discipline). Each pass is pure
+// stdlib — go/ast + go/types — and runs over type-checked packages
+// produced by the Loader.
 //
 // Intentional violations are annotated in source with directives of the form
 //
@@ -175,6 +176,7 @@ var knownDirectives = map[string]bool{
 	"lock-ok":    true, // locklint: reviewed lock-discipline exception
 	"sleep-ok":   true, // sleeplint: intentional sleep (pacing, backoff, simulation)
 	"atomic-ok":  true, // atomiclint: reviewed mixed access (e.g. pre-publication init)
+	"ctx-ok":     true, // ctxlint: reviewed context-discipline exception
 }
 
 // CheckDirectives validates every //socrates: annotation in the package:
@@ -218,6 +220,7 @@ func AllPasses() []Pass {
 		NewLockLint(),
 		DefaultSleeplint(),
 		NewAtomicLint(),
+		DefaultCtxLint(),
 	}
 }
 

@@ -89,6 +89,35 @@ func TestAtomicLintFixtures(t *testing.T) {
 	runFixturePair(t, analysis.NewAtomicLint(), "atomiclint", 2, "sync/atomic")
 }
 
+func TestCtxLintFixtures(t *testing.T) {
+	pass := analysis.NewCtxLint([]string{"fixture/ctxlint"})
+	runFixturePair(t, pass, "ctxlint", 3, "context.")
+}
+
+// TestCtxLintFindsExactSites pins each ctxlint failure mode to the fixture
+// so one check's regression cannot hide behind another.
+func TestCtxLintFindsExactSites(t *testing.T) {
+	loader := newLoader(t)
+	bad := loadFixture(t, loader, "ctxlint/bad")
+	diags := analysis.NewCtxLint([]string{"fixture/ctxlint"}).Run(bad)
+	var notFirst, todo, noCtx int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "first parameter"):
+			notFirst++
+		case strings.Contains(d.Message, "context.TODO"):
+			todo++
+		case strings.Contains(d.Message, "accepts no context.Context"):
+			noCtx++
+		}
+	}
+	// Refresh trips both the TODO check and the missing-context check.
+	if notFirst != 1 || todo != 1 || noCtx != 2 {
+		t.Fatalf("ctxlint check coverage: notFirst=%d todo=%d noCtx=%d\n%s",
+			notFirst, todo, noCtx, render(diags))
+	}
+}
+
 // TestLockLintFindsExactSites pins the specific locklint failure modes to
 // their fixture lines so a regression in one check cannot hide behind
 // another.

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLint enforces the repo's context-first discipline, introduced with
+// end-to-end request tracing: every request that crosses a tier boundary
+// carries its trace identity in a context.Context, so a function that
+// accepts a context anywhere but first position (easy to miss at call
+// sites) or that manufactures a context.TODO() (a placeholder that
+// silently drops the caller's trace and cancellation) breaks the span
+// tree somewhere downstream.
+//
+// Three checks:
+//
+//  1. ctx-first: any function or method with a context.Context parameter
+//     must take it as the first parameter (after the receiver).
+//  2. no-todo: context.TODO() is banned in non-test code; wrappers that
+//     genuinely have no caller context use context.Background().
+//  3. inter-tier surface: exported functions in the designated inter-tier
+//     packages whose body issues an RBIO call (rbio.Client / rbio.Selector
+//     / rbio.Conn) must accept a context.Context so trace identity can
+//     reach the wire. Background() wrappers delegating to a *Context
+//     variant are recognized and exempt.
+//
+// Reviewed exceptions are annotated //socrates:ctx-ok <reason> on the
+// line, the line above, or the function's doc comment.
+type CtxLint struct {
+	// InterTierPkgs are import-path substrings whose exported surface is
+	// held to check 3. Checks 1 and 2 apply everywhere.
+	InterTierPkgs []string
+}
+
+// DefaultCtxLint returns ctxlint configured for the Socrates tree: the
+// packages whose exported functions sit on a tier boundary.
+func DefaultCtxLint() *CtxLint {
+	return &CtxLint{InterTierPkgs: []string{
+		"socrates/internal/rbio",
+		"socrates/internal/compute",
+		"socrates/internal/pageserver",
+		"socrates/internal/xlog",
+		"socrates/internal/recovery",
+	}}
+}
+
+// NewCtxLint returns ctxlint with the given inter-tier set (fixtures).
+func NewCtxLint(interTier []string) *CtxLint { return &CtxLint{InterTierPkgs: interTier} }
+
+// Name implements Pass.
+func (c *CtxLint) Name() string { return "ctxlint" }
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// Run implements Pass.
+func (c *CtxLint) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	interTier := false
+	for _, p := range c.InterTierPkgs {
+		if strings.Contains(pkg.Path, p) {
+			interTier = true
+			break
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			out = append(out, c.checkCtxFirst(pkg, fn)...)
+			if interTier {
+				out = append(out, c.checkInterTier(pkg, fn)...)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pkg.Info, call)
+			if obj == nil || obj.Pkg() == nil ||
+				obj.Pkg().Path() != "context" || obj.Name() != "TODO" {
+				return true
+			}
+			if pkg.DirectiveAt("ctx-ok", call) {
+				return true
+			}
+			out = append(out, pkg.diag("ctxlint", call,
+				"context.TODO() drops the caller's trace and cancellation; thread the caller's ctx, or use context.Background() at a genuine root, or annotate //socrates:ctx-ok <reason>"))
+			return true
+		})
+	}
+	return out
+}
+
+// checkCtxFirst flags context.Context parameters in non-first position.
+func (c *CtxLint) checkCtxFirst(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	var out []Diagnostic
+	pos := 0 // parameter index, counting each name in a grouped field
+	for fi, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pkg.Info.TypeOf(field.Type)
+		if t != nil && isContextType(t) && !(fi == 0 && pos == 0) {
+			if !pkg.DirectiveAt("ctx-ok", fn) && !FuncDirective(fn, "ctx-ok") {
+				out = append(out, pkg.diag("ctxlint", field,
+					"context.Context must be the first parameter of %s (found at position %d); callers scan position 0 for the request context, or annotate //socrates:ctx-ok <reason>",
+					fn.Name.Name, pos))
+			}
+		}
+		pos += n
+	}
+	return out
+}
+
+// checkInterTier flags exported functions in inter-tier packages that
+// issue RBIO calls without accepting a context.
+func (c *CtxLint) checkInterTier(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	if !fn.Name.IsExported() || fn.Body == nil {
+		return nil
+	}
+	// Already context-aware?
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if t := pkg.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+				return nil
+			}
+		}
+	}
+	// Background() wrapper delegating to a *Context variant is the
+	// sanctioned compatibility pattern.
+	if strings.HasSuffix(fn.Name.Name, "Context") {
+		return nil
+	}
+	if delegatesToContextVariant(pkg, fn) {
+		return nil
+	}
+	var hit ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(pkg.Info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Pkg().Path() == "socrates/internal/rbio" &&
+			(obj.Name() == "Call" || obj.Name() == "Send") {
+			hit = call
+			return false
+		}
+		return true
+	})
+	if hit == nil {
+		return nil
+	}
+	if pkg.DirectiveAt("ctx-ok", fn) || FuncDirective(fn, "ctx-ok") ||
+		pkg.DirectiveAt("ctx-ok", hit) {
+		return nil
+	}
+	return []Diagnostic{pkg.diag("ctxlint", fn,
+		"exported %s issues an RBIO call but accepts no context.Context; the trace identity cannot reach the wire — add a ctx-first variant or annotate //socrates:ctx-ok <reason>",
+		fn.Name.Name)}
+}
+
+// delegatesToContextVariant reports whether the function body calls a
+// sibling whose name is fn's name + "Context" (the wrapper pattern
+// `func X(...) { return x.XContext(context.Background(), ...) }`).
+func delegatesToContextVariant(pkg *Package, fn *ast.FuncDecl) bool {
+	want := fn.Name.Name + "Context"
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeObject(pkg.Info, call); obj != nil && obj.Name() == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,32 @@
+// Package bad is a ctxlint fixture: every way to break the context-first
+// tracing discipline.
+package bad
+
+import (
+	"context"
+
+	"socrates/internal/rbio"
+)
+
+// Node wraps an RBIO client.
+type Node struct {
+	client *rbio.Client
+}
+
+// Lookup takes its context in second position. // want ctxlint: ctx not first
+func (n *Node) Lookup(key string, ctx context.Context) (*rbio.Response, error) {
+	return n.client.Call(ctx, &rbio.Request{})
+}
+
+// Refresh manufactures a TODO context. // want ctxlint: context.TODO
+func (n *Node) Refresh() error {
+	_, err := n.client.Call(context.TODO(), &rbio.Request{})
+	return err
+}
+
+// Ping issues an RBIO call with no way for the caller's trace identity to
+// reach the wire. // want ctxlint: no context parameter
+func (n *Node) Ping() error {
+	_, err := n.client.Call(context.Background(), &rbio.Request{})
+	return err
+}

@@ -1,0 +1,33 @@
+// Package clean is a ctxlint fixture: the sanctioned context patterns.
+package clean
+
+import (
+	"context"
+
+	"socrates/internal/rbio"
+)
+
+// Node wraps an RBIO client.
+type Node struct {
+	client *rbio.Client
+}
+
+// LookupContext is the ctx-first form.
+func (n *Node) LookupContext(ctx context.Context, key string) (*rbio.Response, error) {
+	return n.client.Call(ctx, &rbio.Request{})
+}
+
+// Lookup is the compatibility wrapper: it delegates to the *Context
+// variant at a genuine root, which ctxlint recognizes.
+func (n *Node) Lookup(key string) (*rbio.Response, error) {
+	return n.LookupContext(context.Background(), key)
+}
+
+// Drain is a reviewed exception: it runs at process shutdown where no
+// request context exists.
+//
+//socrates:ctx-ok shutdown path, no request in flight to trace
+func (n *Node) Drain() error {
+	_, err := n.client.Call(context.Background(), &rbio.Request{})
+	return err
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"socrates/internal/page"
 	"socrates/internal/wal"
 )
@@ -39,7 +40,7 @@ func (c *Cluster) AuditTail(fromLSN page.LSN, max int) ([]AuditEvent, page.LSN, 
 	var cur *AuditEvent
 	pageSet := map[page.ID]struct{}{}
 	for len(events) < max {
-		payload, next, err := c.XLOG.Pull(cursor, -1, 256<<10)
+		payload, next, err := c.XLOG.Pull(context.Background(), cursor, -1, 256<<10)
 		if err != nil {
 			return nil, fromLSN, err
 		}

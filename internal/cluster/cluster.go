@@ -14,6 +14,7 @@ import (
 
 	"socrates/internal/compute"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/pageserver"
 	"socrates/internal/rbio"
@@ -60,6 +61,10 @@ type Config struct {
 	// LocalSSD is the device class for node-local caches (default
 	// simdisk.LocalSSD; tests use simdisk.Instant).
 	LocalSSD simdisk.Profile
+	// Tracer / Metrics override the deployment's observability spine.
+	// Defaults are created by New, so every cluster is traceable.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -112,6 +117,11 @@ type Cluster struct {
 	// the engine and by landing-zone device I/O).
 	PrimaryMeter *metrics.CPUMeter
 
+	// Tracer collects cross-tier span trees; Metrics holds the per-tier
+	// counter/histogram registry. Every node of the deployment shares them.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+
 	mu          sync.Mutex
 	pt          page.Partitioning
 	primary     *compute.Primary
@@ -142,10 +152,18 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:         cfg,
 		Net:         cfg.Net,
+		Tracer:      cfg.Tracer,
+		Metrics:     cfg.Metrics,
 		secondaries: make(map[string]*compute.Secondary),
 		selectors:   make(map[string]*rbio.Selector),
 		backups:     make(map[string]backupInfo),
 		pt:          page.Partitioning{PagesPerPartition: cfg.PagesPerPartition},
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	if c.Net == nil {
 		c.Net = rbio.NewNetwork()
@@ -154,6 +172,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.Net.SetLoss(cfg.FeedLoss)
 	}
 	c.Store = xstore.New(cfg.XStore)
+	c.Store.SetMetrics(c.Metrics)
 	c.PrimaryMeter = metrics.NewCPUMeter(cfg.PrimaryCores)
 
 	// Landing zone: quorum-replicated fast storage; the primary's meter is
@@ -171,6 +190,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.XLOG, err = xlog.New(xlog.Config{
 		LZ: c.LZ, LT: c.Store, LTBlob: cfg.Name + "/lt",
 		CacheDevice: simdisk.New(cfg.LocalSSD),
+		Tracer:      c.Tracer, Metrics: c.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +270,8 @@ func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
 		CacheMeta:     simdisk.New(c.cfg.LocalSSD),
 		Meter:         c.PrimaryMeter,
 		Bootstrap:     bootstrap,
+		Tracer:        c.Tracer,
+		Metrics:       c.Metrics,
 	}
 }
 
@@ -279,6 +301,8 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 		StartLSN:        startLSN,
 		Seed:            seed,
 		CheckpointEvery: c.cfg.CheckpointEvery,
+		Tracer:          c.Tracer,
+		Metrics:         c.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"socrates/internal/pageserver"
 	"socrates/internal/recovery"
 	"socrates/internal/simdisk"
+	"socrates/internal/socerr"
 )
 
 // ErrNoBackup reports a restore from an unknown backup.
@@ -49,6 +51,8 @@ func (c *Cluster) addSecondary(name string, delay time.Duration) (*compute.Secon
 		StartLSN:      c.XLOG.HardenedEnd(),
 		StartTS:       c.XLOG.MaxCommitTS(),
 		ApplyDelay:    delay,
+		Tracer:        c.Tracer,
+		Metrics:       c.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -70,7 +74,7 @@ func (c *Cluster) WaitForCatchUp(timeout time.Duration) error {
 		// waitApplied waits for applied > lsn, so pass target's predecessor
 		// to observe applied >= target.
 		if !srv.WaitApplied(target.Prev(), time.Until(deadline)) {
-			return fmt.Errorf("cluster: catch-up to %d timed out: page server at %d",
+			return socerr.Timeoutf("cluster: catch-up to %d timed out: page server at %d",
 				target, srv.AppliedLSN())
 		}
 	}
@@ -82,21 +86,22 @@ func (c *Cluster) WaitForCatchUp(timeout time.Duration) error {
 	c.mu.Unlock()
 	for _, s := range secs {
 		if !s.WaitApplied(target, time.Until(deadline)) {
-			return fmt.Errorf("cluster: catch-up to %d timed out: %s at %d",
+			return socerr.Timeoutf("cluster: catch-up to %d timed out: %s at %d",
 				target, s.Name(), s.AppliedLSN())
 		}
 	}
 	return nil
 }
 
-// RemoveSecondary stops and forgets a secondary.
+// RemoveSecondary stops and forgets a secondary. An unknown name surfaces
+// as socerr.ErrNoSecondary under errors.Is.
 func (c *Cluster) RemoveSecondary(name string) error {
 	c.mu.Lock()
 	sec, ok := c.secondaries[name]
 	delete(c.secondaries, name)
 	c.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("cluster: secondary %q not found", name)
+		return fmt.Errorf("%w: %q", socerr.ErrNoSecondary, name)
 	}
 	sec.Stop()
 	return nil
@@ -122,7 +127,7 @@ func (c *Cluster) Failover() (*compute.Primary, time.Duration, error) {
 	start := time.Now()
 	// The crashed primary's final harden reports may be lost: re-derive the
 	// watermark from the landing zone itself and re-report (gap fill).
-	c.XLOG.ReportHardened(c.LZ.HardenedEnd())
+	c.XLOG.ReportHardened(context.Background(), c.LZ.HardenedEnd())
 
 	p, err := compute.NewPrimary(c.primaryConfig(false))
 	if err != nil {
@@ -312,6 +317,12 @@ func (c *Cluster) Backup(name string) error {
 // returns a read-only engine over the restored image and the visibility
 // timestamp it was restored to.
 func (c *Cluster) PointInTimeRestore(backup string, targetLSN page.LSN) (*engine.Engine, uint64, error) {
+	return c.PointInTimeRestoreContext(context.Background(), backup, targetLSN)
+}
+
+// PointInTimeRestoreContext is PointInTimeRestore bounded by ctx: a
+// cancelled context aborts the log replay between blocks.
+func (c *Cluster) PointInTimeRestoreContext(ctx context.Context, backup string, targetLSN page.LSN) (*engine.Engine, uint64, error) {
 	c.mu.Lock()
 	info, ok := c.backups[backup]
 	c.mu.Unlock()
@@ -349,12 +360,12 @@ func (c *Cluster) PointInTimeRestore(backup string, targetLSN page.LSN) (*engine
 	// promote the XLOG watermark to the landing zone's durable end (a
 	// synchronous gap-fill) — the restore must see every hardened block up
 	// to its target.
-	c.XLOG.ReportHardened(c.LZ.HardenedEnd())
+	c.XLOG.ReportHardened(ctx, c.LZ.HardenedEnd())
 	if targetLSN == 0 {
 		targetLSN = c.XLOG.HardenedEnd()
 	}
 	replayer := recovery.NewReplayer(pages)
-	if _, err := replayer.ReplayRange(c.XLOG, info.lsn, targetLSN); err != nil {
+	if _, err := replayer.ReplayRange(ctx, c.XLOG, info.lsn, targetLSN); err != nil {
 		return nil, 0, err
 	}
 

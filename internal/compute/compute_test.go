@@ -1,6 +1,7 @@
 package compute
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func TestLogWriterFlushesAtTxnBoundaries(t *testing.T) {
 	}
 	// The commit record completes the group.
 	lsn := w.Append(wal.NewCommit(1, 1))
-	if err := w.WaitHarden(lsn); err != nil {
+	if err := w.WaitHarden(context.Background(), lsn); err != nil {
 		t.Fatal(err)
 	}
 	if lz.HardenedEnd() != lsn+1 {
@@ -62,7 +63,7 @@ func TestLogWriterGroupCommit(t *testing.T) {
 		go func(n int) {
 			defer wg.Done()
 			lsn := w.Append(wal.NewCommit(uint64(n), uint64(n)))
-			if err := w.WaitHarden(lsn); err != nil {
+			if err := w.WaitHarden(context.Background(), lsn); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -79,7 +80,7 @@ func TestLogWriterFeedsXLOG(t *testing.T) {
 	net := rbio.NewInstantNetwork()
 	var mu sync.Mutex
 	var fed, hardenReports int
-	net.Serve("xlog", func(req *rbio.Request) *rbio.Response {
+	net.Serve("xlog", func(_ context.Context, req *rbio.Request) *rbio.Response {
 		mu.Lock()
 		defer mu.Unlock()
 		switch req.Type {
@@ -92,7 +93,7 @@ func TestLogWriterFeedsXLOG(t *testing.T) {
 	})
 	w := NewLogWriter(lz, rbio.NewClient(net.Dial("xlog")), page.Partitioning{}, 1)
 	lsn := w.Append(wal.NewCommit(1, 1))
-	if err := w.WaitHarden(lsn); err != nil {
+	if err := w.WaitHarden(context.Background(), lsn); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
@@ -108,7 +109,7 @@ func TestWaitHardenAfterClose(t *testing.T) {
 	lz := newLZ(t)
 	w := NewLogWriter(lz, nil, page.Partitioning{}, 1)
 	w.Close()
-	if err := w.WaitHarden(99); err == nil {
+	if err := w.WaitHarden(context.Background(), 99); err == nil {
 		t.Fatal("WaitHarden on closed writer should fail")
 	}
 }
@@ -122,7 +123,7 @@ type pageServerStub struct {
 }
 
 func (s *pageServerStub) handler() rbio.Handler {
-	return func(req *rbio.Request) *rbio.Response {
+	return func(_ context.Context, req *rbio.Request) *rbio.Response {
 		if req.Type != rbio.MsgGetPage {
 			return rbio.Errorf("unexpected %v", req.Type)
 		}

@@ -5,19 +5,23 @@
 package compute
 
 import (
-	"errors"
+	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
+	"socrates/internal/socerr"
 	"socrates/internal/wal"
 	"socrates/internal/xlog"
 )
 
-// ErrWriterClosed reports appends to a closed log writer.
-var ErrWriterClosed = errors.New("compute: log writer closed")
+// ErrWriterClosed reports appends to a closed log writer. It matches
+// socerr.ErrClosed under errors.Is.
+var ErrWriterClosed = fmt.Errorf("compute: log writer closed: %w", socerr.ErrClosed)
 
 // LogWriter is the primary's log pipeline (§4.3, upper-left of Figure 3):
 // records accumulate in memory; the flusher cuts blocks at transaction
@@ -52,14 +56,30 @@ type LogWriter struct {
 
 	blocksFlushed metrics.Counter
 	bytesFlushed  metrics.Counter
+
+	tracer *obs.Tracer
+	obsReg *obs.Registry
+}
+
+// LogWriterOption configures a LogWriter.
+type LogWriterOption func(*LogWriter)
+
+// WithObs wires a tracer and metrics registry into the writer: each
+// landing-zone block write emits an "lz.write" span attributed to the
+// commits it hardens, plus lz.* counters and histograms.
+func WithObs(t *obs.Tracer, r *obs.Registry) LogWriterOption {
+	return func(w *LogWriter) { w.tracer, w.obsReg = t, r }
 }
 
 // NewLogWriter starts a writer whose next record receives startLSN.
-func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning, startLSN page.LSN) *LogWriter {
+func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning, startLSN page.LSN, opts ...LogWriterOption) *LogWriter {
 	w := &LogWriter{
 		lz: lz, feed: feed, pt: pt,
 		nextLSN: startLSN, hardened: startLSN,
 		inflight: make(chan struct{}, 8),
+	}
+	for _, o := range opts {
+		o(w)
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.wg.Add(1)
@@ -84,11 +104,30 @@ func (w *LogWriter) Append(rec *wal.Record) page.LSN {
 	return lsn
 }
 
-// WaitHarden blocks until the record at lsn is durable in the landing zone.
-func (w *LogWriter) WaitHarden(lsn page.LSN) error {
+// WaitHarden blocks until the record at lsn is durable in the landing zone
+// or ctx is done.
+func (w *LogWriter) WaitHarden(ctx context.Context, lsn page.LSN) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A cancelled ctx must break the cond wait: AfterFunc pokes every
+	// waiter, and the loop below re-checks ctx before sleeping again.
+	// The callback must take w.mu (see the context.AfterFunc docs):
+	// broadcasting without the lock can fire between our ctx.Err() check
+	// and cond.Wait() registering, waking nobody — a missed wakeup that
+	// leaves WaitHarden stuck on a quiescent log.
+	stop := context.AfterFunc(ctx, func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		w.cond.Broadcast()
+	})
+	defer stop()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.hardened.AtMost(lsn) && w.err == nil && !w.closed {
+		if err := ctx.Err(); err != nil {
+			return socerr.FromContext(err)
+		}
 		w.cond.Wait()
 	}
 	if w.err != nil {
@@ -211,19 +250,43 @@ func (w *LogWriter) flushLoop() {
 			w.mu.Unlock()
 			return
 		}
+		// Every traced commit in the block gets its own "lz.write" span,
+		// so a group-committed block attributes the quorum write to each
+		// commit's trace. The first commit's identity also rides the feed
+		// and harden-report frames (v2 headers) into the XLOG tier.
+		var commitSCs []obs.SpanContext
+		for _, r := range recs {
+			if r.Kind == wal.KindTxnCommit && r.TraceID != 0 {
+				commitSCs = append(commitSCs, obs.SpanContext{
+					TraceID: obs.TraceID(r.TraceID), SpanID: obs.SpanID(r.SpanID)})
+			}
+		}
 		w.trackInflight(1)
 		w.ioWG.Add(1)
-		go func(block *wal.Block, res *xlog.Reservation) {
+		go func(block *wal.Block, res *xlog.Reservation, commitSCs []obs.SpanContext) {
 			defer w.ioWG.Done()
 			defer func() { w.trackInflight(-1); <-w.inflight }()
+			ioCtx := context.Background()
+			var spans []*obs.Span
+			for _, sc := range commitSCs {
+				c, s := w.tracer.StartRemoteSpan(sc, obs.TierLZ, "lz.write")
+				s.SetAttr("records", fmt.Sprint(len(block.Records)))
+				spans = append(spans, s)
+				ioCtx = c // last traced commit's identity stamps the frames
+			}
+			start := time.Now()
 			// Availability path (fire-and-forget, lossy) in parallel with
 			// the durability path: "The Primary writes log blocks into the
 			// LZ and to the XLOG process in parallel."
 			if w.feed != nil {
 				//socrates:ignore-err the XLOG feed is lossy by design (§4.3); a dropped block is gap-filled from the LZ during promotion
-				_ = w.feed.Send(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: res.Payload()})
+				_ = w.feed.Send(ioCtx, &rbio.Request{Type: rbio.MsgFeedBlock, Payload: res.Payload()})
 			}
 			if err := w.lz.Complete(res); err != nil {
+				for _, s := range spans {
+					s.SetError(err)
+					s.End()
+				}
 				w.mu.Lock()
 				if w.err == nil {
 					w.err = err
@@ -232,6 +295,12 @@ func (w *LogWriter) flushLoop() {
 				w.mu.Unlock()
 				return
 			}
+			for _, s := range spans {
+				s.End()
+			}
+			w.obsReg.Histogram("lz.write.latency").Observe(time.Since(start))
+			w.obsReg.Counter("lz.write.blocks").Inc()
+			w.obsReg.Counter("lz.write.bytes").Add(uint64(len(res.Payload())))
 			w.blocksFlushed.Inc()
 			w.bytesFlushed.Add(int64(len(res.Payload())))
 
@@ -248,8 +317,8 @@ func (w *LogWriter) flushLoop() {
 			// so a stale report is a no-op at the XLOG service.
 			if w.feed != nil {
 				//socrates:ignore-err the harden report is off the durability path; the watermark is monotone, so the next report supersedes a lost one
-				_, _ = w.feed.Call(&rbio.Request{Type: rbio.MsgHardenReport, LSN: hardened})
+				_, _ = w.feed.Call(ioCtx, &rbio.Request{Type: rbio.MsgHardenReport, LSN: hardened})
 			}
-		}(block, res)
+		}(block, res, commitSCs)
 	}
 }

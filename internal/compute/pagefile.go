@@ -1,12 +1,16 @@
 package compute
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"socrates/internal/btree"
 	"socrates/internal/fcb"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/pageserver"
 	"socrates/internal/rbio"
@@ -40,6 +44,16 @@ type RemotePageFile struct {
 
 	fetches  metrics.Counter
 	rangeOps metrics.Counter
+
+	tracer *obs.Tracer
+	obsReg *obs.Registry
+}
+
+// SetObs wires a tracer and metrics registry: a remote GetPage@LSN miss
+// under a traced request becomes a "compute.getpage" span, and every miss
+// records compute.getpage.* metrics.
+func (f *RemotePageFile) SetObs(t *obs.Tracer, r *obs.Registry) {
+	f.tracer, f.obsReg = t, r
 }
 
 // NewRemotePageFile builds the cache-fronted page file.
@@ -87,13 +101,18 @@ func (f *RemotePageFile) minLSN(id page.ID) page.LSN {
 
 // Read returns the page from cache, or fetches it via GetPage@LSN.
 func (f *RemotePageFile) Read(id page.ID) (*page.Page, error) {
+	return f.ReadContext(context.Background(), id)
+}
+
+// ReadContext is Read bounded by (and traced through) ctx.
+func (f *RemotePageFile) ReadContext(ctx context.Context, id page.ID) (*page.Page, error) {
 	if pg, ok := f.cache.Get(id); ok {
 		return pg, nil
 	}
-	return f.fetch(id)
+	return f.fetch(ctx, id)
 }
 
-func (f *RemotePageFile) fetch(id page.ID) (*page.Page, error) {
+func (f *RemotePageFile) fetch(ctx context.Context, id page.ID) (*page.Page, error) {
 	// Register before calling (§4.5), so concurrent log apply queues
 	// records for this page instead of ignoring them.
 	f.mu.Lock()
@@ -115,11 +134,24 @@ func (f *RemotePageFile) fetch(id page.ID) (*page.Page, error) {
 		return nil, err
 	}
 	f.fetches.Inc()
-	resp, err := sel.Call(&rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: f.minLSN(id)})
+	start := time.Now()
+	// A GetPage@LSN miss is itself a request worth tracing (§7 Table 4
+	// reads its latency breakdown off this span tree): join the caller's
+	// trace when one is ambient, else root a fresh one. Misses are bounded
+	// by cache capacity — unlike continuous polls (xlog.pull, log feeds),
+	// they cannot flood the tracer's retention ring.
+	ctx, span := f.tracer.StartSpan(ctx, obs.TierCompute, "compute.getpage")
+	span.SetAttr("page", strconv.FormatUint(uint64(id), 10))
+	defer span.End()
+	f.obsReg.Counter("compute.getpage.remote").Inc()
+	resp, err := sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: f.minLSN(id)})
+	f.obsReg.Histogram("compute.getpage.latency").Observe(time.Since(start))
 	if err != nil {
+		span.SetError(err)
 		return nil, fmt.Errorf("compute: GetPage(%d): %w", id, err)
 	}
 	if err := resp.Err(); err != nil {
+		span.SetError(err)
 		return nil, fmt.Errorf("compute: GetPage(%d): %w", id, err)
 	}
 	pages, err := pageserver.DecodePages(resp.Payload)
@@ -147,12 +179,17 @@ func (f *RemotePageFile) fetch(id page.ID) (*page.Page, error) {
 // ReadRange fetches count consecutive pages with a single page-server range
 // I/O, bypassing the sparse cache (scan offloading, §4.1.5).
 func (f *RemotePageFile) ReadRange(start page.ID, count int) ([]*page.Page, error) {
+	return f.ReadRangeContext(context.Background(), start, count)
+}
+
+// ReadRangeContext is ReadRange bounded by (and traced through) ctx.
+func (f *RemotePageFile) ReadRangeContext(ctx context.Context, start page.ID, count int) ([]*page.Page, error) {
 	sel, err := f.resolve(start)
 	if err != nil {
 		return nil, err
 	}
 	f.rangeOps.Inc()
-	resp, err := sel.Call(&rbio.Request{
+	resp, err := sel.Call(ctx, &rbio.Request{
 		Type: rbio.MsgGetPage, Page: start, LSN: f.floor(), MaxBytes: int32(count)})
 	if err != nil {
 		return nil, err
@@ -167,11 +204,16 @@ func (f *RemotePageFile) ReadRange(start page.ID, count int) ([]*page.Page, erro
 // start down to the owning page server (§4.1.5): only the match summary
 // crosses the network, not the pages.
 func (f *RemotePageFile) OffloadScan(start page.ID, count int, keyLo, keyHi []byte) (pageserver.ScanResult, error) {
+	return f.OffloadScanContext(context.Background(), start, count, keyLo, keyHi)
+}
+
+// OffloadScanContext is OffloadScan bounded by (and traced through) ctx.
+func (f *RemotePageFile) OffloadScanContext(ctx context.Context, start page.ID, count int, keyLo, keyHi []byte) (pageserver.ScanResult, error) {
 	sel, err := f.resolve(start)
 	if err != nil {
 		return pageserver.ScanResult{}, err
 	}
-	resp, err := sel.Call(&rbio.Request{
+	resp, err := sel.Call(ctx, &rbio.Request{
 		Type:     rbio.MsgScanCells,
 		Page:     start,
 		MaxBytes: int32(count),

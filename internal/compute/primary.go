@@ -1,12 +1,14 @@
 package compute
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"socrates/internal/engine"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/rbpex"
@@ -35,6 +37,10 @@ type PrimaryConfig struct {
 	Meter *metrics.CPUMeter
 	// Bootstrap creates a fresh database instead of attaching to one.
 	Bootstrap bool
+	// Tracer / Metrics, if set, wire the node into the cluster's
+	// observability spine (commit spans, lz.write spans, getpage spans).
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Primary is the read-write compute node: it is the single log producer and
@@ -61,7 +67,8 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 	}
 
 	startLSN := cfg.LZ.HardenedEnd()
-	writer := NewLogWriter(cfg.LZ, cfg.XLOG, cfg.Partitioning, startLSN)
+	writer := NewLogWriter(cfg.LZ, cfg.XLOG, cfg.Partitioning, startLSN,
+		WithObs(cfg.Tracer, cfg.Metrics))
 
 	// The GetPage@LSN floor for pages this node has never seen: everything
 	// in the database is at most as new as the hardened end at attach time.
@@ -80,8 +87,10 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 	if err != nil {
 		return nil, err
 	}
+	pages.SetObs(cfg.Tracer, cfg.Metrics)
 
-	ecfg := engine.Config{Pages: pages, Log: writer, Meter: cfg.Meter}
+	ecfg := engine.Config{Pages: pages, Log: writer, Meter: cfg.Meter,
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics}
 	var eng *engine.Engine
 	if cfg.Bootstrap {
 		eng, err = engine.Create(ecfg)
@@ -105,7 +114,7 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 // recoverVisibility republishes the highest hardened commit timestamp so
 // new snapshots see everything that was durable before the failover.
 func (p *Primary) recoverVisibility(xlogClient *rbio.Client) error {
-	resp, err := xlogClient.Call(&rbio.Request{Type: rbio.MsgReadState})
+	resp, err := xlogClient.Call(context.Background(), &rbio.Request{Type: rbio.MsgReadState})
 	if err != nil {
 		return fmt.Errorf("compute: reading XLOG state: %w", err)
 	}

@@ -1,6 +1,7 @@
 package compute
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestLogWriterConcurrentAppendAndWatermarks(t *testing.T) {
 				txn := uint64(c*perWorker + i + 1)
 				w.Append(&wal.Record{Kind: wal.KindCellPut, Page: page.ID(txn%7 + 1), Key: []byte("k")})
 				lsn := w.Append(wal.NewCommit(txn, txn))
-				if err := w.WaitHarden(lsn); err != nil {
+				if err := w.WaitHarden(context.Background(), lsn); err != nil {
 					t.Errorf("WaitHarden(%d): %v", lsn, err)
 					return
 				}

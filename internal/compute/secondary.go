@@ -1,12 +1,14 @@
 package compute
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
 
 	"socrates/internal/engine"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/rbpex"
@@ -38,6 +40,10 @@ type SecondaryConfig struct {
 	// ApplyDelay adds latency before each pull — models a geo-replica
 	// consuming the log across a WAN (§6).
 	ApplyDelay time.Duration
+	// Tracer / Metrics attach the node to the deployment's observability
+	// plane (GetPage@LSN spans and cache-miss latency histograms).
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Secondary is a read-only compute node. It consumes the full log stream
@@ -102,12 +108,15 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 	if err != nil {
 		return nil, err
 	}
+	pages.SetObs(cfg.Tracer, cfg.Metrics)
 	s.pages = pages
 
 	eng, err := engine.Open(engine.Config{
 		Pages:    pages,
 		ReadOnly: true,
 		Meter:    cfg.Meter,
+		Tracer:   cfg.Tracer,
+		Metrics:  cfg.Metrics,
 		WaitFresh: func() {
 			// A traversal raced log apply: pause until the apply thread
 			// makes progress, then retry (§4.5).
@@ -213,7 +222,7 @@ func (s *Secondary) pullOnce() bool {
 	from := s.applied
 	s.mu.Unlock()
 
-	resp, err := s.xlog.Call(&rbio.Request{
+	resp, err := s.xlog.Call(context.Background(), &rbio.Request{
 		Type:      rbio.MsgPullBlocks,
 		LSN:       from,
 		Partition: -1, // secondaries consume the whole stream (§4.6)
@@ -242,7 +251,7 @@ func (s *Secondary) pullOnce() bool {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
-	_, _ = s.xlog.Call(&rbio.Request{
+	_, _ = s.xlog.Call(context.Background(), &rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.name, LSN: resp.LSN})
 	return true
 }

@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"socrates/internal/btree"
 	"socrates/internal/fcb"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/txn"
 	"socrates/internal/versionstore"
@@ -66,11 +68,12 @@ var (
 
 // LogPipeline is the engine's handle to the durable log: Append stages a
 // record (assigning its LSN) and WaitHarden blocks until the given LSN is
-// durable. On the Socrates primary, hardening means quorum-acknowledged in
-// the landing zone; on HADR, quorum-acknowledged by the replica set.
+// durable or ctx is done. On the Socrates primary, hardening means
+// quorum-acknowledged in the landing zone; on HADR, quorum-acknowledged by
+// the replica set.
 type LogPipeline interface {
 	wal.Logger
-	WaitHarden(lsn page.LSN) error
+	WaitHarden(ctx context.Context, lsn page.LSN) error
 }
 
 // MemPipeline is an in-memory LogPipeline for tests: hardening is immediate.
@@ -80,7 +83,7 @@ type MemPipeline struct{ *wal.MemLog }
 func NewMemPipeline() MemPipeline { return MemPipeline{wal.NewMemLog()} }
 
 // WaitHarden reports immediate durability.
-func (MemPipeline) WaitHarden(page.LSN) error { return nil }
+func (MemPipeline) WaitHarden(context.Context, page.LSN) error { return nil }
 
 // Config assembles an engine.
 type Config struct {
@@ -96,6 +99,10 @@ type Config struct {
 	WaitFresh func()
 	// Meter, if set, is charged the simulated CPU cost of operations.
 	Meter *metrics.CPUMeter
+	// Tracer, if set, records commit-path spans (tier "compute").
+	Tracer *obs.Tracer
+	// Metrics, if set, receives engine counters and latency histograms.
+	Metrics *obs.Registry
 }
 
 // Engine is one node's database engine instance.
@@ -152,7 +159,7 @@ func Create(cfg Config) (*Engine, error) {
 
 	// Delimit bootstrap as a hardened group.
 	commitLSN := cfg.Log.Append(wal.NewCommit(0, 0))
-	if err := cfg.Log.WaitHarden(commitLSN); err != nil {
+	if err := cfg.Log.WaitHarden(context.Background(), commitLSN); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -209,11 +216,18 @@ func (nopLog) Append(*wal.Record) page.LSN {
 	panic("engine: append on read-only node")
 }
 
-func (nopLog) WaitHarden(page.LSN) error { return nil }
+func (nopLog) WaitHarden(context.Context, page.LSN) error { return nil }
 
 // Clock exposes the timestamp clock (secondaries publish commit timestamps
 // from applied log; benches take snapshots).
 func (e *Engine) Clock() *txn.Clock { return e.clock }
+
+// Tracer exposes the engine's tracer (nil when unconfigured; nil is a
+// valid no-op tracer).
+func (e *Engine) Tracer() *obs.Tracer { return e.cfg.Tracer }
+
+// Metrics exposes the engine's metrics registry (nil when unconfigured).
+func (e *Engine) Metrics() *obs.Registry { return e.cfg.Metrics }
 
 // VersionStore exposes the shared version store.
 func (e *Engine) VersionStore() *versionstore.Store { return e.vs }
@@ -289,6 +303,11 @@ func lookupU64(meta *page.Page, key string) (uint64, bool, error) {
 // CreateTable creates an empty table. DDL is auto-committed and durable on
 // return.
 func (e *Engine) CreateTable(name string) error {
+	return e.CreateTableContext(context.Background(), name)
+}
+
+// CreateTableContext is CreateTable bounded by (and traced through) ctx.
+func (e *Engine) CreateTableContext(ctx context.Context, name string) error {
 	if e.cfg.ReadOnly {
 		return ErrReadOnly
 	}
@@ -322,10 +341,14 @@ func (e *Engine) CreateTable(name string) error {
 		return err
 	}
 	ts := e.clock.AllocateCommit()
-	commitLSN := e.cfg.Log.Append(wal.NewCommit(0, ts))
+	rec := wal.NewCommit(0, ts)
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		rec.TraceID, rec.SpanID = uint64(sc.TraceID), uint64(sc.SpanID)
+	}
+	commitLSN := e.cfg.Log.Append(rec)
 	e.commitMu.Unlock()
 
-	if err := e.cfg.Log.WaitHarden(commitLSN); err != nil {
+	if err := e.cfg.Log.WaitHarden(ctx, commitLSN); err != nil {
 		return err
 	}
 	e.clock.Publish(ts)

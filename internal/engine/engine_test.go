@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -556,7 +557,7 @@ type holdFlag struct {
 func (h *holdFlag) Store(v bool) { h.mu.Lock(); h.v = v; h.mu.Unlock() }
 func (h *holdFlag) Load() bool   { h.mu.Lock(); defer h.mu.Unlock(); return h.v }
 
-func (g *gatedPipeline) WaitHarden(page.LSN) error {
+func (g *gatedPipeline) WaitHarden(context.Context, page.LSN) error {
 	if g.hold.Load() {
 		<-g.release
 	}

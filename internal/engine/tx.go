@@ -2,10 +2,14 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
+	"socrates/internal/obs"
 	"socrates/internal/txn"
 	"socrates/internal/versionstore"
 	"socrates/internal/wal"
@@ -17,6 +21,7 @@ import (
 // aborts are free and recovery needs no undo (§3.2).
 type Tx struct {
 	e        *Engine
+	ctx      context.Context // bounds commit waits; carries the span identity
 	id       uint64
 	snapshot uint64
 	readOnly bool
@@ -40,8 +45,16 @@ func lockKey(table string, key []byte) string {
 
 // Begin starts a read-write transaction at the current snapshot.
 func (e *Engine) Begin() *Tx {
+	return e.BeginContext(context.Background())
+}
+
+// BeginContext starts a read-write transaction bound to ctx: commit waits
+// honor ctx's deadline, and the commit record is attributed to ctx's span
+// (so the landing-zone write joins the request's trace).
+func (e *Engine) BeginContext(ctx context.Context) *Tx {
 	return &Tx{
 		e:        e,
+		ctx:      ctx,
 		id:       e.ids.Next(),
 		snapshot: e.clock.Snapshot(),
 		writeIdx: make(map[string]int),
@@ -51,6 +64,13 @@ func (e *Engine) Begin() *Tx {
 // BeginRO starts a read-only transaction at the current snapshot.
 func (e *Engine) BeginRO() *Tx {
 	tx := e.Begin()
+	tx.readOnly = true
+	return tx
+}
+
+// BeginROContext starts a read-only transaction bound to ctx.
+func (e *Engine) BeginROContext(ctx context.Context) *Tx {
+	tx := e.BeginContext(ctx)
 	tx.readOnly = true
 	return tx
 }
@@ -279,7 +299,17 @@ func (e *Engine) scanVisible(table string, lo, hi []byte, snapshot uint64) ([]kv
 
 // Commit applies the write set to pages, logs it as one group ending in the
 // commit record, waits for the log to harden, and publishes the commit
-// timestamp. On return the transaction is durable and visible.
+// timestamp. On nil return the transaction is durable and visible.
+//
+// Ambiguity on cancellation: once the commit record is appended there is
+// no undo — if ctx expires during the harden wait, Commit returns an
+// error but the record is already in the log pipeline and may (and
+// usually will) still harden and replicate. The error then means
+// "outcome unknown", exactly like a client losing its connection mid
+// COMMIT: the caller must re-read to learn the outcome. Commit detaches
+// a background publisher for this case so that if the record does
+// harden, the timestamp becomes visible on the primary without waiting
+// for a later unrelated commit to publish a higher one.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -291,6 +321,18 @@ func (tx *Tx) Commit() error {
 	}
 	e := tx.e
 	e.charge(cpuCommit)
+
+	ctx := tx.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	// Spans join a request trace; they never root one here. A commit with
+	// no ambient span (raw-engine callers, saturation benchmarks) pays
+	// only the histogram below — no allocation, no tracer traffic.
+	ctx, span := e.cfg.Tracer.JoinSpan(ctx, obs.TierCompute, "engine.commit")
+	span.SetAttr("txn", strconv.FormatUint(tx.id, 10))
+	defer span.End()
 
 	e.commitMu.Lock()
 	if e.failed {
@@ -324,13 +366,38 @@ func (tx *Tx) Commit() error {
 			return fmt.Errorf("%w: %v", ErrEngineFailed, err)
 		}
 	}
-	commitLSN := e.cfg.Log.Append(wal.NewCommit(tx.id, ts))
+	commitRec := wal.NewCommit(tx.id, ts)
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		// Annotate the commit record (in memory only) so the log flusher
+		// can attribute the landing-zone write back to this commit's trace.
+		commitRec.TraceID, commitRec.SpanID = uint64(sc.TraceID), uint64(sc.SpanID)
+	}
+	commitLSN := e.cfg.Log.Append(commitRec)
 	e.commitMu.Unlock()
 
-	if err := e.cfg.Log.WaitHarden(commitLSN); err != nil {
+	if err := e.cfg.Log.WaitHarden(ctx, commitLSN); err != nil {
+		span.SetError(err)
+		if ctx.Err() != nil {
+			// Ambiguous commit (see the method comment): the caller gave
+			// up waiting, but the appended record may still harden.
+			// Publish the timestamp once it does, off the caller's
+			// context, so the committed data does not stay invisible on
+			// the primary while secondaries apply it. Publish is
+			// max-monotone, so a late publish can never move visibility
+			// backwards; the goroutine is bounded by the log writer's
+			// lifetime (WaitHarden returns on writer failure or close).
+			go func() {
+				if e.cfg.Log.WaitHarden(context.Background(), commitLSN) == nil {
+					e.clock.Publish(ts)
+				}
+			}()
+			return fmt.Errorf("commit wait interrupted, outcome unknown (txn %d may still be durable): %w", tx.id, err)
+		}
 		return err
 	}
 	e.clock.Publish(ts)
+	e.cfg.Metrics.Histogram("compute.commit.latency").Observe(time.Since(start))
+	e.cfg.Metrics.Counter("compute.commit.count").Inc()
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package hadr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"socrates/internal/metrics"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
+	"socrates/internal/socerr"
 	"socrates/internal/wal"
 	"socrates/internal/xstore"
 )
@@ -302,11 +304,26 @@ func (w *writer) Append(rec *wal.Record) page.LSN {
 	return lsn
 }
 
-// WaitHarden blocks until quorum hardening reaches lsn.
-func (w *writer) WaitHarden(lsn page.LSN) error {
+// WaitHarden blocks until quorum hardening reaches lsn or ctx is done.
+func (w *writer) WaitHarden(ctx context.Context, lsn page.LSN) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The callback must take w.mu (context.AfterFunc docs): an unlocked
+	// Broadcast can fire between the ctx.Err() check and cond.Wait()
+	// registering — a missed wakeup that strands the waiter.
+	stop := context.AfterFunc(ctx, func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		w.cond.Broadcast()
+	})
+	defer stop()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.hardened.AtMost(lsn) && w.err == nil && !w.closed {
+		if err := ctx.Err(); err != nil {
+			return socerr.FromContext(err)
+		}
 		w.cond.Wait()
 	}
 	if w.err != nil {
@@ -434,7 +451,7 @@ func (w *writer) ship(block *wal.Block) error {
 	for _, sec := range secs {
 		go func(name string) {
 			client := rbio.NewClient(w.c.Net.Dial(name))
-			resp, err := client.Call(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload})
+			resp, err := client.Call(context.Background(), &rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload})
 			if err == nil {
 				err = resp.Err()
 			}

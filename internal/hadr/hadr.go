@@ -15,6 +15,7 @@
 package hadr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -269,7 +270,7 @@ func (n *Node) waitApplyProgress(timeout time.Duration) {
 // handler serves replication traffic: a feed block is hardened to the local
 // log, queued for apply, and acknowledged.
 func (n *Node) handler() rbio.Handler {
-	return func(req *rbio.Request) *rbio.Response {
+	return func(_ context.Context, req *rbio.Request) *rbio.Response {
 		switch req.Type {
 		case rbio.MsgPing:
 			return rbio.Ok()

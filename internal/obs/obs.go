@@ -1,0 +1,392 @@
+// Package obs is the observability spine of the repo: a zero-dependency
+// tracing and metrics subsystem modeled on what Socrates' §7 evaluation
+// needs — cross-tier latency breakdowns (commit time split across the
+// landing zone, XLOG dissemination, and page-server apply; GetPage@LSN
+// split across RBPEX miss, RBIO round-trip, and page-server read).
+//
+// The design is deliberately small:
+//
+//   - A Span is a named interval with a tier label, parent link, and
+//     free-form attributes. Spans form trees keyed by TraceID.
+//   - A Tracer owns bounded per-trace storage; finished spans are
+//     retrievable as a tree (Trace) or flat list.
+//   - SpanContext (TraceID, SpanID) travels inside context.Context and —
+//     across process-shaped boundaries — inside RBIO v2 frame headers.
+//   - A Registry holds named counters, gauges, and bounded
+//     exponential-bucket histograms that every tier registers into.
+//
+// All types are nil-safe: a nil *Tracer, *Span, or *Registry accepts the
+// full method set and does nothing, so code paths constructed without
+// observability wiring (most unit tests) pay nothing and need no guards.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tier labels used across the repo. Spans and metrics are namespaced by
+// these so exports can be grouped per tier (§2 of the paper: compute,
+// XLOG, page servers, XStore; the landing zone is called out separately
+// because commit latency is dominated by it).
+const (
+	TierCompute    = "compute"
+	TierLZ         = "lz"
+	TierXLOG       = "xlog"
+	TierPageServer = "pageserver"
+	TierXStore     = "xstore"
+)
+
+// TraceID identifies one request tree (one commit, one GetPage@LSN, ...).
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// SpanContext is the wire-size identity of a span: what RBIO v2 carries
+// in its frame header and what context.Context carries between tiers.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the span identity from ctx (zero if absent).
+func SpanFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Span is one recorded interval. Fields are written only by the owning
+// goroutine until End, after which the span is immutable and owned by
+// the tracer.
+type Span struct {
+	tracer *Tracer
+
+	Trace    TraceID
+	ID       SpanID
+	Parent   SpanID
+	Name     string
+	Tier     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    map[string]string
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// Context returns the span's identity for propagation.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.Trace, SpanID: s.ID}
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.Attrs == nil {
+			s.Attrs = make(map[string]string, 4)
+		}
+		s.Attrs[key] = value
+	}
+	s.mu.Unlock()
+}
+
+// SetError records err on the span (no-op for nil err).
+func (s *Span) SetError(err error) {
+	if err == nil {
+		return
+	}
+	s.SetAttr("error", err.Error())
+}
+
+// End finishes the span with wall-clock duration and hands it to the
+// tracer. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndWith(time.Since(s.Start))
+}
+
+// EndWith finishes the span attributing the given duration — used when
+// the interesting time is simulated-device time rather than wall clock.
+func (s *Span) EndWith(d time.Duration) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	if d < 0 {
+		d = 0
+	}
+	s.Duration = d
+	s.mu.Unlock()
+	s.tracer.record(s)
+}
+
+// Tracer collects finished spans into bounded per-trace storage. The
+// zero value is NOT usable; call NewTracer. A nil *Tracer is a valid
+// no-op sink.
+type Tracer struct {
+	mu        sync.Mutex
+	traces    map[TraceID][]*Span
+	order     []TraceID // insertion order for eviction
+	maxTraces int
+	maxSpans  int // per trace
+	nextID    atomic.Uint64
+	rng       func() uint64
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// WithMaxTraces bounds how many distinct traces are retained (oldest
+// evicted first). Default 256.
+func WithMaxTraces(n int) TracerOption { return func(t *Tracer) { t.maxTraces = n } }
+
+// WithMaxSpans bounds how many spans one trace retains. Default 512.
+func WithMaxSpans(n int) TracerOption { return func(t *Tracer) { t.maxSpans = n } }
+
+// NewTracer builds an empty tracer.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{
+		traces:    make(map[TraceID][]*Span),
+		maxTraces: 256,
+		maxSpans:  512,
+		rng:       rand.Uint64,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	return SpanID(t.nextID.Add(1))
+}
+
+// StartSpan begins a span named name in the given tier. If ctx already
+// carries a span identity the new span becomes its child and shares the
+// trace; otherwise a fresh trace is started. The returned context
+// carries the new span's identity.
+func (t *Tracer) StartSpan(ctx context.Context, tier, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent := SpanFromContext(ctx)
+	s := &Span{
+		tracer: t,
+		Name:   name,
+		Tier:   tier,
+		Start:  time.Now(),
+		ID:     t.newSpanID(),
+	}
+	if parent.Valid() {
+		s.Trace = parent.TraceID
+		s.Parent = parent.SpanID
+	} else {
+		id := t.rng()
+		if id == 0 {
+			id = 1
+		}
+		s.Trace = TraceID(id)
+	}
+	return ContextWithSpan(ctx, s.Context()), s
+}
+
+// JoinSpan starts a span only when ctx already carries trace identity;
+// otherwise it returns ctx unchanged and a nil span (all Span methods
+// are nil-safe). Interior tiers use it so continuous background traffic
+// — log feeds, consumer pulls, untraced benchmark commits — cannot root
+// fresh traces and flood the retention ring. Traces root at the request
+// entry point (or an explicit caller span), nowhere else.
+func (t *Tracer) JoinSpan(ctx context.Context, tier, name string) (context.Context, *Span) {
+	if t == nil || !SpanFromContext(ctx).Valid() {
+		return ctx, nil
+	}
+	return t.StartSpan(ctx, tier, name)
+}
+
+// StartRemoteSpan begins a span whose parent identity arrived over the
+// wire (an RBIO v2 header) rather than through a context.
+func (t *Tracer) StartRemoteSpan(parent SpanContext, tier, name string) (context.Context, *Span) {
+	if t == nil {
+		return context.Background(), nil
+	}
+	return t.StartSpan(ContextWithSpan(context.Background(), parent), tier, name)
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans, ok := t.traces[s.Trace]
+	if !ok {
+		if len(t.order) >= t.maxTraces {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.traces, evict)
+		}
+		t.order = append(t.order, s.Trace)
+	}
+	if len(spans) < t.maxSpans {
+		t.traces[s.Trace] = append(spans, s)
+	} else {
+		t.traces[s.Trace] = spans // trace over budget: drop span
+	}
+}
+
+// Spans returns the finished spans of a trace in completion order.
+func (t *Tracer) Spans(id TraceID) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.traces[id]...)
+}
+
+// TraceIDs returns the retained trace IDs, oldest first.
+func (t *Tracer) TraceIDs() []TraceID {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceID(nil), t.order...)
+}
+
+// SpanNode is one node of an exported span tree.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	Tier     string            `json:"tier"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Tiers returns the distinct tier labels present in the subtree rooted
+// at n, sorted.
+func (n *SpanNode) Tiers() []string {
+	set := map[string]bool{}
+	var walk func(*SpanNode)
+	walk = func(m *SpanNode) {
+		if m == nil {
+			return
+		}
+		if m.Tier != "" {
+			set[m.Tier] = true
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trace assembles the span tree for a trace ID. Spans whose parent was
+// not retained (evicted, or still running) surface as additional roots;
+// when a trace has several roots they are joined under a synthetic
+// "trace" node so callers always get one tree.
+func (t *Tracer) Trace(id TraceID) *SpanNode {
+	spans := t.Spans(id)
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &SpanNode{
+			Name: s.Name, Tier: s.Tier, Start: s.Start,
+			Duration: s.Duration, Attrs: s.Attrs,
+		}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 1 {
+		return roots[0]
+	}
+	return &SpanNode{Name: "trace", Start: roots[0].Start, Children: roots}
+}
+
+// Format renders the subtree rooted at n as indented text; see Format.
+// It is nil-safe and returns "" for a nil node.
+func (n *SpanNode) Format() string { return Format(n) }
+
+// Format renders a span tree as indented text, one span per line:
+//
+//	commit.exec [compute] 1.2ms
+//	  lz.write [lz] 600µs
+func Format(n *SpanNode) string {
+	var b strings.Builder
+	var walk func(*SpanNode, int)
+	walk = func(m *SpanNode, depth int) {
+		if m == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s [%s] %v", m.Name, m.Tier, m.Duration)
+		if len(m.Attrs) > 0 {
+			keys := make([]string, 0, len(m.Attrs))
+			for k := range m.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, m.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range m.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAcrossTiers(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), TierCompute, "commit.exec")
+	ctx2, child := tr.StartSpan(ctx, TierLZ, "lz.write")
+	if SpanFromContext(ctx2).TraceID != root.Trace {
+		t.Fatalf("child context lost trace id")
+	}
+	_, grand := tr.StartSpan(ctx2, TierXLOG, "xlog.feed")
+	grand.SetAttr("blocks", "3")
+	grand.EndWith(5 * time.Millisecond)
+	child.End()
+	root.End()
+
+	tree := tr.Trace(root.Trace)
+	if tree == nil {
+		t.Fatal("no tree")
+	}
+	if tree.Name != "commit.exec" {
+		t.Fatalf("root = %q", tree.Name)
+	}
+	tiers := tree.Tiers()
+	want := []string{TierCompute, TierLZ, TierXLOG}
+	if len(tiers) != len(want) {
+		t.Fatalf("tiers = %v, want %v", tiers, want)
+	}
+	for i := range want {
+		if tiers[i] != want[i] {
+			t.Fatalf("tiers = %v, want %v", tiers, want)
+		}
+	}
+	text := Format(tree)
+	if !strings.Contains(text, "xlog.feed [xlog] 5ms blocks=3") {
+		t.Fatalf("format missing attributed span:\n%s", text)
+	}
+}
+
+func TestRemoteSpanJoinsTrace(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), TierCompute, "getpage")
+	// Simulate a wire hop: only the SpanContext crosses.
+	wire := SpanFromContext(ctx)
+	_, remote := tr.StartRemoteSpan(wire, TierPageServer, "pageserver.getpage")
+	remote.EndWith(time.Millisecond)
+	root.End()
+	tree := tr.Trace(root.Trace)
+	if len(tree.Children) != 1 || tree.Children[0].Tier != TierPageServer {
+		t.Fatalf("remote span not parented: %s", Format(tree))
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(WithMaxTraces(2))
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		_, s := tr.StartSpan(context.Background(), TierCompute, "op")
+		s.End()
+		ids = append(ids, s.Trace)
+	}
+	if got := tr.Trace(ids[0]); got != nil {
+		t.Fatal("oldest trace should be evicted")
+	}
+	if got := tr.Trace(ids[2]); got == nil {
+		t.Fatal("newest trace missing")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), TierCompute, "noop")
+	s.SetAttr("k", "v")
+	s.SetError(errors.New("x"))
+	s.End()
+	if SpanFromContext(ctx).Valid() {
+		t.Fatal("nil tracer must not mint span contexts")
+	}
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(time.Millisecond)
+	if n := len(r.Snapshot().Names()); n != 0 {
+		t.Fatalf("nil registry snapshot has %d names", n)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pageserver.getpage.latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * 100 * time.Microsecond) // 100µs..10ms
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 100*time.Microsecond || s.Max != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 < time.Millisecond || s.P50 > 16*time.Millisecond {
+		t.Fatalf("p50 = %v out of plausible bucket range", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Fatalf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+	r.Counter("compute.commits").Add(7)
+	r.Gauge("xlog.pending").Set(3)
+	snap := r.Snapshot()
+	if snap.Counters["compute.commits"] != 7 {
+		t.Fatalf("counter missing: %+v", snap.Counters)
+	}
+	if snap.Gauges["xlog.pending"] != 3 {
+		t.Fatalf("gauge missing: %+v", snap.Gauges)
+	}
+	if !strings.Contains(snap.JSON(), "pageserver.getpage.latency") {
+		t.Fatal("JSON export missing histogram")
+	}
+	names := snap.Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestMultiRootTrace(t *testing.T) {
+	tr := NewTracer()
+	ctx, a := tr.StartSpan(context.Background(), TierXLOG, "xlog.feed")
+	a.End()
+	// A sibling root in the same trace whose parent span was never
+	// recorded (e.g. the client crashed before End).
+	orphanParent := SpanContext{TraceID: SpanFromContext(ctx).TraceID, SpanID: 9999}
+	_, b := tr.StartRemoteSpan(orphanParent, TierPageServer, "apply")
+	b.End()
+	tree := tr.Trace(a.Trace)
+	if tree.Name != "trace" || len(tree.Children) != 2 {
+		t.Fatalf("expected synthetic root with 2 children:\n%s", Format(tree))
+	}
+}

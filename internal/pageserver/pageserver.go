@@ -17,6 +17,7 @@
 package pageserver
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,16 +27,19 @@ import (
 
 	"socrates/internal/btree"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/rbpex"
 	"socrates/internal/simdisk"
+	"socrates/internal/socerr"
 	"socrates/internal/wal"
 	"socrates/internal/xstore"
 )
 
-// ErrStopped reports an operation on a stopped server.
-var ErrStopped = errors.New("pageserver: stopped")
+// ErrStopped reports an operation on a stopped server. It wraps
+// socerr.ErrClosed so errors.Is(err, socerr.ErrClosed) classifies it.
+var ErrStopped = fmt.Errorf("pageserver: stopped: %w", socerr.ErrClosed)
 
 // Config assembles a page server.
 type Config struct {
@@ -76,6 +80,10 @@ type Config struct {
 	// asynchronously at startup (new server / replica / restart without
 	// intact local SSD).
 	Seed bool
+	// Tracer receives page-server-tier spans (nil = tracing off).
+	Tracer *obs.Tracer
+	// Metrics receives page-server-tier instruments (nil = metrics off).
+	Metrics *obs.Registry
 }
 
 // Server is one page server.
@@ -280,12 +288,16 @@ func (s *Server) applyLoop() {
 }
 
 // pullOnce pulls and applies one batch; reports whether progress was made.
+// The apply loop is server-initiated, so each batch starts its own trace
+// rather than joining a caller's.
 func (s *Server) pullOnce() bool {
 	s.mu.Lock()
 	from := s.applied
 	s.mu.Unlock()
 
-	resp, err := s.cfg.XLOG.Call(&rbio.Request{
+	ctx := context.Background()
+	start := time.Now()
+	resp, err := s.cfg.XLOG.Call(ctx, &rbio.Request{
 		Type:      rbio.MsgPullBlocks,
 		LSN:       from,
 		Partition: int32(s.cfg.Partition),
@@ -295,6 +307,7 @@ func (s *Server) pullOnce() bool {
 	if err != nil || resp.Status != rbio.StatusOK {
 		return false
 	}
+	s.cfg.Metrics.Histogram("pageserver.pull.rtt").Since(start)
 	next := resp.LSN
 	payload := resp.Payload
 	// Coalesce the batch: a page touched by many records in one pull is
@@ -316,6 +329,7 @@ func (s *Server) pullOnce() bool {
 	}
 	for _, pg := range touched {
 		s.applies.Inc()
+		s.cfg.Metrics.Counter("pageserver.apply.pages").Inc()
 		s.markDirty(pg.ID)
 		if err := s.cache.Put(pg); err != nil {
 			return false
@@ -324,12 +338,13 @@ func (s *Server) pullOnce() bool {
 	if next == from {
 		return false
 	}
+	s.cfg.Metrics.Histogram("pageserver.apply.latency").Since(start)
 	s.mu.Lock()
 	s.applied = next
 	s.appliedCond.Broadcast()
 	s.mu.Unlock()
 	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
-	_, _ = s.cfg.XLOG.Call(&rbio.Request{
+	_, _ = s.cfg.XLOG.Call(ctx, &rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.cfg.Name, LSN: next})
 	return true
 }
@@ -574,13 +589,24 @@ func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
 }
 
 // GetPage serves one page at an LSN at least minLSN (the §4.4 protocol).
-func (s *Server) GetPage(id page.ID, minLSN page.LSN) (*page.Page, error) {
+// The context carries the calling compute node's span identity (decoded
+// from the RBIO v2 frame), so the page-server read shows up inside the
+// caller's GetPage@LSN trace.
+func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*page.Page, error) {
+	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpage")
+	defer sp.End()
+	start := time.Now()
+	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(start)
 	if !s.Owns(id) {
 		return nil, fmt.Errorf("pageserver: page %d outside partition [%d,%d)", id, s.lo, s.hi)
 	}
+	waitStart := time.Now()
 	if !s.waitApplied(minLSN, 5*time.Second) {
-		return nil, fmt.Errorf("pageserver: apply lag: applied %d, need > %d",
+		return nil, socerr.Timeoutf("pageserver: apply lag: applied %d, need > %d",
 			s.AppliedLSN(), minLSN)
+	}
+	if wait := time.Since(waitStart); wait > 0 {
+		s.cfg.Metrics.Histogram("pageserver.getpage.wait").Observe(wait)
 	}
 	s.charge(6 * time.Microsecond)
 	if pg, ok := s.cache.Get(id); ok {
@@ -588,8 +614,10 @@ func (s *Server) GetPage(id page.ID, minLSN page.LSN) (*page.Page, error) {
 		return pg, nil
 	}
 	// Covering cache miss: only possible while seeding — fetch on demand.
+	sp.SetAttr("xstore-fetch", "true")
 	pg, err := s.fetchFromStore(id)
 	if err != nil {
+		sp.SetError(err)
 		return nil, fmt.Errorf("pageserver: page %d not found: %w", id, err)
 	}
 	s.served.Inc()
@@ -598,12 +626,16 @@ func (s *Server) GetPage(id page.ID, minLSN page.LSN) (*page.Page, error) {
 
 // GetPageRange serves count consecutive pages starting at start with one
 // cache I/O (stride-preserving layout), for scan offloading.
-func (s *Server) GetPageRange(start page.ID, count int, minLSN page.LSN) ([]*page.Page, error) {
+func (s *Server) GetPageRange(ctx context.Context, start page.ID, count int, minLSN page.LSN) ([]*page.Page, error) {
+	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpagerange")
+	defer sp.End()
+	t0 := time.Now()
+	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(t0)
 	if start < s.lo || start+page.ID(count) > s.hi {
 		return nil, fmt.Errorf("pageserver: range outside partition")
 	}
 	if !s.waitApplied(minLSN, 5*time.Second) {
-		return nil, errors.New("pageserver: apply lag on range read")
+		return nil, socerr.Timeoutf("pageserver: apply lag on range read")
 	}
 	s.rangeIOs.Inc()
 	pages, err := s.cache.ReadRange(start, count)
@@ -614,27 +646,29 @@ func (s *Server) GetPageRange(start page.ID, count int, minLSN page.LSN) ([]*pag
 	return pages, nil
 }
 
-// Handler exposes the server over RBIO.
+// Handler exposes the server over RBIO. The transport passes a context
+// carrying the frame's span identity, so page-server spans join the
+// calling compute node's trace.
 func (s *Server) Handler() rbio.Handler {
-	return func(req *rbio.Request) *rbio.Response {
+	return func(ctx context.Context, req *rbio.Request) *rbio.Response {
 		switch req.Type {
 		case rbio.MsgPing:
 			return rbio.Ok()
 		case rbio.MsgGetPage:
 			if req.MaxBytes > 1 {
-				pages, err := s.GetPageRange(req.Page, int(req.MaxBytes), req.LSN)
+				pages, err := s.GetPageRange(ctx, req.Page, int(req.MaxBytes), req.LSN)
 				if err != nil {
 					return rbio.Retryf("range: %v", err)
 				}
 				return pagesResponse(pages)
 			}
-			pg, err := s.GetPage(req.Page, req.LSN)
+			pg, err := s.GetPage(ctx, req.Page, req.LSN)
 			if err != nil {
 				return rbio.Retryf("get-page: %v", err)
 			}
 			return pagesResponse([]*page.Page{pg})
 		case rbio.MsgScanCells:
-			return s.handleScanCells(req)
+			return s.handleScanCells(ctx, req)
 		case rbio.MsgReadState:
 			resp := rbio.Ok()
 			resp.LSN = s.AppliedLSN()

@@ -1,6 +1,7 @@
 package pageserver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -80,8 +81,8 @@ func (r *rig) emit(t *testing.T, recs ...*wal.Record) page.LSN {
 	if err := r.lz.Write(b); err != nil {
 		t.Fatal(err)
 	}
-	r.svc.Feed(b)
-	r.svc.ReportHardened(r.lz.HardenedEnd())
+	r.svc.Feed(context.Background(), b)
+	r.svc.ReportHardened(context.Background(), r.lz.HardenedEnd())
 	return b.End
 }
 
@@ -96,7 +97,7 @@ func TestApplyAndGetPage(t *testing.T) {
 	srv := r.server(t, Config{})
 	end := r.emit(t, imageRec(5, 'a'), wal.NewCommit(1, 1))
 
-	pg, err := srv.GetPage(5, end-1)
+	pg, err := srv.GetPage(context.Background(), 5, end-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestGetPageWaitsForApply(t *testing.T) {
 	target := r.bld.NextLSN() + 1 // the commit record of the next block
 	done := make(chan error, 1)
 	go func() {
-		pg, err := srv.GetPage(7, target)
+		pg, err := srv.GetPage(context.Background(), 7, target)
 		if err == nil && pg.Data[0] != 'y' {
 			err = fmt.Errorf("stale page served: %q", pg.Data)
 		}
@@ -142,7 +143,7 @@ func TestGetPageLSNNeverStale(t *testing.T) {
 	r.emit(t, imageRec(3, 'a'), wal.NewCommit(1, 1))
 	end2 := r.emit(t, imageRec(3, 'b'), wal.NewCommit(2, 2))
 
-	pg, err := srv.GetPage(3, end2-1)
+	pg, err := srv.GetPage(context.Background(), 3, end2-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestOwnershipRejected(t *testing.T) {
 	pt := page.Partitioning{PagesPerPartition: 10}
 	r := newRig(t, pt)
 	srv := r.server(t, Config{Partition: 0})
-	if _, err := srv.GetPage(25, 0); err == nil {
+	if _, err := srv.GetPage(context.Background(), 25, 0); err == nil {
 		t.Fatal("foreign page served")
 	}
 }
@@ -170,11 +171,11 @@ func TestFilteredApplyOnlyOwnPartition(t *testing.T) {
 	srv1 := r.server(t, Config{Partition: 1, Name: "ps1"})
 
 	end := r.emit(t, imageRec(5, 'a'), imageRec(15, 'b'), wal.NewCommit(1, 1))
-	p0, err := srv0.GetPage(5, end-1)
+	p0, err := srv0.GetPage(context.Background(), 5, end-1)
 	if err != nil || p0.Data[0] != 'a' {
 		t.Fatalf("srv0: %+v %v", p0, err)
 	}
-	p1, err := srv1.GetPage(15, end-1)
+	p1, err := srv1.GetPage(context.Background(), 15, end-1)
 	if err != nil || p1.Data[0] != 'b' {
 		t.Fatalf("srv1: %+v %v", p1, err)
 	}
@@ -190,7 +191,7 @@ func TestCheckpointPersistsToXStore(t *testing.T) {
 	r := newRig(t, page.Partitioning{})
 	srv := r.server(t, Config{BlobPrefix: "db/"})
 	end := r.emit(t, imageRec(4, 'z'), wal.NewCommit(1, 1))
-	if _, err := srv.GetPage(4, end-1); err != nil {
+	if _, err := srv.GetPage(context.Background(), 4, end-1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.FlushForBackup(); err != nil {
@@ -211,7 +212,7 @@ func TestXStoreOutageInsulation(t *testing.T) {
 	end := r.emit(t, imageRec(9, 'q'), wal.NewCommit(1, 1))
 
 	// Serving continues during the outage.
-	pg, err := srv.GetPage(9, end-1)
+	pg, err := srv.GetPage(context.Background(), 9, end-1)
 	if err != nil || pg.Data[0] != 'q' {
 		t.Fatalf("serve during outage: %+v %v", pg, err)
 	}
@@ -239,7 +240,7 @@ func TestRestartWithRecoveredRBPEX(t *testing.T) {
 	meta := simdisk.New(simdisk.Instant)
 	srv := r.server(t, Config{BlobPrefix: "db/", CacheSSD: ssd, CacheMeta: meta})
 	end := r.emit(t, imageRec(2, 'm'), wal.NewCommit(1, 1))
-	if _, err := srv.GetPage(2, end-1); err != nil {
+	if _, err := srv.GetPage(context.Background(), 2, end-1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.FlushForBackup(); err != nil {
@@ -251,7 +252,7 @@ func TestRestartWithRecoveredRBPEX(t *testing.T) {
 	// from the checkpoint LSN, and the page is served without reseeding.
 	reads0, _, _, _ := r.store.Stats()
 	srv2 := r.server(t, Config{BlobPrefix: "db/", CacheSSD: ssd, CacheMeta: meta})
-	pg, err := srv2.GetPage(2, end-1)
+	pg, err := srv2.GetPage(context.Background(), 2, end-1)
 	if err != nil || pg.Data[0] != 'm' {
 		t.Fatalf("after restart: %+v %v", pg, err)
 	}
@@ -268,7 +269,7 @@ func TestColdStartSeedsFromXStore(t *testing.T) {
 	srv := r.server(t, Config{BlobPrefix: "db/", Name: "gen1"})
 	end := r.emit(t, imageRec(1, 'a'), imageRec(2, 'b'), imageRec(3, 'c'),
 		wal.NewCommit(1, 1))
-	if _, err := srv.GetPage(3, end-1); err != nil {
+	if _, err := srv.GetPage(context.Background(), 3, end-1); err != nil {
 		t.Fatal(err)
 	}
 	resume, err := srv.FlushForBackup()
@@ -282,7 +283,7 @@ func TestColdStartSeedsFromXStore(t *testing.T) {
 	srv2 := r.server(t, Config{BlobPrefix: "db/", Name: "gen2",
 		StartLSN: resume, Seed: true})
 	for i, want := range []byte{'a', 'b', 'c'} {
-		pg, err := srv2.GetPage(page.ID(i+1), end-1)
+		pg, err := srv2.GetPage(context.Background(), page.ID(i+1), end-1)
 		if err != nil || pg.Data[0] != want {
 			t.Fatalf("page %d after reseed: %+v %v", i+1, pg, err)
 		}
@@ -310,7 +311,7 @@ func TestRangeReadSingleIO(t *testing.T) {
 	if !srv.waitApplied(end-1, 2*time.Second) {
 		t.Fatal("apply lag")
 	}
-	pages, err := srv.GetPageRange(2, 4, end-1)
+	pages, err := srv.GetPageRange(context.Background(), 2, 4, end-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestHandlerGetPageAndRange(t *testing.T) {
 	r.net.Serve("ps", srv.Handler())
 	c := rbio.NewClient(r.net.Dial("ps"))
 
-	resp, err := c.Call(&rbio.Request{Type: rbio.MsgGetPage, Page: 1, LSN: end - 1})
+	resp, err := c.Call(context.Background(), &rbio.Request{Type: rbio.MsgGetPage, Page: 1, LSN: end - 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestHandlerGetPageAndRange(t *testing.T) {
 		t.Fatalf("single: %v %v", pages, err)
 	}
 
-	resp, err = c.Call(&rbio.Request{Type: rbio.MsgGetPage, Page: 1,
+	resp, err = c.Call(context.Background(), &rbio.Request{Type: rbio.MsgGetPage, Page: 1,
 		LSN: end - 1, MaxBytes: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -346,7 +347,7 @@ func TestHandlerGetPageAndRange(t *testing.T) {
 		t.Fatalf("range: %v %v", pages, err)
 	}
 
-	resp, err = c.Call(&rbio.Request{Type: rbio.MsgReadState})
+	resp, err = c.Call(context.Background(), &rbio.Request{Type: rbio.MsgReadState})
 	if err != nil || resp.LSN != srv.AppliedLSN() {
 		t.Fatalf("state: %+v %v", resp, err)
 	}

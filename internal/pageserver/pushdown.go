@@ -2,14 +2,17 @@ package pageserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
 
 	"socrates/internal/btree"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
+	"socrates/internal/socerr"
 )
 
 // This file implements the storage-function pushdown of §4.1.5: "every
@@ -34,13 +37,17 @@ type ScanResult struct {
 // key falls in [lo, hi) (nil hi = unbounded) at an LSN at least minLSN.
 // Non-leaf pages in the range are skipped: the caller offloads by physical
 // range, exactly how a table scan over a partition would be pushed down.
-func (s *Server) ScanCells(start page.ID, count int, lo, hi []byte, minLSN page.LSN) (ScanResult, error) {
+func (s *Server) ScanCells(ctx context.Context, start page.ID, count int, lo, hi []byte, minLSN page.LSN) (ScanResult, error) {
+	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.scancells")
+	defer sp.End()
+	t0 := time.Now()
+	defer s.cfg.Metrics.Histogram("pageserver.scancells.latency").Since(t0)
 	var res ScanResult
 	if start < s.lo || start+page.ID(count) > s.hi {
 		return res, fmt.Errorf("pageserver: scan range outside partition")
 	}
 	if !s.waitApplied(minLSN, 5*time.Second) {
-		return res, errors.New("pageserver: apply lag on pushdown scan")
+		return res, socerr.Timeoutf("pageserver: apply lag on pushdown scan")
 	}
 	s.charge(time.Duration(count) * 2 * time.Microsecond)
 	pages, err := s.cache.ReadRangeAvailable(start, count)
@@ -110,12 +117,12 @@ func DecodeKeyRange(buf []byte) (lo, hi []byte, err error) {
 }
 
 // handleScanCells serves MsgScanCells.
-func (s *Server) handleScanCells(req *rbio.Request) *rbio.Response {
+func (s *Server) handleScanCells(ctx context.Context, req *rbio.Request) *rbio.Response {
 	lo, hi, err := DecodeKeyRange(req.Payload)
 	if err != nil {
 		return rbio.Errorf("scan-cells: %v", err)
 	}
-	res, err := s.ScanCells(req.Page, int(req.MaxBytes), lo, hi, req.LSN)
+	res, err := s.ScanCells(ctx, req.Page, int(req.MaxBytes), lo, hi, req.LSN)
 	if err != nil {
 		return rbio.Retryf("scan-cells: %v", err)
 	}

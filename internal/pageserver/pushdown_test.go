@@ -1,6 +1,7 @@
 package pageserver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestScanCellsPushdown(t *testing.T) {
 	if count > 256 {
 		count = 256
 	}
-	res, err := srv.ScanCells(lo, count, nil, nil, end-1)
+	res, err := srv.ScanCells(context.Background(), lo, count, nil, nil, end-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestScanCellsPushdown(t *testing.T) {
 	}
 
 	// Key-bounded scan.
-	res, err = srv.ScanCells(lo, count, []byte("k00100"), []byte("k00200"), end-1)
+	res, err = srv.ScanCells(context.Background(), lo, count, []byte("k00100"), []byte("k00200"), end-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestScanCellsOverRBIO(t *testing.T) {
 	r.net.Serve("ps", srv.Handler())
 	c := rbio.NewClient(r.net.Dial("ps"))
 	lo, _ := srv.Range()
-	resp, err := c.Call(&rbio.Request{
+	resp, err := c.Call(context.Background(), &rbio.Request{
 		Type:     rbio.MsgScanCells,
 		Page:     lo,
 		MaxBytes: 64,
@@ -116,7 +117,7 @@ func TestScanCellsRejectsForeignRange(t *testing.T) {
 	pt := page.Partitioning{PagesPerPartition: 10}
 	r := newRig(t, pt)
 	srv := r.server(t, Config{Partition: 0})
-	if _, err := srv.ScanCells(5, 10, nil, nil, 0); err == nil {
+	if _, err := srv.ScanCells(context.Background(), 5, 10, nil, nil, 0); err == nil {
 		t.Fatal("overflowing scan accepted")
 	}
 }

@@ -1,18 +1,22 @@
 package rbio
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
+
+	"socrates/internal/socerr"
 )
 
-// Client wraps a Conn with protocol-version stamping, transient-failure
+// Client wraps a Conn with protocol-version negotiation, transient-failure
 // retry, and QoS latency tracking for best-replica selection.
 type Client struct {
 	conn     Conn
 	retries  int
 	backoff  time.Duration
 	mu       sync.Mutex
+	ver      uint16  // negotiated protocol version; 0 = not yet negotiated
 	ewma     float64 // nanoseconds; 0 = no samples yet
 	failures int     // consecutive failures (reset on success)
 }
@@ -26,13 +30,83 @@ func WithRetries(n int) ClientOption { return func(c *Client) { c.retries = n } 
 // WithBackoff sets the base backoff between retries (linear).
 func WithBackoff(d time.Duration) ClientOption { return func(c *Client) { c.backoff = d } }
 
-// NewClient wraps conn.
+// NewClient wraps conn. The protocol version is negotiated lazily with a
+// hello exchange before the first frame goes out: the client sends a
+// fixed v1-layout MsgPing — a frame every protocol version decodes — and
+// reads the server's build version from the response header, whose layout
+// is identical in all versions. It then speaks min(Version, server's).
+//
+// A v2-layout frame is therefore never put on the wire toward a peer
+// that has not proven it decodes v2. This matters because the v2 trace
+// header sits mid-frame: a genuine v1 build's strict decoder would
+// misparse every later field and drop the connection before it could
+// answer StatusVersion, so downgrade-on-rejection alone cannot provide
+// backward compatibility.
 func NewClient(conn Conn, opts ...ClientOption) *Client {
 	c := &Client{conn: conn, retries: 5, backoff: 500 * time.Microsecond}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// ProtocolVersion reports the negotiated protocol version, or 0 before
+// the first hello exchange completes.
+func (c *Client) ProtocolVersion() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver
+}
+
+// negotiate returns the protocol version to stamp on the next frame,
+// running the hello exchange on first use. If the hello fails (peer down,
+// ctx expired) it returns VersionMin — safe on any wire — and leaves the
+// client unnegotiated so a later call re-probes.
+func (c *Client) negotiate(ctx context.Context) uint16 {
+	c.mu.Lock()
+	v := c.ver
+	c.mu.Unlock()
+	if v != 0 {
+		return v
+	}
+	// The hello's status is irrelevant (even an error reply carries the
+	// server's version); only a transport failure aborts negotiation.
+	resp, err := c.conn.Call(ctx, &Request{Version: VersionMin, Type: MsgPing})
+	if err != nil || resp.Version < VersionMin {
+		return VersionMin
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ver == 0 {
+		c.ver = min(Version, resp.Version)
+	}
+	return c.ver
+}
+
+// stamp prepares req for the wire at the negotiated version: v2 frames
+// carry the span identity from ctx, v1 frames must not carry one.
+func (c *Client) stamp(ctx context.Context, req *Request) {
+	req.Version = c.negotiate(ctx)
+	if req.Version >= 2 {
+		req.StampTrace(ctx)
+	} else {
+		req.TraceID, req.SpanID = 0, 0
+	}
+}
+
+// downgrade drops to VersionMin after a StatusVersion response — a
+// belt-and-braces path for peers that reject the negotiated version
+// anyway (e.g. the server restarted into an older build after the
+// hello). It reports whether the call should be retried (false once
+// already there).
+func (c *Client) downgrade() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ver == VersionMin {
+		return false
+	}
+	c.ver = VersionMin
+	return true
 }
 
 // Addr reports the remote endpoint.
@@ -79,17 +153,23 @@ func (c *Client) Failures() int {
 }
 
 // Call issues the request, retrying transport errors and StatusRetry
-// responses with linear backoff. Terminal errors return immediately.
-func (c *Client) Call(req *Request) (*Response, error) {
-	req.Version = Version
+// responses with linear backoff, and downgrading the protocol version
+// once if the peer only speaks v1. Terminal errors return immediately; a
+// cancelled or expired context returns a socerr-classified error.
+func (c *Client) Call(ctx context.Context, req *Request) (*Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 && c.backoff > 0 {
-			//socrates:sleep-ok linear retry backoff against a remote peer; there is no local condition to wait on
-			time.Sleep(c.backoff * time.Duration(attempt))
+			if err := sleepCtx(ctx, c.backoff*time.Duration(attempt)); err != nil {
+				return nil, err
+			}
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, socerr.FromContext(err)
+		}
+		c.stamp(ctx, req)
 		start := time.Now()
-		resp, err := c.conn.Call(req)
+		resp, err := c.conn.Call(ctx, req)
 		if err != nil {
 			c.observe(0, false)
 			lastErr = err
@@ -103,6 +183,14 @@ func (c *Client) Call(req *Request) (*Response, error) {
 			c.observe(time.Since(start), true)
 			lastErr = resp.Err()
 			continue
+		case StatusVersion:
+			c.observe(time.Since(start), true)
+			if c.downgrade() {
+				lastErr = resp.Err()
+				attempt-- // version negotiation is not a failure
+				continue
+			}
+			return resp, nil
 		default:
 			c.observe(time.Since(start), true)
 			return resp, nil
@@ -111,11 +199,24 @@ func (c *Client) Call(req *Request) (*Response, error) {
 	return nil, lastErr
 }
 
+// sleepCtx waits for d or until ctx is done, classifying the context
+// error through socerr.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return socerr.FromContext(ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}
+
 // Send delivers a fire-and-forget request (no retry: the path is lossy by
 // contract and the caller compensates, as XLOG's pending area does).
-func (c *Client) Send(req *Request) error {
-	req.Version = Version
-	return c.conn.Send(req)
+func (c *Client) Send(ctx context.Context, req *Request) error {
+	c.stamp(ctx, req)
+	return c.conn.Send(ctx, req)
 }
 
 // Selector routes calls to the fastest healthy endpoint among a replica
@@ -165,7 +266,7 @@ func (s *Selector) Best() *Client {
 
 // Call routes the request to the best endpoint, failing over to the others
 // in latency order if it errors.
-func (s *Selector) Call(req *Request) (*Response, error) {
+func (s *Selector) Call(ctx context.Context, req *Request) (*Response, error) {
 	s.mu.Lock()
 	ordered := append([]*Client(nil), s.clients...)
 	s.mu.Unlock()
@@ -181,11 +282,14 @@ func (s *Selector) Call(req *Request) (*Response, error) {
 			continue
 		}
 		tried[c] = true
-		resp, err := c.Call(req)
+		resp, err := c.Call(ctx, req)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			return nil, socerr.FromContext(ctx.Err())
+		}
 	}
 	return nil, lastErr
 }

@@ -22,16 +22,31 @@
 package rbio
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"socrates/internal/obs"
 	"socrates/internal/page"
 )
 
-// Version is the protocol version spoken by this build. Servers accept
-// requests whose version matches; mismatches fail with StatusVersion.
-const Version uint16 = 1
+// Version is the protocol version spoken by this build. v2 adds a
+// TraceID/SpanID trace header to request frames so one request tree can
+// be stitched together across tiers. Servers accept any version in
+// [VersionMin, Version].
+//
+// Because the v2 header sits mid-frame, a genuine v1 decoder would
+// misparse every field after it — it cannot even recognise the frame
+// well enough to answer StatusVersion. Clients therefore discover the
+// peer's version with a fixed v1-layout MsgPing hello (see
+// Client.negotiate) before ever emitting a v2-layout frame; the response
+// layout is identical across versions and its Version field advertises
+// the server's build.
+const (
+	Version    uint16 = 2
+	VersionMin uint16 = 1
+)
 
 // MsgType identifies an RBIO operation.
 type MsgType uint8
@@ -109,12 +124,27 @@ func (s Status) String() string {
 type Request struct {
 	Version   uint16
 	Type      MsgType
+	TraceID   uint64   // v2 trace header: request-tree identity (0 = untraced)
+	SpanID    uint64   // v2 trace header: caller's span (0 = untraced)
 	Page      page.ID  // MsgGetPage
 	LSN       page.LSN // MsgGetPage (min LSN), MsgPullBlocks (from), reports
 	Partition int32    // MsgPullBlocks filter; -1 = unfiltered (secondaries)
 	MaxBytes  int32    // MsgPullBlocks budget
 	Consumer  string   // consumer identity for progress/leases
 	Payload   []byte   // MsgFeedBlock, MsgWritePages
+}
+
+// SpanContext reads the trace header.
+func (r *Request) SpanContext() obs.SpanContext {
+	return obs.SpanContext{TraceID: obs.TraceID(r.TraceID), SpanID: obs.SpanID(r.SpanID)}
+}
+
+// StampTrace copies the span identity carried by ctx into the trace
+// header. v1 peers never see these fields: the client zeroes them when
+// the negotiated version is v1, and the v1 codec does not encode them.
+func (r *Request) StampTrace(ctx context.Context) {
+	sc := obs.SpanFromContext(ctx)
+	r.TraceID, r.SpanID = uint64(sc.TraceID), uint64(sc.SpanID)
 }
 
 // Response is an RBIO response.
@@ -139,19 +169,47 @@ func Retryf(format string, args ...any) *Response {
 	return &Response{Version: Version, Status: StatusRetry, Error: fmt.Sprintf(format, args...)}
 }
 
-// Err converts a non-OK response into a Go error (nil for StatusOK).
+// Err converts a non-OK response into a Go error (nil for StatusOK). The
+// returned error is a *ResponseError, so callers can classify with
+// errors.As, and it unwraps to the matching sentinel (ErrRetryable,
+// ErrVersion, ErrNotFound) so existing errors.Is checks keep working.
 func (r *Response) Err() error {
-	switch r.Status {
-	case StatusOK:
+	if r.Status == StatusOK {
 		return nil
+	}
+	return &ResponseError{Status: r.Status, Msg: r.Error}
+}
+
+// ResponseError is the typed form of a non-OK RBIO response.
+type ResponseError struct {
+	Status Status
+	Msg    string
+}
+
+func (e *ResponseError) Error() string {
+	sentinel := e.Unwrap()
+	if sentinel == nil {
+		if e.Msg == "" {
+			return "rbio: " + e.Status.String()
+		}
+		return e.Msg
+	}
+	return fmt.Sprintf("%v: %s", sentinel, e.Msg)
+}
+
+// Unwrap maps the status to its sentinel (nil for the terminal
+// StatusError status, whose only classification is errors.As with a
+// *ResponseError target).
+func (e *ResponseError) Unwrap() error {
+	switch e.Status {
 	case StatusRetry:
-		return fmt.Errorf("%w: %s", ErrRetryable, r.Error)
+		return ErrRetryable
 	case StatusVersion:
-		return fmt.Errorf("%w: %s", ErrVersion, r.Error)
+		return ErrVersion
 	case StatusNotFound:
-		return fmt.Errorf("%w: %s", ErrNotFound, r.Error)
+		return ErrNotFound
 	default:
-		return errors.New(r.Error)
+		return nil
 	}
 }
 
@@ -163,9 +221,12 @@ var (
 	ErrUnavailable = errors.New("rbio: endpoint unavailable")
 )
 
-// Handler processes one request. Handlers must be stateless with respect to
-// the connection: every request is self-describing (§3.4).
-type Handler func(*Request) *Response
+// Handler processes one request. Handlers must be stateless with respect
+// to the connection: every request is self-describing (§3.4). The context
+// carries cancellation plus the span identity decoded from the frame's
+// trace header — never the caller's in-process values, so in-process and
+// TCP transports behave identically.
+type Handler func(ctx context.Context, req *Request) *Response
 
 // --- binary codec (shared by both transports) ---
 
@@ -179,11 +240,18 @@ func appendBytes(buf []byte, b []byte) []byte {
 	return append(buf, b...)
 }
 
-// EncodeRequest serializes a request.
+// EncodeRequest serializes a request. Frames whose Version is ≥2 carry
+// the 16-byte TraceID/SpanID header after the type byte; v1 frames use
+// the original layout, so a downgraded client is byte-compatible with a
+// v1 server.
 func EncodeRequest(r *Request) []byte {
-	buf := make([]byte, 0, 32+len(r.Consumer)+len(r.Payload))
+	buf := make([]byte, 0, 48+len(r.Consumer)+len(r.Payload))
 	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
 	buf = append(buf, byte(r.Type))
+	if r.Version >= 2 {
+		buf = binary.LittleEndian.AppendUint64(buf, r.TraceID)
+		buf = binary.LittleEndian.AppendUint64(buf, r.SpanID)
+	}
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Page))
 	buf = binary.LittleEndian.AppendUint64(buf, r.LSN.Uint64())
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Partition))
@@ -193,21 +261,30 @@ func EncodeRequest(r *Request) []byte {
 	return buf
 }
 
-// DecodeRequest parses a request frame.
+// DecodeRequest parses a request frame of either protocol version.
 func DecodeRequest(buf []byte) (*Request, error) {
-	const fixed = 2 + 1 + 8 + 8 + 4 + 4 + 2
-	if len(buf) < fixed {
+	const fixedV1 = 2 + 1 + 8 + 8 + 4 + 4 + 2
+	if len(buf) < fixedV1 {
 		return nil, errors.New("rbio: short request frame")
 	}
 	r := &Request{
-		Version:   binary.LittleEndian.Uint16(buf[0:2]),
-		Type:      MsgType(buf[2]),
-		Page:      page.ID(binary.LittleEndian.Uint64(buf[3:11])),
-		LSN:       page.LSN(binary.LittleEndian.Uint64(buf[11:19])),
-		Partition: int32(binary.LittleEndian.Uint32(buf[19:23])),
-		MaxBytes:  int32(binary.LittleEndian.Uint32(buf[23:27])),
+		Version: binary.LittleEndian.Uint16(buf[0:2]),
+		Type:    MsgType(buf[2]),
 	}
-	pos := 27
+	pos := 3
+	if r.Version >= 2 {
+		if len(buf) < fixedV1+16 {
+			return nil, errors.New("rbio: short v2 request frame")
+		}
+		r.TraceID = binary.LittleEndian.Uint64(buf[pos : pos+8])
+		r.SpanID = binary.LittleEndian.Uint64(buf[pos+8 : pos+16])
+		pos += 16
+	}
+	r.Page = page.ID(binary.LittleEndian.Uint64(buf[pos : pos+8]))
+	r.LSN = page.LSN(binary.LittleEndian.Uint64(buf[pos+8 : pos+16]))
+	r.Partition = int32(binary.LittleEndian.Uint32(buf[pos+16 : pos+20]))
+	r.MaxBytes = int32(binary.LittleEndian.Uint32(buf[pos+20 : pos+24]))
+	pos += 24
 	slen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
 	pos += 2
 	if len(buf) < pos+slen+4 {
@@ -267,14 +344,20 @@ func DecodeResponse(buf []byte) (*Response, error) {
 	return r, nil
 }
 
-// checkVersion wraps a handler with protocol version enforcement.
+// checkVersion wraps a handler with protocol version enforcement (any
+// version in [VersionMin, Version] is accepted, so v2 servers keep
+// serving v1 callers) and with trace-header decoding: the handler's
+// context carries exactly the span identity from the frame — ambient
+// in-process values are overwritten, so both transports propagate traces
+// the same way.
 func checkVersion(h Handler) Handler {
-	return func(req *Request) *Response {
-		if req.Version != Version {
+	return func(ctx context.Context, req *Request) *Response {
+		if req.Version < VersionMin || req.Version > Version {
 			return &Response{Version: Version, Status: StatusVersion,
-				Error: fmt.Sprintf("server speaks v%d, caller sent v%d", Version, req.Version)}
+				Error: fmt.Sprintf("server speaks v%d..v%d, caller sent v%d",
+					VersionMin, Version, req.Version)}
 		}
-		resp := h(req)
+		resp := h(obs.ContextWithSpan(ctx, req.SpanContext()), req)
 		if resp == nil {
 			resp = Errorf("nil response from handler for %v", req.Type)
 		}

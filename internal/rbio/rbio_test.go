@@ -1,6 +1,7 @@
 package rbio
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -95,7 +96,7 @@ func TestResponseErr(t *testing.T) {
 
 func TestInprocCallRoundTrip(t *testing.T) {
 	net := NewInstantNetwork()
-	net.Serve("ps-0", func(req *Request) *Response {
+	net.Serve("ps-0", func(_ context.Context, req *Request) *Response {
 		if req.Type != MsgGetPage || req.Page != 7 {
 			return Errorf("unexpected request")
 		}
@@ -105,7 +106,7 @@ func TestInprocCallRoundTrip(t *testing.T) {
 		return resp
 	})
 	c := NewClient(net.Dial("ps-0"))
-	resp, err := c.Call(&Request{Type: MsgGetPage, Page: 7})
+	resp, err := c.Call(context.Background(), &Request{Type: MsgGetPage, Page: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,9 +117,9 @@ func TestInprocCallRoundTrip(t *testing.T) {
 
 func TestInprocVersionEnforcement(t *testing.T) {
 	net := NewInstantNetwork()
-	net.Serve("x", func(*Request) *Response { return Ok() })
+	net.Serve("x", func(context.Context, *Request) *Response { return Ok() })
 	conn := net.Dial("x")
-	resp, err := conn.Call(&Request{Version: 999, Type: MsgPing})
+	resp, err := conn.Call(context.Background(), &Request{Version: 999, Type: MsgPing})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,12 +131,12 @@ func TestInprocVersionEnforcement(t *testing.T) {
 func TestInprocUnavailableAndRecovery(t *testing.T) {
 	net := NewInstantNetwork()
 	c := NewClient(net.Dial("ghost"), WithRetries(2), WithBackoff(0))
-	if _, err := c.Call(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+	if _, err := c.Call(context.Background(), &Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("err = %v, want ErrUnavailable", err)
 	}
 	// Node comes up under the same address; the old conn reaches it.
-	net.Serve("ghost", func(*Request) *Response { return Ok() })
-	if _, err := c.Call(&Request{Type: MsgPing}); err != nil {
+	net.Serve("ghost", func(context.Context, *Request) *Response { return Ok() })
+	if _, err := c.Call(context.Background(), &Request{Type: MsgPing}); err != nil {
 		t.Fatalf("after serve: %v", err)
 	}
 }
@@ -143,14 +144,14 @@ func TestInprocUnavailableAndRecovery(t *testing.T) {
 func TestClientRetriesRetryableStatus(t *testing.T) {
 	net := NewInstantNetwork()
 	var calls atomic.Int32
-	net.Serve("s", func(*Request) *Response {
+	net.Serve("s", func(context.Context, *Request) *Response {
 		if calls.Add(1) < 3 {
 			return Retryf("not ready")
 		}
 		return Ok()
 	})
 	c := NewClient(net.Dial("s"), WithRetries(5), WithBackoff(0))
-	resp, err := c.Call(&Request{Type: MsgPing})
+	resp, err := c.Call(context.Background(), &Request{Type: MsgPing})
 	if err != nil || resp.Status != StatusOK {
 		t.Fatalf("resp=%+v err=%v", resp, err)
 	}
@@ -161,9 +162,9 @@ func TestClientRetriesRetryableStatus(t *testing.T) {
 
 func TestClientExhaustsRetries(t *testing.T) {
 	net := NewInstantNetwork()
-	net.Serve("s", func(*Request) *Response { return Retryf("never ready") })
+	net.Serve("s", func(context.Context, *Request) *Response { return Retryf("never ready") })
 	c := NewClient(net.Dial("s"), WithRetries(3), WithBackoff(0))
-	_, err := c.Call(&Request{Type: MsgPing})
+	_, err := c.Call(context.Background(), &Request{Type: MsgPing})
 	if !errors.Is(err, ErrRetryable) {
 		t.Fatalf("err = %v, want ErrRetryable", err)
 	}
@@ -172,16 +173,18 @@ func TestClientExhaustsRetries(t *testing.T) {
 func TestClientDoesNotRetryTerminalError(t *testing.T) {
 	net := NewInstantNetwork()
 	var calls atomic.Int32
-	net.Serve("s", func(*Request) *Response {
+	net.Serve("s", func(context.Context, *Request) *Response {
 		calls.Add(1)
 		return Errorf("terminal")
 	})
 	c := NewClient(net.Dial("s"), WithRetries(5), WithBackoff(0))
-	resp, err := c.Call(&Request{Type: MsgPing})
+	resp, err := c.Call(context.Background(), &Request{Type: MsgPing})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Status != StatusError || calls.Load() != 1 {
+	// Two handler invocations: the one-time version hello plus the call
+	// itself — the terminal error must not be retried.
+	if resp.Status != StatusError || calls.Load() != 2 {
 		t.Fatalf("status=%v calls=%d", resp.Status, calls.Load())
 	}
 }
@@ -189,14 +192,18 @@ func TestClientDoesNotRetryTerminalError(t *testing.T) {
 func TestLossySendDrops(t *testing.T) {
 	net := NewInstantNetwork()
 	var received atomic.Int32
-	net.Serve("xlog", func(*Request) *Response {
-		received.Add(1)
+	net.Serve("xlog", func(_ context.Context, req *Request) *Response {
+		// Ignore the client's version hello (a reliable Call); only the
+		// lossy feed sends count.
+		if req.Type == MsgFeedBlock {
+			received.Add(1)
+		}
 		return Ok()
 	})
 	net.SetLoss(1.0) // drop everything
 	c := NewClient(net.Dial("xlog"))
 	for i := 0; i < 20; i++ {
-		if err := c.Send(&Request{Type: MsgFeedBlock}); err != nil {
+		if err := c.Send(context.Background(), &Request{Type: MsgFeedBlock}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -205,7 +212,7 @@ func TestLossySendDrops(t *testing.T) {
 		t.Fatalf("received %d sends despite 100%% loss", received.Load())
 	}
 	net.SetLoss(0)
-	_ = c.Send(&Request{Type: MsgFeedBlock})
+	_ = c.Send(context.Background(), &Request{Type: MsgFeedBlock})
 	deadline := time.Now().Add(time.Second)
 	for received.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
@@ -217,28 +224,28 @@ func TestLossySendDrops(t *testing.T) {
 
 func TestSendToUnknownAddrFails(t *testing.T) {
 	net := NewInstantNetwork()
-	if err := net.Dial("nobody").Send(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+	if err := net.Dial("nobody").Send(context.Background(), &Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestUnserveSimulatesCrash(t *testing.T) {
 	net := NewInstantNetwork()
-	net.Serve("n", func(*Request) *Response { return Ok() })
+	net.Serve("n", func(context.Context, *Request) *Response { return Ok() })
 	c := NewClient(net.Dial("n"), WithRetries(1), WithBackoff(0))
-	if _, err := c.Call(&Request{Type: MsgPing}); err != nil {
+	if _, err := c.Call(context.Background(), &Request{Type: MsgPing}); err != nil {
 		t.Fatal(err)
 	}
 	net.Unserve("n")
-	if _, err := c.Call(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+	if _, err := c.Call(context.Background(), &Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestSelectorPrefersFasterEndpoint(t *testing.T) {
 	net := NewInstantNetwork()
-	net.Serve("fast", func(*Request) *Response { return Ok() })
-	net.Serve("slow", func(*Request) *Response {
+	net.Serve("fast", func(context.Context, *Request) *Response { return Ok() })
+	net.Serve("slow", func(context.Context, *Request) *Response {
 		time.Sleep(3 * time.Millisecond)
 		return Ok()
 	})
@@ -247,7 +254,7 @@ func TestSelectorPrefersFasterEndpoint(t *testing.T) {
 	sel := NewSelector(fast, slow)
 	// Warm both EWMAs.
 	for i := 0; i < 4; i++ {
-		if _, err := sel.Call(&Request{Type: MsgPing}); err != nil {
+		if _, err := sel.Call(context.Background(), &Request{Type: MsgPing}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,11 +265,11 @@ func TestSelectorPrefersFasterEndpoint(t *testing.T) {
 
 func TestSelectorFailsOver(t *testing.T) {
 	net := NewInstantNetwork()
-	net.Serve("up", func(*Request) *Response { return Ok() })
+	net.Serve("up", func(context.Context, *Request) *Response { return Ok() })
 	dead := NewClient(net.Dial("down"), WithRetries(1), WithBackoff(0))
 	up := NewClient(net.Dial("up"), WithRetries(1), WithBackoff(0))
 	sel := NewSelector(dead, up)
-	resp, err := sel.Call(&Request{Type: MsgPing})
+	resp, err := sel.Call(context.Background(), &Request{Type: MsgPing})
 	if err != nil || resp.Status != StatusOK {
 		t.Fatalf("failover failed: %v", err)
 	}
@@ -270,7 +277,7 @@ func TestSelectorFailsOver(t *testing.T) {
 
 func TestSelectorEmpty(t *testing.T) {
 	sel := NewSelector()
-	if _, err := sel.Call(&Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
+	if _, err := sel.Call(context.Background(), &Request{Type: MsgPing}); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("err = %v", err)
 	}
 	if sel.Best() != nil {
@@ -283,7 +290,7 @@ func TestSelectorEmpty(t *testing.T) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
-	srv, err := ServeTCP("127.0.0.1:0", func(req *Request) *Response {
+	srv, err := ServeTCP("127.0.0.1:0", func(_ context.Context, req *Request) *Response {
 		resp := Ok()
 		resp.LSN = req.LSN + 1
 		resp.Payload = append([]byte("echo:"), req.Payload...)
@@ -300,7 +307,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 	defer conn.Close()
 	c := NewClient(conn)
-	resp, err := c.Call(&Request{Type: MsgGetPage, LSN: 10, Payload: []byte("hi")})
+	resp, err := c.Call(context.Background(), &Request{Type: MsgGetPage, LSN: 10, Payload: []byte("hi")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +318,7 @@ func TestTCPRoundTrip(t *testing.T) {
 
 func TestTCPOnewayFrame(t *testing.T) {
 	var got atomic.Int32
-	srv, err := ServeTCP("127.0.0.1:0", func(req *Request) *Response {
+	srv, err := ServeTCP("127.0.0.1:0", func(_ context.Context, req *Request) *Response {
 		if req.Type == MsgFeedBlock {
 			got.Add(1)
 		}
@@ -326,12 +333,12 @@ func TestTCPOnewayFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := conn.Send(&Request{Version: Version, Type: MsgFeedBlock}); err != nil {
+	if err := conn.Send(context.Background(), &Request{Version: Version, Type: MsgFeedBlock}); err != nil {
 		t.Fatal(err)
 	}
 	// A subsequent call on the same conn proves frame boundaries are intact.
 	c := NewClient(conn)
-	if _, err := c.Call(&Request{Type: MsgPing}); err != nil {
+	if _, err := c.Call(context.Background(), &Request{Type: MsgPing}); err != nil {
 		t.Fatal(err)
 	}
 	if got.Load() != 1 {
@@ -340,7 +347,7 @@ func TestTCPOnewayFrame(t *testing.T) {
 }
 
 func TestTCPVersionMismatch(t *testing.T) {
-	srv, err := ServeTCP("127.0.0.1:0", func(*Request) *Response { return Ok() })
+	srv, err := ServeTCP("127.0.0.1:0", func(context.Context, *Request) *Response { return Ok() })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +357,7 @@ func TestTCPVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	resp, err := conn.Call(&Request{Version: 77, Type: MsgPing})
+	resp, err := conn.Call(context.Background(), &Request{Version: 77, Type: MsgPing})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +367,7 @@ func TestTCPVersionMismatch(t *testing.T) {
 }
 
 func TestTCPConcurrentClients(t *testing.T) {
-	srv, err := ServeTCP("127.0.0.1:0", func(req *Request) *Response {
+	srv, err := ServeTCP("127.0.0.1:0", func(_ context.Context, req *Request) *Response {
 		resp := Ok()
 		resp.LSN = req.LSN
 		return resp
@@ -383,7 +390,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			c := NewClient(conn)
 			for j := 0; j < 30; j++ {
 				want := page.LSN(n*1000 + j)
-				resp, err := c.Call(&Request{Type: MsgPing, LSN: want})
+				resp, err := c.Call(context.Background(), &Request{Type: MsgPing, LSN: want})
 				if err != nil || resp.LSN != want {
 					t.Errorf("worker %d: %v %v", n, resp, err)
 					return
@@ -397,7 +404,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 func TestEWMAPenalizesFailures(t *testing.T) {
 	net := NewInstantNetwork()
 	c := NewClient(net.Dial("gone"), WithRetries(1), WithBackoff(0))
-	_, _ = c.Call(&Request{Type: MsgPing})
+	_, _ = c.Call(context.Background(), &Request{Type: MsgPing})
 	if c.Failures() != 1 {
 		t.Fatalf("failures = %d", c.Failures())
 	}

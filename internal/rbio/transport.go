@@ -1,6 +1,7 @@
 package rbio
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,15 +11,18 @@ import (
 	"time"
 
 	"socrates/internal/simdisk"
+	"socrates/internal/socerr"
 )
 
 // Conn is one client connection to an RBIO endpoint.
 type Conn interface {
-	// Call sends a request and waits for the response.
-	Call(*Request) (*Response, error)
+	// Call sends a request and waits for the response. The context
+	// bounds the wait; its span identity travels in the frame header
+	// (v2), never as an in-process value.
+	Call(ctx context.Context, req *Request) (*Response, error)
 	// Send delivers a request fire-and-forget: no response, no delivery
 	// guarantee. The lossy primary→XLOG feed uses this path (§4.3).
-	Send(*Request) error
+	Send(ctx context.Context, req *Request) error
 	// Addr identifies the remote endpoint.
 	Addr() string
 	// Close releases the connection.
@@ -128,18 +132,24 @@ func (c *inprocConn) resolve() (Handler, error) {
 	return h, nil
 }
 
-func (c *inprocConn) Call(req *Request) (*Response, error) {
+func (c *inprocConn) Call(ctx context.Context, req *Request) (*Response, error) {
 	h, err := c.resolve()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, socerr.FromContext(err)
+	}
 	simdisk.SleepPrecise(c.net.latency(len(req.Payload) + 64))
-	resp := h(req)
+	// The handler sees cancellation from ctx, but its trace identity is
+	// (re)derived from the frame by the checkVersion wrapper — exactly as
+	// over TCP, where nothing else survives the hop.
+	resp := h(ctx, req)
 	simdisk.SleepPrecise(c.net.latency(len(resp.Payload) + 32))
 	return resp, nil
 }
 
-func (c *inprocConn) Send(req *Request) error {
+func (c *inprocConn) Send(_ context.Context, req *Request) error {
 	h, err := c.resolve()
 	if err != nil {
 		return err
@@ -157,7 +167,9 @@ func (c *inprocConn) Send(req *Request) error {
 	delay := c.net.latency(len(req.Payload)+64) + extra
 	go func() {
 		simdisk.SleepPrecise(delay)
-		h(req)
+		// Detached from the sender's lifetime, as a datagram would be;
+		// the trace header still rides the frame.
+		h(context.Background(), req)
 	}()
 	return nil
 }
@@ -234,7 +246,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := s.handler(req)
+		resp := s.handler(context.Background(), req)
 		if kind == frameOneway {
 			continue
 		}
@@ -272,9 +284,10 @@ func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	addr string
+	mu     sync.Mutex
+	conn   net.Conn
+	addr   string
+	broken bool // stream poisoned by a timeout or I/O error; see poison
 }
 
 // DialTCP connects to an RBIO TCP endpoint. Calls on one connection are
@@ -287,23 +300,51 @@ func DialTCP(addr string) (Conn, error) {
 	return &tcpConn{conn: c, addr: addr}, nil
 }
 
-func (c *tcpConn) Call(req *Request) (*Response, error) {
+// poison marks the stream unusable and closes it. The wire protocol is
+// strictly sequential with no request IDs, so after a timeout or partial
+// write the stream can hold a late response (which would pair with the
+// NEXT request) or torn framing (which would desync the server). Reuse is
+// never safe; subsequent calls fail fast with ErrUnavailable so the
+// caller's retry/selector logic redials a fresh connection.
+// Caller holds c.mu.
+func (c *tcpConn) poison() {
+	c.broken = true
+	_ = c.conn.Close()
+}
+
+func (c *tcpConn) Call(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, socerr.FromContext(err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, fmt.Errorf("%w: %s: connection poisoned by earlier timeout", ErrUnavailable, c.addr)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(d)
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
 	if err := writeFrame(c.conn, frameCall, EncodeRequest(req)); err != nil {
+		c.poison()
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	_, frame, err := readFrame(c.conn)
 	if err != nil {
+		c.poison()
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	return DecodeResponse(frame)
 }
 
-func (c *tcpConn) Send(req *Request) error {
+func (c *tcpConn) Send(_ context.Context, req *Request) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return fmt.Errorf("%w: %s: connection poisoned by earlier timeout", ErrUnavailable, c.addr)
+	}
 	if err := writeFrame(c.conn, frameOneway, EncodeRequest(req)); err != nil {
+		c.poison()
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	return nil

@@ -1,0 +1,277 @@
+package rbio
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"socrates/internal/obs"
+	"socrates/internal/page"
+)
+
+// v1Server simulates a peer still running the previous protocol build: it
+// answers every response with Version 1 (what the old Ok()/Errorf()
+// stamped) and would reject any frame that is not v1 — but with
+// hello-first negotiation it must never even see one, because a genuine
+// v1 decoder could not parse a v2 frame well enough to reject it.
+func v1Server(inner Handler) Handler {
+	return func(ctx context.Context, req *Request) *Response {
+		if req.Version != 1 {
+			return &Response{Version: 1, Status: StatusVersion,
+				Error: "server speaks v1, caller sent v2"}
+		}
+		resp := inner(ctx, req)
+		resp.Version = 1
+		return resp
+	}
+}
+
+func TestClientNegotiatesDownToV1(t *testing.T) {
+	net := NewInstantNetwork()
+	var served atomic.Int32
+	net.Serve("old", v1Server(func(_ context.Context, req *Request) *Response {
+		served.Add(1)
+		if req.Version != 1 {
+			return Errorf("v1 server saw a v%d frame", req.Version)
+		}
+		if req.TraceID != 0 || req.SpanID != 0 {
+			return Errorf("v1 frame carried trace header")
+		}
+		return Ok()
+	}))
+	c := NewClient(net.Dial("old"), WithBackoff(0))
+	if got := c.ProtocolVersion(); got != 0 {
+		t.Fatalf("pre-hello version = %d, want 0 (unnegotiated)", got)
+	}
+	ctx := obs.ContextWithSpan(context.Background(), obs.SpanContext{TraceID: 7, SpanID: 8})
+	resp, err := c.Call(ctx, &Request{Type: MsgPing})
+	if err != nil || resp.Status != StatusOK {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if got := c.ProtocolVersion(); got != VersionMin {
+		t.Fatalf("negotiated version = %d, want %d", got, VersionMin)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("served = %d, want 2 (hello + call)", served.Load())
+	}
+	// Subsequent calls stay at v1 without re-probing.
+	if _, err := c.Call(ctx, &Request{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("served = %d, want 3", served.Load())
+	}
+}
+
+func TestClientNegotiatesUpToV2(t *testing.T) {
+	net := NewInstantNetwork()
+	var sawTrace atomic.Uint64
+	net.Serve("new", func(_ context.Context, req *Request) *Response {
+		if req.Version >= 2 {
+			sawTrace.Store(req.TraceID)
+		}
+		return Ok()
+	})
+	c := NewClient(net.Dial("new"))
+	ctx := obs.ContextWithSpan(context.Background(), obs.SpanContext{TraceID: 11, SpanID: 12})
+	if _, err := c.Call(ctx, &Request{Type: MsgGetPage}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ProtocolVersion(); got != Version {
+		t.Fatalf("negotiated version = %d, want %d", got, Version)
+	}
+	// The first real frame (post-hello) already carries the trace header.
+	if sawTrace.Load() != 11 {
+		t.Fatalf("server saw trace %d, want 11", sawTrace.Load())
+	}
+}
+
+// decodeV1Strict is the seed build's DecodeRequest, layout-frozen: no
+// knowledge of the v2 trace header, strict length checks. A v2 frame fed
+// to it misparses (trace bytes land in Page/LSN and the tail checks
+// fail), which is why negotiation must ride v1-layout frames only.
+func decodeV1Strict(buf []byte) (*Request, error) {
+	const fixed = 2 + 1 + 8 + 8 + 4 + 4 + 2
+	if len(buf) < fixed {
+		return nil, errors.New("v1: short request frame")
+	}
+	r := &Request{
+		Version:   binary.LittleEndian.Uint16(buf[0:2]),
+		Type:      MsgType(buf[2]),
+		Page:      page.ID(binary.LittleEndian.Uint64(buf[3:11])),
+		LSN:       page.LSN(binary.LittleEndian.Uint64(buf[11:19])),
+		Partition: int32(binary.LittleEndian.Uint32(buf[19:23])),
+		MaxBytes:  int32(binary.LittleEndian.Uint32(buf[23:27])),
+	}
+	pos := 27
+	slen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
+	pos += 2
+	if len(buf) < pos+slen+4 {
+		return nil, errors.New("v1: truncated request consumer")
+	}
+	r.Consumer = string(buf[pos : pos+slen])
+	pos += slen
+	plen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	if len(buf) != pos+plen {
+		return nil, errors.New("v1: request payload length mismatch")
+	}
+	if plen > 0 {
+		r.Payload = append([]byte(nil), buf[pos:pos+plen]...)
+	}
+	return r, nil
+}
+
+// TestNegotiationAgainstGenuineV1TCPServer runs a byte-faithful v1-build
+// TCP server — strict seed-layout decoder, drops the connection on any
+// frame it cannot parse — and checks a current client interoperates: the
+// hello goes out in v1 layout, the advertised version pins the client to
+// v1, and no frame ever carries a trace header.
+func TestNegotiationAgainstGenuineV1TCPServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var served atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					kind, frame, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					req, err := decodeV1Strict(frame)
+					if err != nil {
+						return // a real v1 build tears the conn here
+					}
+					served.Add(1)
+					resp := &Response{Version: 1, Status: StatusOK, LSN: req.LSN + 1}
+					if req.Version != 1 {
+						resp = &Response{Version: 1, Status: StatusVersion,
+							Error: "server speaks v1"}
+					}
+					if kind == frameOneway {
+						continue
+					}
+					if writeFrame(conn, frameCall, EncodeResponse(resp)) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	conn, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn, WithBackoff(0))
+	ctx := obs.ContextWithSpan(context.Background(), obs.SpanContext{TraceID: 3, SpanID: 4})
+	resp, err := c.Call(ctx, &Request{Type: MsgGetPage, LSN: 10})
+	if err != nil {
+		t.Fatalf("call against genuine v1 server failed: %v", err)
+	}
+	if resp.Status != StatusOK || resp.LSN != 11 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := c.ProtocolVersion(); got != VersionMin {
+		t.Fatalf("negotiated version = %d, want %d", got, VersionMin)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("served = %d, want 2 (hello + call, no torn frames)", served.Load())
+	}
+}
+
+func TestV2ServerAcceptsV1Caller(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("new", func(_ context.Context, req *Request) *Response {
+		resp := Ok()
+		resp.LSN = req.LSN + 1
+		return resp
+	})
+	// A raw v1 frame (no trace header) straight at a v2 server.
+	resp, err := net.Dial("new").Call(context.Background(),
+		&Request{Version: 1, Type: MsgPing, LSN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || resp.LSN != 11 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestV2CodecCarriesTraceHeader(t *testing.T) {
+	r := &Request{Version: 2, Type: MsgGetPage, TraceID: 0xdeadbeef, SpanID: 42,
+		Page: 9, LSN: 100, Consumer: "sec", Payload: []byte("p")}
+	got, err := DecodeRequest(EncodeRequest(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("got %+v, want %+v", got, r)
+	}
+	// v1 frames must not encode (and therefore must drop) the header.
+	r1 := &Request{Version: 1, Type: MsgGetPage, TraceID: 5, SpanID: 6, Page: 9}
+	got1, err := DecodeRequest(EncodeRequest(r1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.TraceID != 0 || got1.SpanID != 0 {
+		t.Fatalf("v1 round-trip leaked trace header: %+v", got1)
+	}
+}
+
+func TestHandlerSeesFrameTraceNotCallerValues(t *testing.T) {
+	net := NewInstantNetwork()
+	var seen obs.SpanContext
+	net.Serve("ps", func(ctx context.Context, _ *Request) *Response {
+		seen = obs.SpanFromContext(ctx)
+		return Ok()
+	})
+	c := NewClient(net.Dial("ps"))
+	want := obs.SpanContext{TraceID: 21, SpanID: 34}
+	ctx := obs.ContextWithSpan(context.Background(), want)
+	if _, err := c.Call(ctx, &Request{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != want {
+		t.Fatalf("handler saw %+v, want %+v", seen, want)
+	}
+}
+
+func TestResponseErrorTyped(t *testing.T) {
+	resp := &Response{Status: StatusNotFound, Error: "page 9 gone"}
+	var re *ResponseError
+	if !errors.As(resp.Err(), &re) {
+		t.Fatal("Err() should be a *ResponseError")
+	}
+	if re.Status != StatusNotFound || re.Msg != "page 9 gone" {
+		t.Fatalf("re = %+v", re)
+	}
+	if !errors.Is(resp.Err(), ErrNotFound) {
+		t.Fatal("typed error should still match the sentinel")
+	}
+}
+
+func TestCallHonorsCancelledContext(t *testing.T) {
+	net := NewInstantNetwork()
+	net.Serve("s", func(context.Context, *Request) *Response { return Ok() })
+	c := NewClient(net.Dial("s"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Call(ctx, &Request{Type: MsgPing}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

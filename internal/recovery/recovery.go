@@ -11,6 +11,7 @@
 package recovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -108,15 +109,19 @@ func (r *Replayer) ApplyBlocks(payload []byte, stopLSN page.LSN) error {
 // Puller abstracts a log source serving [from, …) as encoded blocks; the
 // XLOG service's Pull method satisfies it.
 type Puller interface {
-	Pull(from page.LSN, partition int32, maxBytes int) ([]byte, page.LSN, error)
+	Pull(ctx context.Context, from page.LSN, partition int32, maxBytes int) ([]byte, page.LSN, error)
 }
 
 // ReplayRange pulls and applies the log range [from, stopLSN) (stopLSN 0 =
-// everything available) from the source. Returns the LSN reached.
-func (r *Replayer) ReplayRange(src Puller, from, stopLSN page.LSN) (page.LSN, error) {
+// everything available) from the source. Returns the LSN reached. The
+// context bounds the pulls and carries the restore workflow's trace.
+func (r *Replayer) ReplayRange(ctx context.Context, src Puller, from, stopLSN page.LSN) (page.LSN, error) {
 	cursor := from
 	for stopLSN == 0 || cursor.Before(stopLSN) {
-		payload, next, err := src.Pull(cursor, -1, 1<<20)
+		if err := ctx.Err(); err != nil {
+			return cursor, err
+		}
+		payload, next, err := src.Pull(ctx, cursor, -1, 1<<20)
 		if err != nil {
 			return cursor, err
 		}

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -60,7 +61,7 @@ func newMemPuller(pipe engine.MemPipeline) *memPuller {
 	return &memPuller{blocks: blocks}
 }
 
-func (p *memPuller) Pull(from page.LSN, _ int32, maxBytes int) ([]byte, page.LSN, error) {
+func (p *memPuller) Pull(_ context.Context, from page.LSN, _ int32, maxBytes int) ([]byte, page.LSN, error) {
 	var out []byte
 	next := from
 	for _, b := range p.blocks {
@@ -82,7 +83,7 @@ func TestFullReplayMatchesSource(t *testing.T) {
 
 	replayPages := fcb.NewMemFile()
 	r := NewReplayer(replayPages)
-	if _, err := r.ReplayRange(newMemPuller(pipe), 1, 0); err != nil {
+	if _, err := r.ReplayRange(context.Background(), newMemPuller(pipe), 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if r.Visible() != src.Clock().Visible() {
@@ -131,7 +132,7 @@ func TestStopLSNCutsHistory(t *testing.T) {
 
 	pages := fcb.NewMemFile()
 	r := NewReplayer(pages)
-	if _, err := r.ReplayRange(puller, 1, cut); err != nil {
+	if _, err := r.ReplayRange(context.Background(), puller, 1, cut); err != nil {
 		t.Fatal(err)
 	}
 	eng, err := engine.Open(engine.Config{Pages: pages, ReadOnly: true})
@@ -154,13 +155,13 @@ func TestReplayIsIdempotent(t *testing.T) {
 	puller := newMemPuller(pipe)
 	pages := fcb.NewMemFile()
 	r := NewReplayer(pages)
-	if _, err := r.ReplayRange(puller, 1, 0); err != nil {
+	if _, err := r.ReplayRange(context.Background(), puller, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	first := r.Records()
 	// Replaying the same range again applies nothing (LSN guard).
 	r2 := NewReplayer(pages)
-	if _, err := r2.ReplayRange(puller, 1, 0); err != nil {
+	if _, err := r2.ReplayRange(context.Background(), puller, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if r2.Records() != 0 {
@@ -203,7 +204,7 @@ func TestApplyRecordErrorsSurface(t *testing.T) {
 func TestPullerErrorPropagates(t *testing.T) {
 	r := NewReplayer(fcb.NewMemFile())
 	boom := errors.New("source gone")
-	_, err := r.ReplayRange(errPuller{boom}, 1, 0)
+	_, err := r.ReplayRange(context.Background(), errPuller{boom}, 1, 0)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -211,6 +212,6 @@ func TestPullerErrorPropagates(t *testing.T) {
 
 type errPuller struct{ err error }
 
-func (p errPuller) Pull(page.LSN, int32, int) ([]byte, page.LSN, error) {
+func (p errPuller) Pull(context.Context, page.LSN, int32, int) ([]byte, page.LSN, error) {
 	return nil, 0, p.err
 }

@@ -1,13 +1,16 @@
 package sqlengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"socrates/internal/engine"
+	"socrates/internal/obs"
 )
 
 // schemaTable is the system table mapping table name → encoded schema.
@@ -57,13 +60,26 @@ func (db *DB) Session() *Session { return &Session{db: db} }
 // Exec parses and runs one statement on a fresh session (convenience).
 func (db *DB) Exec(sql string) (*Result, error) { return db.Session().Exec(sql) }
 
+// ExecContext parses and runs one statement on a fresh session, bounded
+// by (and traced through) ctx.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.Session().ExecContext(ctx, sql)
+}
+
 // Exec parses and runs one statement.
 func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and runs one statement bounded by ctx. The whole
+// statement — parse, execution, commit hardening, and any GetPage@LSN
+// traffic it causes — runs under one "sql.exec" span.
+func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(stmt)
+	return s.RunContext(ctx, stmt)
 }
 
 // InTx reports whether an explicit transaction is open.
@@ -71,12 +87,61 @@ func (s *Session) InTx() bool { return s.tx != nil }
 
 // Run executes a parsed statement.
 func (s *Session) Run(stmt Statement) (*Result, error) {
+	return s.RunContext(context.Background(), stmt)
+}
+
+// RunContext executes a parsed statement bounded by (and traced through)
+// ctx.
+func (s *Session) RunContext(ctx context.Context, stmt Statement) (*Result, error) {
+	eng := s.db.eng
+	start := time.Now()
+	ctx, span := eng.Tracer().StartSpan(ctx, obs.TierCompute, "sql.exec")
+	defer span.End()
+	span.SetAttr("stmt", stmtName(stmt))
+	res, err := s.runStmt(ctx, stmt)
+	span.SetError(err)
+	if err == nil {
+		eng.Metrics().Histogram("compute.sql.latency").Observe(time.Since(start))
+		eng.Metrics().Counter("compute.sql.statements").Inc()
+	}
+	return res, err
+}
+
+// stmtName labels a statement for spans and metrics.
+func stmtName(stmt Statement) string {
+	switch stmt.(type) {
+	case *BeginStmt:
+		return "begin"
+	case *CommitStmt:
+		return "commit"
+	case *RollbackStmt:
+		return "rollback"
+	case *ShowTablesStmt:
+		return "show-tables"
+	case *CreateTableStmt:
+		return "create-table"
+	case *DropTableStmt:
+		return "drop-table"
+	case *InsertStmt:
+		return "insert"
+	case *SelectStmt:
+		return "select"
+	case *UpdateStmt:
+		return "update"
+	case *DeleteStmt:
+		return "delete"
+	default:
+		return fmt.Sprintf("%T", stmt)
+	}
+}
+
+func (s *Session) runStmt(ctx context.Context, stmt Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *BeginStmt:
 		if s.tx != nil {
 			return nil, ErrTxOpen
 		}
-		s.tx = s.db.eng.Begin()
+		s.tx = s.db.eng.BeginContext(ctx)
 		return &Result{}, nil
 	case *CommitStmt:
 		if s.tx == nil {
@@ -95,9 +160,9 @@ func (s *Session) Run(stmt Statement) (*Result, error) {
 	case *ShowTablesStmt:
 		return s.showTables()
 	case *CreateTableStmt:
-		return s.db.createTable(st)
+		return s.db.createTable(ctx, st)
 	case *DropTableStmt:
-		return s.db.dropTable(st)
+		return s.db.dropTable(ctx, st)
 	}
 
 	// Row statements run in the session transaction or auto-commit.
@@ -105,9 +170,9 @@ func (s *Session) Run(stmt Statement) (*Result, error) {
 	auto := tx == nil
 	if auto {
 		if _, ok := stmt.(*SelectStmt); ok {
-			tx = s.db.eng.BeginRO()
+			tx = s.db.eng.BeginROContext(ctx)
 		} else {
-			tx = s.db.eng.Begin()
+			tx = s.db.eng.BeginContext(ctx)
 		}
 	}
 	res, err := s.db.runRowStmt(tx, stmt)
@@ -140,7 +205,7 @@ func (s *Session) showTables() (*Result, error) {
 
 // --- DDL ---
 
-func (db *DB) createTable(st *CreateTableStmt) (*Result, error) {
+func (db *DB) createTable(ctx context.Context, st *CreateTableStmt) (*Result, error) {
 	if len(st.Columns) == 0 {
 		return nil, errors.New("sql: table needs at least one column")
 	}
@@ -163,16 +228,16 @@ func (db *DB) createTable(st *CreateTableStmt) (*Result, error) {
 	if name == schemaTable {
 		return nil, errors.New("sql: reserved table name")
 	}
-	if err := db.ensureSchemaTable(); err != nil {
+	if err := db.ensureSchemaTable(ctx); err != nil {
 		return nil, err
 	}
-	if err := db.eng.CreateTable(name); err != nil {
+	if err := db.eng.CreateTableContext(ctx, name); err != nil {
 		if errors.Is(err, engine.ErrTableExists) {
 			return nil, fmt.Errorf("sql: table %q already exists", name)
 		}
 		return nil, err
 	}
-	tx := db.eng.Begin()
+	tx := db.eng.BeginContext(ctx)
 	if err := tx.Put(schemaTable, []byte(name), encodeSchema(st.Columns)); err != nil {
 		tx.Abort()
 		return nil, err
@@ -183,12 +248,12 @@ func (db *DB) createTable(st *CreateTableStmt) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) dropTable(st *DropTableStmt) (*Result, error) {
+func (db *DB) dropTable(ctx context.Context, st *DropTableStmt) (*Result, error) {
 	name := strings.ToLower(st.Table)
 	if _, err := db.schema(name); err != nil {
 		return nil, err
 	}
-	tx := db.eng.Begin()
+	tx := db.eng.BeginContext(ctx)
 	if err := tx.Delete(schemaTable, []byte(name)); err != nil {
 		tx.Abort()
 		return nil, err
@@ -204,8 +269,8 @@ func (db *DB) dropTable(st *DropTableStmt) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) ensureSchemaTable() error {
-	err := db.eng.CreateTable(schemaTable)
+func (db *DB) ensureSchemaTable(ctx context.Context) error {
+	err := db.eng.CreateTableContext(ctx, schemaTable)
 	if errors.Is(err, engine.ErrTableExists) {
 		return nil
 	}

@@ -73,6 +73,15 @@ type Record struct {
 	PageType page.Type
 	Key      []byte
 	Value    []byte
+
+	// TraceID and SpanID are an in-memory-only observability annotation:
+	// a commit record appended by a traced transaction carries its span
+	// identity so the log flusher can attribute the landing-zone write
+	// back to the commit's span tree. They are NOT part of the log format
+	// — the codec neither encodes nor recovers them (a replayed or pulled
+	// record has no originating request to attribute to).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // IsPageOp reports whether the record mutates a page.

@@ -1,16 +1,18 @@
 package xlog
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/simdisk"
+	"socrates/internal/socerr"
 	"socrates/internal/wal"
 	"socrates/internal/xstore"
 )
@@ -37,6 +39,9 @@ type Service struct {
 	lz  *LandingZone
 	lt  *lt
 	ssd *blockCache
+
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 
 	mu          sync.Mutex
 	pending     map[page.LSN]entry // by Start; not yet hardened
@@ -86,6 +91,10 @@ type Config struct {
 	CacheBytes int64
 	// BrokerBytes bounds the in-memory sequence map (default 1 MiB).
 	BrokerBytes int
+	// Tracer receives XLOG-tier spans (nil = tracing off).
+	Tracer *obs.Tracer
+	// Metrics receives XLOG-tier instruments (nil = metrics off).
+	Metrics *obs.Registry
 }
 
 // New starts an XLOG service over a fresh log.
@@ -135,6 +144,8 @@ func build(cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		lz:          cfg.LZ,
+		tracer:      cfg.Tracer,
+		metrics:     cfg.Metrics,
 		lt:          &lt{store: cfg.LT, blob: cfg.LTBlob},
 		pending:     make(map[page.LSN]entry),
 		budget:      cfg.BrokerBytes,
@@ -170,28 +181,39 @@ func (s *Service) Close() {
 // Feed receives one block from the lossy primary feed into the pending
 // area. Blocks below the promoted watermark are stale duplicates. The
 // encoded form is retained alongside so dissemination never re-encodes;
-// pass nil to have it computed.
-func (s *Service) Feed(b *wal.Block) { s.FeedEncoded(b, nil) }
+// pass nil to have it computed. The context carries the originating
+// commit's span identity when the block arrived over RBIO v2.
+func (s *Service) Feed(ctx context.Context, b *wal.Block) { s.FeedEncoded(ctx, b, nil) }
 
 // FeedEncoded is Feed with the block's already-encoded bytes.
-func (s *Service) FeedEncoded(b *wal.Block, enc []byte) {
+func (s *Service) FeedEncoded(ctx context.Context, b *wal.Block, enc []byte) {
+	_, sp := s.tracer.JoinSpan(ctx, obs.TierXLOG, "xlog.feed")
+	defer sp.End()
 	if enc == nil {
 		enc = b.Encode()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.feedReceived++
+	s.metrics.Counter("xlog.feed.blocks").Inc()
 	if b.End.AtMost(s.promoted) {
 		s.feedStale++
+		s.metrics.Counter("xlog.feed.stale").Inc()
+		s.mu.Unlock()
+		sp.SetAttr("stale", "true")
 		return
 	}
 	s.pending[b.Start] = entry{b: b, enc: enc}
+	s.mu.Unlock()
 }
 
 // ReportHardened tells the service every block with End <= lsn is durable
 // in the LZ; they become visible to consumers (promotion).
-func (s *Service) ReportHardened(lsn page.LSN) {
+func (s *Service) ReportHardened(ctx context.Context, lsn page.LSN) {
+	_, sp := s.tracer.JoinSpan(ctx, obs.TierXLOG, "xlog.promote")
+	start := time.Now()
 	s.promoteTo(lsn)
+	s.metrics.Histogram("xlog.promote.latency").Since(start)
+	sp.End()
 	select {
 	case s.destageKick <- struct{}{}:
 	default:
@@ -207,11 +229,23 @@ func (s *Service) promoteTo(lsn page.LSN) {
 		e, ok := s.pending[s.promoted]
 		if !ok {
 			// Gap: the feed lost or reordered this block; the LZ has it.
+			// Snapshot the watermark before dropping the lock for the LZ
+			// read — harden reports arrive concurrently (one per
+			// in-flight LZ write), so another promoteTo may run while we
+			// are off the lock.
+			at := s.promoted
 			s.mu.Unlock()
-			lb, found, err := s.lz.Read(s.promoted)
+			lb, found, err := s.lz.Read(at)
 			s.mu.Lock()
 			if err != nil || !found {
 				return // cannot promote past the gap yet
+			}
+			if s.promoted != at {
+				// A concurrent report already promoted this block (or
+				// past it) while we read the LZ; appending our copy would
+				// duplicate it in the broker. Rescan from the new
+				// watermark.
+				continue
 			}
 			s.gapFills++
 			e = entry{b: lb, enc: lb.Encode()}
@@ -277,6 +311,7 @@ func (s *Service) destageOnce() {
 		s.trimBroker()
 		return
 	}
+	destageStart := time.Now()
 	var ltBuf []byte
 	blocks := make([]*wal.Block, 0, len(batch))
 	for _, e := range batch {
@@ -299,6 +334,8 @@ func (s *Service) destageOnce() {
 	s.mu.Unlock()
 	s.lz.ReleaseUpTo(end)
 	s.trimBroker()
+	s.metrics.Histogram("xlog.destage.latency").Since(destageStart)
+	s.metrics.Counter("xlog.destage.blocks").Add(uint64(len(batch)))
 }
 
 // trimBroker evicts destaged blocks from the front of the sequence map
@@ -332,7 +369,14 @@ func (s *Service) HardenedEnd() page.LSN {
 // the returned next-pull LSN, which is the XLOG-side half of the §4.6
 // block-filtering optimization. The returned next LSN equals fromLSN when
 // nothing new is available.
-func (s *Service) Pull(fromLSN page.LSN, partition int32, maxBytes int) ([]byte, page.LSN, error) {
+func (s *Service) Pull(ctx context.Context, fromLSN page.LSN, partition int32, maxBytes int) ([]byte, page.LSN, error) {
+	// Pulls are polled continuously by every consumer; JoinSpan records a
+	// span only when the caller is already traced, so the steady-state poll
+	// loop never roots traces (the histogram always counts).
+	_, sp := s.tracer.JoinSpan(ctx, obs.TierXLOG, "xlog.pull")
+	defer sp.End()
+	start := time.Now()
+	defer s.metrics.Histogram("xlog.pull.latency").Since(start)
 	if maxBytes <= 0 {
 		maxBytes = 1 << 20
 	}
@@ -493,16 +537,18 @@ func (s *Service) WaitDestaged(lsn page.LSN, timeout time.Duration) error {
 	defer s.mu.Unlock()
 	for s.destaged.Before(lsn) {
 		if !time.Now().Before(deadline) {
-			return fmt.Errorf("xlog: destaging did not reach %d (at %d)", lsn, s.destaged)
+			return socerr.Timeoutf("xlog: destaging did not reach %d (at %d)", lsn, s.destaged)
 		}
 		s.destagedCond.Wait()
 	}
 	return nil
 }
 
-// Handler exposes the service over RBIO.
+// Handler exposes the service over RBIO. The transport hands it a context
+// carrying the span identity decoded from the frame header, so XLOG-tier
+// spans join the caller’s commit or catch-up trace.
 func (s *Service) Handler() rbio.Handler {
-	return func(req *rbio.Request) *rbio.Response {
+	return func(ctx context.Context, req *rbio.Request) *rbio.Response {
 		switch req.Type {
 		case rbio.MsgPing:
 			return rbio.Ok()
@@ -511,16 +557,16 @@ func (s *Service) Handler() rbio.Handler {
 			if err != nil {
 				return rbio.Errorf("bad feed block: %v", err)
 			}
-			s.FeedEncoded(b, req.Payload)
+			s.FeedEncoded(ctx, b, req.Payload)
 			return rbio.Ok()
 		case rbio.MsgHardenReport:
-			s.ReportHardened(req.LSN)
+			s.ReportHardened(ctx, req.LSN)
 			return rbio.Ok()
 		case rbio.MsgPullBlocks:
 			if req.Consumer != "" {
 				s.RegisterConsumer(req.Consumer)
 			}
-			payload, next, err := s.Pull(req.LSN, req.Partition, int(req.MaxBytes))
+			payload, next, err := s.Pull(ctx, req.LSN, req.Partition, int(req.MaxBytes))
 			if err != nil {
 				return rbio.Errorf("pull: %v", err)
 			}

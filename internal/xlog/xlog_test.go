@@ -1,6 +1,7 @@
 package xlog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -208,10 +209,10 @@ func (r *testRig) publish(t *testing.T, blocks []*wal.Block, feed bool) {
 			t.Fatal(err)
 		}
 		if feed {
-			r.svc.Feed(b)
+			r.svc.Feed(context.Background(), b)
 		}
 	}
-	r.svc.ReportHardened(r.lz.HardenedEnd())
+	r.svc.ReportHardened(context.Background(), r.lz.HardenedEnd())
 }
 
 func decodeAll(t *testing.T, payload []byte) []*wal.Block {
@@ -233,7 +234,7 @@ func TestServeFromSequenceMap(t *testing.T) {
 	blocks := mkBlocks(10, func(i int) page.ID { return page.ID(i) }, page.Partitioning{})
 	r.publish(t, blocks, true)
 
-	payload, next, err := r.svc.Pull(1, -1, 0)
+	payload, next, err := r.svc.Pull(context.Background(), 1, -1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,9 +253,9 @@ func TestSpeculativeBlocksInvisibleUntilHardened(t *testing.T) {
 	blocks := mkBlocks(3, func(i int) page.ID { return 1 }, page.Partitioning{})
 	// Feed only: nothing hardened yet.
 	for _, b := range blocks {
-		r.svc.Feed(b)
+		r.svc.Feed(context.Background(), b)
 	}
-	payload, next, err := r.svc.Pull(1, -1, 0)
+	payload, next, err := r.svc.Pull(context.Background(), 1, -1, 0)
 	if err != nil || len(payload) != 0 || next != 1 {
 		t.Fatalf("unhardened blocks visible: %d bytes, next=%d", len(payload), next)
 	}
@@ -262,8 +263,8 @@ func TestSpeculativeBlocksInvisibleUntilHardened(t *testing.T) {
 	for _, b := range blocks {
 		_ = r.lz.Write(b)
 	}
-	r.svc.ReportHardened(r.lz.HardenedEnd())
-	payload, next, _ = r.svc.Pull(1, -1, 0)
+	r.svc.ReportHardened(context.Background(), r.lz.HardenedEnd())
+	payload, next, _ = r.svc.Pull(context.Background(), 1, -1, 0)
 	if len(decodeAll(t, payload)) != 3 || next != blocks[2].End {
 		t.Fatal("hardened blocks not served")
 	}
@@ -275,11 +276,11 @@ func TestGapFillFromLZ(t *testing.T) {
 	for i, b := range blocks {
 		_ = r.lz.Write(b)
 		if i%2 == 0 { // half the feed messages are lost
-			r.svc.Feed(b)
+			r.svc.Feed(context.Background(), b)
 		}
 	}
-	r.svc.ReportHardened(r.lz.HardenedEnd())
-	payload, next, err := r.svc.Pull(1, -1, 0)
+	r.svc.ReportHardened(context.Background(), r.lz.HardenedEnd())
+	payload, next, err := r.svc.Pull(context.Background(), 1, -1, 0)
 	if err != nil || next != blocks[5].End {
 		t.Fatalf("pull after loss: next=%d err=%v", next, err)
 	}
@@ -300,10 +301,10 @@ func TestOutOfOrderFeed(t *testing.T) {
 	}
 	// Feed arrives reversed.
 	for i := len(blocks) - 1; i >= 0; i-- {
-		r.svc.Feed(blocks[i])
+		r.svc.Feed(context.Background(), blocks[i])
 	}
-	r.svc.ReportHardened(r.lz.HardenedEnd())
-	payload, _, _ := r.svc.Pull(1, -1, 0)
+	r.svc.ReportHardened(context.Background(), r.lz.HardenedEnd())
+	payload, _, _ := r.svc.Pull(context.Background(), 1, -1, 0)
 	got := decodeAll(t, payload)
 	if len(got) != 5 {
 		t.Fatalf("got %d blocks", len(got))
@@ -327,7 +328,7 @@ func TestPartitionFilteredPull(t *testing.T) {
 	}, pt)
 	r.publish(t, blocks, true)
 
-	payload, next, err := r.svc.Pull(1, 1, 0)
+	payload, next, err := r.svc.Pull(context.Background(), 1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,13 +352,13 @@ func TestPullBudgetLimitsBatch(t *testing.T) {
 	blocks := mkBlocks(20, func(i int) page.ID { return 1 }, page.Partitioning{})
 	r.publish(t, blocks, true)
 	oneBlock := blocks[0].EncodedSize()
-	payload, next, _ := r.svc.Pull(1, -1, oneBlock*3)
+	payload, next, _ := r.svc.Pull(context.Background(), 1, -1, oneBlock*3)
 	got := decodeAll(t, payload)
 	if len(got) < 3 || len(got) > 4 {
 		t.Fatalf("budgeted pull returned %d blocks", len(got))
 	}
 	// Follow-up pull continues from next.
-	payload2, _, _ := r.svc.Pull(next, -1, 0)
+	payload2, _, _ := r.svc.Pull(context.Background(), next, -1, 0)
 	if len(decodeAll(t, payload2))+len(got) != 20 {
 		t.Fatal("continuation lost blocks")
 	}
@@ -377,7 +378,7 @@ func TestDestagingReleasesLZAndServesFromLowerTiers(t *testing.T) {
 		t.Fatalf("LZ retains %d blocks after destaging", r.lz.Retained())
 	}
 	// All blocks still served (from SSD cache or LT).
-	payload, next, err := r.svc.Pull(1, -1, 1<<20)
+	payload, next, err := r.svc.Pull(context.Background(), 1, -1, 1<<20)
 	if err != nil || next != blocks[29].End {
 		t.Fatalf("pull: next=%d err=%v", next, err)
 	}
@@ -403,7 +404,7 @@ func TestXStoreOutageDefersDestaging(t *testing.T) {
 		t.Fatal("LZ released blocks that were never archived")
 	}
 	// Consumers are unaffected: the broker serves everything.
-	payload, _, _ := r.svc.Pull(1, -1, 0)
+	payload, _, _ := r.svc.Pull(context.Background(), 1, -1, 0)
 	if len(decodeAll(t, payload)) != 5 {
 		t.Fatal("pull failed during outage")
 	}
@@ -425,9 +426,9 @@ func TestServiceRecovery(t *testing.T) {
 	blocks := mkBlocks(12, func(i int) page.ID { return 1 }, page.Partitioning{})
 	for _, b := range blocks {
 		_ = lz.Write(b)
-		svc.Feed(b)
+		svc.Feed(context.Background(), b)
 	}
-	svc.ReportHardened(lz.HardenedEnd())
+	svc.ReportHardened(context.Background(), lz.HardenedEnd())
 	if err := svc.WaitDestaged(blocks[11].End, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -443,7 +444,7 @@ func TestServiceRecovery(t *testing.T) {
 	if re.HardenedEnd() != blocks[11].End {
 		t.Fatalf("recovered hardened end = %d", re.HardenedEnd())
 	}
-	payload, next, err := re.Pull(1, -1, 1<<20)
+	payload, next, err := re.Pull(context.Background(), 1, -1, 1<<20)
 	if err != nil || next != blocks[11].End {
 		t.Fatalf("recovered pull: next=%d err=%v", next, err)
 	}
@@ -485,7 +486,7 @@ func TestStaleFeedDropped(t *testing.T) {
 	r := newRig(t, 1<<20)
 	blocks := mkBlocks(3, func(i int) page.ID { return 1 }, page.Partitioning{})
 	r.publish(t, blocks, true)
-	r.svc.Feed(blocks[0]) // duplicate of an already promoted block
+	r.svc.Feed(context.Background(), blocks[0]) // duplicate of an already promoted block
 	_, stale, _ := r.svc.Stats()
 	if stale != 1 {
 		t.Fatalf("stale = %d", stale)
@@ -501,16 +502,16 @@ func TestHandlerOverRBIO(t *testing.T) {
 	blocks := mkBlocks(4, func(i int) page.ID { return 1 }, page.Partitioning{})
 	for _, b := range blocks {
 		_ = r.lz.Write(b)
-		if err := client.Send(&rbio.Request{Type: rbio.MsgFeedBlock, Payload: b.Encode()}); err != nil {
+		if err := client.Send(context.Background(), &rbio.Request{Type: rbio.MsgFeedBlock, Payload: b.Encode()}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	time.Sleep(10 * time.Millisecond) // sends are async
-	resp, err := client.Call(&rbio.Request{Type: rbio.MsgHardenReport, LSN: r.lz.HardenedEnd()})
+	resp, err := client.Call(context.Background(), &rbio.Request{Type: rbio.MsgHardenReport, LSN: r.lz.HardenedEnd()})
 	if err != nil || resp.Status != rbio.StatusOK {
 		t.Fatalf("harden report: %+v %v", resp, err)
 	}
-	resp, err = client.Call(&rbio.Request{
+	resp, err = client.Call(context.Background(), &rbio.Request{
 		Type: rbio.MsgPullBlocks, LSN: 1, Partition: -1, Consumer: "sec-1"})
 	if err != nil {
 		t.Fatal(err)
@@ -518,12 +519,12 @@ func TestHandlerOverRBIO(t *testing.T) {
 	if len(decodeAll(t, resp.Payload)) != 4 || resp.LSN != blocks[3].End {
 		t.Fatalf("pull via rbio: %d bytes, next=%d", len(resp.Payload), resp.LSN)
 	}
-	resp, err = client.Call(&rbio.Request{Type: rbio.MsgReportApplied,
+	resp, err = client.Call(context.Background(), &rbio.Request{Type: rbio.MsgReportApplied,
 		Consumer: "sec-1", LSN: resp.LSN})
 	if err != nil || resp.Status != rbio.StatusOK {
 		t.Fatal("report applied failed")
 	}
-	resp, err = client.Call(&rbio.Request{Type: rbio.MsgReadState})
+	resp, err = client.Call(context.Background(), &rbio.Request{Type: rbio.MsgReadState})
 	if err != nil || resp.LSN != blocks[3].End {
 		t.Fatalf("read state: %+v %v", resp, err)
 	}

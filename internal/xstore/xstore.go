@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"socrates/internal/obs"
 	"socrates/internal/simdisk"
 )
 
@@ -79,12 +80,19 @@ type Store struct {
 	ingest *limiter
 	egress *limiter
 
+	metrics *obs.Registry // nil-safe; set via SetMetrics
+
 	mu        sync.Mutex
 	head      int64 // next append offset in the log
 	seq       uint64
 	blobs     map[string]*blobMeta
 	snapshots map[string]*snapshot
 }
+
+// SetMetrics attaches a per-tier metrics registry. The store records write
+// and read latency/volume under the "xstore." namespace. Safe to call once
+// at wiring time, before concurrent use; a nil registry disables recording.
+func (s *Store) SetMetrics(r *obs.Registry) { s.metrics = r }
 
 // New creates an empty store.
 func New(cfg Config) *Store {
@@ -129,6 +137,7 @@ func (s *Store) Stats() (reads, writes, bytesRead, bytesWritten int64) {
 // appendLog writes data at the head of the log and returns its extent.
 // Callers must not hold s.mu (device I/O sleeps).
 func (s *Store) appendLog(data []byte) (extent, error) {
+	start := time.Now()
 	if s.ingest != nil {
 		s.ingest.acquire(len(data))
 	}
@@ -139,6 +148,9 @@ func (s *Store) appendLog(data []byte) (extent, error) {
 	if err := s.dev.WriteAt(data, off); err != nil {
 		return extent{}, err
 	}
+	s.metrics.Histogram("xstore.write.latency").Since(start)
+	s.metrics.Counter("xstore.write.bytes").Add(uint64(len(data)))
+	s.metrics.Counter("xstore.write.ops").Inc()
 	return extent{off: off, length: int64(len(data))}, nil
 }
 
@@ -208,6 +220,12 @@ func (s *Store) ReadAt(name string, off, length int64) ([]byte, error) {
 
 // readMeta gathers [off, off+length) across the blob's extents.
 func (s *Store) readMeta(b *blobMeta, off, length int64) ([]byte, error) {
+	start := time.Now()
+	defer func() {
+		s.metrics.Histogram("xstore.read.latency").Since(start)
+		s.metrics.Counter("xstore.read.ops").Inc()
+	}()
+	s.metrics.Counter("xstore.read.bytes").Add(uint64(length))
 	if s.egress != nil {
 		s.egress.acquire(int(length))
 	}
@@ -302,6 +320,7 @@ func (s *Store) Snapshot(name string) error {
 		snap.blobs[n] = b.clone()
 	}
 	s.snapshots[name] = snap
+	s.metrics.Counter("xstore.snapshot.count").Inc()
 	return nil
 }
 

@@ -31,16 +31,20 @@
 package socrates
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"socrates/internal/cluster"
 	"socrates/internal/engine"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/simdisk"
+	"socrates/internal/socerr"
 	"socrates/internal/sqlengine"
 	"socrates/internal/xstore"
 )
@@ -53,6 +57,24 @@ type (
 	Value = sqlengine.Value
 	// Session is a SQL session with optional explicit transactions.
 	Session = sqlengine.Session
+	// TraceID identifies one recorded request trace.
+	TraceID = obs.TraceID
+	// SpanNode is one node of an exported span tree.
+	SpanNode = obs.SpanNode
+	// HistSummary is an exported latency histogram.
+	HistSummary = obs.HistSummary
+)
+
+// Typed error sentinels for errors.Is across the public surface.
+var (
+	// ErrTimeout marks deadline/timeout failures (context expiry,
+	// replication catch-up timeouts, page-server apply lag).
+	ErrTimeout = socerr.ErrTimeout
+	// ErrClosed marks operations on stopped components (closed log
+	// writer, stopped page server).
+	ErrClosed = socerr.ErrClosed
+	// ErrNoSecondary marks operations naming an unknown secondary.
+	ErrNoSecondary = socerr.ErrNoSecondary
 )
 
 // LZService selects the storage service implementing the landing zone —
@@ -143,6 +165,14 @@ func (db *DB) Close() { db.cluster.Close() }
 // Exec parses and runs one SQL statement with auto-commit.
 func (db *DB) Exec(sql string) (*Result, error) { return db.front().Exec(sql) }
 
+// ExecContext parses and runs one SQL statement with auto-commit, bounded
+// by ctx: a cancelled or expired context aborts the commit wait, and the
+// whole statement records one cross-tier span tree retrievable with
+// LastTrace / Trace.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.front().ExecContext(ctx, sql)
+}
+
 // Session opens a SQL session on the primary (BEGIN/COMMIT supported).
 func (db *DB) Session() *Session { return db.front().Session() }
 
@@ -157,7 +187,7 @@ func (db *DB) front() *sqlengine.DB {
 func (db *DB) ReadSession(secondary string) (*Session, error) {
 	sec, ok := db.cluster.Secondary(secondary)
 	if !ok {
-		return nil, fmt.Errorf("socrates: no secondary %q", secondary)
+		return nil, fmt.Errorf("%w: %q", socerr.ErrNoSecondary, secondary)
 	}
 	return sqlengine.New(sec.Engine).Session(), nil
 }
@@ -175,6 +205,15 @@ func (db *DB) Cluster() *cluster.Cluster { return db.cluster }
 // Failover crashes the primary and recovers a fresh one; returns the time
 // to availability. SQL traffic transparently continues on the new primary.
 func (db *DB) Failover() (time.Duration, error) {
+	return db.FailoverContext(context.Background())
+}
+
+// FailoverContext is Failover bounded by ctx: a done context before the
+// new primary is installed aborts with a socerr-classified error.
+func (db *DB) FailoverContext(ctx context.Context) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, socerr.FromContext(err)
+	}
 	p, d, err := db.cluster.Failover()
 	if err != nil {
 		return d, err
@@ -200,8 +239,22 @@ func (db *DB) RemoveSecondary(name string) error {
 func (db *DB) Secondaries() []string { return db.cluster.Secondaries() }
 
 // WaitForReplication blocks until all page servers and secondaries applied
-// the log through the current hardened end.
+// the log through the current hardened end. A timeout surfaces as
+// ErrTimeout under errors.Is.
 func (db *DB) WaitForReplication(timeout time.Duration) error {
+	return db.cluster.WaitForCatchUp(timeout)
+}
+
+// WaitForReplicationContext is WaitForReplication bounded by ctx's
+// deadline (default 10s when the context has none).
+func (db *DB) WaitForReplicationContext(ctx context.Context) error {
+	timeout := 10 * time.Second
+	if d, ok := ctx.Deadline(); ok {
+		timeout = time.Until(d)
+	}
+	if err := ctx.Err(); err != nil {
+		return socerr.FromContext(err)
+	}
 	return db.cluster.WaitForCatchUp(timeout)
 }
 
@@ -242,7 +295,109 @@ func (db *DB) PointInTimeRestore(backup string, targetLSN uint64) (*RestoredDB, 
 	return &RestoredDB{sql: sqlengine.New(eng)}, nil
 }
 
+// TierMetrics groups the named metrics recorded by one Socrates tier.
+// Keys are the metric names without the tier prefix (so the compute tier's
+// "compute.commit.latency" histogram appears under "commit.latency").
+type TierMetrics struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistSummary
+}
+
+// MetricsSnapshot is a point-in-time view of the deployment's metrics
+// registry, split by tier. The commit path shows up as
+// Compute.Histograms["commit.latency"] → LandingZone.Histograms["write.latency"]
+// → XLOG.Histograms["promote.latency"]; the GetPage@LSN path as
+// Compute.Histograms["getpage.latency"] (client side, cache misses only)
+// and PageServer.Histograms["getpage.latency"] (server side).
+type MetricsSnapshot struct {
+	Taken       time.Time
+	Compute     TierMetrics // SQL execution, commit path, GetPage@LSN client side
+	LandingZone TierMetrics // durable log writes into the LZ
+	XLOG        TierMetrics // LogBroker feed, promotion, destage, pulls
+	PageServer  TierMetrics // log apply, GetPage@LSN serving, scan pushdown
+	XStore      TierMetrics // long-term storage reads/writes/snapshots
+	Other       TierMetrics // anything outside the five tier namespaces
+}
+
+// tierOf maps a metric-name prefix to the snapshot sub-struct it belongs to,
+// returning the remainder of the name.
+func (m *MetricsSnapshot) tierOf(name string) (*TierMetrics, string) {
+	for _, t := range []struct {
+		prefix string
+		dst    *TierMetrics
+	}{
+		{"compute.", &m.Compute},
+		{"lz.", &m.LandingZone},
+		{"xlog.", &m.XLOG},
+		{"pageserver.", &m.PageServer},
+		{"xstore.", &m.XStore},
+	} {
+		if rest, ok := strings.CutPrefix(name, t.prefix); ok {
+			return t.dst, rest
+		}
+	}
+	return &m.Other, name
+}
+
+// MetricsSnapshot captures the per-tier metrics registry. It is cheap
+// (no device I/O) and safe to call concurrently with a running workload.
+func (db *DB) MetricsSnapshot() MetricsSnapshot {
+	raw := db.cluster.Metrics.Snapshot()
+	out := MetricsSnapshot{Taken: raw.Taken}
+	for name, v := range raw.Counters {
+		tier, rest := out.tierOf(name)
+		if tier.Counters == nil {
+			tier.Counters = make(map[string]uint64)
+		}
+		tier.Counters[rest] = v
+	}
+	for name, v := range raw.Gauges {
+		tier, rest := out.tierOf(name)
+		if tier.Gauges == nil {
+			tier.Gauges = make(map[string]int64)
+		}
+		tier.Gauges[rest] = v
+	}
+	for name, v := range raw.Histograms {
+		tier, rest := out.tierOf(name)
+		if tier.Histograms == nil {
+			tier.Histograms = make(map[string]HistSummary)
+		}
+		tier.Histograms[rest] = v
+	}
+	return out
+}
+
+// Traces lists the trace IDs retained by the deployment tracer, oldest
+// first. The tracer keeps a bounded ring of recent traces.
+func (db *DB) Traces() []TraceID { return db.cluster.Tracer.TraceIDs() }
+
+// Trace assembles the span tree recorded under the given trace ID, or nil
+// if the trace was never recorded (or has been evicted). Each node carries
+// the tier that executed it and the simulated time it consumed; use
+// SpanNode.Tiers to see which tiers a request crossed and SpanNode.Format
+// to render the tree as indented text.
+func (db *DB) Trace(id TraceID) *SpanNode { return db.cluster.Tracer.Trace(id) }
+
+// LastTrace returns the most recently started retained trace, or nil when
+// nothing has been traced yet. Handy in tests and demos:
+//
+//	db.ExecContext(ctx, "INSERT ...")
+//	fmt.Print(db.LastTrace().Format())
+func (db *DB) LastTrace() *SpanNode {
+	ids := db.cluster.Tracer.TraceIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	return db.cluster.Tracer.Trace(ids[len(ids)-1])
+}
+
 // Stats reports headline deployment metrics.
+//
+// Deprecated: Stats predates the per-tier metrics registry and survives as
+// a thin shim. New code should use MetricsSnapshot, which exposes the
+// commit-path and GetPage@LSN latency histograms for every tier.
 type Stats struct {
 	HardenedLSN    uint64  // durable log end
 	LogBytes       int64   // bytes flushed to the landing zone
