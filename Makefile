@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
              ./internal/obs
 
-.PHONY: all lint fmt vet test race bench clean
+.PHONY: all lint fmt vet test race bench bench-obs clean
 
 all: lint test
 
@@ -33,6 +33,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the observability-plane overhead seed (flight recorder on/off
+# A/B on the group-commit path; see BENCH_pr3.json).
+bench-obs:
+	$(GO) run ./cmd/socrates-bench -exp obs -measure 2s -warmup 500ms -json BENCH_pr3.json
 
 clean:
 	$(GO) clean ./...

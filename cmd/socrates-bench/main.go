@@ -6,12 +6,18 @@
 //	socrates-bench -exp all
 //	socrates-bench -exp table5 -measure 3s -threads 64
 //	socrates-bench -exp figure4 -sf 1000
+//	socrates-bench -exp obs -json BENCH.json
 //
 // Absolute numbers are scaled (the substrate is a simulator); the shapes —
 // who wins, by what factor, where the crossovers are — are the result.
+//
+// With -json the per-experiment results are additionally written to the
+// given file as a single JSON object keyed by experiment name, so CI and the
+// repo's BENCH_*.json seeds can track shapes across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +28,16 @@ import (
 	"socrates/internal/experiments"
 )
 
+// results accumulates machine-readable rows per experiment for -json.
+var results = map[string]any{}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, or all")
+	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, or all")
 	measure := flag.Duration("measure", 2*time.Second, "measurement window per data point")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warm-up before each measurement")
 	sf := flag.Int("sf", 2000, "CDB scale factor (rows per scaled table)")
 	threads := flag.Int("threads", 64, "client threads for throughput experiments")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	o := experiments.Options{
@@ -73,6 +83,25 @@ func main() {
 	run("table6", func() error { return runTable6(o) })
 	run("figure4", func() error { return runFigure4(o) })
 	run("table7", func() error { return runTable7(o) })
+	run("obs", func() error { return runObs(o) })
+
+	if *jsonOut != "" {
+		results["generated"] = time.Now().UTC().Format(time.RFC3339)
+		results["options"] = map[string]any{
+			"measure": o.Measure.String(), "warmup": o.WarmUp.String(),
+			"sf": o.SF, "threads": o.Threads,
+		}
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			ok = false
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+		} else {
+			fmt.Printf("\nwrote %s\n", *jsonOut)
+		}
+	}
 
 	if !ok {
 		os.Exit(1)
@@ -88,6 +117,7 @@ func runTable1(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table1"] = rows
 	w := tw()
 	fmt.Fprintln(w, "Metric\tToday (HADR)\tSocrates")
 	for _, r := range rows {
@@ -101,6 +131,7 @@ func runTable2(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table2"] = map[string]any{"hadr": h, "socrates": s}
 	w := tw()
 	fmt.Fprintln(w, "System\tCPU %\tWrite TPS\tRead TPS\tTotal TPS")
 	for _, r := range []experiments.ThroughputRow{h, s} {
@@ -117,6 +148,7 @@ func runTable3(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table3"] = r
 	printCacheRow(r, "paper: 52% at 15% cache")
 	return nil
 }
@@ -126,6 +158,7 @@ func runTable4(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table4"] = r
 	printCacheRow(r, "paper: 32% at ~1% cache")
 	return nil
 }
@@ -144,6 +177,7 @@ func runTable5(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table5"] = map[string]any{"hadr": h, "socrates": s}
 	w := tw()
 	fmt.Fprintln(w, "System\tLog MB/s\tCPU %")
 	fmt.Fprintf(w, "%s\t%.2f\t%.1f\n", h.System, h.LogMBps, h.CPUPct)
@@ -157,6 +191,7 @@ func runTable6(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table6"] = map[string]any{"xio": xio, "directdrive": dd}
 	w := tw()
 	fmt.Fprintln(w, "Service\tSTDEV (us)\tMin (us)\tMedian (us)\tMax (us)")
 	for _, r := range []experiments.LatencyRow{xio, dd} {
@@ -174,6 +209,7 @@ func runFigure4(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["figure4"] = points
 	w := tw()
 	fmt.Fprintln(w, "Service\tThreads\tUpdateLite TPS")
 	for _, p := range points {
@@ -187,6 +223,7 @@ func runTable7(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	results["table7"] = map[string]any{"xio": xio, "directdrive": dd}
 	w := tw()
 	fmt.Fprintln(w, "Service\tThreads\tLog MB/s\tCPU %")
 	for _, r := range []experiments.EfficiencyRow{xio, dd} {
@@ -195,5 +232,23 @@ func runTable7(o experiments.Options) error {
 	fmt.Fprintf(w, "\nXIO needs %.0fx threads and %.1fx CPU per MB/s (paper: 8x threads, ~3x CPU)\n",
 		float64(xio.Threads)/float64(dd.Threads),
 		(xio.CPUPct/xio.LogMBps)/(dd.CPUPct/dd.LogMBps))
+	return w.Flush()
+}
+
+func runObs(o experiments.Options) error {
+	r, err := experiments.FlightOverhead(o)
+	if err != nil {
+		return err
+	}
+	results["obs"] = r
+	w := tw()
+	fmt.Fprintln(w, "Flight recorder\tTotal TPS")
+	fmt.Fprintf(w, "disabled\t%.0f\n", r.DisabledTPS)
+	fmt.Fprintf(w, "enabled\t%.0f\n", r.EnabledTPS)
+	fmt.Fprintf(w, "\nOverhead: %.1f%% (target < 5%%); %d events recorded, %d watermarks live\n",
+		r.OverheadPct, r.Events, r.Watermarks)
+	if r.OverheadPct >= 5 {
+		fmt.Fprintln(w, "WARNING: overhead exceeds the 5% budget on this host")
+	}
 	return w.Flush()
 }

@@ -14,19 +14,31 @@
 // With -once it prints a single snapshot and exits; with -json it emits
 // the raw registry snapshot as JSON (one object per refresh) for piping
 // into other tools.
+//
+// With -addr it attaches to a RUNNING deployment instead of opening its
+// own: it polls the HTTP observability plane exposed by
+// DB.ServeObservability (or socratesd -obs) at /metrics.json and renders
+// the same table — "top" for a live server.
+//
+//	$ socratesd -fast -obs 127.0.0.1:7070 &
+//	$ socrates-top -addr 127.0.0.1:7070
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"text/tabwriter"
 	"time"
 
 	"socrates"
+	"socrates/internal/obs"
 )
 
 func main() {
@@ -38,7 +50,13 @@ func main() {
 	secondaries := flag.Int("secondaries", 1, "secondary compute nodes")
 	pageServers := flag.Int("pageservers", 1, "initial page servers")
 	fast := flag.Bool("fast", true, "zero-latency devices (set -fast=false for simulated Azure latencies)")
+	addr := flag.String("addr", "", "attach to a running deployment's observability plane (host:port of socratesd -obs) instead of opening an in-process cluster")
 	flag.Parse()
+
+	if *addr != "" {
+		pollRemote(*addr, *interval, *duration, *once, *jsonOut)
+		return
+	}
 
 	db, err := socrates.Open(socrates.Config{
 		Name:        "top",
@@ -93,6 +111,78 @@ func main() {
 	}
 	close(stop)
 	<-done
+}
+
+// pollRemote renders snapshots polled from a running deployment's
+// /metrics.json endpoint (the -addr mode).
+func pollRemote(addr string, interval, duration time.Duration, once, jsonOut bool) {
+	url := "http://" + addr + "/metrics.json"
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		body, err := fetch(client, url)
+		if err != nil {
+			log.Fatalf("polling %s: %v", url, err)
+		}
+		if jsonOut {
+			os.Stdout.Write(body)
+			fmt.Println()
+		} else {
+			var snap obs.Snapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				log.Fatalf("decoding snapshot: %v", err)
+			}
+			renderSnapshot(snap)
+		}
+		if once || (!deadline.IsZero() && time.Now().After(deadline)) {
+			return
+		}
+		//socrates:sleep-ok the refresh interval is the point of a top-style tool
+		time.Sleep(interval)
+	}
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// renderSnapshot prints one raw registry snapshot as the per-tier table
+// (the -addr mode's renderer; tier = metric-name prefix).
+func renderSnapshot(snap obs.Snapshot) {
+	fmt.Printf("\n== socrates-top @ %s (remote) ==\n", snap.Taken.Format("15:04:05.000"))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "METRIC\tCOUNT\tP50\tP95\tP99\tMAX")
+	for _, n := range sortedNames(snap.Histograms) {
+		h := snap.Histograms[n]
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\n", n, h.Count, h.P50, h.P95, h.P99, h.Max)
+	}
+	for _, n := range sortedNames(snap.Counters) {
+		fmt.Fprintf(w, "%s\t%d\t\t\t\t\n", n, snap.Counters[n])
+	}
+	for _, n := range sortedNames(snap.Gauges) {
+		fmt.Fprintf(w, "%s\t%d\t\t\t\t\n", n, snap.Gauges[n])
+	}
+	w.Flush()
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func render(db *socrates.DB, jsonOut, withTrace bool) {

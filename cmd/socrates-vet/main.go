@@ -1,7 +1,9 @@
 // Command socrates-vet runs the Socrates-specific static-analysis suite
 // (internal/analysis) over the repo: errlint, lsnlint, locklint, sleeplint,
-// atomiclint, and ctxlint, each encoding one of the paper's cross-tier
-// invariants (ctxlint guards the context-first tracing discipline).
+// atomiclint, ctxlint, and obslint, each encoding one of the paper's
+// cross-tier invariants (ctxlint guards the context-first tracing
+// discipline; obslint guards the observability plane's instrument-naming
+// contract).
 //
 // Usage:
 //

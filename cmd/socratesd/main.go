@@ -39,6 +39,7 @@ func main() {
 	pagesPerPartition := flag.Uint64("partition-pages", 0, "pages per partition (0 = single partition)")
 	lz := flag.String("lz", "xio", "landing-zone service: xio | directdrive")
 	fast := flag.Bool("fast", false, "zero-latency devices (development)")
+	obsAddr := flag.String("obs", "", "HTTP observability plane address (/metrics, /watermarks, /flight, /traces, /debug/pprof)")
 	flag.Parse()
 
 	cfg := socrates.Config{
@@ -64,6 +65,15 @@ func main() {
 	defer db.Close()
 	log.Printf("socratesd: %q up (lz=%s secondaries=%d pageservers=%d)",
 		*name, *lz, *secondaries, *pageServers)
+
+	if *obsAddr != "" {
+		osrv, err := db.ServeObservability(*obsAddr)
+		if err != nil {
+			log.Fatalf("observability listener: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("socratesd: observability plane on http://%s (try /metrics, /watermarks, /flight)", osrv.Addr())
+	}
 
 	if *rbioListen != "" {
 		srv, err := rbio.ServeTCP(*rbioListen, db.Cluster().XLOG.Handler())

@@ -1,10 +1,10 @@
-// Package analysis is the socrates-vet static-analysis suite: six
+// Package analysis is the socrates-vet static-analysis suite: seven
 // domain-specific passes that encode the cross-tier invariants the paper's
 // architecture depends on (durability-before-ack, LSN monotonicity, lock
 // discipline in the caches, no sleep-polling on hot paths, coherent
-// atomics, and the context-first tracing discipline). Each pass is pure
-// stdlib — go/ast + go/types — and runs over type-checked packages
-// produced by the Loader.
+// atomics, the context-first tracing discipline, and the observability
+// plane's instrument-naming contract). Each pass is pure stdlib — go/ast +
+// go/types — and runs over type-checked packages produced by the Loader.
 //
 // Intentional violations are annotated in source with directives of the form
 //
@@ -177,6 +177,7 @@ var knownDirectives = map[string]bool{
 	"sleep-ok":   true, // sleeplint: intentional sleep (pacing, backoff, simulation)
 	"atomic-ok":  true, // atomiclint: reviewed mixed access (e.g. pre-publication init)
 	"ctx-ok":     true, // ctxlint: reviewed context-discipline exception
+	"metric-ok":  true, // obslint: reviewed instrument-naming exception
 }
 
 // CheckDirectives validates every //socrates: annotation in the package:
@@ -221,6 +222,7 @@ func AllPasses() []Pass {
 		DefaultSleeplint(),
 		NewAtomicLint(),
 		DefaultCtxLint(),
+		DefaultObsLint(),
 	}
 }
 

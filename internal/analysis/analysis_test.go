@@ -94,6 +94,38 @@ func TestCtxLintFixtures(t *testing.T) {
 	runFixturePair(t, pass, "ctxlint", 3, "context.")
 }
 
+func TestObsLintFixtures(t *testing.T) {
+	pass := analysis.NewObsLint([]string{"fixture/obslint"})
+	runFixturePair(t, pass, "obslint", 6, "naming contract")
+}
+
+// TestObsLintFindsExactSites pins each obslint failure shape to the fixture
+// so one check's regression cannot hide behind another: the bad fixture
+// carries exactly six violations (capitalized, namespace-less, mixed-case
+// segment, empty segment, named constant, digit-leading segment).
+func TestObsLintFindsExactSites(t *testing.T) {
+	loader := newLoader(t)
+	bad := loadFixture(t, loader, "obslint/bad")
+	diags := analysis.NewObsLint([]string{"fixture/obslint"}).Run(bad)
+	if len(diags) != 6 {
+		t.Fatalf("obslint on bad fixture: got %d findings, want exactly 6:\n%s",
+			len(diags), render(diags))
+	}
+	wantNames := []string{"CommitCount", "pages", "lz.Write.Lat", "lz..latency", "CommitLSN", "compute.9lsn"}
+	for _, name := range wantNames {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, `"`+name+`"`) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding for bad name %q:\n%s", name, render(diags))
+		}
+	}
+}
+
 // TestCtxLintFindsExactSites pins each ctxlint failure mode to the fixture
 // so one check's regression cannot hide behind another.
 func TestCtxLintFindsExactSites(t *testing.T) {

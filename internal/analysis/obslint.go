@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// ObsLint enforces the observability plane's naming contract: every
+// instrument name handed to the obs registry (Counter/Gauge/Histogram) or
+// the watermark ladder (Watermark) must be dot-namespaced lowercase —
+// `tier.noun` or deeper, like "lz.write.latency" or "pageserver.applied_lsn".
+//
+// The contract matters beyond taste: the Prometheus exposition derives
+// metric names mechanically (dots to underscores under a socrates_ prefix),
+// dashboards and the watchdog's ladder edges key on exact strings, and a
+// one-off name like "CommitLatency" silently forks a second series that no
+// alert references. The pass resolves constant string arguments (literals
+// and named constants), so the canonical WM* constants are validated at
+// their use sites too; dynamically built names (per-replica keys) are
+// invisible to static analysis and are left to the registry's runtime.
+//
+// Reviewed exceptions carry //socrates:metric-ok <reason>.
+type ObsLint struct {
+	// Pkgs are import-path substrings of the packages whose
+	// Counter/Gauge/Histogram/Watermark methods take instrument names.
+	Pkgs []string
+}
+
+// obsNamePattern is the naming contract: at least two dot-separated
+// segments, each starting [a-z] and continuing [a-z0-9_].
+var obsNamePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// obsNameMethods maps method name -> the argument index carrying the
+// instrument name.
+var obsNameMethods = map[string]int{
+	"Counter":   0,
+	"Gauge":     0,
+	"Histogram": 0,
+	"Watermark": 0,
+}
+
+// DefaultObsLint returns obslint configured for the Socrates tree.
+func DefaultObsLint() *ObsLint {
+	return &ObsLint{Pkgs: []string{"socrates/internal/obs"}}
+}
+
+// NewObsLint returns obslint watching the given defining packages (fixtures).
+func NewObsLint(pkgs []string) *ObsLint { return &ObsLint{Pkgs: pkgs} }
+
+// Name implements Pass.
+func (o *ObsLint) Name() string { return "obslint" }
+
+// Run implements Pass.
+func (o *ObsLint) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pkg.Info, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			argIdx, watched := obsNameMethods[obj.Name()]
+			if !watched || !o.watchesPkg(obj.Pkg().Path()) {
+				return true
+			}
+			if len(call.Args) <= argIdx {
+				return true
+			}
+			arg := call.Args[argIdx]
+			name, ok := constString(pkg, arg)
+			if !ok {
+				// Dynamically built name (per-replica key helper etc.):
+				// nothing to check statically.
+				return true
+			}
+			if obsNamePattern.MatchString(name) {
+				return true
+			}
+			if pkg.DirectiveAt("metric-ok", call) {
+				return true
+			}
+			out = append(out, pkg.diag("obslint", arg,
+				"instrument name %q breaks the metric naming contract ^[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)+$ "+
+					"(dot-namespaced lowercase, e.g. \"lz.write.latency\"); fix the name or annotate //socrates:metric-ok <reason>",
+				name))
+			return true
+		})
+	}
+	return out
+}
+
+func (o *ObsLint) watchesPkg(path string) bool {
+	for _, p := range o.Pkgs {
+		if strings.Contains(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// constString resolves expr to a compile-time string value (literal or
+// named constant), if it has one.
+func constString(pkg *Package, expr ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

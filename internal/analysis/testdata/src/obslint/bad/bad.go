@@ -1,0 +1,48 @@
+// Package bad is the obslint positive fixture: instrument names that break
+// the dot-namespaced lowercase contract, registered through a stand-in obs
+// registry and watermark set.
+package bad
+
+// Counter is a stand-in instrument.
+type Counter struct{}
+
+// Gauge is a stand-in instrument.
+type Gauge struct{}
+
+// Histogram is a stand-in instrument.
+type Histogram struct{}
+
+// Watermark is a stand-in ladder rung.
+type Watermark struct{}
+
+// Registry mimics obs.Registry's naming surface.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+// WatermarkSet mimics obs.WatermarkSet's naming surface.
+type WatermarkSet struct{}
+
+// Watermark returns the named rung.
+func (s *WatermarkSet) Watermark(name, replica string) *Watermark { return nil }
+
+// badCommitLSN is a named constant with a contract-breaking value; obslint
+// resolves constants, so the violation surfaces at the use site.
+const badCommitLSN = "CommitLSN"
+
+// Register exercises every flagged shape.
+func Register(r *Registry, s *WatermarkSet) {
+	r.Counter("CommitCount")        // want obslint: capitalized, no namespace
+	r.Gauge("pages")                // want obslint: no dot-separated namespace
+	r.Histogram("lz.Write.Lat")     // want obslint: capitalized segments
+	r.Histogram("lz..latency")      // want obslint: empty segment
+	s.Watermark(badCommitLSN, "")   // want obslint: via named constant
+	s.Watermark("compute.9lsn", "") // want obslint: segment starts with a digit
+}

@@ -1,0 +1,58 @@
+// Package clean is the obslint negative fixture: canonical dot-namespaced
+// names, a constant resolved at its use site, a dynamically built name
+// (invisible to static analysis, left to the runtime), and one reviewed
+// exception carrying the directive.
+package clean
+
+// Counter is a stand-in instrument.
+type Counter struct{}
+
+// Gauge is a stand-in instrument.
+type Gauge struct{}
+
+// Histogram is a stand-in instrument.
+type Histogram struct{}
+
+// Watermark is a stand-in ladder rung.
+type Watermark struct{}
+
+// Registry mimics obs.Registry's naming surface.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+// WatermarkSet mimics obs.WatermarkSet's naming surface.
+type WatermarkSet struct{}
+
+// Watermark returns the named rung.
+func (s *WatermarkSet) Watermark(name, replica string) *Watermark { return nil }
+
+// wmApplied is a canonical per-replica rung name.
+const wmApplied = "pageserver.applied_lsn"
+
+// key builds a per-replica instrument name at runtime.
+func key(name, replica string) string {
+	if replica == "" {
+		return name
+	}
+	return name + "/" + replica
+}
+
+// Register exercises every accepted shape.
+func Register(r *Registry, s *WatermarkSet, replica string) {
+	r.Counter("compute.commit.count")
+	r.Gauge("pageserver.rbpex.pages")
+	r.Histogram("lz.write.latency")
+	s.Watermark(wmApplied, replica)
+	// Dynamically built: nothing to check statically.
+	r.Gauge(key("pageserver.dirty_pages", replica))
+	//socrates:metric-ok legacy dashboard series name, frozen before the naming contract
+	r.Counter("LegacyOps")
+}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,6 +66,14 @@ type Config struct {
 	// Defaults are created by New, so every cluster is traceable.
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	// Watermarks / Flight override the deployment's LSN ladder and flight
+	// recorder. Defaults are created by New, so every cluster exposes the
+	// full observability plane.
+	Watermarks *obs.WatermarkSet
+	Flight     *obs.FlightRecorder
+	// Watchdog tunes the lag/stall watchdog (zero values take the obs
+	// defaults: 25ms ticks, 50k-LSN lag threshold, 8-tick stall window).
+	Watchdog obs.WatchdogConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -122,6 +131,19 @@ type Cluster struct {
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
 
+	// Watermarks is the deployment's LSN ladder; Flight the always-on
+	// postmortem ring; Watchdog the lag/stall monitor over the ladder.
+	// Every node of the deployment shares them.
+	Watermarks *obs.WatermarkSet
+	Flight     *obs.FlightRecorder
+	Watchdog   *obs.Watchdog
+
+	// tripDump holds the flight-recorder JSONL captured at the first
+	// watchdog trip (postmortems read the ring *near* the stall, so the
+	// dump is taken inside the trip callback, not at Close).
+	tripMu   sync.Mutex
+	tripDump []byte
+
 	mu          sync.Mutex
 	pt          page.Partitioning
 	primary     *compute.Primary
@@ -154,6 +176,8 @@ func New(cfg Config) (*Cluster, error) {
 		Net:         cfg.Net,
 		Tracer:      cfg.Tracer,
 		Metrics:     cfg.Metrics,
+		Watermarks:  cfg.Watermarks,
+		Flight:      cfg.Flight,
 		secondaries: make(map[string]*compute.Secondary),
 		selectors:   make(map[string]*rbio.Selector),
 		backups:     make(map[string]backupInfo),
@@ -165,6 +189,29 @@ func New(cfg Config) (*Cluster, error) {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.Watermarks == nil {
+		c.Watermarks = obs.NewWatermarkSet()
+	}
+	if c.Flight == nil {
+		c.Flight = obs.NewFlightRecorder(0)
+	}
+	// The watchdog watches the whole ladder; its first trip freezes a copy
+	// of the flight ring (the "seconds before the stall" postmortem) and
+	// every trip lands in the ring itself.
+	c.Watchdog = obs.NewWatchdog(c.Watermarks, c.Metrics, cfg.Watchdog)
+	c.Watchdog.OnTrip(func(t obs.Trip) {
+		c.Flight.Record("obs", "watchdog.trip", 0, t.LagTime,
+			string(t.Kind)+": "+t.Detail)
+		var buf bytes.Buffer
+		//socrates:ignore-err dumping to a bytes.Buffer cannot fail; the encoder only errors on unmarshalable values and FlightEvent is plain data
+		_ = c.Flight.Dump(&buf)
+		c.tripMu.Lock()
+		if c.tripDump == nil {
+			c.tripDump = buf.Bytes()
+		}
+		c.tripMu.Unlock()
+	})
+	c.Watchdog.Start()
 	if c.Net == nil {
 		c.Net = rbio.NewNetwork()
 	}
@@ -191,6 +238,7 @@ func New(cfg Config) (*Cluster, error) {
 		LZ: c.LZ, LT: c.Store, LTBlob: cfg.Name + "/lt",
 		CacheDevice: simdisk.New(cfg.LocalSSD),
 		Tracer:      c.Tracer, Metrics: c.Metrics,
+		Watermarks: c.Watermarks, Flight: c.Flight,
 	})
 	if err != nil {
 		return nil, err
@@ -272,6 +320,8 @@ func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
 		Bootstrap:     bootstrap,
 		Tracer:        c.Tracer,
 		Metrics:       c.Metrics,
+		Watermarks:    c.Watermarks,
+		Flight:        c.Flight,
 	}
 }
 
@@ -303,6 +353,8 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 		CheckpointEvery: c.cfg.CheckpointEvery,
 		Tracer:          c.Tracer,
 		Metrics:         c.Metrics,
+		Watermarks:      c.Watermarks,
+		Flight:          c.Flight,
 	})
 	if err != nil {
 		return nil, err
@@ -365,6 +417,15 @@ func (c *Cluster) PageServers() []*pageserver.Server {
 	return append([]*pageserver.Server(nil), c.servers...)
 }
 
+// TripDump returns the flight-recorder JSONL frozen at the first watchdog
+// trip (nil if the watchdog never fired). This is the stall postmortem:
+// the ring's contents seconds before and at the trip.
+func (c *Cluster) TripDump() []byte {
+	c.tripMu.Lock()
+	defer c.tripMu.Unlock()
+	return append([]byte(nil), c.tripDump...)
+}
+
 // Close stops every node.
 func (c *Cluster) Close() {
 	c.mu.Lock()
@@ -386,4 +447,5 @@ func (c *Cluster) Close() {
 		srv.Stop()
 	}
 	c.XLOG.Close()
+	c.Watchdog.Stop()
 }

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"socrates/internal/obs"
+)
+
+// ladderValue digs one rung out of a watermark snapshot ("" replica).
+func ladderValue(snap []obs.WatermarkState, name string) uint64 {
+	for _, st := range snap {
+		if st.Name == name && st.Replica == "" {
+			return st.LSN
+		}
+	}
+	return 0
+}
+
+// TestClusterWatermarkLadderLive commits through a deployment and asserts
+// every rung of the LSN ladder was published and converges once the
+// workload quiesces: the whole point of the watermark plane is that
+// "caught up" is legible as equality across rungs.
+func TestClusterWatermarkLadderLive(t *testing.T) {
+	c := newFastCluster(t, fastConfig("wm-ladder"))
+	seedRows(t, c, "t", 200)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := c.Watermarks.Snapshot()
+		commit := ladderValue(snap, obs.WMCommit)
+		hardened := ladderValue(snap, obs.WMHardened)
+		promoted := ladderValue(snap, obs.WMPromoted)
+		applied := uint64(0)
+		appliedOK := true
+		for _, st := range snap {
+			if st.Name == obs.WMApplied {
+				applied = st.LSN
+				if st.LSN < promoted {
+					appliedOK = false
+				}
+			}
+		}
+		if commit > 0 && hardened >= commit && promoted == hardened &&
+			applied > 0 && appliedOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder never converged: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond) //socrates:sleep-ok test polling for background apply/promotion to catch up
+	}
+
+	// The flight recorder saw the traffic (flush + destage + apply events).
+	if c.Flight.Recorded() == 0 {
+		t.Fatal("flight recorder recorded nothing during a live workload")
+	}
+	// And no watchdog trips: a healthy run must not cry wolf.
+	if n := c.Watchdog.TripCount(); n != 0 {
+		t.Fatalf("healthy cluster tripped the watchdog %d times: %+v", n, c.Watchdog.Trips())
+	}
+}
+
+// TestWatchdogStallTripFreezesFlightDump wedges every page server's cache
+// SSD (apply batches fail, the applied watermark freezes while promotion
+// keeps moving) and asserts the watchdog detects the stall and freezes a
+// non-empty JSONL flight dump for the postmortem.
+func TestWatchdogStallTripFreezesFlightDump(t *testing.T) {
+	cfg := fastConfig("wm-stall")
+	// Tight ticks so the stall is detected quickly; lag trips disabled so
+	// the test isolates the stall rule.
+	cfg.Watchdog = obs.WatchdogConfig{
+		Interval:   2 * time.Millisecond,
+		MaxLagLSN:  -1,
+		StallTicks: 3,
+	}
+	c := newFastCluster(t, cfg)
+	seedRows(t, c, "t", 100)
+
+	for _, srv := range c.PageServers() {
+		srv.CacheDevice().SetOutage(true)
+	}
+	// Keep committing: promotion advances while apply is wedged.
+	seedRows(t, c, "t2", 100)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Watchdog.TripCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never tripped on a stalled page server")
+		}
+		time.Sleep(2 * time.Millisecond) //socrates:sleep-ok test polling for the watchdog trip
+	}
+
+	var stall *obs.Trip
+	for _, tr := range c.Watchdog.Trips() {
+		if tr.Kind == obs.TripStall && strings.HasPrefix(tr.Follower, obs.WMApplied) {
+			stall = &tr
+			break
+		}
+	}
+	if stall == nil {
+		t.Fatalf("no stall trip on %s: %+v", obs.WMApplied, c.Watchdog.Trips())
+	}
+	if stall.Leader != obs.WMPromoted || stall.LagLSN == 0 {
+		t.Fatalf("stall trip shape wrong: %+v", stall)
+	}
+
+	// The first trip froze a flight dump; it must be non-empty, parseable
+	// JSONL, and contain the apply errors that explain the stall.
+	dump := c.TripDump()
+	if len(dump) == 0 {
+		t.Fatal("trip did not freeze a flight dump")
+	}
+	sawApplyError := false
+	for _, line := range bytes.Split(bytes.TrimSpace(dump), []byte("\n")) {
+		var e obs.FlightEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("dump line %q not valid JSON: %v", line, err)
+		}
+		if e.Kind == "ps.apply_error" {
+			sawApplyError = true
+		}
+	}
+	if !sawApplyError {
+		t.Fatalf("frozen dump has no ps.apply_error events:\n%s", dump)
+	}
+
+	// Recovery: the outage clears, apply resumes, and the plane converges.
+	for _, srv := range c.PageServers() {
+		srv.CacheDevice().SetOutage(false)
+	}
+	promoted := c.Watermarks.Watermark(obs.WMPromoted, "").Value()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		caught := true
+		for _, rep := range c.Watermarks.Replicas(obs.WMApplied) {
+			if c.Watermarks.Watermark(obs.WMApplied, rep).Value() < promoted {
+				caught = false
+			}
+		}
+		if caught {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("apply never caught up after the outage cleared")
+		}
+		time.Sleep(2 * time.Millisecond) //socrates:sleep-ok test polling for apply recovery
+	}
+}

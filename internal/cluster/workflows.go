@@ -9,6 +9,7 @@ import (
 	"socrates/internal/compute"
 	"socrates/internal/engine"
 	"socrates/internal/fcb"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/pageserver"
 	"socrates/internal/recovery"
@@ -53,6 +54,8 @@ func (c *Cluster) addSecondary(name string, delay time.Duration) (*compute.Secon
 		ApplyDelay:    delay,
 		Tracer:        c.Tracer,
 		Metrics:       c.Metrics,
+		Watermarks:    c.Watermarks,
+		Flight:        c.Flight,
 	})
 	if err != nil {
 		return nil, err
@@ -125,17 +128,24 @@ func (c *Cluster) Failover() (*compute.Primary, time.Duration, error) {
 	}
 
 	start := time.Now()
+	hardenedEnd := c.LZ.HardenedEnd()
+	c.Flight.Record(obs.TierCompute, "failover.start", uint64(hardenedEnd), 0,
+		"primary crashed; reattaching at hardened end")
 	// The crashed primary's final harden reports may be lost: re-derive the
 	// watermark from the landing zone itself and re-report (gap fill).
-	c.XLOG.ReportHardened(context.Background(), c.LZ.HardenedEnd())
+	c.XLOG.ReportHardened(context.Background(), hardenedEnd)
 
 	p, err := compute.NewPrimary(c.primaryConfig(false))
 	if err != nil {
+		c.Flight.Record(obs.TierCompute, "failover.error", uint64(hardenedEnd),
+			time.Since(start), err.Error())
 		return nil, 0, err
 	}
 	c.mu.Lock()
 	c.primary = p
 	c.mu.Unlock()
+	c.Flight.Record(obs.TierCompute, "failover.done", uint64(hardenedEnd),
+		time.Since(start), "new primary serving")
 	return p, time.Since(start), nil
 }
 

@@ -59,6 +59,8 @@ type LogWriter struct {
 
 	tracer *obs.Tracer
 	obsReg *obs.Registry
+	wms    *obs.WatermarkSet
+	flight *obs.FlightRecorder
 }
 
 // LogWriterOption configures a LogWriter.
@@ -69,6 +71,14 @@ type LogWriterOption func(*LogWriter)
 // commits it hardens, plus lz.* counters and histograms.
 func WithObs(t *obs.Tracer, r *obs.Registry) LogWriterOption {
 	return func(w *LogWriter) { w.tracer, w.obsReg = t, r }
+}
+
+// WithPlane wires the writer into the observability plane: every quorum
+// write publishes the hardened watermark (lz.hardened_lsn) and drops an
+// "lz.flush" event into the flight recorder; flush failures are recorded
+// as "lz.error" events before the writer poisons itself.
+func WithPlane(ws *obs.WatermarkSet, fr *obs.FlightRecorder) LogWriterOption {
+	return func(w *LogWriter) { w.wms, w.flight = ws, fr }
 }
 
 // NewLogWriter starts a writer whose next record receives startLSN.
@@ -243,6 +253,8 @@ func (w *LogWriter) flushLoop() {
 		// never acknowledged over a hole.
 		res, err := w.lz.Reserve(block)
 		if err != nil {
+			w.flight.Record(obs.TierLZ, "lz.error", uint64(block.Start), 0,
+				"reserve failed: "+err.Error())
 			<-w.inflight
 			w.mu.Lock()
 			w.err = err
@@ -283,6 +295,8 @@ func (w *LogWriter) flushLoop() {
 				_ = w.feed.Send(ioCtx, &rbio.Request{Type: rbio.MsgFeedBlock, Payload: res.Payload()})
 			}
 			if err := w.lz.Complete(res); err != nil {
+				w.flight.Record(obs.TierLZ, "lz.error", uint64(block.Start),
+					time.Since(start), "quorum write failed: "+err.Error())
 				for _, s := range spans {
 					s.SetError(err)
 					s.End()
@@ -304,7 +318,16 @@ func (w *LogWriter) flushLoop() {
 			w.blocksFlushed.Inc()
 			w.bytesFlushed.Add(int64(len(res.Payload())))
 
+			var traceID obs.TraceID
+			if len(commitSCs) > 0 {
+				traceID = commitSCs[len(commitSCs)-1].TraceID
+			}
+			w.flight.RecordTrace(obs.TierLZ, "lz.flush", uint64(block.End), traceID,
+				time.Since(start),
+				fmt.Sprintf("records=%d bytes=%d", len(block.Records), len(res.Payload())))
+
 			hardened := w.lz.HardenedEnd()
+			w.wms.Watermark(obs.WMHardened, "").Publish(uint64(hardened))
 			w.mu.Lock()
 			if hardened.After(w.hardened) {
 				w.hardened = hardened

@@ -47,6 +47,7 @@ type RemotePageFile struct {
 
 	tracer *obs.Tracer
 	obsReg *obs.Registry
+	flight *obs.FlightRecorder
 }
 
 // SetObs wires a tracer and metrics registry: a remote GetPage@LSN miss
@@ -55,6 +56,10 @@ type RemotePageFile struct {
 func (f *RemotePageFile) SetObs(t *obs.Tracer, r *obs.Registry) {
 	f.tracer, f.obsReg = t, r
 }
+
+// SetFlight wires the flight recorder: cache misses (remote GetPage@LSN
+// fetches) and evictions drop compact events into the ring.
+func (f *RemotePageFile) SetFlight(fr *obs.FlightRecorder) { f.flight = fr }
 
 // NewRemotePageFile builds the cache-fronted page file.
 func NewRemotePageFile(cfg rbpex.Config, resolve Resolver, floor func() page.LSN) (*RemotePageFile, error) {
@@ -85,6 +90,8 @@ func (f *RemotePageFile) noteEvicted(id page.ID, lsn page.LSN) {
 		f.evicted[id] = lsn
 	}
 	f.mu.Unlock()
+	f.flight.Record(obs.TierCompute, "compute.evict", uint64(lsn), 0,
+		"page "+strconv.FormatUint(uint64(id), 10))
 }
 
 // minLSN computes the GetPage@LSN argument for a page: its evicted LSN if
@@ -144,8 +151,12 @@ func (f *RemotePageFile) fetch(ctx context.Context, id page.ID) (*page.Page, err
 	span.SetAttr("page", strconv.FormatUint(uint64(id), 10))
 	defer span.End()
 	f.obsReg.Counter("compute.getpage.remote").Inc()
-	resp, err := sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: f.minLSN(id)})
+	minLSN := f.minLSN(id)
+	resp, err := sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: minLSN})
 	f.obsReg.Histogram("compute.getpage.latency").Observe(time.Since(start))
+	f.flight.RecordTrace(obs.TierCompute, "compute.getpage", uint64(minLSN),
+		span.Context().TraceID, time.Since(start),
+		"page "+strconv.FormatUint(uint64(id), 10))
 	if err != nil {
 		span.SetError(err)
 		return nil, fmt.Errorf("compute: GetPage(%d): %w", id, err)

@@ -41,6 +41,11 @@ type PrimaryConfig struct {
 	// observability spine (commit spans, lz.write spans, getpage spans).
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	// Watermarks / Flight, if set, wire the node into the observability
+	// plane: commit + hardened rungs of the LSN ladder, flush/miss/evict
+	// flight-recorder events.
+	Watermarks *obs.WatermarkSet
+	Flight     *obs.FlightRecorder
 }
 
 // Primary is the read-write compute node: it is the single log producer and
@@ -68,7 +73,8 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 
 	startLSN := cfg.LZ.HardenedEnd()
 	writer := NewLogWriter(cfg.LZ, cfg.XLOG, cfg.Partitioning, startLSN,
-		WithObs(cfg.Tracer, cfg.Metrics))
+		WithObs(cfg.Tracer, cfg.Metrics),
+		WithPlane(cfg.Watermarks, cfg.Flight))
 
 	// The GetPage@LSN floor for pages this node has never seen: everything
 	// in the database is at most as new as the hardened end at attach time.
@@ -88,9 +94,10 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 		return nil, err
 	}
 	pages.SetObs(cfg.Tracer, cfg.Metrics)
+	pages.SetFlight(cfg.Flight)
 
 	ecfg := engine.Config{Pages: pages, Log: writer, Meter: cfg.Meter,
-		Tracer: cfg.Tracer, Metrics: cfg.Metrics}
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics, Watermarks: cfg.Watermarks}
 	var eng *engine.Engine
 	if cfg.Bootstrap {
 		eng, err = engine.Create(ecfg)

@@ -44,6 +44,11 @@ type SecondaryConfig struct {
 	// plane (GetPage@LSN spans and cache-miss latency histograms).
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	// Watermarks receives this node's compute.applied_lsn rung, labeled by
+	// Name (nil = watermarks off).
+	Watermarks *obs.WatermarkSet
+	// Flight receives apply-batch flight-recorder events (nil = off).
+	Flight *obs.FlightRecorder
 }
 
 // Secondary is a read-only compute node. It consumes the full log stream
@@ -69,6 +74,9 @@ type Secondary struct {
 	queuedRecs  metrics.Counter
 	pullBytes   int
 	applyDelay  time.Duration
+
+	wms    *obs.WatermarkSet
+	flight *obs.FlightRecorder
 }
 
 // NewSecondary builds and starts a secondary.
@@ -92,6 +100,8 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 		done:       make(chan struct{}),
 		pullBytes:  cfg.PullBytes,
 		applyDelay: cfg.ApplyDelay,
+		wms:        cfg.Watermarks,
+		flight:     cfg.Flight,
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -109,6 +119,7 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 		return nil, err
 	}
 	pages.SetObs(cfg.Tracer, cfg.Metrics)
+	pages.SetFlight(cfg.Flight)
 	s.pages = pages
 
 	eng, err := engine.Open(engine.Config{
@@ -250,6 +261,9 @@ func (s *Secondary) pullOnce() bool {
 	s.applied = resp.LSN
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.wms.Watermark(obs.WMSecondary, s.name).Publish(uint64(resp.LSN))
+	s.flight.Record(obs.TierCompute, "sec.apply", uint64(resp.LSN), 0,
+		s.name+": batch applied")
 	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
 	_, _ = s.xlog.Call(context.Background(), &rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.name, LSN: resp.LSN})

@@ -103,6 +103,10 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Metrics, if set, receives engine counters and latency histograms.
 	Metrics *obs.Registry
+	// Watermarks, if set, receives the commit-frontier watermark
+	// (compute.commit_lsn) plus the LSN→wall-clock stamps that let the
+	// watchdog express follower lag in milliseconds.
+	Watermarks *obs.WatermarkSet
 }
 
 // Engine is one node's database engine instance.

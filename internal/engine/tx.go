@@ -374,6 +374,11 @@ func (tx *Tx) Commit() error {
 	}
 	commitLSN := e.cfg.Log.Append(commitRec)
 	e.commitMu.Unlock()
+	// Publish the commit frontier before waiting on durability: the
+	// watermark ladder's top rung is "appended", and the hardened rung
+	// below it is what durability adds. Stamping here (not after
+	// WaitHarden) makes harden lag legible in time domain.
+	e.cfg.Watermarks.PublishCommit(uint64(commitLSN))
 
 	if err := e.cfg.Log.WaitHarden(ctx, commitLSN); err != nil {
 		span.SetError(err)

@@ -14,6 +14,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -89,13 +90,37 @@ func (m *CPUMeter) UtilizationOver(wall time.Duration) float64 {
 	return u
 }
 
-// Histogram collects duration samples and reports order statistics. It keeps
-// every sample; experiment windows are short enough that this is cheap, and
-// it keeps Median exact, matching how the paper reports latency.
+// reservoirCap bounds how many raw samples a Histogram retains. Below the
+// cap every sample is kept and order statistics are exact. At or above the
+// cap, new samples displace stored ones via Vitter's Algorithm R, so the
+// retained set stays a uniform random sample of everything observed and
+// quantiles remain statistically faithful while memory stays bounded — the
+// observability plane keeps histograms alive for the process lifetime, so
+// "keep everything" is no longer an option.
+const reservoirCap = 1 << 16
+
+// Histogram collects duration samples and reports order statistics.
+//
+// Count, Min, Max, Mean, and Stdev are always exact: they are maintained as
+// running aggregates over every observation. Median and Quantile are exact
+// until reservoirCap samples have been observed, after which they are
+// computed over a uniform reservoir of reservoirCap samples (Algorithm R).
+// Experiment windows are far shorter than the cap, so the paper's tables are
+// unaffected; only long-lived always-on histograms ever sample.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+
+	// Exact running aggregates over all observations (not just the
+	// reservoir).
+	total      int64
+	sum, sumSq float64
+	min, max   time.Duration
+
+	// rng drives reservoir replacement; lazily seeded so zero-value and
+	// NewHistogram histograms both work.
+	rng *rand.Rand
 }
 
 // NewHistogram returns an empty histogram.
@@ -104,23 +129,50 @@ func NewHistogram() *Histogram { return &Histogram{} }
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.total++
+	v := float64(d)
+	h.sum += v
+	h.sumSq += v * v
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if h.total == 1 || d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+	} else {
+		// Algorithm R: the i-th observation (1-based) replaces a random
+		// reservoir slot with probability cap/i, keeping the reservoir a
+		// uniform sample of all i observations.
+		if h.rng == nil {
+			h.rng = rand.New(rand.NewSource(0x9e3779b9))
+		}
+		if j := h.rng.Int63n(h.total); j < reservoirCap {
+			h.samples[j] = d
+			h.sorted = false
+		}
+	}
 	h.mu.Unlock()
 }
 
-// Count reports the number of samples.
+// Count reports the number of samples observed (not the retained reservoir
+// size, which is capped).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.total)
 }
 
-// Reset discards all samples.
+// Reset discards all samples and running aggregates.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.total = 0
+	h.sum, h.sumSq = 0, 0
+	h.min, h.max = 0, 0
 	h.mu.Unlock()
 }
 
@@ -131,32 +183,29 @@ func (h *Histogram) sortLocked() {
 	}
 }
 
-// Min reports the smallest sample, or 0 if empty.
+// Min reports the smallest sample ever observed, or 0 if empty. Exact even
+// when the reservoir has sampled.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortLocked()
-	return h.samples[0]
+	return h.min
 }
 
-// Max reports the largest sample, or 0 if empty.
+// Max reports the largest sample ever observed, or 0 if empty. Exact even
+// when the reservoir has sampled.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortLocked()
-	return h.samples[len(h.samples)-1]
+	return h.max
 }
 
 // Median reports the middle sample (lower median for even counts).
 func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
 
-// Quantile reports the q-th quantile (0 <= q <= 1) by nearest-rank.
+// Quantile reports the q-th quantile (0 <= q <= 1) by nearest-rank over the
+// retained samples — exact below reservoirCap observations, estimated from
+// the uniform reservoir above it. The extremes (q<=0, q>=1) are always
+// exact.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -164,13 +213,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
-	h.sortLocked()
 	if q <= 0 {
-		return h.samples[0]
+		return h.min
 	}
 	if q >= 1 {
-		return h.samples[n-1]
+		return h.max
 	}
+	h.sortLocked()
 	idx := int(q * float64(n))
 	if idx >= n {
 		idx = n - 1
@@ -178,40 +227,43 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Mean reports the arithmetic mean, or 0 if empty.
+// meanLocked reports the exact running mean; caller holds h.mu.
+func (h *Histogram) meanLocked() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// stdevLocked reports the exact population standard deviation from the
+// running moments; caller holds h.mu.
+func (h *Histogram) stdevLocked() time.Duration {
+	if h.total < 2 {
+		return 0
+	}
+	mean := h.sum / float64(h.total)
+	variance := h.sumSq/float64(h.total) - mean*mean
+	if variance < 0 { // float cancellation guard
+		variance = 0
+	}
+	return time.Duration(math.Sqrt(variance))
+}
+
+// Mean reports the arithmetic mean over all observations, or 0 if empty.
+// Exact even when the reservoir has sampled.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, s := range h.samples {
-		sum += float64(s)
-	}
-	return time.Duration(sum / float64(len(h.samples)))
+	return h.meanLocked()
 }
 
-// Stdev reports the population standard deviation, or 0 if fewer than two
-// samples were observed.
+// Stdev reports the population standard deviation over all observations, or
+// 0 if fewer than two samples were observed. Exact even when the reservoir
+// has sampled.
 func (h *Histogram) Stdev() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	n := len(h.samples)
-	if n < 2 {
-		return 0
-	}
-	var sum float64
-	for _, s := range h.samples {
-		sum += float64(s)
-	}
-	mean := sum / float64(n)
-	var sq float64
-	for _, s := range h.samples {
-		d := float64(s) - mean
-		sq += d * d
-	}
-	return time.Duration(math.Sqrt(sq / float64(n)))
+	return h.stdevLocked()
 }
 
 // Summary holds the statistics the paper's latency tables report.
@@ -224,7 +276,9 @@ type Summary struct {
 	Stdev  time.Duration
 }
 
-// Summarize computes all statistics in one pass over the sorted samples.
+// Summarize reports all statistics at once. Count, Min, Max, Mean, and
+// Stdev come from the exact running aggregates; Median comes from the
+// retained samples (exact below reservoirCap).
 func (h *Histogram) Summarize() Summary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -233,23 +287,13 @@ func (h *Histogram) Summarize() Summary {
 		return Summary{}
 	}
 	h.sortLocked()
-	var sum float64
-	for _, s := range h.samples {
-		sum += float64(s)
-	}
-	mean := sum / float64(n)
-	var sq float64
-	for _, s := range h.samples {
-		d := float64(s) - mean
-		sq += d * d
-	}
 	return Summary{
-		Count:  n,
-		Min:    h.samples[0],
+		Count:  int(h.total),
+		Min:    h.min,
 		Median: h.samples[n/2],
-		Mean:   time.Duration(mean),
-		Max:    h.samples[n-1],
-		Stdev:  time.Duration(math.Sqrt(sq / float64(n))),
+		Mean:   h.meanLocked(),
+		Max:    h.max,
+		Stdev:  h.stdevLocked(),
 	}
 }
 

@@ -216,6 +216,85 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+func TestHistogramReservoirBoundsMemory(t *testing.T) {
+	h := NewHistogram()
+	const n = 3 * reservoirCap
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := len(h.samples); got > reservoirCap {
+		t.Fatalf("retained %d samples, want <= %d", got, reservoirCap)
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("count = %d, want %d (true observation count)", got, n)
+	}
+}
+
+func TestHistogramReservoirExactAggregates(t *testing.T) {
+	h := NewHistogram()
+	const n = 2*reservoirCap + 123
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	// Min/Max/Mean are exact regardless of sampling.
+	if got := h.Min(); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := h.Max(); got != n {
+		t.Errorf("max = %v, want %d", got, n)
+	}
+	wantMean := time.Duration((n + 1) / 2)
+	if got := h.Mean(); got < wantMean-1 || got > wantMean+1 {
+		t.Errorf("mean = %v, want ~%v", got, wantMean)
+	}
+	s := h.Summarize()
+	if s.Count != n || s.Min != h.Min() || s.Max != h.Max() ||
+		s.Mean != h.Mean() || s.Stdev != h.Stdev() || s.Median != h.Median() {
+		t.Errorf("summary %+v disagrees with individual statistics", s)
+	}
+}
+
+func TestHistogramReservoirQuantilesStayFaithful(t *testing.T) {
+	h := NewHistogram()
+	const n = 4 * reservoirCap
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	// With a 64k uniform reservoir the standard error on a quantile's rank
+	// is ~0.2%; 3% tolerance leaves a wide margin for the fixed seed.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, n / 2}, {0.9, 9 * n / 10}, {0.99, 99 * n / 100}} {
+		got := h.Quantile(tc.q)
+		tol := time.Duration(n * 3 / 100)
+		if got < tc.want-tol || got > tc.want+tol {
+			t.Errorf("q%.2f = %v, want %v +/- %v", tc.q, got, tc.want, tol)
+		}
+	}
+	// Extremes remain exact.
+	if h.Quantile(0) != 1 || h.Quantile(1) != n {
+		t.Errorf("extreme quantiles (%v, %v) not exact", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramResetClearsAggregates(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < reservoirCap+10; i++ {
+		h.Observe(time.Hour)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Stdev() != 0 {
+		t.Fatal("reset histogram should report zeros")
+	}
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 || h.Stdev() != 1 || h.Min() != 2 || h.Max() != 4 {
+		t.Fatalf("post-reset stats wrong: mean=%v stdev=%v min=%v max=%v",
+			h.Mean(), h.Stdev(), h.Min(), h.Max())
+	}
+}
+
 func TestCounter(t *testing.T) {
 	var c Counter
 	c.Inc()

@@ -230,6 +230,42 @@ func (h *Histogram) Summary() HistSummary {
 	return s
 }
 
+// HistBuckets is a cumulative-bucket export of a histogram: Uppers[i] is
+// the inclusive upper bound of bucket i and Cumulative[i] counts every
+// sample at or below it — exactly the shape a Prometheus histogram's
+// `le`-labeled series needs.
+type HistBuckets struct {
+	Uppers     []time.Duration
+	Cumulative []uint64
+	Count      uint64
+	Sum        time.Duration
+}
+
+// Buckets exports the histogram's cumulative buckets, skipping trailing
+// empty buckets (the +Inf bucket is implied by Count).
+func (h *Histogram) Buckets() HistBuckets {
+	if h == nil {
+		return HistBuckets{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Find the last occupied bucket so exports stay compact.
+	last := -1
+	for i, n := range h.buckets {
+		if n > 0 {
+			last = i
+		}
+	}
+	out := HistBuckets{Count: h.count, Sum: h.sum}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.buckets[i]
+		out.Uppers = append(out.Uppers, bucketUpper(i))
+		out.Cumulative = append(out.Cumulative, cum)
+	}
+	return out
+}
+
 // Snapshot is a point-in-time export of every instrument in a registry.
 type Snapshot struct {
 	Taken      time.Time              `json:"taken"`

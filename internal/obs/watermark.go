@@ -1,0 +1,558 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Socrates' health is legible as a ladder of LSN watermarks (§2, §4.3):
+// the primary's commit frontier, the landing zone's hardened prefix, the
+// XLOG service's promotion and destaging frontiers, each page server's
+// applied LSN, and the XStore archive end. Every invariant the paper
+// states about durability-before-availability is a relation between two
+// rungs of this ladder, so the observability plane tracks all of them in
+// one lock-cheap structure and derives lag gauges + stall detection on
+// top.
+//
+// Canonical watermark names (the "five LSN watermarks" of the ladder,
+// plus per-replica apply/checkpoint progress):
+const (
+	// WMCommit is the primary's commit frontier: the LSN of the last
+	// appended commit record (durability not yet implied).
+	WMCommit = "compute.commit_lsn"
+	// WMHardened is the landing zone's durable prefix end (LZ quorum).
+	WMHardened = "lz.hardened_lsn"
+	// WMPromoted is the XLOG dissemination frontier: blocks below it are
+	// visible to consumers.
+	WMPromoted = "xlog.promoted_lsn"
+	// WMDestaged is the XLOG destaging frontier: blocks below it are in
+	// the SSD block cache and the long-term archive.
+	WMDestaged = "xlog.destaged_lsn"
+	// WMArchived is the XStore long-term archive end (equals the
+	// destaging frontier after a successful LT append).
+	WMArchived = "xstore.archived_lsn"
+	// WMTruncated is the landing-zone truncation point: ring space below
+	// it has been released.
+	WMTruncated = "lz.truncated_lsn"
+	// WMApplied is a page server's apply watermark (per replica).
+	WMApplied = "pageserver.applied_lsn"
+	// WMCheckpoint is a page server's persisted checkpoint resume LSN
+	// (per replica).
+	WMCheckpoint = "pageserver.ckpt_lsn"
+	// WMSecondary is a secondary compute node's apply watermark (per
+	// replica).
+	WMSecondary = "compute.applied_lsn"
+)
+
+// Watermark is one rung of the ladder: a monotone LSN gauge plus the
+// wall-clock instant of its last advance. Publication is a pair of atomic
+// stores — safe from any tier's hot path. All methods are nil-safe.
+type Watermark struct {
+	name    string
+	replica string
+	lsn     atomic.Uint64
+	atNanos atomic.Int64
+}
+
+// Name reports the watermark's canonical name.
+func (w *Watermark) Name() string {
+	if w == nil {
+		return ""
+	}
+	return w.name
+}
+
+// Replica reports the replica label ("" for singleton watermarks).
+func (w *Watermark) Replica() string {
+	if w == nil {
+		return ""
+	}
+	return w.replica
+}
+
+// Publish advances the watermark to lsn (monotone max) and stamps the
+// advance time. Stale publishes are no-ops, so out-of-order reporters
+// (concurrent harden reports, racing apply batches) need no coordination.
+func (w *Watermark) Publish(lsn uint64) {
+	if w == nil {
+		return
+	}
+	for {
+		cur := w.lsn.Load()
+		if lsn <= cur {
+			return
+		}
+		if w.lsn.CompareAndSwap(cur, lsn) {
+			w.atNanos.Store(time.Now().UnixNano())
+			return
+		}
+	}
+}
+
+// Value reads the watermark LSN.
+func (w *Watermark) Value() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.lsn.Load()
+}
+
+// UpdatedAt reports when the watermark last advanced (zero time if never).
+func (w *Watermark) UpdatedAt() time.Time {
+	if w == nil {
+		return time.Time{}
+	}
+	ns := w.atNanos.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// commitStampRing maps recent commit LSNs to the wall-clock instant they
+// were appended, so follower lag can be expressed in milliseconds: "the
+// oldest commit this replica has not applied was cut N ms ago". Fixed
+// size, mutex-guarded (one short critical section per commit — noise next
+// to the quorum write the commit is about to pay for).
+const commitStampSlots = 1024
+
+type commitStamp struct {
+	lsn uint64
+	at  int64 // unix nanos
+}
+
+// WatermarkSet is the per-deployment table of watermarks. Lookup is a
+// read-locked map access; hot paths resolve their *Watermark once and
+// publish through the atomic. All methods are nil-safe.
+type WatermarkSet struct {
+	mu  sync.RWMutex
+	wms map[string]*Watermark
+
+	stampMu    sync.Mutex
+	stamps     [commitStampSlots]commitStamp
+	stampCount uint64
+}
+
+// NewWatermarkSet builds an empty set.
+func NewWatermarkSet() *WatermarkSet {
+	return &WatermarkSet{wms: make(map[string]*Watermark)}
+}
+
+func key(name, replica string) string {
+	if replica == "" {
+		return name
+	}
+	return name + "/" + replica
+}
+
+// Watermark returns (creating if needed) the named watermark. The replica
+// label distinguishes instances of per-replica rungs (page servers,
+// secondaries); pass "" for singleton rungs.
+func (s *WatermarkSet) Watermark(name, replica string) *Watermark {
+	if s == nil {
+		return nil
+	}
+	k := key(name, replica)
+	s.mu.RLock()
+	w, ok := s.wms[k]
+	s.mu.RUnlock()
+	if ok {
+		return w
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok = s.wms[k]; ok {
+		return w
+	}
+	w = &Watermark{name: name, replica: replica}
+	s.wms[k] = w
+	return w
+}
+
+// PublishCommit advances the commit watermark and records an LSN →
+// wall-clock stamp so downstream lag can be reported in time domain.
+func (s *WatermarkSet) PublishCommit(lsn uint64) {
+	if s == nil {
+		return
+	}
+	s.Watermark(WMCommit, "").Publish(lsn)
+	now := time.Now().UnixNano()
+	s.stampMu.Lock()
+	s.stamps[s.stampCount%commitStampSlots] = commitStamp{lsn: lsn, at: now}
+	s.stampCount++
+	s.stampMu.Unlock()
+}
+
+// TimeLag reports how long ago the oldest commit above appliedLSN was
+// stamped — the time-domain replication lag of a follower whose watermark
+// sits at appliedLSN. Zero when the follower has applied every stamped
+// commit (or no commits are stamped yet).
+func (s *WatermarkSet) TimeLag(appliedLSN uint64, now time.Time) time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.stampMu.Lock()
+	defer s.stampMu.Unlock()
+	n := s.stampCount
+	if n > commitStampSlots {
+		n = commitStampSlots
+	}
+	oldest := int64(0)
+	for i := uint64(0); i < n; i++ {
+		st := s.stamps[i]
+		if st.lsn > appliedLSN && (oldest == 0 || st.at < oldest) {
+			oldest = st.at
+		}
+	}
+	if oldest == 0 {
+		return 0
+	}
+	lag := now.UnixNano() - oldest
+	if lag < 0 {
+		return 0
+	}
+	return time.Duration(lag)
+}
+
+// WatermarkState is an exported view of one watermark.
+type WatermarkState struct {
+	Name      string    `json:"name"`
+	Replica   string    `json:"replica,omitempty"`
+	LSN       uint64    `json:"lsn"`
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// Snapshot exports every watermark, sorted by name then replica.
+func (s *WatermarkSet) Snapshot() []WatermarkState {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]WatermarkState, 0, len(s.wms))
+	for _, w := range s.wms {
+		out = append(out, WatermarkState{
+			Name: w.name, Replica: w.replica,
+			LSN: w.Value(), UpdatedAt: w.UpdatedAt(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Replica < out[j].Replica
+	})
+	return out
+}
+
+// Replicas lists the replica labels registered under a per-replica
+// watermark name, sorted.
+func (s *WatermarkSet) Replicas(name string) []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	var out []string
+	for _, w := range s.wms {
+		if w.name == name {
+			out = append(out, w.replica)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// --- watchdog ---
+
+// TripKind classifies a watchdog firing.
+type TripKind string
+
+// Trip kinds: a follower too far behind its leader, or a follower that
+// stopped advancing entirely while the leader kept moving.
+const (
+	TripLag   TripKind = "lag"
+	TripStall TripKind = "stall"
+)
+
+// Trip is one watchdog firing.
+type Trip struct {
+	At       time.Time     `json:"at"`
+	Kind     TripKind      `json:"kind"`
+	Follower string        `json:"follower"` // name[/replica]
+	Leader   string        `json:"leader"`
+	LagLSN   uint64        `json:"lag_lsn"`
+	LagTime  time.Duration `json:"lag_ns"`
+	Detail   string        `json:"detail,omitempty"`
+}
+
+// WatchdogConfig tunes the lag watchdog.
+type WatchdogConfig struct {
+	// Interval is the tick cadence (default 25ms).
+	Interval time.Duration
+	// MaxLagLSN trips when a follower is more than this many LSNs behind
+	// its leader (default 50000; 0 keeps the default, -1 disables).
+	MaxLagLSN int64
+	// StallTicks trips when a follower is behind its leader and has not
+	// advanced for this many consecutive ticks (default 8).
+	StallTicks int
+}
+
+func (c *WatchdogConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	if c.MaxLagLSN == 0 {
+		c.MaxLagLSN = 50000
+	}
+	if c.StallTicks <= 0 {
+		c.StallTicks = 8
+	}
+}
+
+// ladderEdge is one leader→follower relation the watchdog monitors. The
+// Socrates ladder is fixed by the architecture; per-replica followers
+// (page servers, secondaries) are discovered dynamically each tick.
+type ladderEdge struct {
+	leader     string
+	follower   string
+	perReplica bool
+}
+
+var ladder = []ladderEdge{
+	{leader: WMCommit, follower: WMHardened},
+	{leader: WMHardened, follower: WMPromoted},
+	{leader: WMPromoted, follower: WMDestaged},
+	{leader: WMPromoted, follower: WMApplied, perReplica: true},
+	{leader: WMPromoted, follower: WMSecondary, perReplica: true},
+}
+
+// followerState is the watchdog's per-follower edge-trigger memory.
+type followerState struct {
+	lastLSN    uint64
+	stallTicks int
+	tripped    bool
+}
+
+// Watchdog periodically derives lag gauges from the watermark ladder and
+// fires registered callbacks when a follower exceeds the lag threshold or
+// stops advancing (stall detection). Trips are edge-triggered: a follower
+// fires once per excursion and re-arms when it catches up.
+type Watchdog struct {
+	ws  *WatermarkSet
+	reg *Registry
+	cfg WatchdogConfig
+
+	mu        sync.Mutex
+	state     map[string]*followerState
+	trips     []Trip
+	callbacks []func(Trip)
+
+	tripCount atomic.Uint64
+	done      chan struct{}
+	wg        sync.WaitGroup
+	started   bool
+}
+
+// NewWatchdog builds a watchdog over the given watermark set, publishing
+// derived lag gauges into reg (nil disables gauge publication).
+func NewWatchdog(ws *WatermarkSet, reg *Registry, cfg WatchdogConfig) *Watchdog {
+	cfg.defaults()
+	return &Watchdog{
+		ws: ws, reg: reg, cfg: cfg,
+		state: make(map[string]*followerState),
+		done:  make(chan struct{}),
+	}
+}
+
+// OnTrip registers a callback fired (from the watchdog goroutine) on every
+// trip. Register before Start, or accept missing early trips.
+func (d *Watchdog) OnTrip(fn func(Trip)) {
+	if d == nil || fn == nil {
+		return
+	}
+	d.mu.Lock()
+	d.callbacks = append(d.callbacks, fn)
+	d.mu.Unlock()
+}
+
+// Start launches the watchdog goroutine. Idempotent.
+func (d *Watchdog) Start() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.loop()
+}
+
+// Stop halts the watchdog. Idempotent.
+func (d *Watchdog) Stop() {
+	if d == nil {
+		return
+	}
+	select {
+	case <-d.done:
+		return
+	default:
+	}
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	close(d.done)
+	if started {
+		d.wg.Wait()
+	}
+}
+
+// TripCount reports how many times the watchdog has fired.
+func (d *Watchdog) TripCount() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.tripCount.Load()
+}
+
+// Trips returns the recorded trips, oldest first.
+func (d *Watchdog) Trips() []Trip {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Trip(nil), d.trips...)
+}
+
+func (d *Watchdog) loop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-ticker.C:
+			d.Tick()
+		}
+	}
+}
+
+// Tick runs one watchdog evaluation (exported for deterministic tests; the
+// background loop calls it on every interval).
+func (d *Watchdog) Tick() {
+	if d == nil || d.ws == nil {
+		return
+	}
+	now := time.Now()
+	var maxApplyLagLSN, maxSecLagLSN uint64
+	var maxApplyLagTime time.Duration
+	for _, edge := range ladder {
+		replicas := []string{""}
+		if edge.perReplica {
+			replicas = d.ws.Replicas(edge.follower)
+		}
+		leader := d.ws.Watermark(edge.leader, "").Value()
+		for _, rep := range replicas {
+			follower := d.ws.Watermark(edge.follower, rep)
+			cur := follower.Value()
+			var lag uint64
+			if leader > cur {
+				lag = leader - cur
+			}
+			switch edge.follower {
+			case WMApplied:
+				if lag > maxApplyLagLSN {
+					maxApplyLagLSN = lag
+				}
+				if t := d.ws.TimeLag(cur, now); t > maxApplyLagTime {
+					maxApplyLagTime = t
+				}
+			case WMSecondary:
+				if lag > maxSecLagLSN {
+					maxSecLagLSN = lag
+				}
+			}
+			d.evaluate(edge, rep, cur, leader, lag, now)
+		}
+	}
+	if d.reg != nil {
+		c := d.ws.Watermark(WMCommit, "").Value()
+		h := d.ws.Watermark(WMHardened, "").Value()
+		p := d.ws.Watermark(WMPromoted, "").Value()
+		ds := d.ws.Watermark(WMDestaged, "").Value()
+		d.reg.Gauge("lz.harden_lag_lsn").Set(clampLag(c, h))
+		d.reg.Gauge("xlog.promote_lag_lsn").Set(clampLag(h, p))
+		d.reg.Gauge("xlog.destage_lag_lsn").Set(clampLag(p, ds))
+		d.reg.Gauge("pageserver.apply_lag_lsn").Set(int64(maxApplyLagLSN))
+		d.reg.Gauge("pageserver.apply_lag_ms").Set(maxApplyLagTime.Milliseconds())
+		d.reg.Gauge("compute.apply_lag_lsn").Set(int64(maxSecLagLSN))
+	}
+}
+
+func clampLag(leader, follower uint64) int64 {
+	if leader <= follower {
+		return 0
+	}
+	return int64(leader - follower)
+}
+
+// evaluate applies the edge-triggered lag/stall rules to one follower.
+func (d *Watchdog) evaluate(edge ladderEdge, replica string, cur, leader, lag uint64, now time.Time) {
+	k := key(edge.follower, replica)
+	d.mu.Lock()
+	st, ok := d.state[k]
+	if !ok {
+		st = &followerState{lastLSN: cur}
+		d.state[k] = st
+	}
+	advanced := cur > st.lastLSN
+	st.lastLSN = cur
+	if lag == 0 {
+		st.stallTicks = 0
+		st.tripped = false
+		d.mu.Unlock()
+		return
+	}
+	if advanced {
+		st.stallTicks = 0
+	} else {
+		st.stallTicks++
+	}
+	var trip *Trip
+	switch {
+	case st.tripped:
+		// Already fired for this excursion; stay quiet until recovery.
+	case d.cfg.MaxLagLSN > 0 && lag > uint64(d.cfg.MaxLagLSN):
+		trip = &Trip{Kind: TripLag}
+	case st.stallTicks >= d.cfg.StallTicks:
+		trip = &Trip{Kind: TripStall}
+	}
+	var callbacks []func(Trip)
+	if trip != nil {
+		st.tripped = true
+		trip.At = now
+		trip.Follower = k
+		trip.Leader = edge.leader
+		trip.LagLSN = lag
+		trip.LagTime = d.ws.TimeLag(cur, now)
+		trip.Detail = "watermark " + k + " behind " + edge.leader
+		d.trips = append(d.trips, *trip)
+		callbacks = append([]func(Trip){}, d.callbacks...)
+	}
+	d.mu.Unlock()
+	if trip != nil {
+		d.tripCount.Add(1)
+		d.reg.Counter("obs.watchdog.trips").Inc()
+		for _, fn := range callbacks {
+			fn(*trip)
+		}
+	}
+}

@@ -84,6 +84,13 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Metrics receives page-server-tier instruments (nil = metrics off).
 	Metrics *obs.Registry
+	// Watermarks receives this server's applied/checkpoint rungs of the
+	// LSN ladder, labeled by Name (nil = watermarks off).
+	Watermarks *obs.WatermarkSet
+	// Flight receives page-server flight-recorder events: apply batches,
+	// GetPage waits, seeding fetches, checkpoint sweeps, XStore outages
+	// (nil = recording off).
+	Flight *obs.FlightRecorder
 }
 
 // Server is one page server.
@@ -227,6 +234,11 @@ func (s *Server) Seeding() bool {
 // Cache exposes the covering RBPEX (stats for experiments).
 func (s *Server) Cache() *rbpex.Cache { return s.cache }
 
+// CacheDevice exposes the RBPEX's backing SSD device (failure injection in
+// stall tests: an outage here freezes the apply loop without touching the
+// rest of the cluster).
+func (s *Server) CacheDevice() *simdisk.Device { return s.cfg.CacheSSD }
+
 // Stats reports pages served, GetPage waits, and records applied.
 func (s *Server) Stats() (served, waits, applies int64) {
 	return s.served.Load(), s.waits.Load(), s.applies.Load()
@@ -332,6 +344,9 @@ func (s *Server) pullOnce() bool {
 		s.cfg.Metrics.Counter("pageserver.apply.pages").Inc()
 		s.markDirty(pg.ID)
 		if err := s.cache.Put(pg); err != nil {
+			s.cfg.Flight.Record(obs.TierPageServer, "ps.apply_error",
+				uint64(from), time.Since(start),
+				s.cfg.Name+": cache put: "+err.Error())
 			return false
 		}
 	}
@@ -343,6 +358,9 @@ func (s *Server) pullOnce() bool {
 	s.applied = next
 	s.appliedCond.Broadcast()
 	s.mu.Unlock()
+	s.cfg.Watermarks.Watermark(obs.WMApplied, s.cfg.Name).Publish(uint64(next))
+	s.cfg.Flight.Record(obs.TierPageServer, "ps.apply", uint64(next),
+		time.Since(start), fmt.Sprintf("%s: pages=%d", s.cfg.Name, len(touched)))
 	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
 	_, _ = s.cfg.XLOG.Call(ctx, &rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.cfg.Name, LSN: next})
@@ -466,12 +484,17 @@ func (s *Server) checkpointLoop() {
 // were written in RBPEX but not in XStore are remembered") and the
 // checkpoint resumes when XStore is back (§4.6).
 func (s *Server) checkpointOnce() error {
+	// Occupancy gauges ride the checkpoint cadence: cheap, periodic, and
+	// visible on /metrics without touching the apply hot path.
+	s.cfg.Metrics.Gauge(key("pageserver.rbpex.pages", s.cfg.Name)).Set(int64(s.cache.Len()))
 	s.mu.Lock()
+	s.cfg.Metrics.Gauge(key("pageserver.dirty_pages", s.cfg.Name)).Set(int64(len(s.dirty)))
 	if len(s.dirty) == 0 {
 		s.mu.Unlock()
 		return nil
 	}
 	resume := s.applied
+	ckptStart := time.Now()
 	batch := make([]page.ID, 0, len(s.dirty))
 	for id := range s.dirty {
 		batch = append(batch, id)
@@ -494,6 +517,8 @@ func (s *Server) checkpointOnce() error {
 		if err := s.cfg.Store.Put(s.pageBlob(id), buf); err != nil {
 			s.noteOutage(true)
 			s.clearDirty(written)
+			s.cfg.Flight.Record(obs.TierXStore, "xstore.outage", uint64(resume),
+				time.Since(ckptStart), s.cfg.Name+": checkpoint put: "+err.Error())
 			return err // keep the remainder dirty; retry next tick
 		}
 		written = append(written, id)
@@ -501,6 +526,8 @@ func (s *Server) checkpointOnce() error {
 	if err := s.writeMeta(resume); err != nil {
 		s.noteOutage(true)
 		s.clearDirty(written)
+		s.cfg.Flight.Record(obs.TierXStore, "xstore.outage", uint64(resume),
+			time.Since(ckptStart), s.cfg.Name+": checkpoint meta: "+err.Error())
 		return err
 	}
 	s.noteOutage(false)
@@ -508,7 +535,19 @@ func (s *Server) checkpointOnce() error {
 	s.mu.Lock()
 	s.ckptLSN = resume
 	s.mu.Unlock()
+	s.cfg.Watermarks.Watermark(obs.WMCheckpoint, s.cfg.Name).Publish(uint64(resume))
+	s.cfg.Flight.Record(obs.TierPageServer, "ps.checkpoint", uint64(resume),
+		time.Since(ckptStart), fmt.Sprintf("%s: pages=%d", s.cfg.Name, len(written)))
 	return nil
+}
+
+// key joins an instrument name with a replica label the way the rest of
+// the plane does ("name/replica"); singleton names pass "".
+func key(name, replica string) string {
+	if replica == "" {
+		return name
+	}
+	return name + "/" + replica
 }
 
 func (s *Server) clearDirty(ids []page.ID) {
@@ -607,6 +646,12 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 	}
 	if wait := time.Since(waitStart); wait > 0 {
 		s.cfg.Metrics.Histogram("pageserver.getpage.wait").Observe(wait)
+		if wait > time.Millisecond {
+			// Only material waits are worth a ring slot: a GetPage@LSN
+			// stuck behind apply lag is exactly what a postmortem reads.
+			s.cfg.Flight.Record(obs.TierPageServer, "ps.getpage_wait",
+				uint64(minLSN), wait, s.cfg.Name+": waited for apply")
+		}
 	}
 	s.charge(6 * time.Microsecond)
 	if pg, ok := s.cache.Get(id); ok {
@@ -615,11 +660,17 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 	}
 	// Covering cache miss: only possible while seeding — fetch on demand.
 	sp.SetAttr("xstore-fetch", "true")
+	fetchStart := time.Now()
 	pg, err := s.fetchFromStore(id)
 	if err != nil {
 		sp.SetError(err)
+		s.cfg.Flight.Record(obs.TierPageServer, "ps.miss", uint64(minLSN),
+			time.Since(fetchStart),
+			fmt.Sprintf("%s: page %d xstore fetch failed: %v", s.cfg.Name, id, err))
 		return nil, fmt.Errorf("pageserver: page %d not found: %w", id, err)
 	}
+	s.cfg.Flight.Record(obs.TierPageServer, "ps.miss", uint64(minLSN),
+		time.Since(fetchStart), fmt.Sprintf("%s: page %d seeded from xstore", s.cfg.Name, id))
 	s.served.Inc()
 	return pg, nil
 }

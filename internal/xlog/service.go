@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -42,6 +43,8 @@ type Service struct {
 
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	wms     *obs.WatermarkSet
+	flight  *obs.FlightRecorder
 
 	mu          sync.Mutex
 	pending     map[page.LSN]entry // by Start; not yet hardened
@@ -95,6 +98,12 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Metrics receives XLOG-tier instruments (nil = metrics off).
 	Metrics *obs.Registry
+	// Watermarks receives the promotion/destaging/archive/truncation rungs
+	// of the LSN ladder (nil = watermarks off).
+	Watermarks *obs.WatermarkSet
+	// Flight receives XLOG-tier flight-recorder events: gap fills, destage
+	// batches, LT append failures (nil = recording off).
+	Flight *obs.FlightRecorder
 }
 
 // New starts an XLOG service over a fresh log.
@@ -146,6 +155,8 @@ func build(cfg Config) (*Service, error) {
 		lz:          cfg.LZ,
 		tracer:      cfg.Tracer,
 		metrics:     cfg.Metrics,
+		wms:         cfg.Watermarks,
+		flight:      cfg.Flight,
 		lt:          &lt{store: cfg.LT, blob: cfg.LTBlob},
 		pending:     make(map[page.LSN]entry),
 		budget:      cfg.BrokerBytes,
@@ -248,6 +259,8 @@ func (s *Service) promoteTo(lsn page.LSN) {
 				continue
 			}
 			s.gapFills++
+			s.flight.Record(obs.TierXLOG, "xlog.gapfill", uint64(at), 0,
+				"feed lost block; filled from LZ")
 			e = entry{b: lb, enc: lb.Encode()}
 		} else {
 			delete(s.pending, s.promoted)
@@ -275,6 +288,7 @@ func (s *Service) promoteTo(lsn page.LSN) {
 			delete(s.pending, start)
 		}
 	}
+	s.wms.Watermark(obs.WMPromoted, "").Publish(uint64(s.promoted))
 }
 
 // --- destaging pipeline ---
@@ -323,6 +337,9 @@ func (s *Service) destageOnce() {
 	}
 	if err := s.lt.append(blocks, ltBuf); err != nil {
 		// LT (XStore) outage: keep blocks in LZ + broker; retry next tick.
+		s.flight.Record(obs.TierXStore, "lt.append_error",
+			uint64(batch[0].b.Start), time.Since(destageStart),
+			"retryable: "+err.Error())
 		return
 	}
 	end := batch[len(batch)-1].b.End
@@ -332,10 +349,15 @@ func (s *Service) destageOnce() {
 		s.destagedCond.Broadcast()
 	}
 	s.mu.Unlock()
+	s.wms.Watermark(obs.WMDestaged, "").Publish(uint64(end))
+	s.wms.Watermark(obs.WMArchived, "").Publish(uint64(end))
 	s.lz.ReleaseUpTo(end)
+	s.wms.Watermark(obs.WMTruncated, "").Publish(uint64(end))
 	s.trimBroker()
 	s.metrics.Histogram("xlog.destage.latency").Since(destageStart)
 	s.metrics.Counter("xlog.destage.blocks").Add(uint64(len(batch)))
+	s.flight.Record(obs.TierXLOG, "xlog.destage", uint64(end),
+		time.Since(destageStart), fmt.Sprintf("blocks=%d bytes=%d", len(batch), len(ltBuf)))
 }
 
 // trimBroker evicts destaged blocks from the front of the sequence map

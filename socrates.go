@@ -63,6 +63,14 @@ type (
 	SpanNode = obs.SpanNode
 	// HistSummary is an exported latency histogram.
 	HistSummary = obs.HistSummary
+	// WatermarkState is one rung of the LSN watermark ladder.
+	WatermarkState = obs.WatermarkState
+	// FlightEvent is one flight-recorder ring entry.
+	FlightEvent = obs.FlightEvent
+	// Trip is one watchdog firing (lag or stall).
+	Trip = obs.Trip
+	// ObsServer is a running HTTP observability listener.
+	ObsServer = obs.HTTPServer
 )
 
 // Typed error sentinels for errors.Is across the public surface.
@@ -392,6 +400,41 @@ func (db *DB) LastTrace() *SpanNode {
 	}
 	return db.cluster.Tracer.Trace(ids[len(ids)-1])
 }
+
+// --- observability plane ---
+
+// ServeObservability starts the deployment's HTTP observability plane on
+// addr (":0" picks a free port; read it back with Addr on the returned
+// server). Endpoints:
+//
+//	/metrics       Prometheus text: counters, gauges, histogram buckets,
+//	               and the watermark ladder
+//	/metrics.json  raw registry snapshot (what socrates-top -addr polls)
+//	/watermarks    the LSN ladder + derived lags + watchdog trips (JSON)
+//	/flight        the flight-recorder ring as time-ordered JSONL
+//	/traces        retained trace IDs; /traces?id=N renders one span tree
+//	/debug/pprof/  the standard Go profiling endpoints
+func (db *DB) ServeObservability(addr string) (*ObsServer, error) {
+	c := db.cluster
+	return obs.Serve(addr, obs.NewHTTPHandler(obs.PlaneOptions{
+		Registry:   c.Metrics,
+		Watermarks: c.Watermarks,
+		Flight:     c.Flight,
+		Tracer:     c.Tracer,
+		Watchdog:   c.Watchdog,
+	}))
+}
+
+// Watermarks snapshots the LSN watermark ladder: commit frontier, hardened
+// prefix, promotion/destaging frontiers, per-replica applied LSNs.
+func (db *DB) Watermarks() []WatermarkState { return db.cluster.Watermarks.Snapshot() }
+
+// FlightEvents returns a time-ordered copy of the flight recorder's
+// retained ring — the always-on postmortem buffer.
+func (db *DB) FlightEvents() []FlightEvent { return db.cluster.Flight.Events() }
+
+// WatchdogTrips lists lag/stall watchdog firings so far, oldest first.
+func (db *DB) WatchdogTrips() []Trip { return db.cluster.Watchdog.Trips() }
 
 // Stats reports headline deployment metrics.
 //
