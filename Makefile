@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
              ./internal/obs
 
-.PHONY: all lint fmt vet test race bench bench-obs clean
+.PHONY: all lint fmt vet test race chaos bench bench-obs clean
 
 all: lint test
 
@@ -30,6 +30,14 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Deterministic torture harness: seed matrix + schedule-hash replay tests
+# under the race detector, then the oracle-sensitivity self-test (planted
+# ack-before-harden bug behind the chaosfault build tag). Replay a failing
+# seed with: go run ./cmd/socrates-chaos -seed N [-scenario s] [-v]
+chaos:
+	$(GO) test -race -count=1 -run TestChaos ./internal/chaos/
+	$(GO) test -tags chaosfault -count=1 ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

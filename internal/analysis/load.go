@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -175,9 +177,24 @@ func buildIgnored(path string) (bool, error) {
 		if strings.HasPrefix(line, "package ") {
 			return false, nil
 		}
-		if strings.HasPrefix(line, "//go:build") && strings.Contains(line, "ignore") {
-			return true, nil
+		if !strings.HasPrefix(line, "//go:build") {
+			continue
 		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			// Malformed constraint: let the compiler complain, not us.
+			return false, nil
+		}
+		// Evaluate against the default build configuration: host
+		// GOOS/GOARCH, gc, and no custom tags — so tag-gated fault
+		// injections (e.g. chaosfault) and their !tag twins resolve the
+		// same way a plain `go build` does, instead of both files landing
+		// in one type-check and colliding.
+		ok := expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH ||
+				tag == runtime.Compiler || tag == "go1"
+		})
+		return !ok, nil
 	}
 	return false, nil
 }

@@ -1,0 +1,105 @@
+//go:build !chaosfault
+
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// requireClean fails the test on any infrastructure error or oracle
+// violation, printing every violation so a failing seed is actionable.
+func requireClean(t *testing.T, res *Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Logf("replay with: go run ./cmd/socrates-chaos -seed %d -scenario %s -steps %d",
+			res.Seed, res.Scenario, res.Steps)
+	}
+}
+
+// TestChaosQuick is the tier-1 smoke run: one seed, the mixed scenario,
+// short enough for every `go test ./...` sweep.
+func TestChaosQuick(t *testing.T) {
+	steps := 160
+	if testing.Short() {
+		steps = 60
+	}
+	res, err := Run(Config{Seed: 1, Steps: steps})
+	requireClean(t, res, err)
+	if res.Acked == 0 {
+		t.Fatalf("no commits acked in %d steps — the workload never ran", res.Steps)
+	}
+}
+
+// TestChaosScheduleDeterministic pins the replayability contract: the
+// same (seed, scenario, steps) triple always produces the same schedule,
+// an executed run's fingerprint matches the precomputed one, and a
+// different seed diverges.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	h1, err := ScheduleHash(42, "mixed", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ScheduleHash(42, "mixed", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("same seed hashed differently: %016x vs %016x", h1, h2)
+	}
+	if h3, _ := ScheduleHash(43, "mixed", 300); h3 == h1 {
+		t.Fatalf("seeds 42 and 43 produced the same schedule hash %016x", h1)
+	}
+	if h4, _ := ScheduleHash(42, "faults", 300); h4 == h1 {
+		t.Fatalf("scenarios mixed and faults produced the same schedule hash %016x", h1)
+	}
+
+	const steps = 40
+	res, err := Run(Config{Seed: 42, Steps: steps})
+	requireClean(t, res, err)
+	want, err := ScheduleHash(42, "mixed", steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%016x", want); res.ScheduleHash != got {
+		t.Fatalf("executed schedule hash %s != precomputed %s — the run and the generator disagree",
+			res.ScheduleHash, got)
+	}
+}
+
+// TestChaosScenarios runs every registered scenario once.
+func TestChaosScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario sweep is a long test")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: 7, Scenario: sc, Steps: 100})
+			requireClean(t, res, err)
+		})
+	}
+}
+
+// TestChaosSeedMatrix is the long-haul sweep: several seeds, full mixed
+// schedules, each in its own cluster.
+func TestChaosSeedMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed matrix is a long test")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, Steps: 200})
+			requireClean(t, res, err)
+		})
+	}
+}

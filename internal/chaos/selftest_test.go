@@ -1,0 +1,75 @@
+//go:build chaosfault
+
+package chaos
+
+import "testing"
+
+// This file validates the oracle itself. The chaosfault build tag swaps
+// the engine's commit-harden wait for a stub that returns immediately —
+// the classic "ack before harden" durability bug. A harness whose oracle
+// stays silent against a known-planted bug tests nothing.
+//
+// Run with: go test -tags chaosfault ./internal/chaos/
+// (The regular chaos tests are excluded under this tag; they would —
+// correctly — fail.)
+
+// TestOracleCatchesPlantedBug drives the surgical sequence that makes the
+// planted bug deterministic: a quorum-loss window (every LZ replica dark)
+// during which the buggy engine still acknowledges commits, followed by
+// the full heal-and-audit probe. No replica ever held those blocks and
+// the failover discards them, so the acked writes are gone — the oracle
+// MUST report a durability violation.
+func TestOracleCatchesPlantedBug(t *testing.T) {
+	r, err := newRunner(Config{Seed: 99})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	defer r.close()
+
+	r.oracle.SetStep(0)
+	if err := r.quorumLoss(0); err != nil {
+		t.Fatalf("quorum-loss step: %v", err)
+	}
+	if r.res.Acked == 0 {
+		t.Fatalf("planted bug did not bite: no commit was acked during the quorum-loss window")
+	}
+	r.oracle.SetStep(1)
+	if err := r.catchUpProbe(); err != nil {
+		t.Fatalf("catch-up probe: %v", err)
+	}
+
+	durability := 0
+	for _, v := range r.oracle.Violations() {
+		t.Logf("oracle: %s", v)
+		if v.Kind == "durability" {
+			durability++
+		}
+	}
+	if durability == 0 {
+		t.Fatalf("oracle missed the planted ack-before-harden bug: %d acked writes lost, 0 durability violations",
+			r.res.Acked)
+	}
+}
+
+// TestFullRunSurfacesPlantedBug runs the end-to-end harness under the
+// planted bug across a few seeds: at least one full run must surface a
+// violation (full runs can mask individual lost writes when later
+// overwrites supersede them — that is why the surgical test above exists
+// — but a clean sweep across seeds would mean the harness as a whole is
+// blind).
+func TestFullRunSurfacesPlantedBug(t *testing.T) {
+	total := 0
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := Run(Config{Seed: seed, Scenario: "faults", Steps: 120})
+		if err != nil {
+			t.Fatalf("seed %d: chaos run: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Logf("seed %d: %s", seed, v)
+		}
+		total += len(res.Violations)
+	}
+	if total == 0 {
+		t.Fatalf("no full run surfaced the planted ack-before-harden bug")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"socrates/internal/compute"
@@ -74,6 +75,12 @@ type Config struct {
 	// Watchdog tunes the lag/stall watchdog (zero values take the obs
 	// defaults: 25ms ticks, 50k-LSN lag threshold, 8-tick stall window).
 	Watchdog obs.WatchdogConfig
+	// Seed, when nonzero, makes the entire deployment reproducible from
+	// one integer: every simdisk device (LZ replicas, node-local caches,
+	// the XStore media) gets an independent jitter stream derived from it
+	// via simdisk.MixSeed, and the RBIO fabric's jitter/loss/reorder RNG
+	// is re-seeded too. Zero keeps the historical fixed defaults.
+	Seed int64
 }
 
 func (c *Config) applyDefaults() {
@@ -144,11 +151,19 @@ type Cluster struct {
 	tripMu   sync.Mutex
 	tripDump []byte
 
+	// seedLane hands out device seed lanes when cfg.Seed != 0, so every
+	// simdisk device of the deployment gets an independent but
+	// deterministic jitter stream (creation order is deterministic given
+	// a deterministic workflow schedule).
+	seedLane atomic.Int64
+
 	mu          sync.Mutex
 	pt          page.Partitioning
+	epoch       uint64 // current producer epoch (bumped by Failover)
 	primary     *compute.Primary
 	secondaries map[string]*compute.Secondary
 	servers     []*pageserver.Server // all live page servers
+	serverAddrs map[*pageserver.Server]string
 	selectors   map[string]*rbio.Selector
 	ranges      []serverRange
 	psSeq       int
@@ -179,6 +194,7 @@ func New(cfg Config) (*Cluster, error) {
 		Watermarks:  cfg.Watermarks,
 		Flight:      cfg.Flight,
 		secondaries: make(map[string]*compute.Secondary),
+		serverAddrs: make(map[*pageserver.Server]string),
 		selectors:   make(map[string]*rbio.Selector),
 		backups:     make(map[string]backupInfo),
 		pt:          page.Partitioning{PagesPerPartition: cfg.PagesPerPartition},
@@ -218,14 +234,26 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.FeedLoss > 0 {
 		c.Net.SetLoss(cfg.FeedLoss)
 	}
+	if cfg.Seed != 0 {
+		// One root seed pins the whole deployment: the fabric's jitter
+		// stream plus every device lane below.
+		c.Net.SetSeed(simdisk.MixSeed(cfg.Seed, -1))
+		if cfg.XStore.Seed == 0 {
+			cfg.XStore.Seed = simdisk.MixSeed(cfg.Seed, -2)
+		}
+	}
 	c.Store = xstore.New(cfg.XStore)
 	c.Store.SetMetrics(c.Metrics)
 	c.PrimaryMeter = metrics.NewCPUMeter(cfg.PrimaryCores)
 
 	// Landing zone: quorum-replicated fast storage; the primary's meter is
 	// charged for LZ I/O issue cost (the Table 7 effect).
-	lzVol, err := simdisk.NewReplicated(cfg.LZProfile, cfg.LZReplicas, cfg.LZQuorum,
-		simdisk.WithCPU(c.PrimaryMeter))
+	lzSeed := int64(0)
+	if cfg.Seed != 0 {
+		lzSeed = simdisk.MixSeed(cfg.Seed, -3)
+	}
+	lzVol, err := simdisk.NewReplicatedSeeded(cfg.LZProfile, cfg.LZReplicas, cfg.LZQuorum,
+		lzSeed, simdisk.WithCPU(c.PrimaryMeter))
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +264,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.XLOG, err = xlog.New(xlog.Config{
 		LZ: c.LZ, LT: c.Store, LTBlob: cfg.Name + "/lt",
-		CacheDevice: simdisk.New(cfg.LocalSSD),
+		CacheDevice: c.dev(cfg.LocalSSD),
 		Tracer:      c.Tracer, Metrics: c.Metrics,
 		Watermarks: c.Watermarks, Flight: c.Flight,
 	})
@@ -269,6 +297,18 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 func (c *Cluster) addr(node string) string { return c.cfg.Name + "/" + node }
+
+// dev builds a node-local simdisk device. With Config.Seed set, each device
+// draws its jitter stream from its own lane of the root seed, so a
+// deployment whose workflows run in a deterministic order is reproducible
+// end to end from one integer.
+func (c *Cluster) dev(p simdisk.Profile, opts ...simdisk.Option) *simdisk.Device {
+	if c.cfg.Seed != 0 {
+		lane := c.seedLane.Add(1)
+		opts = append(opts, simdisk.WithSeed(simdisk.MixSeed(c.cfg.Seed, lane)))
+	}
+	return simdisk.New(p, opts...)
+}
 
 func (c *Cluster) xlogClient() *rbio.Client {
 	return rbio.NewClient(c.Net.Dial(c.addr("xlog")))
@@ -307,15 +347,19 @@ func (c *Cluster) lookupRange(id page.ID) *rbio.Selector {
 }
 
 func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
+	c.mu.Lock()
+	epoch := c.epoch
+	c.mu.Unlock()
 	return compute.PrimaryConfig{
 		LZ:            c.LZ,
 		XLOG:          c.xlogClient(),
+		Epoch:         epoch,
 		Resolve:       c.resolve,
 		Partitioning:  c.pt,
 		CacheMemPages: c.cfg.ComputeMemPages,
 		CacheSSDPages: c.cfg.ComputeSSDPages,
-		CacheSSD:      simdisk.New(c.cfg.LocalSSD, simdisk.WithCPU(c.PrimaryMeter)),
-		CacheMeta:     simdisk.New(c.cfg.LocalSSD),
+		CacheSSD:      c.dev(c.cfg.LocalSSD, simdisk.WithCPU(c.PrimaryMeter)),
+		CacheMeta:     c.dev(c.cfg.LocalSSD),
 		Meter:         c.PrimaryMeter,
 		Bootstrap:     bootstrap,
 		Tracer:        c.Tracer,
@@ -344,8 +388,8 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 		XLOG:            c.xlogClient(),
 		Store:           c.Store,
 		BlobPrefix:      c.cfg.Name + "/",
-		CacheSSD:        simdisk.New(c.cfg.LocalSSD),
-		CacheMeta:       simdisk.New(c.cfg.LocalSSD),
+		CacheSSD:        c.dev(c.cfg.LocalSSD),
+		CacheMeta:       c.dev(c.cfg.LocalSSD),
 		MemPages:        c.cfg.PSMemPages,
 		PullBytes:       c.cfg.PSPullBytes,
 		StartLSN:        startLSN,
@@ -365,6 +409,7 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 	lo, hi := srv.Range()
 	c.mu.Lock()
 	c.servers = append(c.servers, srv)
+	c.serverAddrs[srv] = addr
 	// A server for an existing range joins that range's selector
 	// (replica); a new range gets its own selector.
 	joined := false
@@ -415,6 +460,61 @@ func (c *Cluster) PageServers() []*pageserver.Server {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]*pageserver.Server(nil), c.servers...)
+}
+
+// LZReplicas exposes the landing zone's replica devices for failure
+// injection (LZ replica outages, quorum-loss windows). Nil when the LZ
+// volume is not replicated.
+func (c *Cluster) LZReplicas() []*simdisk.Device {
+	if r, ok := c.lzVol.(*simdisk.Replicated); ok {
+		return r.Replicas()
+	}
+	return nil
+}
+
+// PageServerAddr reports the RBIO address a live page server is registered
+// under ("" if the server is not part of this deployment).
+func (c *Cluster) PageServerAddr(srv *pageserver.Server) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverAddrs[srv]
+}
+
+// KillPageServer tears a page server down: its RBIO address stops
+// resolving, the endpoint leaves its range's replica selector, and the
+// server's background loops halt. Reads over the range fail over to the
+// surviving replicas (ErrNoPageServer if none remain — the caller is
+// killing the last copy). Chaos and failover tests use this to model a
+// page-server crash; re-adding is AddPageServerReplica.
+func (c *Cluster) KillPageServer(srv *pageserver.Server) error {
+	c.mu.Lock()
+	addr, ok := c.serverAddrs[srv]
+	if !ok {
+		c.mu.Unlock()
+		return errors.New("cluster: page server not part of this deployment")
+	}
+	delete(c.serverAddrs, srv)
+	live := c.servers[:0]
+	for _, s := range c.servers {
+		if s != srv {
+			live = append(live, s)
+		}
+	}
+	c.servers = live
+	lo, hi := srv.Range()
+	for _, r := range c.ranges {
+		if r.lo == lo && r.hi == hi {
+			if sel := c.selectors[r.addr]; sel != nil {
+				sel.Remove(addr)
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.Net.Unserve(addr)
+	srv.Stop()
+	c.Flight.Record(obs.TierPageServer, "ps.kill", uint64(srv.AppliedLSN()), 0,
+		addr+": killed")
+	return nil
 }
 
 // TripDump returns the flight-recorder JSONL frozen at the first watchdog

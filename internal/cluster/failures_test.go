@@ -27,22 +27,15 @@ func TestLZReplicaFailureWithinQuorum(t *testing.T) {
 	verifyRows(t, c.Primary().Engine, "t3", 50, "after replica recovery")
 }
 
-// lzReplicas digs the simulated replica devices out of the deployment.
+// lzReplicas fetches the simulated replica devices under the landing
+// zone (the chaos harness uses the same accessor).
 func lzReplicas(t *testing.T, c *Cluster) []*simdisk.Device {
 	t.Helper()
-	// The LZ volume is a *simdisk.Replicated by construction in New.
-	type volumed interface{ Replicas() []*simdisk.Device }
-	// Access through the LZ's volume: re-derive from config. The cluster
-	// keeps no direct reference, so reach it via the Replicated the
-	// cluster created.
-	if c.lzVol == nil {
+	reps := c.LZReplicas()
+	if len(reps) == 0 {
 		t.Skip("cluster built without a replicated LZ volume")
 	}
-	v, ok := c.lzVol.(volumed)
-	if !ok {
-		t.Skip("LZ volume is not replicated")
-	}
-	return v.Replicas()
+	return reps
 }
 
 // TestXStoreOutageDuringWorkload: checkpoints defer, serving continues,
@@ -60,18 +53,9 @@ func TestXStoreOutageDuringWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Checkpoints drain once the store is back.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		dirty := 0
-		for _, srv := range c.PageServers() {
-			dirty += srv.DirtyPages()
-		}
-		if dirty == 0 {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
+	if err := c.WaitCheckpointDrain(5 * time.Second); err != nil {
+		t.Fatalf("checkpointing never caught up after the outage: %v", err)
 	}
-	t.Fatal("checkpointing never caught up after the outage")
 }
 
 // TestReorderedFeedConverges runs with an artificially reordering feed

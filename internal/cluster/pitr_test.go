@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Point-in-time-restore edge cases (§4.7): targets below, exactly at, and
+// immediately after the backup's snapshot LSN.
+
+// TestRestoreBeforeBackupIsRefused: a target strictly below the backup's
+// snapshot LSN cannot be served from that backup (the snapshot already
+// contains newer state); the workflow must refuse with the typed error,
+// not silently hand back a too-new image.
+func TestRestoreBeforeBackupIsRefused(t *testing.T) {
+	c := newFastCluster(t, fastConfig("pitrlow"))
+	seedRows(t, c, "t", 60)
+	early := c.Primary().HardenedEnd() // strictly below the backup to come
+	seedRows(t, c, "t", 120)           // advance the log past `early`
+	if err := c.WaitForCatchUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Backup("b"); err != nil {
+		t.Fatal(err)
+	}
+	blsn, ok := c.BackupLSN("b")
+	if !ok {
+		t.Fatal("backup LSN not recorded")
+	}
+	if !early.Before(blsn) {
+		t.Fatalf("precondition: early %d not below backup snapshot %d", early, blsn)
+	}
+	_, _, err := c.PointInTimeRestore("b", early)
+	if !errors.Is(err, ErrRestoreBeforeBackup) {
+		t.Fatalf("restore below backup: got %v, want ErrRestoreBeforeBackup", err)
+	}
+}
+
+// TestRestoreExactlyAtBackupLSN: the lowest acceptable target. The replay
+// range [backupLSN, backupLSN) is empty — the image is exactly the
+// snapshot, containing everything committed before the backup and nothing
+// after.
+func TestRestoreExactlyAtBackupLSN(t *testing.T) {
+	c := newFastCluster(t, fastConfig("pitrat"))
+	seedRows(t, c, "t", 100)
+	if err := c.WaitForCatchUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Backup("b"); err != nil {
+		t.Fatal(err)
+	}
+	blsn, ok := c.BackupLSN("b")
+	if !ok {
+		t.Fatal("backup LSN not recorded")
+	}
+	seedRows(t, c, "after", 50) // post-backup writes must NOT appear
+
+	eng, _, err := c.PointInTimeRestore("b", blsn)
+	if err != nil {
+		t.Fatalf("restore at backup LSN %d: %v", blsn, err)
+	}
+	verifyRows(t, eng, "t", 100, "restore exactly at backup LSN")
+	if _, found, err := eng.BeginRO().Get("after", []byte("k000000")); err == nil && found {
+		t.Fatal("restore at backup LSN leaked a post-backup write")
+	}
+}
+
+// TestRestoreWithEmptyLogTail: restoring to end-of-log when nothing was
+// committed after the backup — the replay loop must handle a log tail
+// that is empty (or contains only non-commit records) and still produce
+// the full pre-backup state with its visibility timestamp.
+func TestRestoreWithEmptyLogTail(t *testing.T) {
+	c := newFastCluster(t, fastConfig("pitrtail"))
+	seedRows(t, c, "t", 80)
+	if err := c.WaitForCatchUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Backup("b"); err != nil {
+		t.Fatal(err)
+	}
+	// No writes after the backup: the tail [backupLSN, end) is empty.
+	eng, ts, err := c.PointInTimeRestore("b", 0)
+	if err != nil {
+		t.Fatalf("restore with empty tail: %v", err)
+	}
+	if ts == 0 {
+		t.Fatal("restored visibility timestamp is zero — pre-backup commits would be invisible")
+	}
+	verifyRows(t, eng, "t", 80, "restore with empty log tail")
+}

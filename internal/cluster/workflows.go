@@ -13,12 +13,19 @@ import (
 	"socrates/internal/page"
 	"socrates/internal/pageserver"
 	"socrates/internal/recovery"
-	"socrates/internal/simdisk"
 	"socrates/internal/socerr"
 )
 
 // ErrNoBackup reports a restore from an unknown backup.
 var ErrNoBackup = errors.New("cluster: no such backup")
+
+// ErrRestoreBeforeBackup reports a point-in-time restore whose target LSN
+// lies below the backup's snapshot LSN. The snapshot's page images already
+// contain every write below that LSN — there is no log-undo, so the
+// requested point is unreachable from this backup; the caller needs an
+// earlier backup. (Without this guard the replay loop would silently skip
+// and hand back an image that is newer than the requested point.)
+var ErrRestoreBeforeBackup = errors.New("cluster: restore target below backup snapshot LSN")
 
 // AddSecondary starts a new read-scale secondary attached at the current
 // hardened log position. The operation is O(1): no data is copied — the
@@ -47,8 +54,8 @@ func (c *Cluster) addSecondary(name string, delay time.Duration) (*compute.Secon
 		Resolve:       c.resolve,
 		CacheMemPages: c.cfg.ComputeMemPages,
 		CacheSSDPages: c.cfg.ComputeSSDPages,
-		CacheSSD:      simdisk.New(c.cfg.LocalSSD),
-		CacheMeta:     simdisk.New(c.cfg.LocalSSD),
+		CacheSSD:      c.dev(c.cfg.LocalSSD),
+		CacheMeta:     c.dev(c.cfg.LocalSSD),
 		StartLSN:      c.XLOG.HardenedEnd(),
 		StartTS:       c.XLOG.MaxCommitTS(),
 		ApplyDelay:    delay,
@@ -131,9 +138,15 @@ func (c *Cluster) Failover() (*compute.Primary, time.Duration, error) {
 	hardenedEnd := c.LZ.HardenedEnd()
 	c.Flight.Record(obs.TierCompute, "failover.start", uint64(hardenedEnd), 0,
 		"primary crashed; reattaching at hardened end")
-	// The crashed primary's final harden reports may be lost: re-derive the
-	// watermark from the landing zone itself and re-report (gap fill).
-	c.XLOG.ReportHardened(context.Background(), hardenedEnd)
+	// Install a new producer epoch at the XLOG service. This (a) purges
+	// the dead primary's speculative pending blocks and rejects its
+	// in-flight feeds — their LSNs are about to be reissued — and (b)
+	// re-derives the promotion watermark from the landing zone itself,
+	// gap-filling harden reports the crashed node never delivered.
+	epoch := c.XLOG.BeginEpoch(context.Background(), hardenedEnd)
+	c.mu.Lock()
+	c.epoch = epoch
+	c.mu.Unlock()
 
 	p, err := compute.NewPrimary(c.primaryConfig(false))
 	if err != nil {
@@ -320,6 +333,16 @@ func (c *Cluster) Backup(name string) error {
 	return nil
 }
 
+// BackupLSN reports the snapshot LSN of a named backup — the log position
+// replay resumes from during a restore. It is the lowest target
+// PointInTimeRestore accepts for that backup.
+func (c *Cluster) BackupLSN(name string) (page.LSN, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.backups[name]
+	return info.lsn, ok
+}
+
 // PointInTimeRestore materializes the database as of targetLSN from a named
 // backup: the snapshot's page blobs are restored (a constant-time metadata
 // copy in XStore), and the log range [backupLSN, targetLSN) is replayed on
@@ -338,6 +361,10 @@ func (c *Cluster) PointInTimeRestoreContext(ctx context.Context, backup string, 
 	c.mu.Unlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %q", ErrNoBackup, backup)
+	}
+	if targetLSN != 0 && targetLSN.Before(info.lsn) {
+		return nil, 0, fmt.Errorf("%w: target %d < backup snapshot %d (%q)",
+			ErrRestoreBeforeBackup, targetLSN, info.lsn, backup)
 	}
 	snapName := c.cfg.Name + "/" + backup
 	restorePrefix := "restore/" + backup + "/"

@@ -31,7 +31,7 @@ func TestLogWriterFlushesAtTxnBoundaries(t *testing.T) {
 	// Page records without a commit are never flushed alone.
 	w.Append(&wal.Record{Kind: wal.KindCellPut, Page: 1, Key: []byte("k")})
 	w.Append(&wal.Record{Kind: wal.KindCellPut, Page: 2, Key: []byte("k")})
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) //socrates:sleep-ok negative check: give the flusher a window to (wrongly) flush a commit-less group
 	if got := lz.HardenedEnd(); got != 1 {
 		t.Fatalf("hardened = %d before any commit", got)
 	}
@@ -97,11 +97,19 @@ func TestLogWriterFeedsXLOG(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Close()
-	time.Sleep(10 * time.Millisecond) // feed sends are async
-	mu.Lock()
-	defer mu.Unlock()
-	if fed == 0 || hardenReports == 0 {
-		t.Fatalf("fed=%d reports=%d", fed, hardenReports)
+	// Feed sends are async: poll with a deadline instead of a fixed sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		f, h := fed, hardenReports
+		mu.Unlock()
+		if f > 0 && h > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fed=%d reports=%d", f, h)
+		}
+		time.Sleep(time.Millisecond) //socrates:sleep-ok deadline-bounded poll for async feed sends
 	}
 }
 

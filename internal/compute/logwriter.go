@@ -7,6 +7,7 @@ package compute
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,9 +35,10 @@ var ErrWriterClosed = fmt.Errorf("compute: log writer closed: %w", socerr.ErrClo
 // flight, later transactions keep appending, and the next block carries all
 // of them — one landing-zone write per group.
 type LogWriter struct {
-	lz   *xlog.LandingZone
-	feed *rbio.Client // XLOG service: lossy feed + harden reports
-	pt   page.Partitioning
+	lz    *xlog.LandingZone
+	feed  *rbio.Client // XLOG service: lossy feed + harden reports
+	pt    page.Partitioning
+	epoch string // producer epoch stamped on feed frames (see WithEpoch)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -79,6 +81,14 @@ func WithObs(t *obs.Tracer, r *obs.Registry) LogWriterOption {
 // as "lz.error" events before the writer poisons itself.
 func WithPlane(ws *obs.WatermarkSet, fr *obs.FlightRecorder) LogWriterOption {
 	return func(w *LogWriter) { w.wms, w.flight = ws, fr }
+}
+
+// WithEpoch stamps the producer epoch on every fed block, so the XLOG
+// service can reject speculative blocks from a superseded primary whose
+// LSNs this writer reissues (xlog.Service.BeginEpoch). Epoch 0 is the
+// bootstrap producer.
+func WithEpoch(epoch uint64) LogWriterOption {
+	return func(w *LogWriter) { w.epoch = strconv.FormatUint(epoch, 10) }
 }
 
 // NewLogWriter starts a writer whose next record receives startLSN.
@@ -292,7 +302,8 @@ func (w *LogWriter) flushLoop() {
 			// LZ and to the XLOG process in parallel."
 			if w.feed != nil {
 				//socrates:ignore-err the XLOG feed is lossy by design (§4.3); a dropped block is gap-filled from the LZ during promotion
-				_ = w.feed.Send(ioCtx, &rbio.Request{Type: rbio.MsgFeedBlock, Payload: res.Payload()})
+				_ = w.feed.Send(ioCtx, &rbio.Request{Type: rbio.MsgFeedBlock,
+					Consumer: w.epoch, Payload: res.Payload()})
 			}
 			if err := w.lz.Complete(res); err != nil {
 				w.flight.Record(obs.TierLZ, "lz.error", uint64(block.Start),

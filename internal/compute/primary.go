@@ -37,6 +37,11 @@ type PrimaryConfig struct {
 	Meter *metrics.CPUMeter
 	// Bootstrap creates a fresh database instead of attaching to one.
 	Bootstrap bool
+	// Epoch is the producer epoch stamped on this node's XLOG feeds
+	// (issued by xlog.Service.BeginEpoch at failover; 0 = bootstrap
+	// producer). It lets XLOG reject speculative blocks from a dead
+	// predecessor whose LSNs this node reissues.
+	Epoch uint64
 	// Tracer / Metrics, if set, wire the node into the cluster's
 	// observability spine (commit spans, lz.write spans, getpage spans).
 	Tracer  *obs.Tracer
@@ -74,7 +79,8 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 	startLSN := cfg.LZ.HardenedEnd()
 	writer := NewLogWriter(cfg.LZ, cfg.XLOG, cfg.Partitioning, startLSN,
 		WithObs(cfg.Tracer, cfg.Metrics),
-		WithPlane(cfg.Watermarks, cfg.Flight))
+		WithPlane(cfg.Watermarks, cfg.Flight),
+		WithEpoch(cfg.Epoch))
 
 	// The GetPage@LSN floor for pages this node has never seen: everything
 	// in the database is at most as new as the hardened end at attach time.

@@ -1,0 +1,22 @@
+//go:build chaosfault
+
+package engine
+
+import (
+	"context"
+
+	"socrates/internal/page"
+)
+
+// waitHarden under the chaosfault tag PLANTS A BUG on purpose: it
+// acknowledges the commit without waiting for the log pipeline to harden
+// it. An acked-but-unhardened commit is exactly the durability violation
+// the Socrates protocol exists to prevent (§4.3: a commit returns only
+// after the landing-zone quorum acks). The chaos harness's self-test
+// builds with this tag and asserts that the oracle flags the resulting
+// lost writes after a failover — proving the oracle has teeth.
+//
+// Never ship a binary built with this tag.
+func waitHarden(context.Context, *Engine, page.LSN) error {
+	return nil
+}

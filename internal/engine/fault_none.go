@@ -1,0 +1,18 @@
+//go:build !chaosfault
+
+package engine
+
+import (
+	"context"
+
+	"socrates/internal/page"
+)
+
+// waitHarden blocks until the commit record at lsn is durable. This is the
+// production implementation: a commit is acknowledged only after the log
+// pipeline hardens it. The chaosfault build tag swaps in a deliberately
+// broken version (ack before harden) so the chaos oracle's self-test can
+// prove it detects durability violations.
+func waitHarden(ctx context.Context, e *Engine, lsn page.LSN) error {
+	return e.cfg.Log.WaitHarden(ctx, lsn)
+}

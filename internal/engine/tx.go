@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"socrates/internal/obs"
+	"socrates/internal/page"
 	"socrates/internal/txn"
 	"socrates/internal/versionstore"
 	"socrates/internal/wal"
@@ -26,6 +27,13 @@ type Tx struct {
 	snapshot uint64
 	readOnly bool
 	done     bool
+
+	// commitLSN is the LSN of the commit record, set during Commit the
+	// moment the record is appended — before the harden wait. It therefore
+	// survives ambiguous commits (ctx expired mid-wait), letting callers
+	// (the chaos oracle in particular) know exactly which log position to
+	// probe for the outcome. Zero until then and for empty write sets.
+	commitLSN page.LSN
 
 	writes   []writeOp
 	writeIdx map[string]int // lock key → index of the latest write
@@ -88,6 +96,12 @@ func (tx *Tx) Snapshot() uint64 { return tx.snapshot }
 
 // ID reports the transaction ID.
 func (tx *Tx) ID() uint64 { return tx.id }
+
+// CommitLSN reports the LSN of this transaction's commit record: zero
+// before Commit, after Abort, or when the write set was empty or rejected
+// before reaching the log. Non-zero even when Commit returned an
+// ambiguous-outcome error, so the caller can probe the log for the verdict.
+func (tx *Tx) CommitLSN() page.LSN { return tx.commitLSN }
 
 // Get returns the value of key in table visible to this transaction,
 // including its own uncommitted writes.
@@ -373,6 +387,7 @@ func (tx *Tx) Commit() error {
 		commitRec.TraceID, commitRec.SpanID = uint64(sc.TraceID), uint64(sc.SpanID)
 	}
 	commitLSN := e.cfg.Log.Append(commitRec)
+	tx.commitLSN = commitLSN
 	e.commitMu.Unlock()
 	// Publish the commit frontier before waiting on durability: the
 	// watermark ladder's top rung is "appended", and the hardened rung
@@ -380,7 +395,7 @@ func (tx *Tx) Commit() error {
 	// WaitHarden) makes harden lag legible in time domain.
 	e.cfg.Watermarks.PublishCommit(uint64(commitLSN))
 
-	if err := e.cfg.Log.WaitHarden(ctx, commitLSN); err != nil {
+	if err := waitHarden(ctx, e, commitLSN); err != nil {
 		span.SetError(err)
 		if ctx.Err() != nil {
 			// Ambiguous commit (see the method comment): the caller gave

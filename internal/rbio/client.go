@@ -245,6 +245,26 @@ func (s *Selector) Len() int {
 	return len(s.clients)
 }
 
+// Remove drops every endpoint whose address matches addr, reporting how
+// many were removed. Cluster workflows use it when a page-server replica
+// is retired or killed, so the selector stops burning failover attempts
+// on a permanently dead endpoint.
+func (s *Selector) Remove(addr string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.clients[:0]
+	removed := 0
+	for _, c := range s.clients {
+		if c.Addr() == addr {
+			removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.clients = kept
+	return removed
+}
+
 // Best returns the endpoint with the lowest smoothed latency, preferring
 // unsampled endpoints over sampled ones so every replica gets probed.
 func (s *Selector) Best() *Client {

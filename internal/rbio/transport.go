@@ -73,6 +73,19 @@ func (n *Network) SetLoss(p float64) {
 	n.mu.Unlock()
 }
 
+// SetSeed re-seeds the fabric's jitter/loss/reorder RNG so an entire
+// deployment's network behavior replays from one integer (chaos harness
+// reproducibility). Call before traffic flows; a zero seed is a no-op,
+// keeping the default stream.
+func (n *Network) SetSeed(seed int64) {
+	if seed == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.rng = rand.New(rand.NewSource(seed))
+	n.mu.Unlock()
+}
+
 // SetReorderWindow makes fire-and-forget sends arrive with up to d of extra
 // random delay, so later sends can overtake earlier ones (the "lossy
 // protocol" of §4.3 reorders as well as drops).

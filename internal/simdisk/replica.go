@@ -24,12 +24,24 @@ type Replicated struct {
 // given write quorum. Each replica gets an independent jitter stream so
 // quorum writes genuinely wait for the q-th fastest replica.
 func NewReplicated(p Profile, n, quorum int, opts ...Option) (*Replicated, error) {
+	return NewReplicatedSeeded(p, n, quorum, 0, opts...)
+}
+
+// NewReplicatedSeeded is NewReplicated with every replica's jitter stream
+// derived from one root seed via MixSeed, so a replicated volume is
+// reproducible from a single integer. A zero seed keeps the historical
+// fixed per-replica seeds (1..n).
+func NewReplicatedSeeded(p Profile, n, quorum int, seed int64, opts ...Option) (*Replicated, error) {
 	if n <= 0 || quorum <= 0 || quorum > n {
 		return nil, fmt.Errorf("simdisk: invalid replication n=%d quorum=%d", n, quorum)
 	}
 	r := &Replicated{quorum: quorum}
 	for i := 0; i < n; i++ {
-		seeded := append([]Option{WithSeed(int64(i + 1))}, opts...)
+		rs := int64(i + 1)
+		if seed != 0 {
+			rs = MixSeed(seed, int64(i+1))
+		}
+		seeded := append([]Option{WithSeed(rs)}, opts...)
 		r.replicas = append(r.replicas, New(p, seeded...))
 	}
 	return r, nil

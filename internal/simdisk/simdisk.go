@@ -188,6 +188,23 @@ func WithSeed(seed int64) Option {
 	return func(d *Device) { d.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// MixSeed derives an independent child seed from a root seed and a lane
+// number (splitmix64 finalizer). A deployment built from one root seed
+// hands every device its own well-separated jitter stream, so the whole
+// cluster replays from a single integer without correlated jitter across
+// devices.
+func MixSeed(seed, lane int64) int64 {
+	z := uint64(seed) + uint64(lane)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		s = 1 // rand.NewSource(0) is legal but 0 doubles as "unset" upstream
+	}
+	return s
+}
+
 // New creates a device with the given profile.
 func New(p Profile, opts ...Option) *Device {
 	d := &Device{

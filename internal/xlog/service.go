@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -60,11 +61,20 @@ type Service struct {
 
 	consumers map[string]*consumer
 
+	// producerEpoch identifies the current log producer. A primary crash
+	// can leave speculative (fed-but-never-hardened) blocks in the pending
+	// area whose LSNs the *next* primary reuses; if the new block's feed
+	// is lost, promotion would otherwise trust the dead producer's bytes
+	// and disseminate transactions that are not in the durable log. Every
+	// feed is stamped with its producer's epoch; BeginEpoch advances the
+	// accepted epoch on failover and purges the dead producer's tail.
+	producerEpoch uint64
+
 	destageKick chan struct{}
 	done        chan struct{}
 	wg          sync.WaitGroup
 
-	feedReceived, feedStale, gapFills int
+	feedReceived, feedStale, feedWrongEpoch, gapFills int
 }
 
 type consumer struct {
@@ -196,8 +206,23 @@ func (s *Service) Close() {
 // commit's span identity when the block arrived over RBIO v2.
 func (s *Service) Feed(ctx context.Context, b *wal.Block) { s.FeedEncoded(ctx, b, nil) }
 
-// FeedEncoded is Feed with the block's already-encoded bytes.
+// FeedEncoded is Feed with the block's already-encoded bytes. It accepts
+// the block as the current producer's (direct in-process callers are by
+// definition the live producer); the RBIO handler instead routes through
+// FeedEncodedFrom with the epoch stamped on the frame.
 func (s *Service) FeedEncoded(ctx context.Context, b *wal.Block, enc []byte) {
+	s.mu.Lock()
+	epoch := s.producerEpoch
+	s.mu.Unlock()
+	s.FeedEncodedFrom(ctx, epoch, b, enc)
+}
+
+// FeedEncodedFrom ingests a fed block from the producer identified by
+// epoch. Blocks from a superseded producer are dropped: their LSNs may
+// have been reissued by the current primary, and promoting a dead
+// producer's speculative bytes would disseminate transactions that are
+// not in the durable log (the feed is only a hint; the LZ is the truth).
+func (s *Service) FeedEncodedFrom(ctx context.Context, epoch uint64, b *wal.Block, enc []byte) {
 	_, sp := s.tracer.JoinSpan(ctx, obs.TierXLOG, "xlog.feed")
 	defer sp.End()
 	if enc == nil {
@@ -206,6 +231,13 @@ func (s *Service) FeedEncoded(ctx context.Context, b *wal.Block, enc []byte) {
 	s.mu.Lock()
 	s.feedReceived++
 	s.metrics.Counter("xlog.feed.blocks").Inc()
+	if epoch != s.producerEpoch {
+		s.feedWrongEpoch++
+		s.metrics.Counter("xlog.feed.wrong_epoch").Inc()
+		s.mu.Unlock()
+		sp.SetAttr("wrong_epoch", "true")
+		return
+	}
 	if b.End.AtMost(s.promoted) {
 		s.feedStale++
 		s.metrics.Counter("xlog.feed.stale").Inc()
@@ -215,6 +247,38 @@ func (s *Service) FeedEncoded(ctx context.Context, b *wal.Block, enc []byte) {
 	}
 	s.pending[b.Start] = entry{b: b, enc: enc}
 	s.mu.Unlock()
+}
+
+// Epoch reports the currently accepted producer epoch.
+func (s *Service) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.producerEpoch
+}
+
+// BeginEpoch installs a new log producer: the dead producer's speculative
+// tail (pending blocks beyond the promoted watermark) is purged, the
+// accepted feed epoch advances so the old producer's in-flight feeds are
+// rejected on arrival, and the promotion watermark is synchronously
+// gap-filled to hardenedEnd from the LZ. Returns the new epoch, which the
+// replacement primary must stamp on its feeds. This is the failover
+// handshake that makes LSN reuse across primaries safe.
+func (s *Service) BeginEpoch(ctx context.Context, hardenedEnd page.LSN) uint64 {
+	s.mu.Lock()
+	s.producerEpoch++
+	epoch := s.producerEpoch
+	purged := 0
+	for start, e := range s.pending {
+		if e.b.End.After(s.promoted) {
+			delete(s.pending, start)
+			purged++
+		}
+	}
+	s.mu.Unlock()
+	s.flight.Record(obs.TierXLOG, "xlog.epoch", uint64(hardenedEnd), 0,
+		fmt.Sprintf("producer epoch %d; purged %d speculative pending blocks", epoch, purged))
+	s.ReportHardened(ctx, hardenedEnd)
+	return epoch
 }
 
 // ReportHardened tells the service every block with End <= lsn is durable
@@ -525,6 +589,14 @@ func (s *Service) MinAppliedLSN() page.LSN {
 	return min
 }
 
+// FeedWrongEpoch reports how many fed blocks were dropped because they
+// came from a superseded producer (see BeginEpoch).
+func (s *Service) FeedWrongEpoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feedWrongEpoch
+}
+
 // Stats reports feed/dissemination counters: feed blocks received, stale
 // feed blocks dropped, and gaps filled from the LZ.
 func (s *Service) Stats() (received, stale, gapFills int) {
@@ -579,7 +651,10 @@ func (s *Service) Handler() rbio.Handler {
 			if err != nil {
 				return rbio.Errorf("bad feed block: %v", err)
 			}
-			s.FeedEncoded(ctx, b, req.Payload)
+			// The Consumer field carries the producer epoch on feed
+			// frames ("" = epoch 0, the bootstrap producer).
+			epoch, _ := strconv.ParseUint(req.Consumer, 10, 64)
+			s.FeedEncodedFrom(ctx, epoch, b, req.Payload)
 			return rbio.Ok()
 		case rbio.MsgHardenReport:
 			s.ReportHardened(ctx, req.LSN)
