@@ -7,9 +7,9 @@ GO ?= go
 # `make bench` / cmd/socrates-bench.
 RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
-             ./internal/obs
+             ./internal/obs ./internal/netmux ./internal/rbio
 
-.PHONY: all lint fmt vet test race chaos bench bench-obs clean
+.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux clean
 
 all: lint test
 
@@ -46,6 +46,12 @@ bench:
 # A/B on the group-commit path; see BENCH_pr3.json).
 bench-obs:
 	$(GO) run ./cmd/socrates-bench -exp obs -measure 2s -warmup 500ms -json BENCH_pr3.json
+
+# Regenerate the netmux transport seed: 32 concurrent GetPage@LSN readers
+# at simulated >=0.5 ms RTT, sequential-v2 vs mux-v3 over the same server
+# (see BENCH_pr5.json).
+bench-mux:
+	$(GO) run ./cmd/socrates-bench -exp mux -measure 2s -warmup 500ms -json BENCH_pr5.json
 
 clean:
 	$(GO) clean ./...

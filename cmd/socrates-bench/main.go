@@ -32,7 +32,7 @@ import (
 var results = map[string]any{}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, or all")
+	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, mux, or all")
 	measure := flag.Duration("measure", 2*time.Second, "measurement window per data point")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warm-up before each measurement")
 	sf := flag.Int("sf", 2000, "CDB scale factor (rows per scaled table)")
@@ -84,6 +84,7 @@ func main() {
 	run("figure4", func() error { return runFigure4(o) })
 	run("table7", func() error { return runTable7(o) })
 	run("obs", func() error { return runObs(o) })
+	run("mux", func() error { return runMux(o) })
 
 	if *jsonOut != "" {
 		results["generated"] = time.Now().UTC().Format(time.RFC3339)
@@ -249,6 +250,27 @@ func runObs(o experiments.Options) error {
 		r.OverheadPct, r.Events, r.Watermarks)
 	if r.OverheadPct >= 5 {
 		fmt.Fprintln(w, "WARNING: overhead exceeds the 5% budget on this host")
+	}
+	return w.Flush()
+}
+
+func runMux(o experiments.Options) error {
+	r, err := experiments.Mux(o)
+	if err != nil {
+		return err
+	}
+	results["mux"] = r
+	w := tw()
+	fmt.Fprintf(w, "GetPage@LSN, %d readers, %d conns, %d us simulated RTT\n",
+		r.Readers, r.Conns, r.RTTMicros)
+	fmt.Fprintln(w, "Transport\tOps\tTPS")
+	fmt.Fprintf(w, "sequential v2\t%d\t%.0f\n", r.SeqOps, r.SeqTPS)
+	fmt.Fprintf(w, "mux v3\t%d\t%.0f\n", r.MuxOps, r.MuxTPS)
+	fmt.Fprintf(w, "\nmux/sequential speedup: %.1fx (target: >=3x)\n", r.Speedup)
+	fmt.Fprintf(w, "coalescer: %d hits / %d misses (%.1f%% hit rate)\n",
+		r.CoalesceHits, r.CoalesceMisses, r.CoalesceHitPct)
+	if r.Speedup < 3 {
+		fmt.Fprintln(w, "WARNING: speedup below the 3x target on this host")
 	}
 	return w.Flush()
 }

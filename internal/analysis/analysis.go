@@ -1,10 +1,12 @@
-// Package analysis is the socrates-vet static-analysis suite: seven
+// Package analysis is the socrates-vet static-analysis suite: eight
 // domain-specific passes that encode the cross-tier invariants the paper's
 // architecture depends on (durability-before-ack, LSN monotonicity, lock
 // discipline in the caches, no sleep-polling on hot paths, coherent
-// atomics, the context-first tracing discipline, and the observability
-// plane's instrument-naming contract). Each pass is pure stdlib — go/ast +
-// go/types — and runs over type-checked packages produced by the Loader.
+// atomics, the context-first tracing discipline, the observability
+// plane's instrument-naming contract, and the netmux fabric discipline —
+// no raw dials, deadlines at the wire). Each pass is pure stdlib —
+// go/ast + go/types — and runs over type-checked packages produced by the
+// Loader.
 //
 // Intentional violations are annotated in source with directives of the form
 //
@@ -178,6 +180,8 @@ var knownDirectives = map[string]bool{
 	"atomic-ok":  true, // atomiclint: reviewed mixed access (e.g. pre-publication init)
 	"ctx-ok":     true, // ctxlint: reviewed context-discipline exception
 	"metric-ok":  true, // obslint: reviewed instrument-naming exception
+	"nodeadline": true, // muxlint: reviewed unbounded-context fabric call
+	"mux-ok":     true, // muxlint: reviewed raw-dial exception
 }
 
 // CheckDirectives validates every //socrates: annotation in the package:
@@ -223,6 +227,7 @@ func AllPasses() []Pass {
 		NewAtomicLint(),
 		DefaultCtxLint(),
 		DefaultObsLint(),
+		DefaultMuxLint(),
 	}
 }
 

@@ -222,3 +222,28 @@ func TestLoaderLoadsRepoPackage(t *testing.T) {
 		t.Fatalf("got package %q", pkg.Pkg.Name())
 	}
 }
+
+func TestMuxLintFixtures(t *testing.T) {
+	runFixturePair(t, analysis.DefaultMuxLint(), "muxlint", 5, "fabric")
+}
+
+// TestMuxLintFindsExactSites pins each muxlint failure mode to the
+// fixture sites that exercise it.
+func TestMuxLintFindsExactSites(t *testing.T) {
+	loader := newLoader(t)
+	bad := loadFixture(t, loader, "muxlint/bad")
+	diags := analysis.DefaultMuxLint().Run(bad)
+	var rawDial, noDeadline int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "raw net.Dial"):
+			rawDial++
+		case strings.Contains(d.Message, "no deadline"):
+			noDeadline++
+		}
+	}
+	if rawDial != 2 || noDeadline != 3 {
+		t.Fatalf("muxlint check coverage: rawDial=%d noDeadline=%d\n%s",
+			rawDial, noDeadline, render(diags))
+	}
+}

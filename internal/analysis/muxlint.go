@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MuxLint enforces the netmux fabric discipline, introduced with the
+// multiplexed inter-tier RPC transport: all inter-tier traffic flows
+// through the pooled, backpressured netmux/RBIO stack, and every call
+// that enters the fabric carries a deadline so an abandoned request
+// releases its in-flight slot instead of occupying it forever.
+//
+// Two checks:
+//
+//  1. no-raw-dial: net.Dial / net.DialTimeout / net.DialTCP / … and
+//     (*net.Dialer).Dial* are banned outside the transport packages
+//     (internal/netmux, internal/rbio). A raw socket bypasses request-ID
+//     demux, pooling, health eviction, and the in-flight caps — the
+//     exact failure modes the fabric exists to own.
+//  2. deadline-at-entry: a Call/Send into the fabric (rbio.Client,
+//     rbio.Selector, rbio.Conn implementations, netmux.Pool/MuxConn)
+//     whose context argument is a literal context.Background() or
+//     context.TODO() carries no deadline and no cancellation: if the
+//     peer stalls, the caller leaks a slot until the pool backpressures.
+//     Genuine fire-and-wait-forever sites (boot-time recovery, tests'
+//     harness plumbing) are annotated //socrates:nodeadline <reason>.
+//
+// The second check is a literal-site check, not dataflow: a ctx variable
+// passed through is trusted to have been bounded by the caller (ctxlint
+// already forces it to be threaded). What it catches is the root that
+// MINTS an unbounded context directly at the wire.
+type MuxLint struct {
+	// TransportPkgs are import-path substrings allowed to open raw
+	// sockets (the transport itself).
+	TransportPkgs []string
+	// FabricPkgs are import-path substrings whose Call/Send methods form
+	// the fabric entry surface checked by deadline-at-entry.
+	FabricPkgs []string
+}
+
+// DefaultMuxLint returns muxlint configured for the Socrates tree.
+func DefaultMuxLint() *MuxLint {
+	return &MuxLint{
+		TransportPkgs: []string{
+			"socrates/internal/netmux",
+			"socrates/internal/rbio",
+		},
+		FabricPkgs: []string{
+			"socrates/internal/rbio",
+			"socrates/internal/netmux",
+		},
+	}
+}
+
+// NewMuxLint returns muxlint with explicit package sets (fixtures).
+func NewMuxLint(transport, fabric []string) *MuxLint {
+	return &MuxLint{TransportPkgs: transport, FabricPkgs: fabric}
+}
+
+// Name implements Pass.
+func (m *MuxLint) Name() string { return "muxlint" }
+
+// Run implements Pass.
+func (m *MuxLint) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	inTransport := false
+	for _, p := range m.TransportPkgs {
+		if strings.Contains(pkg.Path, p) {
+			inTransport = true
+			break
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !inTransport {
+				out = append(out, m.checkRawDial(pkg, call)...)
+			}
+			out = append(out, m.checkDeadline(pkg, call)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkRawDial flags net.Dial* calls outside the transport packages.
+func (m *MuxLint) checkRawDial(pkg *Package, call *ast.CallExpr) []Diagnostic {
+	obj := calleeObject(pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Dial") {
+		return nil
+	}
+	if pkg.DirectiveAt("mux-ok", call) {
+		return nil
+	}
+	return []Diagnostic{pkg.diag("muxlint", call,
+		"raw net.%s bypasses the netmux fabric (no request-ID demux, pooling, health eviction, or backpressure); dial through internal/netmux or internal/rbio, or annotate //socrates:mux-ok <reason>",
+		obj.Name())}
+}
+
+// checkDeadline flags fabric Call/Send sites whose ctx argument is a
+// literal unbounded context.
+func (m *MuxLint) checkDeadline(pkg *Package, call *ast.CallExpr) []Diagnostic {
+	obj := calleeObject(pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Name() != "Call" && obj.Name() != "Send" {
+		return nil
+	}
+	fabric := false
+	for _, p := range m.FabricPkgs {
+		if strings.Contains(obj.Pkg().Path(), p) {
+			fabric = true
+			break
+		}
+	}
+	if !fabric || len(call.Args) == 0 {
+		return nil
+	}
+	ctxName := unboundedCtxLiteral(pkg, call.Args[0])
+	if ctxName == "" {
+		return nil
+	}
+	if pkg.DirectiveAt("nodeadline", call) {
+		return nil
+	}
+	return []Diagnostic{pkg.diag("muxlint", call,
+		"context.%s() at a fabric %s site has no deadline: a stalled peer pins this request's in-flight slot until the pool backpressures; use context.WithTimeout, or annotate //socrates:nodeadline <reason>",
+		ctxName, obj.Name())}
+}
+
+// unboundedCtxLiteral reports "Background" or "TODO" when expr is a
+// direct context.Background()/context.TODO() call, else "".
+func unboundedCtxLiteral(pkg *Package, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	obj := calleeObject(pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,45 @@
+// Package bad is a muxlint fixture: every way to bypass the netmux
+// fabric discipline.
+package bad
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"socrates/internal/netmux"
+	"socrates/internal/rbio"
+)
+
+// Node talks to its peers.
+type Node struct {
+	client *rbio.Client
+	pool   *netmux.Pool
+}
+
+// connect opens a raw socket around the fabric. // want muxlint: raw dial
+func (n *Node) connect(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// connectTimeout is a raw dial too. // want muxlint: raw dial
+func (n *Node) connectTimeout(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}
+
+// ping mints an unbounded context at the wire. // want muxlint: no deadline
+func (n *Node) ping() error {
+	_, err := n.client.Call(context.Background(), &rbio.Request{Type: rbio.MsgPing})
+	return err
+}
+
+// pingPool does the same through a netmux pool. // want muxlint: no deadline
+func (n *Node) pingPool() error {
+	_, err := n.pool.Call(context.Background(), &rbio.Request{Type: rbio.MsgPing})
+	return err
+}
+
+// feed fires-and-forgets with a TODO context. // want muxlint: no deadline
+func (n *Node) feed() error {
+	return n.client.Send(context.TODO(), &rbio.Request{Type: rbio.MsgPing})
+}

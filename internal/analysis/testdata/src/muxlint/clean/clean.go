@@ -1,0 +1,43 @@
+// Package clean is a muxlint fixture: the sanctioned patterns.
+package clean
+
+import (
+	"context"
+	"time"
+
+	"socrates/internal/netmux"
+	"socrates/internal/rbio"
+)
+
+// Node talks to its peers through the fabric.
+type Node struct {
+	client *rbio.Client
+	pool   *netmux.Pool
+}
+
+// ping bounds the wire call with a deadline.
+func (n *Node) ping(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_, err := n.client.Call(ctx, &rbio.Request{Type: rbio.MsgPing})
+	return err
+}
+
+// pingPool threads the caller's (already bounded) context through.
+func (n *Node) pingPool(ctx context.Context) error {
+	_, err := n.pool.Call(ctx, &rbio.Request{Type: rbio.MsgPing})
+	return err
+}
+
+// warm is a reviewed unbounded site: boot-time warmup with no caller to
+// time it out.
+func (n *Node) warm() error {
+	//socrates:nodeadline boot-time warmup; progress is monitored by the boot watchdog, not a per-call deadline
+	_, err := n.client.Call(context.Background(), &rbio.Request{Type: rbio.MsgPing})
+	return err
+}
+
+// dialer builds a fabric dialer — the transport does the raw dialing.
+func dialer(m *netmux.Metrics) netmux.Dialer {
+	return func(addr string) (rbio.Conn, error) { return netmux.DialTCP(addr, m) }
+}

@@ -73,6 +73,25 @@ func TestChaosScheduleDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosMuxDisturb is the tier-1 smoke for the netmux fabric: the
+// "mux" scenario (the only one weighting StepMuxDisturb) severs every
+// pooled connection mid-flight over and over; pools must redial, the
+// client layer must retry, and the oracle must stay clean.
+func TestChaosMuxDisturb(t *testing.T) {
+	steps := 120
+	if testing.Short() {
+		steps = 50
+	}
+	res, err := Run(Config{Seed: 3, Scenario: "mux", Steps: steps})
+	requireClean(t, res, err)
+	if res.Acked == 0 {
+		t.Fatalf("no commits acked in %d steps — the workload never ran", res.Steps)
+	}
+	if res.Faults == 0 {
+		t.Fatal("mux scenario injected no faults — StepMuxDisturb never fired")
+	}
+}
+
 // TestChaosScenarios runs every registered scenario once.
 func TestChaosScenarios(t *testing.T) {
 	if testing.Short() {

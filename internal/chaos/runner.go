@@ -264,6 +264,13 @@ func (r *runner) execute(st Step) error {
 	case StepCatchUpProbe:
 		r.res.Probes++
 		return r.catchUpProbe()
+	case StepMuxDisturb:
+		// Tear every pooled netmux connection mid-flight; pools must
+		// evict and redial, in-flight calls fail over at the client
+		// layer, and no acked write may be lost.
+		r.c.SeverMuxConns()
+		r.res.Faults++
+		return nil
 	}
 	return fmt.Errorf("unknown step kind %v", st.Kind)
 }

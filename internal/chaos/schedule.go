@@ -59,15 +59,23 @@ const (
 	// consumers to catch up to the hardened end, and audits every key on
 	// the primary and every secondary.
 	StepCatchUpProbe
+	// StepMuxDisturb severs every pooled netmux connection mid-flight —
+	// the chaos move for the multiplexed RPC fabric. In-flight calls fail
+	// with ErrUnavailable, pools evict and lazily redial, and the
+	// workload must carry on with no acked-write loss and no cross-paired
+	// responses. Appended after StepCatchUpProbe (schedule-hash contract:
+	// never renumber) and weighted only in the "mux" scenario so the
+	// pinned fingerprints of older scenarios stay valid.
+	StepMuxDisturb
 
-	numStepKinds = int(StepCatchUpProbe) + 1
+	numStepKinds = int(StepMuxDisturb) + 1
 )
 
 var stepNames = [numStepKinds]string{
 	"put", "pair", "read-primary", "read-secondary", "lz-outage",
 	"quorum-loss", "feed-loss", "failover", "add-secondary",
 	"remove-secondary", "ps-churn", "split", "xstore-outage",
-	"backup", "restore-probe", "catchup-probe",
+	"backup", "restore-probe", "catchup-probe", "mux-disturb",
 }
 
 // String names the step kind.
@@ -138,6 +146,17 @@ var scenarios = map[string]Spec{
 		StepPut: 25, StepPair: 5, StepReadPrimary: 5, StepReadSecondary: 3,
 		StepFailover: 1, StepFeedLoss: 2,
 		StepBackup: 8, StepRestoreProbe: 8, StepCatchUpProbe: 2,
+	}},
+	// mux tortures the netmux RPC fabric: heavy read/write traffic with
+	// frequent mid-flight connection severing, plus the usual fault blend
+	// so pool redials race failovers and churn. New scenario on purpose —
+	// adding StepMuxDisturb to an existing scenario would shift its
+	// pinned schedule fingerprints.
+	"mux": {Name: "mux", Weights: [numStepKinds]int{
+		StepPut: 25, StepPair: 8, StepReadPrimary: 12, StepReadSecondary: 12,
+		StepMuxDisturb: 10, StepFeedLoss: 2, StepFailover: 2,
+		StepAddSecondary: 2, StepRemoveSecondary: 2, StepPSChurn: 2,
+		StepCatchUpProbe: 3,
 	}},
 }
 
@@ -340,6 +359,10 @@ func (g *generator) Next() Step {
 		g.feedLoss, g.feedAge = false, 0
 		g.xstoreOut, g.xsAge = false, 0
 		return Step{Kind: StepCatchUpProbe}
+	case StepMuxDisturb:
+		// Severing is instantaneous (pools lazily redial), so it opens no
+		// fault window in the shadow model.
+		return Step{Kind: StepMuxDisturb}
 	}
 	return Step{Kind: StepPut, Key: 0} // unreachable
 }

@@ -16,6 +16,7 @@ import (
 
 	"socrates/internal/compute"
 	"socrates/internal/metrics"
+	"socrates/internal/netmux"
 	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/pageserver"
@@ -157,6 +158,12 @@ type Cluster struct {
 	// a deterministic workflow schedule).
 	seedLane atomic.Int64
 
+	// muxMetrics instruments every inter-tier netmux pool of the
+	// deployment; pools tracks them for chaos severing.
+	muxMetrics *netmux.Metrics
+	poolMu     sync.Mutex
+	pools      []*netmux.Pool
+
 	mu          sync.Mutex
 	pt          page.Partitioning
 	epoch       uint64 // current producer epoch (bumped by Failover)
@@ -211,6 +218,7 @@ func New(cfg Config) (*Cluster, error) {
 	if c.Flight == nil {
 		c.Flight = obs.NewFlightRecorder(0)
 	}
+	c.muxMetrics = netmux.NewMetrics(c.Metrics)
 	// The watchdog watches the whole ladder; its first trip freezes a copy
 	// of the flight ring (the "seconds before the stall" postmortem) and
 	// every trip lands in the ring itself.
@@ -310,8 +318,37 @@ func (c *Cluster) dev(p simdisk.Profile, opts ...simdisk.Option) *simdisk.Device
 	return simdisk.New(p, opts...)
 }
 
+// pool builds a netmux pool to addr over the deployment's fabric. Every
+// inter-tier client of the cluster dials through one of these, so the
+// whole deployment gets per-destination in-flight caps, bounded queuing,
+// health-based eviction, and chaos-severable connections for free.
+func (c *Cluster) pool(addr string) *netmux.Pool {
+	p := netmux.NewPool(addr,
+		func(a string) (rbio.Conn, error) { return c.Net.Dial(a), nil },
+		netmux.Options{Metrics: c.muxMetrics, Flight: c.Flight})
+	c.poolMu.Lock()
+	c.pools = append(c.pools, p)
+	c.poolMu.Unlock()
+	return p
+}
+
+// SeverMuxConns severs every pooled inter-tier connection mid-flight
+// (chaos injection: a fabric-wide partition tearing established
+// streams). In-flight calls fail and retry onto freshly dialed
+// connections; it reports how many conns were severed.
+func (c *Cluster) SeverMuxConns() int {
+	c.poolMu.Lock()
+	pools := append([]*netmux.Pool(nil), c.pools...)
+	c.poolMu.Unlock()
+	n := 0
+	for _, p := range pools {
+		n += p.SeverAll()
+	}
+	return n
+}
+
 func (c *Cluster) xlogClient() *rbio.Client {
-	return rbio.NewClient(c.Net.Dial(c.addr("xlog")))
+	return rbio.NewClient(c.pool(c.addr("xlog")))
 }
 
 // resolve maps a page to the selector of the replica set serving it. When
@@ -415,13 +452,13 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 	joined := false
 	for _, r := range c.ranges {
 		if r.lo == lo && r.hi == hi {
-			c.selectors[r.addr].Add(rbio.NewClient(c.Net.Dial(addr)))
+			c.selectors[r.addr].Add(rbio.NewClient(c.pool(addr)))
 			joined = true
 			break
 		}
 	}
 	if !joined {
-		sel := rbio.NewSelector(rbio.NewClient(c.Net.Dial(addr)))
+		sel := rbio.NewSelector(rbio.NewClient(c.pool(addr)))
 		c.selectors[addr] = sel
 		c.ranges = append(c.ranges, serverRange{lo: lo, hi: hi, addr: addr})
 	}

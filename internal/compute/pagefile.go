@@ -10,11 +10,13 @@ import (
 	"socrates/internal/btree"
 	"socrates/internal/fcb"
 	"socrates/internal/metrics"
+	"socrates/internal/netmux"
 	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/pageserver"
 	"socrates/internal/rbio"
 	"socrates/internal/rbpex"
+	"socrates/internal/socerr"
 	"socrates/internal/wal"
 )
 
@@ -45,6 +47,10 @@ type RemotePageFile struct {
 	fetches  metrics.Counter
 	rangeOps metrics.Counter
 
+	// coal coalesces concurrent GetPage@LSN misses for the same page
+	// into one wire RPC (netmux singleflight).
+	coal *netmux.Coalescer
+
 	tracer *obs.Tracer
 	obsReg *obs.Registry
 	flight *obs.FlightRecorder
@@ -52,9 +58,11 @@ type RemotePageFile struct {
 
 // SetObs wires a tracer and metrics registry: a remote GetPage@LSN miss
 // under a traced request becomes a "compute.getpage" span, and every miss
-// records compute.getpage.* metrics.
+// records compute.getpage.* metrics. The miss coalescer's hit/miss
+// counters (netmux.coalesce.*) land on the same registry.
 func (f *RemotePageFile) SetObs(t *obs.Tracer, r *obs.Registry) {
 	f.tracer, f.obsReg = t, r
+	f.coal = netmux.NewCoalescer(netmux.NewMetrics(r))
 }
 
 // SetFlight wires the flight recorder: cache misses (remote GetPage@LSN
@@ -68,6 +76,7 @@ func NewRemotePageFile(cfg rbpex.Config, resolve Resolver, floor func() page.LSN
 		floor:   floor,
 		evicted: make(map[page.ID]page.LSN),
 		pending: make(map[page.ID][]*wal.Record),
+		coal:    netmux.NewCoalescer(nil),
 	}
 	cfg.OnEvict = f.noteEvicted
 	cache, err := rbpex.Open(cfg)
@@ -152,7 +161,14 @@ func (f *RemotePageFile) fetch(ctx context.Context, id page.ID) (*page.Page, err
 	defer span.End()
 	f.obsReg.Counter("compute.getpage.remote").Inc()
 	minLSN := f.minLSN(id)
-	resp, err := sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: minLSN})
+	// Coalesce with any in-flight fetch of the same page at a compatible
+	// LSN: concurrent misses share one wire RPC (netmux singleflight).
+	resp, shared, err := f.coal.Do(ctx, id, minLSN, func() (*rbio.Response, error) {
+		return sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: minLSN})
+	})
+	if shared {
+		span.SetAttr("coalesced", "true")
+	}
 	f.obsReg.Histogram("compute.getpage.latency").Observe(time.Since(start))
 	f.flight.RecordTrace(obs.TierCompute, "compute.getpage", uint64(minLSN),
 		span.Context().TraceID, time.Since(start),
@@ -187,28 +203,86 @@ func (f *RemotePageFile) fetch(ctx context.Context, id page.ID) (*page.Page, err
 	return pg, nil
 }
 
-// ReadRange fetches count consecutive pages with a single page-server range
-// I/O, bypassing the sparse cache (scan offloading, §4.1.5).
+// rangeFanout bounds how many per-page requests of one range read are in
+// flight at once. It sits below the netmux pool's in-flight cap so one
+// bulk range read cannot trip backpressure for latency-sensitive misses.
+const rangeFanout = 16
+
+// ReadRange fetches count consecutive pages, bypassing the sparse cache
+// (scan offloading, §4.1.5).
 func (f *RemotePageFile) ReadRange(start page.ID, count int) ([]*page.Page, error) {
 	return f.ReadRangeContext(context.Background(), start, count)
 }
 
 // ReadRangeContext is ReadRange bounded by (and traced through) ctx.
+//
+// The range is pipelined as scattered per-page GetPage@LSN requests —
+// the mux fabric keeps up to rangeFanout of them in flight on the wire
+// at once — and reassembled in order. Pages resolve individually, so a
+// range spanning a partition split boundary scatters to the right
+// owners. A mid-range failure returns the successful prefix plus a
+// socerr.ErrPartial-classified error, so warmup/scan callers keep the
+// progress they paid for.
 func (f *RemotePageFile) ReadRangeContext(ctx context.Context, start page.ID, count int) ([]*page.Page, error) {
-	sel, err := f.resolve(start)
-	if err != nil {
-		return nil, err
+	if count <= 0 {
+		return nil, nil
 	}
 	f.rangeOps.Inc()
-	resp, err := sel.Call(ctx, &rbio.Request{
-		Type: rbio.MsgGetPage, Page: start, LSN: f.floor(), MaxBytes: int32(count)})
-	if err != nil {
-		return nil, err
+	floor := f.floor()
+	type res struct {
+		pg  *page.Page
+		err error
 	}
-	if err := resp.Err(); err != nil {
-		return nil, err
+	results := make([]res, count)
+	sem := make(chan struct{}, rangeFanout)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				results[i].err = socerr.FromContext(err)
+				return
+			}
+			id := start + page.ID(i)
+			sel, err := f.resolve(id)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			resp, err := sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: floor})
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if err := resp.Err(); err != nil {
+				results[i].err = err
+				return
+			}
+			pages, err := pageserver.DecodePages(resp.Payload)
+			if err != nil || len(pages) != 1 {
+				results[i].err = fmt.Errorf("compute: range page %d: bad payload (%d pages, %v)",
+					id, len(pages), err)
+				return
+			}
+			results[i].pg = pages[0]
+		}(i)
 	}
-	return pageserver.DecodePages(resp.Payload)
+	wg.Wait()
+	out := make([]*page.Page, 0, count)
+	for i := range results {
+		if results[i].err != nil {
+			if len(out) == 0 {
+				return nil, results[i].err
+			}
+			return out, socerr.Partialf("compute: range [%d,+%d): %d pages then page %d: %v",
+				start, count, len(out), start+page.ID(i), results[i].err)
+		}
+		out = append(out, results[i].pg)
+	}
+	return out, nil
 }
 
 // OffloadScan pushes a cell-filtering scan of count pages starting at

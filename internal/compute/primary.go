@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"socrates/internal/engine"
 	"socrates/internal/metrics"
@@ -127,7 +128,11 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 // recoverVisibility republishes the highest hardened commit timestamp so
 // new snapshots see everything that was durable before the failover.
 func (p *Primary) recoverVisibility(xlogClient *rbio.Client) error {
-	resp, err := xlogClient.Call(context.Background(), &rbio.Request{Type: rbio.MsgReadState})
+	// Bounded: a stalled XLOG should fail the failover loudly rather than
+	// wedge the new primary's boot forever.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := xlogClient.Call(ctx, &rbio.Request{Type: rbio.MsgReadState})
 	if err != nil {
 		return fmt.Errorf("compute: reading XLOG state: %w", err)
 	}

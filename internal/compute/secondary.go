@@ -228,12 +228,19 @@ func (s *Secondary) applyLoop() {
 	}
 }
 
+// pullTimeout bounds one secondary pull round against the XLOG service.
+const pullTimeout = 10 * time.Second
+
 func (s *Secondary) pullOnce() bool {
 	s.mu.Lock()
 	from := s.applied
 	s.mu.Unlock()
 
-	resp, err := s.xlog.Call(context.Background(), &rbio.Request{
+	// Bounded: the pull loop retries on failure, so a stalled XLOG costs
+	// one timed-out round instead of a wedged consumer goroutine.
+	ctx, cancel := context.WithTimeout(context.Background(), pullTimeout)
+	defer cancel()
+	resp, err := s.xlog.Call(ctx, &rbio.Request{
 		Type:      rbio.MsgPullBlocks,
 		LSN:       from,
 		Partition: -1, // secondaries consume the whole stream (§4.6)
@@ -265,7 +272,7 @@ func (s *Secondary) pullOnce() bool {
 	s.flight.Record(obs.TierCompute, "sec.apply", uint64(resp.LSN), 0,
 		s.name+": batch applied")
 	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
-	_, _ = s.xlog.Call(context.Background(), &rbio.Request{
+	_, _ = s.xlog.Call(ctx, &rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.name, LSN: resp.LSN})
 	return true
 }

@@ -213,3 +213,24 @@ func TestTable1Runs(t *testing.T) {
 		}
 	}
 }
+
+func TestMuxShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	r, err := Mux(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SeqTPS <= 0 || r.MuxTPS <= 0 {
+		t.Fatalf("zero throughput: %+v", r)
+	}
+	// The full >=3x target is asserted on quiet hosts via `make bench-mux`
+	// (BENCH_pr5.json); at test scale we pin the direction only.
+	if r.MuxTPS <= r.SeqTPS {
+		t.Fatalf("mux-v3 no faster than sequential-v2: %+v", r)
+	}
+	if r.CoalesceHits == 0 {
+		t.Fatalf("coalescer never hit under a 32-reader hot set: %+v", r)
+	}
+}

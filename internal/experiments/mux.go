@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socrates/internal/netmux"
+	"socrates/internal/obs"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+)
+
+// MuxRow is the result of the "mux" experiment: the same GetPage@LSN
+// read storm over the same TCP sockets, once on the sequential v2
+// transport (one request in flight per connection — the pre-mux stack)
+// and once on the netmux v3 fabric (request-ID multiplexing + the
+// compute-side coalescer). The paper's remote page reads cross a real
+// network, so the benchmark pins a simulated RTT well above loopback.
+type MuxRow struct {
+	RTTMicros      int64   `json:"rtt_us"`
+	Readers        int     `json:"readers"`
+	Conns          int     `json:"conns"`
+	SeqOps         int64   `json:"seq_v2_ops"`
+	MuxOps         int64   `json:"mux_v3_ops"`
+	SeqTPS         float64 `json:"seq_v2_tps"`
+	MuxTPS         float64 `json:"mux_v3_tps"`
+	Speedup        float64 `json:"speedup"`
+	CoalesceHits   uint64  `json:"coalesce_hits"`
+	CoalesceMisses uint64  `json:"coalesce_misses"`
+	CoalesceHitPct float64 `json:"coalesce_hit_pct"`
+}
+
+// Geometry of the mux experiment. 32 readers over 4 sockets is the shape
+// of a busy compute node warming its RBPEX from remote page servers.
+const (
+	muxReaders  = 32
+	muxConns    = 4
+	muxRTT      = 600 * time.Microsecond // simulated one-way service incl. wire RTT (≥0.5 ms)
+	muxHotPages = 8                      // readers hammer a hot set, so misses coalesce
+	muxOpFloor  = 64                     // minimum ops per side for a meaningful ratio
+)
+
+// Mux measures sequential-v2 vs mux-v3 GetPage@LSN throughput at a
+// simulated ≥0.5 ms RTT with 32 concurrent readers.
+func Mux(o Options) (MuxRow, error) {
+	o = o.defaults()
+	row := MuxRow{RTTMicros: muxRTT.Microseconds(), Readers: muxReaders, Conns: muxConns}
+
+	// One page-server-shaped endpoint: every GetPage costs the simulated
+	// RTT (parked, not spun — see simdisk.SleepPrecise) and returns a
+	// fixed image. The server speaks per-frame v1/v2/v3, so BOTH stacks
+	// talk to the very same listener.
+	image := make([]byte, 2048)
+	srv, err := rbio.ServeTCP("127.0.0.1:0", func(_ context.Context, req *rbio.Request) *rbio.Response {
+		simdisk.SleepPrecise(muxRTT)
+		resp := rbio.Ok()
+		resp.LSN = req.LSN
+		resp.Payload = image
+		return resp
+	})
+	if err != nil {
+		return row, err
+	}
+	defer srv.Close()
+
+	// drive runs muxReaders goroutines hammering op() for the window and
+	// returns completed ops. Reader r sends page hot[r%muxHotPages]
+	// + a rotating tail so the access pattern has both coalescable and
+	// unique requests.
+	drive := func(op func(ctx context.Context, id page.ID) error) (int64, error) {
+		var ops atomic.Int64
+		var firstErr atomic.Value
+		deadline := time.Now().Add(o.Measure)
+		var wg sync.WaitGroup
+		for r := 0; r < muxReaders; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(r) + 1))
+				for time.Now().Before(deadline) {
+					id := page.ID(rng.Intn(muxHotPages))
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := op(ctx, id)
+					cancel()
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					ops.Add(1)
+				}
+			}(r)
+		}
+		wg.Wait()
+		if e := firstErr.Load(); e != nil {
+			return ops.Load(), e.(error)
+		}
+		return ops.Load(), nil
+	}
+
+	// --- Sequential v2: the pre-mux stack. muxConns sockets, one
+	// request in flight per socket, readers round-robin across them.
+	seqConns := make([]rbio.Conn, muxConns)
+	for i := range seqConns {
+		c, err := rbio.DialTCP(srv.Addr())
+		if err != nil {
+			return row, err
+		}
+		defer c.Close()
+		seqConns[i] = c
+	}
+	var rr atomic.Uint64
+	seqStart := time.Now()
+	seqOps, err := drive(func(ctx context.Context, id page.ID) error {
+		conn := seqConns[rr.Add(1)%muxConns]
+		_, err := conn.Call(ctx, &rbio.Request{Version: 2, Type: rbio.MsgGetPage, Page: id, LSN: 1})
+		return err
+	})
+	seqElapsed := time.Since(seqStart)
+	if err != nil {
+		return row, fmt.Errorf("sequential v2 side: %w", err)
+	}
+
+	// --- Mux v3: the netmux fabric as compute runs it — a pool of
+	// muxConns multiplexed sockets behind the GetPage coalescer.
+	m := netmux.NewMetrics(obs.NewRegistry())
+	pool := netmux.NewPool(srv.Addr(), func(addr string) (rbio.Conn, error) {
+		return netmux.DialTCP(addr, m)
+	}, netmux.Options{Conns: muxConns, MaxInflight: muxReaders * 2, Metrics: m})
+	defer pool.Close()
+	coal := netmux.NewCoalescer(m)
+	muxStart := time.Now()
+	muxOps, err := drive(func(ctx context.Context, id page.ID) error {
+		_, _, err := coal.Do(ctx, id, 1, func() (*rbio.Response, error) {
+			return pool.Call(ctx, &rbio.Request{Version: rbio.Version, Type: rbio.MsgGetPage, Page: id, LSN: 1})
+		})
+		return err
+	})
+	muxElapsed := time.Since(muxStart)
+	if err != nil {
+		return row, fmt.Errorf("mux v3 side: %w", err)
+	}
+
+	if seqOps < muxOpFloor || muxOps < muxOpFloor {
+		return row, fmt.Errorf("window too small: %d sequential / %d mux ops (want ≥%d each); raise -measure",
+			seqOps, muxOps, muxOpFloor)
+	}
+
+	row.SeqOps, row.MuxOps = seqOps, muxOps
+	row.SeqTPS = float64(seqOps) / seqElapsed.Seconds()
+	row.MuxTPS = float64(muxOps) / muxElapsed.Seconds()
+	row.Speedup = row.MuxTPS / row.SeqTPS
+	row.CoalesceHits = m.CoalesceHits.Value()
+	row.CoalesceMisses = m.CoalesceMiss.Value()
+	if total := row.CoalesceHits + row.CoalesceMisses; total > 0 {
+		row.CoalesceHitPct = 100 * float64(row.CoalesceHits) / float64(total)
+	}
+	return row, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"socrates/internal/engine"
 	"socrates/internal/metrics"
+	"socrates/internal/netmux"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/socerr"
@@ -263,6 +264,12 @@ type writer struct {
 	// stays a prefix (ships are pipelined).
 	completed map[page.LSN]page.LSN
 
+	// shipPools holds one persistent netmux-pooled client per secondary,
+	// so replication reuses warm multiplexed connections instead of
+	// dialing a fresh one per shipped block.
+	shipMu    sync.Mutex
+	shipPools map[string]*rbio.Client
+
 	wg            sync.WaitGroup
 	ioWG          sync.WaitGroup
 	inflight      chan struct{}
@@ -280,6 +287,7 @@ func newWriter(c *Cluster, startLSN page.LSN) *writer {
 		blockSizes: make(map[page.LSN]int64),
 		completed:  make(map[page.LSN]page.LSN),
 		inflight:   make(chan struct{}, 8),
+		shipPools:  make(map[string]*rbio.Client),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.wg.Add(2)
@@ -359,6 +367,37 @@ func (w *writer) Close() {
 	w.mu.Unlock()
 	w.wg.Wait()
 	w.ioWG.Wait() // drain in-flight quorum rounds
+	w.shipMu.Lock()
+	for _, cl := range w.shipPools {
+		//socrates:ignore-err teardown of replication clients on writer close; the pools own no durable state
+		_ = cl.Close()
+	}
+	w.shipPools = nil
+	w.shipMu.Unlock()
+}
+
+// shipTimeout bounds one replication RPC to a secondary: an unreachable
+// replica must not wedge a quorum round forever.
+const shipTimeout = 10 * time.Second
+
+// shipClient returns the persistent pooled client for secondary name,
+// creating it on first use. The pool keeps warm multiplexed connections
+// across shipped blocks, evicting and redialing only on failure.
+func (w *writer) shipClient(name string) *rbio.Client {
+	w.shipMu.Lock()
+	defer w.shipMu.Unlock()
+	if cl, ok := w.shipPools[name]; ok {
+		return cl
+	}
+	if w.shipPools == nil {
+		w.shipPools = make(map[string]*rbio.Client)
+	}
+	pool := netmux.NewPool(name,
+		func(a string) (rbio.Conn, error) { return w.c.Net.Dial(a), nil },
+		netmux.Options{})
+	cl := rbio.NewClient(pool)
+	w.shipPools[name] = cl
+	return cl
 }
 
 func (w *writer) flushLoop() {
@@ -450,8 +489,9 @@ func (w *writer) ship(block *wal.Block) error {
 	acks := make(chan error, len(secs))
 	for _, sec := range secs {
 		go func(name string) {
-			client := rbio.NewClient(w.c.Net.Dial(name))
-			resp, err := client.Call(context.Background(), &rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload})
+			ctx, cancel := context.WithTimeout(context.Background(), shipTimeout)
+			defer cancel()
+			resp, err := w.shipClient(name).Call(ctx, &rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload})
 			if err == nil {
 				err = resp.Err()
 			}

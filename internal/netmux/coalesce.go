@@ -1,0 +1,92 @@
+package netmux
+
+import (
+	"context"
+	"sync"
+
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/socerr"
+)
+
+// flight is one in-progress fetch that joiners may share.
+type flight struct {
+	lsn  page.LSN // the leader's requested minimum LSN
+	done chan struct{}
+	resp *rbio.Response
+	err  error
+}
+
+// Coalescer is a GetPage@LSN singleflight: concurrent cache misses for
+// the same page share one wire RPC when their LSN requirements are
+// compatible. GetPage@LSN returns the newest image with appliedLSN ≥
+// the requested minimum, so a joiner may share an in-flight fetch iff
+// its minimum LSN is ≤ the leader's — the leader's result is then
+// guaranteed fresh enough for the joiner too. A joiner that needs a
+// newer LSN than the in-flight request issues its own RPC (unshared,
+// and deliberately unregistered: one page maps to at most one flight).
+type Coalescer struct {
+	m  *Metrics
+	mu sync.Mutex
+	in map[page.ID]*flight
+}
+
+// NewCoalescer builds a coalescer. m may be nil.
+func NewCoalescer(m *Metrics) *Coalescer {
+	return &Coalescer{m: m, in: make(map[page.ID]*flight)}
+}
+
+// Do fetches page id at minimum LSN minLSN via fn, sharing an
+// in-flight compatible fetch when one exists. shared reports whether
+// the result came from another caller's RPC. A joiner whose ctx expires
+// stops waiting without affecting the leader.
+//
+// Error sharing is deliberate: if the leader's fetch fails, joiners see
+// the same error (the leader already retried at the client layer);
+// callers that want independence retry their own miss, which will start
+// a fresh flight.
+func (c *Coalescer) Do(ctx context.Context, id page.ID, minLSN page.LSN,
+	fn func() (*rbio.Response, error)) (resp *rbio.Response, shared bool, err error) {
+	c.mu.Lock()
+	//socrates:lsn-ok join-compatibility check: a joiner shares a flight iff its minimum LSN is at or below the leader's requested minimum (GetPage@LSN returns >= the request)
+	if f, ok := c.in[id]; ok && minLSN <= f.lsn {
+		c.mu.Unlock()
+		if c.m != nil {
+			c.m.CoalesceHits.Inc()
+		}
+		select {
+		case <-f.done:
+			return f.resp, true, f.err
+		case <-ctx.Done():
+			return nil, true, socerr.FromContext(ctx.Err())
+		}
+	}
+	var f *flight
+	if _, ok := c.in[id]; !ok {
+		f = &flight{lsn: minLSN, done: make(chan struct{})}
+		c.in[id] = f
+	}
+	c.mu.Unlock()
+	if c.m != nil {
+		c.m.CoalesceMiss.Inc()
+	}
+	resp, err = fn()
+	if f != nil {
+		f.resp, f.err = resp, err
+		c.mu.Lock()
+		if c.in[id] == f {
+			delete(c.in, id)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}
+	return resp, false, err
+}
+
+// InFlight reports the number of pages with an active flight
+// (tests/diagnostics).
+func (c *Coalescer) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.in)
+}

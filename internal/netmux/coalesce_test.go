@@ -1,0 +1,272 @@
+package netmux
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"socrates/internal/obs"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/socerr"
+)
+
+// TestCoalesceJoinersShareOneRPC: N concurrent misses for the same page
+// at compatible LSNs issue exactly ONE wire RPC.
+func TestCoalesceJoinersShareOneRPC(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	c := NewCoalescer(m)
+
+	var rpcs atomic.Int64
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (*rbio.Response, error) {
+		rpcs.Add(1)
+		close(leaderIn)
+		<-release
+		resp := rbio.Ok()
+		resp.LSN = 42
+		return resp, nil
+	}
+
+	const joiners = 8
+	var wg sync.WaitGroup
+	results := make([]*rbio.Response, joiners+1)
+	sharedFlags := make([]bool, joiners+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, shared, err := c.Do(context.Background(), page.ID(7), 10, fn)
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], sharedFlags[0] = resp, shared
+	}()
+	<-leaderIn // the leader holds the flight open
+	for i := 1; i <= joiners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Joiner LSN requirements at or below the leader's 10.
+			resp, shared, err := c.Do(context.Background(), page.ID(7), page.LSN(i%11), fn)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], sharedFlags[i] = resp, shared
+		}(i)
+	}
+	waitFor(t, func() bool { return m.CoalesceHits.Value() == joiners }, "all joiners parked")
+	close(release)
+	wg.Wait()
+
+	if got := rpcs.Load(); got != 1 {
+		t.Fatalf("%d RPCs issued, want 1", got)
+	}
+	if sharedFlags[0] {
+		t.Fatal("leader reported shared=true")
+	}
+	for i := 1; i <= joiners; i++ {
+		if !sharedFlags[i] {
+			t.Fatalf("joiner %d reported shared=false", i)
+		}
+		if results[i] == nil || results[i].LSN != 42 {
+			t.Fatalf("joiner %d got %+v, want the leader's LSN-42 image", i, results[i])
+		}
+	}
+	if hits, misses := m.CoalesceHits.Value(), m.CoalesceMiss.Value(); hits != joiners || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want %d and 1", hits, misses, joiners)
+	}
+	if c.InFlight() != 0 {
+		t.Fatal("flight leaked")
+	}
+}
+
+// TestCoalesceNewerLSNDoesNotJoin: a caller needing a NEWER LSN than the
+// in-flight request must issue its own RPC — the leader's result cannot
+// be guaranteed fresh enough.
+func TestCoalesceNewerLSNDoesNotJoin(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	c := NewCoalescer(m)
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var rpcs atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.Do(context.Background(), page.ID(3), 10, func() (*rbio.Response, error) {
+			rpcs.Add(1)
+			close(leaderIn)
+			<-release
+			return rbio.Ok(), nil
+		})
+	}()
+	<-leaderIn
+
+	// minLSN 11 > leader's 10: must not share.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, shared, err := c.Do(context.Background(), page.ID(3), 11, func() (*rbio.Response, error) {
+			rpcs.Add(1)
+			return rbio.Ok(), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if shared {
+			t.Error("newer-LSN caller shared a stale in-flight fetch")
+		}
+	}()
+	select {
+	case <-done: // must complete WITHOUT the leader releasing
+	case <-time.After(2 * time.Second):
+		t.Fatal("newer-LSN caller blocked behind an incompatible flight")
+	}
+	close(release)
+	wg.Wait()
+	if got := rpcs.Load(); got != 2 {
+		t.Fatalf("%d RPCs, want 2 (leader + incompatible caller)", got)
+	}
+}
+
+// TestCoalesceDifferentPagesDoNotShare: flights are keyed by page ID.
+func TestCoalesceDifferentPagesDoNotShare(t *testing.T) {
+	c := NewCoalescer(nil)
+	var rpcs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, shared, err := c.Do(context.Background(), page.ID(i), 5, func() (*rbio.Response, error) {
+				rpcs.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return rbio.Ok(), nil
+			})
+			if err != nil || shared {
+				t.Errorf("page %d: shared=%v err=%v", i, shared, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := rpcs.Load(); got != 4 {
+		t.Fatalf("%d RPCs, want 4", got)
+	}
+}
+
+// TestCoalesceErrorShared: joiners see the leader's error (deliberate —
+// the client layer under the leader already retried).
+func TestCoalesceErrorShared(t *testing.T) {
+	c := NewCoalescer(nil)
+	boom := errors.New("store unreachable")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(context.Background(), page.ID(9), 4, func() (*rbio.Response, error) {
+			close(leaderIn)
+			<-release
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-leaderIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, shared, err := c.Do(context.Background(), page.ID(9), 2, func() (*rbio.Response, error) {
+			t.Error("joiner issued its own RPC")
+			return rbio.Ok(), nil
+		})
+		if !shared || !errors.Is(err, boom) {
+			t.Errorf("joiner shared=%v err=%v, want shared leader error", shared, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if c.InFlight() != 0 {
+		t.Fatal("flight leaked after error")
+	}
+}
+
+// TestCoalesceJoinerCtxExpiry: a joiner whose ctx dies stops waiting
+// with socerr.ErrTimeout; the leader is unaffected.
+func TestCoalesceJoinerCtxExpiry(t *testing.T) {
+	c := NewCoalescer(nil)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _, err := c.Do(context.Background(), page.ID(5), 8, func() (*rbio.Response, error) {
+			close(leaderIn)
+			<-release
+			return rbio.Ok(), nil
+		})
+		if err != nil || resp == nil {
+			t.Errorf("leader failed: %v", err)
+		}
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(ctx, page.ID(5), 8, func() (*rbio.Response, error) {
+		t.Error("expired joiner issued an RPC")
+		return rbio.Ok(), nil
+	})
+	if !errors.Is(err, socerr.ErrTimeout) {
+		t.Fatalf("joiner err = %v, want socerr.ErrTimeout", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCoalesceRace hammers one hot page plus a spread of cold pages
+// from many goroutines with mixed LSNs and cancellations — the -race
+// fault-injection test for the coalescer's map and flight lifecycle.
+func TestCoalesceRace(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	c := NewCoalescer(m)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				id := page.ID(1) // hot page
+				if i%3 == 0 {
+					id = page.ID(uint64(g*100 + i)) // cold spread
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if i%7 == 6 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%2)*time.Millisecond)
+				}
+				_, _, _ = c.Do(ctx, id, page.LSN(i%5), func() (*rbio.Response, error) {
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+					return rbio.Ok(), nil
+				})
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.InFlight() != 0 {
+		t.Fatalf("%d flights leaked", c.InFlight())
+	}
+}

@@ -1,0 +1,266 @@
+package netmux
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"socrates/internal/rbio"
+	"socrates/internal/socerr"
+)
+
+// muxResult is what a demuxed response delivers to its waiting caller.
+type muxResult struct {
+	resp *rbio.Response
+	err  error
+}
+
+// MuxConn multiplexes many concurrent RPCs over one stream. It
+// implements rbio.Conn, so rbio.Client's negotiation/retry/QoS layers
+// work unchanged on top.
+//
+// Lifecycle of a call: assign a request ID, register a waiter, write a
+// FrameMuxCall, park on the waiter channel. The demux goroutine reads
+// response frames and delivers each to the waiter registered under its
+// ID. Cancellation deregisters the waiter and returns immediately — the
+// response, when it eventually arrives, finds no waiter and is dropped
+// (counted in Metrics.LateDrops). The connection stays healthy: unlike
+// the sequential transport there is nothing a late response could be
+// mispaired with.
+//
+// The connection dies only on torn framing: a read error, an
+// undecodable response, an unexpected frame kind, or a failed/partial
+// write. Then every parked waiter fails with rbio.ErrUnavailable and
+// future calls fail fast so the pool evicts the conn.
+type MuxConn struct {
+	conn net.Conn
+	addr string
+	m    *Metrics
+
+	writeMu sync.Mutex // serializes frames; guards SetWriteDeadline too
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan muxResult // nil once the conn is dead
+	err     error                     // first fatal error, set once
+}
+
+// NewMuxConn wraps an established stream whose peer has already proven
+// (via hello) that it accepts mux framing. It takes ownership of conn
+// and starts the demux goroutine. m may be nil.
+func NewMuxConn(conn net.Conn, addr string, m *Metrics) *MuxConn {
+	c := &MuxConn{
+		conn:    conn,
+		addr:    addr,
+		m:       m,
+		pending: make(map[uint64]chan muxResult),
+	}
+	go c.demux()
+	return c
+}
+
+// Addr identifies the remote endpoint.
+func (c *MuxConn) Addr() string { return c.addr }
+
+// Healthy reports whether the connection can still carry calls. Pools
+// use it to evict dead conns before dispatching onto them.
+func (c *MuxConn) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil
+}
+
+// Pending reports the number of registered waiters (tests/diagnostics).
+func (c *MuxConn) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Close tears the connection down; parked callers fail with
+// rbio.ErrUnavailable.
+func (c *MuxConn) Close() error {
+	c.fail(errors.New("netmux: connection closed"))
+	return nil
+}
+
+// register assigns a request ID and parks a waiter under it.
+func (c *MuxConn) register() (uint64, chan muxResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, c.err)
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan muxResult, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// abandon removes the waiter for id, if still registered. The demux
+// loop will drop the response by ID when (if) it arrives.
+func (c *MuxConn) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// fail marks the connection dead (first error wins), closes the stream,
+// and delivers the failure to every parked waiter.
+func (c *MuxConn) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	for _, ch := range pend {
+		ch <- muxResult{err: fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, err)}
+	}
+}
+
+// writeFrame emits one frame under the write mutex, bounding the write
+// by the context deadline if one is set. A write error is fatal for the
+// whole connection: the frame may be torn mid-stream.
+func (c *MuxConn) writeFrame(ctx context.Context, kind byte, payload []byte) error {
+	c.writeMu.Lock()
+	if d, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(d)
+	} else {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	err := rbio.WriteFrame(c.conn, kind, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("netmux: torn write: %w", err))
+		return fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, err)
+	}
+	return nil
+}
+
+// frame builds the mux frame payload: [8-byte LE id][encoded request].
+func muxFrame(id uint64, req *rbio.Request) []byte {
+	body := rbio.EncodeRequest(req)
+	buf := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint64(buf, id)
+	return append(buf, body...)
+}
+
+// Call issues req and waits for the response paired to its request ID.
+// A cancelled or expired context abandons the slot without harming the
+// connection.
+func (c *MuxConn) Call(ctx context.Context, req *rbio.Request) (*rbio.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, socerr.FromContext(err)
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeFrame(ctx, rbio.FrameMuxCall, muxFrame(id, req)); err != nil {
+		c.abandon(id)
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.resp, res.err
+	case <-ctx.Done():
+		c.abandon(id)
+		return nil, socerr.FromContext(ctx.Err())
+	}
+}
+
+// Send delivers req fire-and-forget over the mux stream.
+func (c *MuxConn) Send(ctx context.Context, req *rbio.Request) error {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, err)
+	}
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+	return c.writeFrame(ctx, rbio.FrameMuxOneway, muxFrame(id, req))
+}
+
+// demux reads response frames and pairs them to waiters by request ID.
+func (c *MuxConn) demux() {
+	for {
+		kind, frame, err := rbio.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("netmux: read: %w", err))
+			return
+		}
+		if kind != rbio.FrameMuxResp || len(frame) < 8 {
+			c.fail(fmt.Errorf("netmux: torn frame (kind %d, %d bytes)", kind, len(frame)))
+			return
+		}
+		id := binary.LittleEndian.Uint64(frame[:8])
+		resp, err := rbio.DecodeResponse(frame[8:])
+		if err != nil {
+			c.fail(fmt.Errorf("netmux: torn response: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			// Late response for an abandoned call: dropped by ID; the
+			// connection is unharmed.
+			if c.m != nil {
+				c.m.LateDrops.Inc()
+			}
+			continue
+		}
+		ch <- muxResult{resp: resp}
+	}
+}
+
+// DialTimeout bounds the TCP connect and hello exchange in DialTCP.
+const DialTimeout = 5 * time.Second
+
+// DialTCP connects to an RBIO endpoint and upgrades to mux framing when
+// the peer supports it. The hello is a fixed v1-layout MsgPing in
+// sequential framing — a frame every protocol version decodes — and the
+// response header, layout-stable across versions, advertises the peer's
+// build. Peers ≥ rbio.VersionMux get a MuxConn; older peers keep the
+// same socket with sequential framing, so downgrade costs one round
+// trip and zero reconnects. m may be nil.
+func DialTCP(addr string, m *Metrics) (rbio.Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", rbio.ErrUnavailable, err)
+	}
+	_ = raw.SetDeadline(time.Now().Add(DialTimeout))
+	hello := &rbio.Request{Version: rbio.VersionMin, Type: rbio.MsgPing}
+	if err := rbio.WriteFrame(raw, rbio.FrameCall, rbio.EncodeRequest(hello)); err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("%w: hello: %v", rbio.ErrUnavailable, err)
+	}
+	_, frame, err := rbio.ReadFrame(raw)
+	if err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("%w: hello: %v", rbio.ErrUnavailable, err)
+	}
+	resp, err := rbio.DecodeResponse(frame)
+	if err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("%w: hello: %v", rbio.ErrUnavailable, err)
+	}
+	_ = raw.SetDeadline(time.Time{})
+	if resp.Version >= rbio.VersionMux {
+		return NewMuxConn(raw, addr, m), nil
+	}
+	return rbio.NewSequentialConn(raw, addr), nil
+}

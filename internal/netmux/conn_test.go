@@ -1,0 +1,296 @@
+package netmux
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"socrates/internal/obs"
+	"socrates/internal/page"
+	"socrates/internal/rbio"
+	"socrates/internal/socerr"
+)
+
+// startSequentialV2Server runs a raw TCP server that speaks ONLY the
+// sequential v2 framing — one request, one response, in order, never
+// mux. It models a pre-mux peer for downgrade interop tests.
+func startSequentialV2Server(t *testing.T, h rbio.Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					kind, frame, err := rbio.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if kind != rbio.FrameCall && kind != rbio.FrameOneway {
+						// A v2 peer has never heard of mux frames:
+						// torn stream, hang up.
+						return
+					}
+					req, err := rbio.DecodeRequest(frame)
+					if err != nil {
+						return
+					}
+					if kind == rbio.FrameOneway {
+						h(context.Background(), req)
+						continue
+					}
+					resp := h(context.Background(), req)
+					if resp == nil {
+						resp = rbio.Ok()
+					}
+					resp.Version = 2 // advertise v2: mux-incapable
+					if err := rbio.WriteFrame(conn, rbio.FrameCall, rbio.EncodeResponse(resp)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startMuxServer runs a current-build RBIO TCP server (speaks mux) with
+// the given handler and returns its address.
+func startMuxServer(t *testing.T, h rbio.Handler) string {
+	t.Helper()
+	srv, err := rbio.ServeTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr()
+}
+
+func dialMux(t *testing.T, addr string) *MuxConn {
+	t.Helper()
+	conn, err := DialTCP(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, ok := conn.(*MuxConn)
+	if !ok {
+		t.Fatalf("DialTCP returned %T, want *MuxConn (server should speak v%d)", conn, rbio.Version)
+	}
+	t.Cleanup(func() { _ = mc.Close() })
+	return mc
+}
+
+// TestMuxOutOfOrderResponses proves the demux pairs responses to callers
+// by request ID, not arrival order: a slow early request must not block
+// (or steal the response of) a fast later one.
+func TestMuxOutOfOrderResponses(t *testing.T) {
+	addr := startMuxServer(t, func(_ context.Context, req *rbio.Request) *rbio.Response {
+		if req.LSN == 1 { // the slow request
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp := rbio.Ok()
+		resp.LSN = req.LSN + 100
+		return resp
+	})
+	mc := dialMux(t, addr)
+
+	var slowDone, fastDone time.Time
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var slowErr, fastErr error
+	go func() {
+		defer wg.Done()
+		resp, err := mc.Call(context.Background(), &rbio.Request{Version: rbio.Version, Type: rbio.MsgPing, LSN: 1})
+		slowDone = time.Now()
+		if err != nil {
+			slowErr = err
+		} else if resp.LSN != 101 {
+			slowErr = fmt.Errorf("slow got LSN %d, want 101", resp.LSN)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // ensure the slow call is in flight first
+	go func() {
+		defer wg.Done()
+		resp, err := mc.Call(context.Background(), &rbio.Request{Version: rbio.Version, Type: rbio.MsgPing, LSN: 2})
+		fastDone = time.Now()
+		if err != nil {
+			fastErr = err
+		} else if resp.LSN != 102 {
+			fastErr = fmt.Errorf("fast got LSN %d, want 102", resp.LSN)
+		}
+	}()
+	wg.Wait()
+	if slowErr != nil || fastErr != nil {
+		t.Fatalf("slowErr=%v fastErr=%v", slowErr, fastErr)
+	}
+	if !fastDone.Before(slowDone) {
+		t.Fatalf("fast call finished at %v, after slow at %v: head-of-line blocking", fastDone, slowDone)
+	}
+}
+
+// TestMuxTimeoutDoesNotPoisonConn is the regression test for the retired
+// self-poisoning workaround: on the sequential transport a timed-out
+// call poisoned the connection and forced a redial; on mux the late
+// response is dropped by request ID and the SAME connection keeps
+// working.
+func TestMuxTimeoutDoesNotPoisonConn(t *testing.T) {
+	var slow atomic.Bool
+	slow.Store(true)
+	addr := startMuxServer(t, func(_ context.Context, req *rbio.Request) *rbio.Response {
+		if slow.Load() && req.LSN == 7 {
+			time.Sleep(80 * time.Millisecond) // outlives the caller's deadline
+		}
+		resp := rbio.Ok()
+		resp.LSN = req.LSN
+		return resp
+	})
+	m := NewMetrics(obs.NewRegistry())
+	conn, err := DialTCP(addr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := conn.(*MuxConn)
+	defer mc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := mc.Call(ctx, &rbio.Request{Version: rbio.Version, Type: rbio.MsgPing, LSN: 7}); !errors.Is(err, socerr.ErrTimeout) {
+		t.Fatalf("err = %v, want socerr.ErrTimeout", err)
+	}
+	if !mc.Healthy() {
+		t.Fatal("connection reported unhealthy after a mere timeout")
+	}
+	// The same connection — no redial — must serve the next call.
+	resp, err := mc.Call(context.Background(), &rbio.Request{Version: rbio.Version, Type: rbio.MsgPing, LSN: 8})
+	if err != nil {
+		t.Fatalf("call on the same conn after timeout failed: %v", err)
+	}
+	if resp.LSN != 8 {
+		t.Fatalf("resp.LSN = %d, want 8 (a late response paired with the wrong call?)", resp.LSN)
+	}
+	// Eventually the abandoned response arrives and is dropped by ID.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.LateDrops.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.LateDrops.Value() == 0 {
+		t.Fatal("late response was never dropped by request ID")
+	}
+	if mc.Pending() != 0 {
+		t.Fatalf("%d waiters leaked", mc.Pending())
+	}
+}
+
+// TestMuxTornFrameKillsConn: unlike a timeout, genuinely torn framing
+// must still poison the connection — waiters fail, later calls fail
+// fast so pools evict.
+func TestMuxTornFrameKillsConn(t *testing.T) {
+	addr := startMuxServer(t, func(_ context.Context, _ *rbio.Request) *rbio.Response {
+		return rbio.Ok()
+	})
+	mc := dialMux(t, addr)
+	// Sabotage from the client side: close the underlying socket so the
+	// demux loop sees a read error mid-stream.
+	_ = mc.conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for mc.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if mc.Healthy() {
+		t.Fatal("connection still healthy after its stream died")
+	}
+	if _, err := mc.Call(context.Background(), &rbio.Request{Version: rbio.Version, Type: rbio.MsgPing}); !errors.Is(err, rbio.ErrUnavailable) {
+		t.Fatalf("err = %v, want rbio.ErrUnavailable", err)
+	}
+}
+
+// TestMuxConcurrentCallsShareOneConn hammers one connection from many
+// goroutines with interleaved cancellations — run under -race this is
+// the demux-vs-cancellation fault-injection test.
+func TestMuxConcurrentCallsShareOneConn(t *testing.T) {
+	addr := startMuxServer(t, func(_ context.Context, req *rbio.Request) *rbio.Response {
+		if req.LSN%7 == 0 {
+			time.Sleep(time.Duration(req.LSN%5) * time.Millisecond)
+		}
+		resp := rbio.Ok()
+		resp.LSN = req.LSN * 2
+		return resp
+	})
+	mc := dialMux(t, addr)
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				lsn := uint64(g*100 + i + 1)
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if i%5 == 4 {
+					// Interleave aggressive cancellations.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*time.Millisecond)
+				}
+				resp, err := mc.Call(ctx, &rbio.Request{Version: rbio.Version, Type: rbio.MsgPing, LSN: page.LSN(lsn)})
+				cancel()
+				if err != nil {
+					if errors.Is(err, socerr.ErrTimeout) || errors.Is(err, context.Canceled) {
+						continue // expected for the cancelled fraction
+					}
+					errs <- err
+					return
+				}
+				if uint64(resp.LSN) != lsn*2 {
+					errs <- fmt.Errorf("cross-paired response: sent %d got %d", lsn, resp.LSN)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !mc.Healthy() {
+		t.Fatal("connection died under concurrent load")
+	}
+}
+
+// TestDialDowngradesToSequential: a pre-mux peer (a genuine sequential
+// TCP server) must get a sequential conn on the SAME socket — wire
+// compatibility costs a hello, not a reconnect.
+func TestDialDowngradesToSequential(t *testing.T) {
+	addr := startSequentialV2Server(t, func(_ context.Context, req *rbio.Request) *rbio.Response {
+		resp := &rbio.Response{Version: 2, Status: rbio.StatusOK, LSN: req.LSN + 1}
+		return resp
+	})
+	conn, err := DialTCP(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*MuxConn); ok {
+		t.Fatal("DialTCP returned a MuxConn for a v2 peer")
+	}
+	resp, err := conn.Call(context.Background(), &rbio.Request{Version: 2, Type: rbio.MsgPing, LSN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.LSN != 6 {
+		t.Fatalf("resp.LSN = %d, want 6", resp.LSN)
+	}
+}

@@ -1,0 +1,328 @@
+package netmux
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socrates/internal/obs"
+	"socrates/internal/rbio"
+	"socrates/internal/socerr"
+)
+
+// Dialer opens one connection to addr. Pools use it for lazy dialing
+// and for replacing evicted connections; it decides the transport
+// (DialTCP for real wires, Network.Dial for the in-process fabric).
+type Dialer func(addr string) (rbio.Conn, error)
+
+// Options configures a Pool. Zero values take the defaults below.
+type Options struct {
+	// Conns is the number of connections kept to the destination.
+	Conns int
+	// MaxInflight caps concurrently outstanding calls to the
+	// destination across all connections.
+	MaxInflight int
+	// MaxQueue bounds how many callers may wait for an in-flight slot;
+	// callers beyond it fail fast with socerr.ErrBackpressure.
+	MaxQueue int
+	// Metrics receives the pool's instrumentation (nil = disabled).
+	Metrics *Metrics
+	// Flight receives pool eviction/backpressure events (nil = disabled).
+	Flight *obs.FlightRecorder
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultConns       = 4
+	DefaultMaxInflight = 64
+	DefaultMaxQueue    = 256
+)
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = DefaultConns
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	return o
+}
+
+// slot is one connection position in a pool. The conn is dialed lazily
+// and replaced lazily after eviction.
+type slot struct {
+	mu   sync.Mutex
+	conn rbio.Conn
+}
+
+// Pool is a fixed-width connection pool to one destination with
+// round-robin dispatch, health-based eviction, a per-destination
+// in-flight cap, and a bounded wait queue. It implements rbio.Conn, so
+// an rbio.Client (retry, negotiation, QoS) layers directly on top.
+type Pool struct {
+	addr string
+	dial Dialer
+	opt  Options
+
+	sem     chan struct{} // in-flight slots
+	waiters atomic.Int64  // callers currently queued for a slot
+
+	mu     sync.Mutex
+	slots  []*slot
+	next   int
+	closed bool
+}
+
+// NewPool builds a pool to addr over dial.
+func NewPool(addr string, dial Dialer, opt Options) *Pool {
+	opt = opt.withDefaults()
+	p := &Pool{
+		addr:  addr,
+		dial:  dial,
+		opt:   opt,
+		sem:   make(chan struct{}, opt.MaxInflight),
+		slots: make([]*slot, opt.Conns),
+	}
+	for i := range p.slots {
+		p.slots[i] = &slot{}
+	}
+	return p
+}
+
+// Addr identifies the pool's destination.
+func (p *Pool) Addr() string { return p.addr }
+
+// Close evicts every connection and fails future calls with
+// socerr.ErrClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	slots := p.slots
+	p.mu.Unlock()
+	for _, s := range slots {
+		s.mu.Lock()
+		c := s.conn
+		s.conn = nil
+		s.mu.Unlock()
+		if c != nil {
+			//socrates:ignore-err pool teardown; conns hold no durable state and waiters are failed by the conns themselves
+			_ = c.Close()
+		}
+	}
+	return nil
+}
+
+// SeverAll closes every pooled connection mid-flight (chaos injection:
+// a network partition that tears established streams). In-flight calls
+// fail with rbio.ErrUnavailable and the client layer retries onto
+// freshly dialed connections. It reports how many conns were severed.
+func (p *Pool) SeverAll() int {
+	p.mu.Lock()
+	slots := p.slots
+	p.mu.Unlock()
+	n := 0
+	for _, s := range slots {
+		s.mu.Lock()
+		c := s.conn
+		s.conn = nil
+		s.mu.Unlock()
+		if c != nil {
+			//socrates:ignore-err chaos severing tears the socket on purpose; in-flight calls surface ErrUnavailable
+			_ = c.Close()
+			n++
+		}
+	}
+	if n > 0 {
+		if m := p.opt.Metrics; m != nil {
+			m.Evictions.Add(uint64(n))
+		}
+		if f := p.opt.Flight; f != nil {
+			f.Record("netmux", "pool.sever", 0, 0,
+				fmt.Sprintf("%s: %d conns severed", p.addr, n))
+		}
+	}
+	return n
+}
+
+// ConnCount reports how many connections are currently open
+// (tests/diagnostics).
+func (p *Pool) ConnCount() int {
+	p.mu.Lock()
+	slots := p.slots
+	p.mu.Unlock()
+	n := 0
+	for _, s := range slots {
+		s.mu.Lock()
+		if s.conn != nil {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// acquire takes an in-flight slot, waiting in the bounded queue when
+// the cap is hit and failing fast with socerr.ErrBackpressure when the
+// queue is full too.
+func (p *Pool) acquire(ctx context.Context) error {
+	m := p.opt.Metrics
+	select {
+	case p.sem <- struct{}{}:
+		if m != nil {
+			m.Inflight.Add(1)
+		}
+		return nil
+	default:
+	}
+	if w := p.waiters.Add(1); int(w) > p.opt.MaxQueue {
+		p.waiters.Add(-1)
+		if m != nil {
+			m.Backpressure.Inc()
+		}
+		if f := p.opt.Flight; f != nil {
+			f.Record("netmux", "backpressure", 0, 0,
+				fmt.Sprintf("%s: %d in flight, %d queued", p.addr, p.opt.MaxInflight, p.opt.MaxQueue))
+		}
+		return fmt.Errorf("%w: %s: %d in flight and %d queued",
+			socerr.ErrBackpressure, p.addr, p.opt.MaxInflight, p.opt.MaxQueue)
+	}
+	if m != nil {
+		m.QueueDepth.Add(1)
+	}
+	start := time.Now()
+	defer func() {
+		p.waiters.Add(-1)
+		if m != nil {
+			m.QueueDepth.Add(-1)
+			m.QueueWait.Since(start)
+		}
+	}()
+	select {
+	case p.sem <- struct{}{}:
+		if m != nil {
+			m.Inflight.Add(1)
+		}
+		return nil
+	case <-ctx.Done():
+		return socerr.FromContext(ctx.Err())
+	}
+}
+
+func (p *Pool) release() {
+	<-p.sem
+	if m := p.opt.Metrics; m != nil {
+		m.Inflight.Add(-1)
+	}
+}
+
+// healthChecker is implemented by conns that can report liveness
+// without a round trip (MuxConn).
+type healthChecker interface{ Healthy() bool }
+
+// get picks the next connection round-robin, dialing lazily and
+// replacing conns that report themselves dead.
+func (p *Pool) get() (*slot, rbio.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: netmux pool %s", socerr.ErrClosed, p.addr)
+	}
+	s := p.slots[p.next%len(p.slots)]
+	p.next++
+	p.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hc, ok := s.conn.(healthChecker); ok && !hc.Healthy() {
+		//socrates:ignore-err evicting an already-dead conn; its demux loop has failed all waiters
+		_ = s.conn.Close()
+		s.conn = nil
+		if m := p.opt.Metrics; m != nil {
+			m.Evictions.Inc()
+		}
+		if f := p.opt.Flight; f != nil {
+			f.Record("netmux", "pool.evict", 0, 0, p.addr+": unhealthy conn replaced")
+		}
+	}
+	if s.conn == nil {
+		c, err := p.dial(p.addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if m := p.opt.Metrics; m != nil {
+			m.Dials.Inc()
+		}
+		s.conn = c
+	}
+	return s, s.conn, nil
+}
+
+// evict drops conn from its slot after a transport failure so the next
+// use redials. A slot that already moved on is left alone.
+func (p *Pool) evict(s *slot, conn rbio.Conn) {
+	s.mu.Lock()
+	if s.conn != conn {
+		s.mu.Unlock()
+		return
+	}
+	s.conn = nil
+	s.mu.Unlock()
+	//socrates:ignore-err evicting after a transport failure; the close is best-effort hygiene
+	_ = conn.Close()
+	if m := p.opt.Metrics; m != nil {
+		m.Evictions.Inc()
+	}
+	if f := p.opt.Flight; f != nil {
+		f.Record("netmux", "pool.evict", 0, 0, p.addr+": conn failed, evicted")
+	}
+}
+
+// Call dispatches req onto a pooled connection, respecting the
+// in-flight cap and the bounded queue. Transport failures evict the
+// connection; the error still propagates so the rbio.Client layer
+// decides about retries.
+func (p *Pool) Call(ctx context.Context, req *rbio.Request) (*rbio.Response, error) {
+	if err := p.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer p.release()
+	s, conn, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.Call(ctx, req)
+	if err != nil && errors.Is(err, rbio.ErrUnavailable) {
+		p.evict(s, conn)
+	}
+	return resp, err
+}
+
+// Send dispatches a fire-and-forget request through the pool. It
+// honors the in-flight cap like Call: the feed path is lossy by
+// contract, so a backpressure rejection is equivalent to a dropped
+// datagram and the XLOG pending area compensates.
+func (p *Pool) Send(ctx context.Context, req *rbio.Request) error {
+	if err := p.acquire(ctx); err != nil {
+		return err
+	}
+	defer p.release()
+	s, conn, err := p.get()
+	if err != nil {
+		return err
+	}
+	err = conn.Send(ctx, req)
+	if err != nil && errors.Is(err, rbio.ErrUnavailable) {
+		p.evict(s, conn)
+	}
+	return err
+}

@@ -677,23 +677,59 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 
 // GetPageRange serves count consecutive pages starting at start with one
 // cache I/O (stride-preserving layout), for scan offloading.
+//
+// A mid-range problem no longer fails the whole range: the successful
+// prefix is returned together with a socerr.ErrPartial-classified error
+// naming what went wrong, so callers (RBPEX warmup, scan pushdown) make
+// progress instead of redoing work they already received. A range whose
+// tail runs past the partition end is likewise clamped and reported
+// partial. Only a range with no usable prefix at all fails outright.
 func (s *Server) GetPageRange(ctx context.Context, start page.ID, count int, minLSN page.LSN) ([]*page.Page, error) {
 	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpagerange")
 	defer sp.End()
 	t0 := time.Now()
 	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(t0)
-	if start < s.lo || start+page.ID(count) > s.hi {
+	if count <= 0 || start < s.lo || start >= s.hi {
 		return nil, fmt.Errorf("pageserver: range outside partition")
+	}
+	clamped := count
+	if start+page.ID(count) > s.hi {
+		clamped = int(s.hi - start)
 	}
 	if !s.waitApplied(minLSN, 5*time.Second) {
 		return nil, socerr.Timeoutf("pageserver: apply lag on range read")
 	}
 	s.rangeIOs.Inc()
-	pages, err := s.cache.ReadRange(start, count)
+	pages, err := s.cache.ReadRange(start, clamped)
 	if err != nil {
-		return nil, err
+		// Mid-range tear or miss: assemble the longest successful prefix
+		// page-by-page (cache first, then XStore for still-seeding slots).
+		pages = pages[:0]
+		for i := 0; i < clamped; i++ {
+			id := start + page.ID(i)
+			pg, ok := s.cache.Get(id)
+			if !ok {
+				var ferr error
+				pg, ferr = s.fetchFromStore(id)
+				if ferr != nil {
+					if len(pages) == 0 {
+						return nil, err // no usable prefix: original failure
+					}
+					s.served.Add(int64(len(pages)))
+					return pages, socerr.Partialf(
+						"pageserver: range [%d,+%d): %d pages then page %d failed: %v",
+						start, count, len(pages), id, ferr)
+				}
+			}
+			pages = append(pages, pg)
+		}
 	}
-	s.served.Add(int64(count))
+	s.served.Add(int64(len(pages)))
+	if len(pages) < count {
+		return pages, socerr.Partialf(
+			"pageserver: range [%d,+%d) clamped at partition end %d: %d pages",
+			start, count, s.hi, len(pages))
+	}
 	return pages, nil
 }
 
@@ -708,10 +744,21 @@ func (s *Server) Handler() rbio.Handler {
 		case rbio.MsgGetPage:
 			if req.MaxBytes > 1 {
 				pages, err := s.GetPageRange(ctx, req.Page, int(req.MaxBytes), req.LSN)
-				if err != nil {
+				switch {
+				case err == nil:
+					return pagesResponse(pages)
+				case errors.Is(err, socerr.ErrPartial) && len(pages) > 0:
+					// Ship the usable prefix with StatusPartial so the
+					// caller both consumes it and sees why it is short.
+					resp := pagesResponse(pages)
+					if resp.Status == rbio.StatusOK {
+						resp.Status = rbio.StatusPartial
+						resp.Error = err.Error()
+					}
+					return resp
+				default:
 					return rbio.Retryf("range: %v", err)
 				}
-				return pagesResponse(pages)
 			}
 			pg, err := s.GetPage(ctx, req.Page, req.LSN)
 			if err != nil {

@@ -94,18 +94,29 @@ func (c *Client) stamp(ctx context.Context, req *Request) {
 	}
 }
 
-// downgrade drops to VersionMin after a StatusVersion response — a
-// belt-and-braces path for peers that reject the negotiated version
-// anyway (e.g. the server restarted into an older build after the
-// hello). It reports whether the call should be retried (false once
-// already there).
-func (c *Client) downgrade() bool {
+// downgrade steps down after a StatusVersion response — a belt-and-braces
+// path for peers that reject the negotiated version anyway (e.g. the
+// server restarted into an older build after the hello). The response
+// header's Version field is layout-stable across all protocol versions,
+// so the client steps exactly to what the peer advertises (v3→v2 keeps
+// the trace header; only a genuine v1 peer costs it), falling back to
+// VersionMin when the advertisement is unusable. It reports whether the
+// call should be retried (false once no lower version remains).
+func (c *Client) downgrade(advertised uint16) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.ver == VersionMin {
+	cur := c.ver
+	if cur == 0 {
+		cur = Version
+	}
+	if cur == VersionMin {
 		return false
 	}
-	c.ver = VersionMin
+	to := advertised
+	if to < VersionMin || to >= cur {
+		to = VersionMin
+	}
+	c.ver = to
 	return true
 }
 
@@ -185,7 +196,7 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Response, error) {
 			continue
 		case StatusVersion:
 			c.observe(time.Since(start), true)
-			if c.downgrade() {
+			if c.downgrade(resp.Version) {
 				lastErr = resp.Err()
 				attempt-- // version negotiation is not a failure
 				continue

@@ -29,12 +29,17 @@ import (
 
 	"socrates/internal/obs"
 	"socrates/internal/page"
+	"socrates/internal/socerr"
 )
 
 // Version is the protocol version spoken by this build. v2 adds a
 // TraceID/SpanID trace header to request frames so one request tree can
-// be stitched together across tiers. Servers accept any version in
-// [VersionMin, Version].
+// be stitched together across tiers. v3 changes nothing in the message
+// layout (a v3 message is byte-identical to v2) but advertises that the
+// peer understands multiplexed framing: request-ID-tagged frames that
+// allow many outstanding RPCs per connection with out-of-order responses
+// (see internal/netmux and the FrameMux* kinds). Servers accept any
+// version in [VersionMin, Version].
 //
 // Because the v2 header sits mid-frame, a genuine v1 decoder would
 // misparse every field after it — it cannot even recognise the frame
@@ -42,10 +47,16 @@ import (
 // peer's version with a fixed v1-layout MsgPing hello (see
 // Client.negotiate) before ever emitting a v2-layout frame; the response
 // layout is identical across versions and its Version field advertises
-// the server's build.
+// the server's build. netmux reuses the same hello to decide whether the
+// peer accepts mux framing (version ≥ VersionMux) before the first
+// request-ID frame goes out.
 const (
-	Version    uint16 = 2
+	Version    uint16 = 3
 	VersionMin uint16 = 1
+
+	// VersionMux is the lowest protocol version whose TCP servers accept
+	// multiplexed framing (FrameMuxCall/FrameMuxResp/FrameMuxOneway).
+	VersionMux uint16 = 3
 )
 
 // MsgType identifies an RBIO operation.
@@ -100,6 +111,12 @@ const (
 	StatusError
 	StatusVersion // protocol version mismatch
 	StatusNotFound
+	// StatusPartial marks a response that carries a usable prefix of the
+	// requested work plus the reason the rest is missing (e.g. a ranged
+	// GetPage where a mid-range page is not yet applied). The payload is
+	// valid; Err() classifies as socerr.ErrPartial so callers can both
+	// consume the prefix and see why it is short.
+	StatusPartial
 )
 
 func (s Status) String() string {
@@ -114,6 +131,8 @@ func (s Status) String() string {
 		return "version-mismatch"
 	case StatusNotFound:
 		return "not-found"
+	case StatusPartial:
+		return "partial"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -169,6 +188,12 @@ func Retryf(format string, args ...any) *Response {
 	return &Response{Version: Version, Status: StatusRetry, Error: fmt.Sprintf(format, args...)}
 }
 
+// Partialf builds a partial-success response: the caller attaches the
+// usable prefix to Payload and the format describes what is missing.
+func Partialf(format string, args ...any) *Response {
+	return &Response{Version: Version, Status: StatusPartial, Error: fmt.Sprintf(format, args...)}
+}
+
 // Err converts a non-OK response into a Go error (nil for StatusOK). The
 // returned error is a *ResponseError, so callers can classify with
 // errors.As, and it unwraps to the matching sentinel (ErrRetryable,
@@ -208,6 +233,8 @@ func (e *ResponseError) Unwrap() error {
 		return ErrVersion
 	case StatusNotFound:
 		return ErrNotFound
+	case StatusPartial:
+		return socerr.ErrPartial
 	default:
 		return nil
 	}

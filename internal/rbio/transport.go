@@ -192,14 +192,26 @@ func (c *inprocConn) Close() error { return nil }
 
 // --- TCP transport ---
 
-// Frame kinds on the wire: a call expects a response, a oneway does not.
+// Frame kinds on the wire. The sequential kinds (FrameCall/FrameOneway)
+// are the v1/v2 protocol: one outstanding call per connection, responses
+// in request order. The mux kinds are the v3 fabric (internal/netmux):
+// the frame payload starts with an 8-byte little-endian request ID so
+// many calls can be in flight per connection and responses pair by ID,
+// out of order. A server decides per frame, so one connection can carry
+// a sequential hello followed by mux traffic, and one server serves v1,
+// v2, and v3 clients simultaneously. Clients must never emit a mux frame
+// before a hello proves the peer is ≥ VersionMux: pre-mux servers treat
+// every frame as sequential and would misparse the ID prefix.
 const (
-	frameCall   = 0
-	frameOneway = 1
+	FrameCall      = 0 // sequential call: expects one FrameCall response
+	FrameOneway    = 1 // fire-and-forget, no response
+	FrameMuxCall   = 2 // [8-byte id][request]: expects FrameMuxResp with same id
+	FrameMuxResp   = 3 // [8-byte id][response]
+	FrameMuxOneway = 4 // [8-byte id][request]: no response, id ignored
 )
 
-// maxFrame bounds a frame to defend against corrupt length prefixes.
-const maxFrame = 64 << 20
+// MaxFrame bounds a frame to defend against corrupt length prefixes.
+const MaxFrame = 64 << 20
 
 // TCPServer serves RBIO over TCP with length-prefixed binary frames.
 type TCPServer struct {
@@ -247,46 +259,93 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn runs one accepted connection. Sequential frames are handled
+// inline (the v1/v2 contract: responses in request order). Mux frames
+// spawn a handler goroutine each, so many requests from one v3 client
+// run concurrently; a write mutex keeps their response frames whole. A
+// context per connection cancels in-flight mux handlers when the peer
+// goes away, so an abandoned GetPage does not hold server resources.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wmu sync.Mutex // serializes response frames from mux handlers
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
 	for {
-		kind, frame, err := readFrame(conn)
+		kind, frame, err := ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		req, err := DecodeRequest(frame)
-		if err != nil {
-			return
-		}
-		resp := s.handler(context.Background(), req)
-		if kind == frameOneway {
-			continue
-		}
-		if err := writeFrame(conn, frameCall, EncodeResponse(resp)); err != nil {
-			return
+		switch kind {
+		case FrameCall, FrameOneway:
+			req, err := DecodeRequest(frame)
+			if err != nil {
+				return
+			}
+			resp := s.handler(ctx, req)
+			if kind == FrameOneway {
+				continue
+			}
+			wmu.Lock()
+			err = WriteFrame(conn, FrameCall, EncodeResponse(resp))
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+		case FrameMuxCall, FrameMuxOneway:
+			if len(frame) < 8 {
+				return // torn mux frame: drop the connection
+			}
+			id := binary.LittleEndian.Uint64(frame[:8])
+			req, err := DecodeRequest(frame[8:])
+			if err != nil {
+				return
+			}
+			inflight.Add(1)
+			go func(kind byte, id uint64, req *Request) {
+				defer inflight.Done()
+				resp := s.handler(ctx, req)
+				if kind == FrameMuxOneway {
+					return
+				}
+				body := EncodeResponse(resp)
+				buf := make([]byte, 8, 8+len(body))
+				binary.LittleEndian.PutUint64(buf, id)
+				buf = append(buf, body...)
+				wmu.Lock()
+				err := WriteFrame(conn, FrameMuxResp, buf)
+				wmu.Unlock()
+				if err != nil {
+					conn.Close() // unblocks the read loop; conn is done
+				}
+			}(kind, id, req)
+		default:
+			return // unknown frame kind: protocol error, drop the conn
 		}
 	}
 }
 
-func writeFrame(w io.Writer, kind byte, payload []byte) error {
-	head := make([]byte, 5)
-	binary.LittleEndian.PutUint32(head, uint32(len(payload)))
-	head[4] = kind
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+// WriteFrame writes one length-prefixed frame: [len u32 LE][kind u8][payload].
+// Concurrent writers on one conn must serialize externally.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	buf[4] = kind
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
-func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
+// ReadFrame reads one length-prefixed frame written by WriteFrame.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 	head := make([]byte, 5)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(head)
-	if n > maxFrame {
+	if n > MaxFrame {
 		return 0, nil, fmt.Errorf("rbio: frame of %d bytes exceeds limit", n)
 	}
 	payload = make([]byte, n)
@@ -303,8 +362,10 @@ type tcpConn struct {
 	broken bool // stream poisoned by a timeout or I/O error; see poison
 }
 
-// DialTCP connects to an RBIO TCP endpoint. Calls on one connection are
-// serialized; open several connections for parallelism.
+// DialTCP connects to an RBIO TCP endpoint with sequential framing.
+// Calls on one connection are serialized; open several connections for
+// parallelism, or prefer netmux.DialTCP, which upgrades to multiplexed
+// framing when the peer supports it.
 func DialTCP(addr string) (Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
@@ -313,12 +374,27 @@ func DialTCP(addr string) (Conn, error) {
 	return &tcpConn{conn: c, addr: addr}, nil
 }
 
-// poison marks the stream unusable and closes it. The wire protocol is
-// strictly sequential with no request IDs, so after a timeout or partial
-// write the stream can hold a late response (which would pair with the
-// NEXT request) or torn framing (which would desync the server). Reuse is
+// NewSequentialConn wraps an already-established stream in the sequential
+// v1/v2 framing (one outstanding call, responses in request order).
+// netmux uses it to keep the socket it opened when the hello shows the
+// peer predates mux framing.
+func NewSequentialConn(c net.Conn, addr string) Conn {
+	return &tcpConn{conn: c, addr: addr}
+}
+
+// poison marks the stream unusable and closes it. The sequential wire
+// protocol has no request IDs, so after a timeout or partial write the
+// stream can hold a late response (which would pair with the NEXT
+// request) or torn framing (which would desync the server). Reuse is
 // never safe; subsequent calls fail fast with ErrUnavailable so the
 // caller's retry/selector logic redials a fresh connection.
+//
+// This cost is specific to the sequential framing kept for v1/v2 peers.
+// The mux framing (internal/netmux, protocol ≥ VersionMux) removes it:
+// a late response is dropped by request ID and the connection survives a
+// timeout untouched; only genuinely torn frames kill a mux connection.
+// All inter-tier traffic runs on netmux pools, so this path now serves
+// only downgraded connections to old peers.
 // Caller holds c.mu.
 func (c *tcpConn) poison() {
 	c.broken = true
@@ -338,11 +414,11 @@ func (c *tcpConn) Call(ctx context.Context, req *Request) (*Response, error) {
 		_ = c.conn.SetDeadline(d)
 		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
 	}
-	if err := writeFrame(c.conn, frameCall, EncodeRequest(req)); err != nil {
+	if err := WriteFrame(c.conn, FrameCall, EncodeRequest(req)); err != nil {
 		c.poison()
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
-	_, frame, err := readFrame(c.conn)
+	_, frame, err := ReadFrame(c.conn)
 	if err != nil {
 		c.poison()
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -356,7 +432,7 @@ func (c *tcpConn) Send(_ context.Context, req *Request) error {
 	if c.broken {
 		return fmt.Errorf("%w: %s: connection poisoned by earlier timeout", ErrUnavailable, c.addr)
 	}
-	if err := writeFrame(c.conn, frameOneway, EncodeRequest(req)); err != nil {
+	if err := WriteFrame(c.conn, FrameOneway, EncodeRequest(req)); err != nil {
 		c.poison()
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}

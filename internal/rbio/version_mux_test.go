@@ -1,0 +1,240 @@
+package rbio
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"socrates/internal/obs"
+	"socrates/internal/page"
+)
+
+// TestV3LayoutByteIdenticalToV2: v3 changes NO message bytes — it only
+// advertises mux-framing capability in the version field. Apart from
+// those two version bytes, a v3 request/response must be byte-for-byte
+// a v2 frame, so a v3 message downgraded to v2 is a re-stamp, not a
+// re-encode.
+func TestV3LayoutByteIdenticalToV2(t *testing.T) {
+	req := func(v uint16) *Request {
+		return &Request{Version: v, Type: MsgGetPage, TraceID: 0xfeed, SpanID: 0xbeef,
+			Page: 77, LSN: 4096, Partition: 3, MaxBytes: 8, Consumer: "sec-1",
+			Payload: []byte("range")}
+	}
+	b2, b3 := EncodeRequest(req(2)), EncodeRequest(req(3))
+	if len(b2) != len(b3) || !bytes.Equal(b2[2:], b3[2:]) {
+		t.Fatalf("v3 request layout diverged from v2:\n v2=%x\n v3=%x", b2, b3)
+	}
+	if binary.LittleEndian.Uint16(b2[0:2]) != 2 || binary.LittleEndian.Uint16(b3[0:2]) != 3 {
+		t.Fatal("version field not where v2 put it")
+	}
+
+	resp := func(v uint16) *Response {
+		return &Response{Version: v, Status: StatusPartial,
+			LSN: 900, Error: "page 81 behind", Payload: []byte("prefix")}
+	}
+	r2, r3 := EncodeResponse(resp(2)), EncodeResponse(resp(3))
+	if len(r2) != len(r3) || !bytes.Equal(r2[2:], r3[2:]) {
+		t.Fatalf("v3 response layout diverged from v2:\n v2=%x\n v3=%x", r2, r3)
+	}
+}
+
+// decodeV2Strict is the v2 build's DecodeRequest, layout-frozen: v1
+// fixed fields plus the 16-byte trace header for v≥2, strict length
+// checks, and NO tolerance for anything else. It is the oracle that v3
+// sequential frames really are v2 frames.
+func decodeV2Strict(buf []byte) (*Request, error) {
+	const fixedV1 = 2 + 1 + 8 + 8 + 4 + 4 + 2
+	if len(buf) < fixedV1 {
+		return nil, errors.New("v2: short request frame")
+	}
+	r := &Request{
+		Version: binary.LittleEndian.Uint16(buf[0:2]),
+		Type:    MsgType(buf[2]),
+	}
+	pos := 3
+	if r.Version >= 2 {
+		if len(buf) < fixedV1+16 {
+			return nil, errors.New("v2: short traced request frame")
+		}
+		r.TraceID = binary.LittleEndian.Uint64(buf[pos : pos+8])
+		r.SpanID = binary.LittleEndian.Uint64(buf[pos+8 : pos+16])
+		pos += 16
+	}
+	r.Page = page.ID(binary.LittleEndian.Uint64(buf[pos : pos+8]))
+	r.LSN = page.LSN(binary.LittleEndian.Uint64(buf[pos+8 : pos+16]))
+	r.Partition = int32(binary.LittleEndian.Uint32(buf[pos+16 : pos+20]))
+	r.MaxBytes = int32(binary.LittleEndian.Uint32(buf[pos+20 : pos+24]))
+	pos += 24
+	slen := int(binary.LittleEndian.Uint16(buf[pos : pos+2]))
+	pos += 2
+	if len(buf) < pos+slen+4 {
+		return nil, errors.New("v2: truncated request consumer")
+	}
+	r.Consumer = string(buf[pos : pos+slen])
+	pos += slen
+	plen := int(binary.LittleEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	if len(buf) != pos+plen {
+		return nil, errors.New("v2: request payload length mismatch")
+	}
+	if plen > 0 {
+		r.Payload = append([]byte(nil), buf[pos:pos+plen]...)
+	}
+	return r, nil
+}
+
+// startGenuineV2TCPServer runs a byte-faithful v2-build TCP server: the
+// strict v2 decoder, sequential framing only, and — like a real v2
+// build — it TEARS the connection on any frame kind it has never heard
+// of (the mux kinds).
+func startGenuineV2TCPServer(t *testing.T, served *atomic.Int32) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					kind, frame, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if kind != FrameCall && kind != FrameOneway {
+						return // a v2 build has no mux kinds: torn conn
+					}
+					req, err := decodeV2Strict(frame)
+					if err != nil {
+						return
+					}
+					served.Add(1)
+					resp := &Response{Version: 2, Status: StatusOK, LSN: req.LSN + 1}
+					if kind == FrameOneway {
+						continue
+					}
+					if WriteFrame(conn, FrameCall, EncodeResponse(resp)) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestNegotiationAgainstGenuineV2TCPServer: a current (v3) client
+// against a byte-faithful v2 server must pin to v2 on the SAME
+// connection — sequential frames, trace header intact, zero torn
+// frames.
+func TestNegotiationAgainstGenuineV2TCPServer(t *testing.T) {
+	var served atomic.Int32
+	addr := startGenuineV2TCPServer(t, &served)
+
+	conn, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn, WithBackoff(0))
+	ctx := obs.ContextWithSpan(context.Background(), obs.SpanContext{TraceID: 9, SpanID: 10})
+	resp, err := c.Call(ctx, &Request{Type: MsgGetPage, LSN: 40})
+	if err != nil {
+		t.Fatalf("call against genuine v2 server failed: %v", err)
+	}
+	if resp.Status != StatusOK || resp.LSN != 41 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := c.ProtocolVersion(); got != 2 {
+		t.Fatalf("negotiated version = %d, want 2", got)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("served = %d, want 2 (hello + call, no torn frames)", served.Load())
+	}
+}
+
+// TestServerServesThreeGenerationsOnOneListener: ONE current TCP server
+// must serve a v1-layout caller, a v2 sequential caller, and a v3 mux
+// caller concurrently — the per-frame kind dispatch means old peers
+// never have to upgrade in lockstep.
+func TestServerServesThreeGenerationsOnOneListener(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(_ context.Context, req *Request) *Response {
+		resp := Ok()
+		resp.LSN = req.LSN + 1
+		return resp
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// v1-generation caller: raw v1-layout frame, sequential framing.
+	v1conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1conn.Close()
+	resp, err := v1conn.Call(context.Background(), &Request{Version: 1, Type: MsgPing, LSN: 100})
+	if err != nil || resp.LSN != 101 {
+		t.Fatalf("v1 caller: resp=%+v err=%v", resp, err)
+	}
+
+	// v2-generation caller: sequential framing with trace header.
+	v2conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2conn.Close()
+	resp, err = v2conn.Call(context.Background(), &Request{Version: 2, Type: MsgPing, LSN: 200, TraceID: 1, SpanID: 2})
+	if err != nil || resp.LSN != 201 {
+		t.Fatalf("v2 caller: resp=%+v err=%v", resp, err)
+	}
+
+	// v3-generation caller: mux framing (raw, no netmux import — keep
+	// the dependency arrow pointing the right way). Two interleaved
+	// requests on one conn, answered by ID.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	send := func(id uint64, lsn page.LSN) {
+		payload := make([]byte, 8)
+		binary.LittleEndian.PutUint64(payload, id)
+		payload = append(payload, EncodeRequest(&Request{Version: Version, Type: MsgPing, LSN: lsn})...)
+		if err := WriteFrame(raw, FrameMuxCall, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1, 300)
+	send(2, 400)
+	got := map[uint64]page.LSN{}
+	for len(got) < 2 {
+		kind, frame, err := ReadFrame(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != FrameMuxResp || len(frame) < 8 {
+			t.Fatalf("kind=%d len=%d, want mux response", kind, len(frame))
+		}
+		id := binary.LittleEndian.Uint64(frame[:8])
+		r, err := DecodeResponse(frame[8:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[id] = r.LSN
+	}
+	if got[1] != 301 || got[2] != 401 {
+		t.Fatalf("mux responses mispaired: %v", got)
+	}
+}

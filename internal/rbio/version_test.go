@@ -147,7 +147,7 @@ func TestNegotiationAgainstGenuineV1TCPServer(t *testing.T) {
 			go func(conn net.Conn) {
 				defer conn.Close()
 				for {
-					kind, frame, err := readFrame(conn)
+					kind, frame, err := ReadFrame(conn)
 					if err != nil {
 						return
 					}
@@ -161,10 +161,10 @@ func TestNegotiationAgainstGenuineV1TCPServer(t *testing.T) {
 						resp = &Response{Version: 1, Status: StatusVersion,
 							Error: "server speaks v1"}
 					}
-					if kind == frameOneway {
+					if kind == FrameOneway {
 						continue
 					}
-					if writeFrame(conn, frameCall, EncodeResponse(resp)) != nil {
+					if WriteFrame(conn, FrameCall, EncodeResponse(resp)) != nil {
 						return
 					}
 				}
