@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
              ./internal/obs ./internal/netmux ./internal/rbio
 
-.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux clean
+.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux vet-baseline clean
 
 all: lint test
 
@@ -24,6 +24,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Snapshot today's socrates-vet findings into .socrates-vet-baseline.json;
+# `socrates-vet -baseline .socrates-vet-baseline.json ./...` then fails
+# only on NEW findings. Intended for ratcheting a pass onto a codebase
+# with pre-existing findings — this tree is kept clean, so the baseline
+# should normally be the empty array.
+vet-baseline:
+	$(GO) run ./cmd/socrates-vet -json ./... > .socrates-vet-baseline.json || true
+	@echo "baseline written to .socrates-vet-baseline.json"
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocLint enforces allocation budgets on declared hot paths. SteelDB's
+// diagnosis of cloud OLTP bottlenecks — the real costs hide below
+// user-space design, in per-call allocations and the GC pressure they
+// feed — is the motivation: Socrates' performance story lives in a
+// handful of functions (GetPage@LSN, the commit append, log apply, the
+// netmux codec), and a single `make` or `fmt.Sprintf` sliding into one of
+// them costs more than any architectural decision above it.
+//
+// A hot path is declared, not inferred: the function's doc comment
+// carries
+//
+//	//socrates:hotpath <reason>
+//
+// where the reason names the paired testing.AllocsPerRun contract that
+// enforces the budget at runtime (hotpath_alloc_test.go). Inside a
+// declared function the pass flags every construct that heap-allocates
+// per call:
+//
+//   - make(slice/map/chan) and new(T);
+//   - pointer composite literals (&T{...}) and slice/map literals;
+//   - append (backing-array growth; amortized growth on a long-lived
+//     buffer is a reviewed //socrates:alloc-ok);
+//   - string ↔ []byte / []rune conversions (copy per call);
+//   - calls boxing arguments into a variadic ...any parameter
+//     (fmt.Sprintf and friends — the interface-boxing churn shows up even
+//     when the formatting itself is cheap);
+//   - named allocator calls whose result is a fresh string or buffer
+//     (fmt.Sprint*, fmt.Errorf, strconv.Itoa/Format*/Quote,
+//     strings.Join/Repeat/ToUpper/ToLower/Replace/Split/Fields);
+//   - function literals (closure environments escape to the heap).
+//
+// Nested function literals are not descended into: a closure's body runs
+// on its own schedule (flag the closure's creation, not its contents).
+// Cold branches inside a hot function — error paths, cache-miss fallbacks
+// — are either outlined into separate unannotated functions (the
+// preferred fix: it also helps inlining) or annotated
+// //socrates:alloc-ok <reason>.
+type AllocLint struct{}
+
+// NewAllocLint returns the pass.
+func NewAllocLint() *AllocLint { return &AllocLint{} }
+
+// Name implements Pass.
+func (l *AllocLint) Name() string { return "alloclint" }
+
+// Run implements Pass.
+func (l *AllocLint) Run(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncDirective(fn, "hotpath") {
+				continue
+			}
+			out = append(out, l.checkHot(pkg, fn)...)
+		}
+	}
+	return out
+}
+
+// allocatorFuncs are named stdlib calls that return freshly allocated
+// strings/slices.
+var allocatorFuncs = map[string]map[string]bool{
+	"fmt": {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "FormatBool": true, "Quote": true},
+	"strings": {"Join": true, "Repeat": true, "ToUpper": true, "ToLower": true,
+		"Replace": true, "ReplaceAll": true, "Split": true, "Fields": true,
+		"Title": true},
+}
+
+func (l *AllocLint) checkHot(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	flag := func(node ast.Node, format string, args ...any) {
+		if pkg.DirectiveAt("alloc-ok", node) {
+			return
+		}
+		out = append(out, pkg.diag("alloclint", node, format, args...))
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			flag(e, "hot path %s allocates a closure per call; hoist it or annotate //socrates:alloc-ok <reason>", fn.Name.Name)
+			return false // the body runs on its own schedule
+		case *ast.CompositeLit:
+			tv, ok := pkg.Info.Types[e]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				flag(e, "hot path %s builds a slice literal per call; preallocate or pool it", fn.Name.Name)
+			case *types.Map:
+				flag(e, "hot path %s builds a map literal per call; preallocate or pool it", fn.Name.Name)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					flag(e, "hot path %s heap-allocates &composite per call; reuse or pool the value", fn.Name.Name)
+					return false // don't double-flag the inner literal
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			l.checkCall(pkg, fn, e, flag)
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall classifies one call inside a hot function.
+func (l *AllocLint) checkCall(pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, flag func(ast.Node, string, ...any)) {
+	// Builtins: make / new / append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			if b, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch b.Name() {
+				case "make":
+					flag(call, "hot path %s calls make per call; preallocate or pool the buffer", fn.Name.Name)
+				case "new":
+					flag(call, "hot path %s calls new per call; reuse or pool the value", fn.Name.Name)
+				case "append":
+					flag(call, "hot path %s appends (backing array may grow); preallocate capacity or annotate //socrates:alloc-ok <reason>", fn.Name.Name)
+				}
+				return
+			}
+		}
+	}
+
+	// Conversions: string(b), []byte(s), []rune(s).
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from, okFrom := pkg.Info.Types[call.Args[0]]
+		if okFrom {
+			if isStringByteConversion(from.Type, to) {
+				flag(call, "hot path %s converts string↔bytes per call (copies); keep one representation", fn.Name.Name)
+			}
+		}
+		return
+	}
+
+	obj := calleeObject(pkg.Info, call)
+	fobj, isFunc := obj.(*types.Func)
+	if !isFunc {
+		return
+	}
+
+	// Named stdlib allocators.
+	if fobj.Pkg() != nil {
+		if m, ok := allocatorFuncs[fobj.Pkg().Path()]; ok && m[fobj.Name()] {
+			flag(call, "hot path %s calls %s.%s (allocates its result per call)", fn.Name.Name, fobj.Pkg().Name(), fobj.Name())
+			return
+		}
+	}
+
+	// Interface boxing: non-interface arguments passed to a variadic
+	// ...interface{} parameter escape to the heap.
+	sig, ok := fobj.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() == 0 {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1).Type()
+	slice, ok := last.(*types.Slice)
+	if !ok {
+		return
+	}
+	iface, ok := slice.Elem().Underlying().(*types.Interface)
+	if !ok || !iface.Empty() {
+		return
+	}
+	fixed := sig.Params().Len() - 1
+	if len(call.Args) > fixed && !call.Ellipsis.IsValid() {
+		flag(call, "hot path %s boxes %d argument(s) into ...any calling %s (interface churn)", fn.Name.Name, len(call.Args)-fixed, fobj.Name())
+	}
+
+}
+
+// isStringByteConversion reports a string↔[]byte/[]rune conversion.
+func isStringByteConversion(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(from) && isByteSlice(to)) || (isByteSlice(from) && isStr(to))
+}

@@ -1,21 +1,27 @@
-// Package analysis is the socrates-vet static-analysis suite: eight
+// Package analysis is the socrates-vet static-analysis suite: eleven
 // domain-specific passes that encode the cross-tier invariants the paper's
-// architecture depends on (durability-before-ack, LSN monotonicity, lock
-// discipline in the caches, no sleep-polling on hot paths, coherent
-// atomics, the context-first tracing discipline, the observability
-// plane's instrument-naming contract, and the netmux fabric discipline —
-// no raw dials, deadlines at the wire). Each pass is pure stdlib —
-// go/ast + go/types — and runs over type-checked packages produced by the
-// Loader.
+// architecture depends on. Eight AST passes cover durability-before-ack,
+// LSN monotonicity, lock discipline in the caches, no sleep-polling on
+// hot paths, coherent atomics, the context-first tracing discipline, the
+// observability plane's instrument-naming contract, and the netmux fabric
+// discipline (no raw dials, deadlines at the wire). Three dataflow-aware
+// passes — alloclint (allocation budgets in //socrates:hotpath-declared
+// functions), deadlocklint (cross-package lock-ordering cycles, fabric
+// calls under locks), and leaklint (goroutine stop paths, resource
+// closers on every exit path) — build on the package's CFG (cfg.go),
+// generic forward dataflow solver (dataflow.go), and static call graph
+// (callgraph.go). Everything is pure stdlib — go/ast + go/types — and
+// runs over type-checked packages produced by the Loader.
 //
 // Intentional violations are annotated in source with directives of the form
 //
 //	//socrates:<name> <reason>
 //
-// placed on the offending line, the line above it, or (for function-scoped
-// directives such as lsn-helper or sleep-ok) in the function's doc comment.
-// A directive without a reason is itself a diagnostic: the allowlist is only
-// useful if every entry says why.
+// placed on the offending line, the line above it, above any enclosing
+// statement (so annotations stick to multi-line constructs), or (for
+// function-scoped directives such as lsn-helper or sleep-ok) in the
+// function's doc comment. A directive without a reason is itself a
+// diagnostic: the allowlist is only useful if every entry says why.
 package analysis
 
 import (
@@ -42,6 +48,14 @@ func (d Diagnostic) String() string {
 type Pass interface {
 	Name() string
 	Run(pkg *Package) []Diagnostic
+}
+
+// ProgramPass is a pass that needs the whole package set at once (e.g.
+// deadlocklint's cross-package lock-ordering graph). Run applies it to
+// the full set in one call instead of per package.
+type ProgramPass interface {
+	Pass
+	RunProgram(pkgs []*Package) []Diagnostic
 }
 
 // Package is one type-checked package ready for analysis.
@@ -111,20 +125,46 @@ func (p *Package) fileOf(pos token.Pos) *ast.File {
 }
 
 // DirectiveAt reports whether a //socrates:<name> directive covers the node:
-// on the node's line, on the line above it, or in the doc comment of the
+// on the node's line, on the line above it, on the first line of (or the
+// line above) any enclosing statement, or in the doc comment of the
 // enclosing function declaration.
+//
+// The enclosing-statement rule is what makes directives attach to
+// multi-line constructs: a pass may flag an inner node of a composite
+// literal or chained call whose position is several lines below the
+// statement's first line, and the directive naturally sits above the
+// statement, not above the buried subexpression.
 func (p *Package) DirectiveAt(name string, node ast.Node) bool {
 	f := p.fileOf(node.Pos())
 	if f == nil {
 		return false
 	}
 	m := p.fileDirectives(f)
-	line := p.Fset.Position(node.Pos()).Line
-	if d, ok := m[line]; ok && d.name == name {
+	covers := func(line int) bool {
+		if d, ok := m[line]; ok && d.name == name {
+			return true
+		}
+		// Walk up through a contiguous stack of directive lines: several
+		// passes may each require an annotation on the same statement
+		// (alloc-ok stacked on ignore-err, say), and every directive in
+		// the stack binds to it.
+		for l := line - 1; ; l-- {
+			d, ok := m[l]
+			if !ok {
+				return false
+			}
+			if d.name == name {
+				return true
+			}
+		}
+	}
+	if covers(p.Fset.Position(node.Pos()).Line) {
 		return true
 	}
-	if d, ok := m[line-1]; ok && d.name == name {
-		return true
+	for _, line := range p.enclosingStmtLines(f, node.Pos()) {
+		if covers(line) {
+			return true
+		}
 	}
 	if fn := p.enclosingFunc(f, node.Pos()); fn != nil && fn.Doc != nil {
 		for _, c := range fn.Doc.List {
@@ -134,6 +174,29 @@ func (p *Package) DirectiveAt(name string, node ast.Node) bool {
 		}
 	}
 	return false
+}
+
+// enclosingStmtLines reports the starting lines of every statement
+// enclosing pos (innermost to outermost), deduplicated.
+func (p *Package) enclosingStmtLines(f *ast.File, pos token.Pos) []int {
+	var lines []int
+	seen := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || pos >= n.End() {
+			return false // pos not inside; skip subtree
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			if line := p.Fset.Position(n.Pos()).Line; !seen[line] {
+				seen[line] = true
+				lines = append(lines, line)
+			}
+		}
+		return true
+	})
+	return lines
 }
 
 // FuncDirective reports whether the function declaration carries the named
@@ -182,6 +245,9 @@ var knownDirectives = map[string]bool{
 	"metric-ok":  true, // obslint: reviewed instrument-naming exception
 	"nodeadline": true, // muxlint: reviewed unbounded-context fabric call
 	"mux-ok":     true, // muxlint: reviewed raw-dial exception
+	"hotpath":    true, // alloclint: function is a declared hot path with an allocation budget
+	"alloc-ok":   true, // alloclint: reviewed allocation on a hot path (cold branch, amortized growth, ...)
+	"leak-ok":    true, // leaklint: reviewed goroutine/resource lifetime exception
 }
 
 // CheckDirectives validates every //socrates: annotation in the package:
@@ -228,16 +294,26 @@ func AllPasses() []Pass {
 		DefaultCtxLint(),
 		DefaultObsLint(),
 		DefaultMuxLint(),
+		NewAllocLint(),
+		NewDeadlockLint(),
+		NewLeakLint(),
 	}
 }
 
 // Run applies the passes (plus directive validation) to every package and
-// returns the combined, position-sorted findings.
+// returns the combined, position-sorted findings. ProgramPasses see the
+// whole package set in one call; ordinary passes run per package.
 func Run(pkgs []*Package, passes []Pass) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		out = append(out, CheckDirectives(pkg)...)
-		for _, pass := range passes {
+	}
+	for _, pass := range passes {
+		if pp, ok := pass.(ProgramPass); ok {
+			out = append(out, pp.RunProgram(pkgs)...)
+			continue
+		}
+		for _, pkg := range pkgs {
 			out = append(out, pass.Run(pkg)...)
 		}
 	}

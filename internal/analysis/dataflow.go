@@ -1,0 +1,115 @@
+package analysis
+
+// A generic forward dataflow solver over the CFG: the engine under
+// leaklint's resource tracking and available for any pass that needs
+// "what is true at this program point on every/any path" answers.
+//
+// The framework is the textbook worklist algorithm. A FlowProblem supplies
+// the lattice (Join/Equal), the entry fact, and a per-node transfer
+// function; Solve iterates to the fixpoint. Facts are opaque to the
+// solver; problems choose their own representation (typically a small map
+// treated as immutable — Transfer returns a fresh fact when it changes
+// anything).
+
+import "go/ast"
+
+// Fact is one dataflow fact. The solver never inspects it.
+type Fact any
+
+// FlowProblem defines one forward dataflow analysis.
+type FlowProblem interface {
+	// Entry is the fact at function entry.
+	Entry() Fact
+	// Transfer applies one straight-line node to the incoming fact. It
+	// must not mutate the incoming fact.
+	Transfer(n ast.Node, f Fact) Fact
+	// Join merges facts at a control-flow merge point. It must not mutate
+	// its arguments. Joining with nil (an unvisited predecessor) must
+	// return the other fact unchanged — the solver guarantees nil means
+	// "no information yet", not "empty".
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts carry the same information
+	// (fixpoint detection).
+	Equal(a, b Fact) bool
+}
+
+// SolveForward runs the worklist algorithm and returns the fact at the
+// *end* of each block (after its last node). The fact flowing into
+// cfg.Exit — the join over its predecessors' out-facts — describes every
+// return/fall-off exit path; deferred calls (cfg.Defers) are NOT applied
+// by the solver, since their semantics are problem-specific.
+func SolveForward(cfg *CFG, p FlowProblem) map[*CFGBlock]Fact {
+	out := make(map[*CFGBlock]Fact, len(cfg.Blocks))
+	in := make(map[*CFGBlock]Fact, len(cfg.Blocks))
+
+	// Seed: entry gets the boundary fact; everything else starts nil
+	// ("unvisited"). Worklist starts with every block so detached blocks
+	// still stabilize (with nil facts).
+	work := make([]*CFGBlock, 0, len(cfg.Blocks))
+	inWork := make(map[*CFGBlock]bool, len(cfg.Blocks))
+	push := func(b *CFGBlock) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	push(cfg.Entry)
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		var inFact Fact
+		if b == cfg.Entry {
+			inFact = p.Entry()
+		}
+		for _, pred := range b.Preds {
+			if o, ok := out[pred]; ok {
+				if inFact == nil {
+					inFact = o
+				} else {
+					inFact = p.Join(inFact, o)
+				}
+			}
+		}
+		if inFact == nil && b != cfg.Entry {
+			// No predecessor has produced a fact yet; revisit later via
+			// their pushes.
+			in[b] = nil
+			continue
+		}
+		in[b] = inFact
+
+		f := inFact
+		for _, n := range b.Nodes {
+			f = p.Transfer(n, f)
+		}
+		if old, ok := out[b]; !ok || !p.Equal(old, f) {
+			out[b] = f
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return out
+}
+
+// ExitFact joins the out-facts of the exit block's predecessors: the
+// merged state over all exit paths. Returns nil when the exit is
+// unreachable (the body provably loops forever).
+func ExitFact(cfg *CFG, p FlowProblem, out map[*CFGBlock]Fact) Fact {
+	var f Fact
+	for _, pred := range cfg.Exit.Preds {
+		o, ok := out[pred]
+		if !ok {
+			continue
+		}
+		if f == nil {
+			f = o
+		} else {
+			f = p.Join(f, o)
+		}
+	}
+	return f
+}

@@ -1,0 +1,160 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"socrates/internal/analysis"
+)
+
+func TestAllocLintFixtures(t *testing.T) {
+	runFixturePair(t, analysis.NewAllocLint(), "alloclint", 7, "hot path")
+}
+
+func TestDeadlockLintFixtures(t *testing.T) {
+	pass := &analysis.DeadlockLint{FabricPkgs: []string{"fixture/deadlocklint"}}
+	runFixturePair(t, pass, "deadlocklint", 2, "lock")
+}
+
+// TestDeadlockLintFindsBothShapes pins the two failure modes to the bad
+// fixture: exactly one lock-order cycle and one fabric-call-under-lock.
+func TestDeadlockLintFindsBothShapes(t *testing.T) {
+	loader := newLoader(t)
+	bad := loadFixture(t, loader, "deadlocklint/bad")
+	pass := &analysis.DeadlockLint{FabricPkgs: []string{"fixture/deadlocklint"}}
+	diags := pass.Run(bad)
+	var cycles, fabric int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "lock-order cycle"):
+			cycles++
+			for _, lock := range []string{"bad.A.mu", "bad.B.mu"} {
+				if !strings.Contains(d.Message, lock) {
+					t.Errorf("cycle message missing %s: %s", lock, d.Message)
+				}
+			}
+		case strings.Contains(d.Message, "fabric"):
+			fabric++
+		}
+	}
+	if cycles != 1 || fabric != 1 {
+		t.Fatalf("deadlocklint shapes: cycles=%d fabric=%d\n%s", cycles, fabric, render(diags))
+	}
+}
+
+func TestLeakLintFixtures(t *testing.T) {
+	runFixturePair(t, analysis.NewLeakLint(), "leaklint", 3, "leak-ok")
+}
+
+// TestLeakLintFindsExactShapes pins the three leak shapes: the literal
+// goroutine, the named goroutine, and the ticker with one leaky exit.
+func TestLeakLintFindsExactShapes(t *testing.T) {
+	loader := newLoader(t)
+	bad := loadFixture(t, loader, "leaklint/bad")
+	diags := analysis.NewLeakLint().Run(bad)
+	var stopPath, ticker int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "no reachable stop path"):
+			stopPath++
+		case strings.Contains(d.Message, "not Stop()ed on every exit path"):
+			ticker++
+		}
+	}
+	if stopPath != 2 || ticker != 1 {
+		t.Fatalf("leaklint shapes: stopPath=%d ticker=%d\n%s", stopPath, ticker, render(diags))
+	}
+}
+
+// TestDirectiveMultilineStatement is the regression test for directives
+// above statements that span lines: the flagged node starts on a
+// continuation line, and the directive above the statement must still
+// cover it — but only within that statement.
+func TestDirectiveMultilineStatement(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "directives/multiline")
+
+	var calls []*ast.CallExpr
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" {
+					calls = append(calls, call)
+				}
+			}
+			return true
+		})
+	}
+	if len(calls) != 3 {
+		t.Fatalf("fixture should contain 3 Sprintf calls, found %d", len(calls))
+	}
+	if !pkg.DirectiveAt("alloc-ok", calls[0]) {
+		t.Error("directive above multi-line statement does not cover its continuation-line call")
+	}
+	if !pkg.DirectiveAt("alloc-ok", calls[1]) || !pkg.DirectiveAt("ignore-err", calls[1]) {
+		t.Error("stacked directives do not both bind to the statement below them")
+	}
+	if pkg.DirectiveAt("alloc-ok", calls[2]) {
+		t.Error("directive leaked into the unannotated function")
+	}
+}
+
+// TestCallGraph checks static edges and transitive reachability on the
+// Top → Mid → Leaf fixture.
+func TestCallGraph(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "callgraph/pkg")
+	g := analysis.BuildCallGraph([]*analysis.Package{pkg})
+
+	fn := func(name string) *types.Func {
+		obj := pkg.Pkg.Scope().Lookup(name)
+		if obj == nil {
+			t.Fatalf("fixture missing func %s", name)
+		}
+		return obj.(*types.Func)
+	}
+	top, mid, leaf, solo, closure := fn("Top"), fn("Mid"), fn("Leaf"), fn("Solo"), fn("Closure")
+
+	hasEdge := func(from, to *types.Func) bool {
+		for _, c := range g.Callees[from] {
+			if c == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(top, mid) || !hasEdge(mid, leaf) {
+		t.Fatal("missing static call edges Top→Mid or Mid→Leaf")
+	}
+	if !hasEdge(closure, leaf) {
+		t.Fatal("call inside a function literal not attributed to the enclosing function")
+	}
+
+	reaches := g.Reaches(func(f *types.Func) bool { return f == leaf })
+	if !reaches[top] || !reaches[mid] || !reaches[closure] {
+		t.Fatalf("reachability incomplete: %v", reaches)
+	}
+	if reaches[solo] || reaches[leaf] {
+		t.Fatalf("reachability over-approximates: solo=%v leaf=%v", reaches[solo], reaches[leaf])
+	}
+}
+
+// TestAllPassesCount pins the suite size: eight AST passes plus the three
+// dataflow-aware ones.
+func TestAllPassesCount(t *testing.T) {
+	passes := analysis.AllPasses()
+	if len(passes) != 11 {
+		t.Fatalf("AllPasses: got %d, want 11", len(passes))
+	}
+	names := make(map[string]bool)
+	for _, p := range passes {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"alloclint", "deadlocklint", "leaklint"} {
+		if !names[want] {
+			t.Fatalf("AllPasses missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DeadlockLint builds the program-wide lock-ordering graph and reports
+// the two deadlock shapes a four-tier system grows by accretion:
+//
+//  1. lock-order cycles: lock B acquired while holding A in one place and
+//     A acquired while holding B in another (possibly through a chain of
+//     calls across packages). Each strongly connected component of the
+//     acquired-while-holding graph is reported once, with the acquisition
+//     sites that close the cycle.
+//  2. fabric calls under a lock: an RBIO/netmux RPC issued — directly or
+//     transitively — while a sync lock is held. A lock held across a
+//     network round trip couples the lock's critical section to a remote
+//     peer's scheduling; with backpressure (ErrBackpressure) or a peer
+//     outage in play, that is a convoy at best and a distributed deadlock
+//     at worst.
+//
+// Lock identity is the *field or variable object* (types.Var), so `s.mu`
+// names the same lock in every method of the type, across every package
+// that can reach it. Held sets propagate through the CFG with a may-hold
+// union join (a lock released on only one branch is still "may held"
+// after the merge), and acquisition sets propagate through the
+// cross-package call graph, so `a.mu.Lock(); helper()` sees the locks
+// helper takes three calls deep.
+//
+// The call-graph approximation resolves static calls only (no interface
+// dispatch), and goroutine/closure bodies are excluded from held-set
+// tracking (they run on their own schedule) — both under-approximations,
+// so the pass errs toward false negatives, never noise. Reviewed
+// exceptions are annotated //socrates:lock-ok <reason> on the acquisition
+// or call site.
+type DeadlockLint struct {
+	// FabricPkgs are import-path substrings whose Call/Send entry points
+	// count as remote I/O for check 2.
+	FabricPkgs []string
+}
+
+// NewDeadlockLint returns the pass configured for the Socrates tree.
+func NewDeadlockLint() *DeadlockLint {
+	return &DeadlockLint{FabricPkgs: []string{
+		"socrates/internal/rbio",
+		"socrates/internal/netmux",
+	}}
+}
+
+// Name implements Pass.
+func (l *DeadlockLint) Name() string { return "deadlocklint" }
+
+// Run implements Pass (single-package convenience; fixtures use this).
+func (l *DeadlockLint) Run(pkg *Package) []Diagnostic {
+	return l.RunProgram([]*Package{pkg})
+}
+
+// lockEdge is one acquired-while-holding observation.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Position // acquisition (or call) site that creates the edge
+	via      string         // "" for a direct acquire; callee name for transitive
+}
+
+// lockFacts accumulates one function's lock behavior.
+type lockFacts struct {
+	acquires map[*types.Var]bool // directly acquired anywhere in the body
+	edges    []lockEdge          // direct acquired-while-holding edges
+	// calls are call sites executed while at least one lock is held:
+	// callee → (held set snapshot, site).
+	calls []heldCall
+}
+
+type heldCall struct {
+	callee *types.Func
+	held   []*types.Var
+	node   ast.Node
+	pkg    *Package
+}
+
+// RunProgram implements ProgramPass.
+func (l *DeadlockLint) RunProgram(pkgs []*Package) []Diagnostic {
+	g := BuildCallGraph(pkgs)
+	labels := make(map[*types.Var]string)
+	facts := make(map[*types.Func]*lockFacts)
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				facts[obj] = l.analyzeFunc(pkg, fn, labels)
+			}
+		}
+	}
+
+	// Transitive acquisition sets over the call graph (fixpoint).
+	trans := make(map[*types.Func]map[*types.Var]bool, len(facts))
+	for fn, ff := range facts {
+		set := make(map[*types.Var]bool, len(ff.acquires))
+		for v := range ff.acquires {
+			set[v] = true
+		}
+		trans[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range facts {
+			for _, callee := range g.Callees[fn] {
+				for v := range trans[callee] {
+					if !trans[fn][v] {
+						trans[fn][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Fabric reachability: functions that transitively issue an RBIO or
+	// netmux call.
+	fabric := g.Reaches(l.isFabricCall)
+
+	var out []Diagnostic
+	edges := make(map[*types.Var]map[*types.Var]lockEdge)
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return // double-acquire is locklint's balance check's turf
+		}
+		if edges[e.from] == nil {
+			edges[e.from] = make(map[*types.Var]lockEdge)
+		}
+		if _, ok := edges[e.from][e.to]; !ok {
+			edges[e.from][e.to] = e
+		}
+	}
+	for fn, ff := range facts {
+		for _, e := range ff.edges {
+			addEdge(e)
+		}
+		for _, c := range ff.calls {
+			// Transitive ordering edges: held × locks the callee acquires.
+			for v := range trans[c.callee] {
+				for _, h := range c.held {
+					addEdge(lockEdge{from: h, to: v,
+						pos: c.pkg.Fset.Position(c.node.Pos()),
+						via: c.callee.Name()})
+				}
+			}
+			// Fabric call under a lock.
+			if l.isFabricCall(c.callee) || fabric[c.callee] {
+				if c.pkg.DirectiveAt("lock-ok", c.node) {
+					continue
+				}
+				out = append(out, c.pkg.diag("deadlocklint", c.node,
+					"%s calls %s (reaches the RBIO/netmux fabric) while holding %s; a lock held across a remote call convoys under backpressure — release it first or annotate //socrates:lock-ok <reason>",
+					fn.Name(), c.callee.Name(), labels[c.held[0]]))
+			}
+		}
+	}
+
+	out = append(out, l.reportCycles(edges, labels)...)
+	return out
+}
+
+// analyzeFunc runs the held-set dataflow over one function's CFG.
+func (l *DeadlockLint) analyzeFunc(pkg *Package, fn *ast.FuncDecl, labels map[*types.Var]string) *lockFacts {
+	ff := &lockFacts{acquires: make(map[*types.Var]bool)}
+	cfg := BuildCFG(fn.Body)
+	seenEdge := make(map[string]bool)
+	seenCall := make(map[ast.Node]bool)
+	prob := &heldLocksProblem{
+		pkg: pkg, labels: labels,
+		onAcquire: func(v *types.Var, held map[*types.Var]bool, node ast.Node) {
+			ff.acquires[v] = true
+			if pkg.DirectiveAt("lock-ok", node) {
+				return
+			}
+			for h := range held {
+				key := fmt.Sprintf("%p->%p@%d", h, v, node.Pos())
+				if !seenEdge[key] {
+					seenEdge[key] = true
+					ff.edges = append(ff.edges, lockEdge{
+						from: h, to: v, pos: pkg.Fset.Position(node.Pos())})
+				}
+			}
+		},
+		onCall: func(callee *types.Func, held map[*types.Var]bool, node ast.Node) {
+			if len(held) == 0 || seenCall[node] {
+				return
+			}
+			seenCall[node] = true
+			snapshot := make([]*types.Var, 0, len(held))
+			for h := range held {
+				snapshot = append(snapshot, h)
+			}
+			sort.Slice(snapshot, func(i, j int) bool {
+				return labels[snapshot[i]] < labels[snapshot[j]]
+			})
+			ff.calls = append(ff.calls, heldCall{callee: callee, held: snapshot, node: node, pkg: pkg})
+		},
+	}
+	SolveForward(cfg, prob)
+	return ff
+}
+
+// heldLocksProblem is the may-hold forward dataflow: facts are sets of
+// lock objects (map[*types.Var]bool, treated as immutable), join is
+// union. Lock/RLock adds, Unlock/RUnlock removes, a deferred unlock is
+// ignored (the lock stays held to function exit). Function literals and
+// goroutine bodies are skipped.
+type heldLocksProblem struct {
+	pkg       *Package
+	labels    map[*types.Var]string
+	onAcquire func(v *types.Var, held map[*types.Var]bool, node ast.Node)
+	onCall    func(callee *types.Func, held map[*types.Var]bool, node ast.Node)
+}
+
+func (p *heldLocksProblem) Entry() Fact { return map[*types.Var]bool{} }
+
+func (p *heldLocksProblem) Join(a, b Fact) Fact {
+	as, bs := a.(map[*types.Var]bool), b.(map[*types.Var]bool)
+	if len(bs) == 0 {
+		return as
+	}
+	if len(as) == 0 {
+		return bs
+	}
+	u := make(map[*types.Var]bool, len(as)+len(bs))
+	for v := range as {
+		u[v] = true
+	}
+	for v := range bs {
+		u[v] = true
+	}
+	return u
+}
+
+func (p *heldLocksProblem) Equal(a, b Fact) bool {
+	as, bs := a.(map[*types.Var]bool), b.(map[*types.Var]bool)
+	if len(as) != len(bs) {
+		return false
+	}
+	for v := range as {
+		if !bs[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *heldLocksProblem) Transfer(n ast.Node, f Fact) Fact {
+	held := f.(map[*types.Var]bool)
+	// Deferred unlocks keep the lock held; deferred *locks* (pathological)
+	// are ignored too.
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return held
+	}
+	mutated := false
+	mutate := func() map[*types.Var]bool {
+		if !mutated {
+			c := make(map[*types.Var]bool, len(held)+1)
+			for v := range held {
+				c[v] = true
+			}
+			held, mutated = c, true
+		}
+		return held
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false // separate schedule
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if v, method, ok := p.lockVar(e); ok {
+				switch method {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					p.onAcquire(v, held, e)
+					mutate()[v] = true
+				case "Unlock", "RUnlock":
+					if held[v] {
+						delete(mutate(), v)
+					}
+				}
+				return true
+			}
+			if callee, ok := calleeObject(p.pkg.Info, e).(*types.Func); ok {
+				p.onCall(callee, held, e)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// lockVar resolves a Lock/Unlock-family call to the lock's defining
+// object (field or variable) and records a readable label for it.
+func (p *heldLocksProblem) lockVar(call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	obj := p.pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", false
+	}
+	v := p.resolveLockObject(sel.X)
+	if v == nil {
+		return nil, "", false
+	}
+	if _, ok := p.labels[v]; !ok {
+		p.labels[v] = p.lockLabel(sel.X, v)
+	}
+	return v, obj.Name(), true
+}
+
+// resolveLockObject maps the lock expression (s.mu, mu, c.state.mu) to
+// its variable object: the field for selectors, the var for idents.
+func (p *heldLocksProblem) resolveLockObject(expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := p.pkg.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := p.pkg.Info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := p.pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.StarExpr:
+		return p.resolveLockObject(e.X)
+	}
+	return nil
+}
+
+// lockLabel renders a stable human label: "pkg.Type.field" for fields,
+// "pkg.var" otherwise.
+func (p *heldLocksProblem) lockLabel(expr ast.Expr, v *types.Var) string {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if tv, ok := p.pkg.Info.Types[sel.X]; ok {
+			t := tv.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + v.Name()
+			}
+		}
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// isFabricCall reports whether the function is an RBIO/netmux fabric
+// entry point: a Call/Send/Dial in one of the fabric packages.
+func (l *DeadlockLint) isFabricCall(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	inFabric := false
+	for _, p := range l.FabricPkgs {
+		if containsPath(path, p) {
+			inFabric = true
+			break
+		}
+	}
+	if !inFabric {
+		return false
+	}
+	switch fn.Name() {
+	case "Call", "Send", "CallAddr", "DialTCP", "Dial":
+		return true
+	}
+	return strings.HasPrefix(fn.Name(), "Call") || strings.HasPrefix(fn.Name(), "Send")
+}
+
+// reportCycles finds strongly connected components of the lock graph and
+// reports each cycle once, naming the participating locks and one closing
+// acquisition site.
+func (l *DeadlockLint) reportCycles(edges map[*types.Var]map[*types.Var]lockEdge, labels map[*types.Var]string) []Diagnostic {
+	// Tarjan SCC.
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	var stack []*types.Var
+	var sccs [][]*types.Var
+	next := 0
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for w := range edges[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	// Deterministic iteration order for stable output.
+	var nodes []*types.Var
+	for v := range edges {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return labels[nodes[i]] < labels[nodes[j]] })
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	var out []Diagnostic
+	for _, scc := range sccs {
+		sort.Slice(scc, func(i, j int) bool { return labels[scc[i]] < labels[scc[j]] })
+		inSCC := make(map[*types.Var]bool, len(scc))
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		// Render the lock set and pick the lexically first edge inside the
+		// SCC as the anchor site.
+		var names []string
+		for _, v := range scc {
+			names = append(names, labels[v])
+		}
+		var anchor *lockEdge
+		var sites []string
+		for _, v := range scc {
+			for w, e := range edges[v] {
+				if !inSCC[w] {
+					continue
+				}
+				e := e
+				site := fmt.Sprintf("%s→%s at %s:%d", labels[v], labels[w], e.pos.Filename, e.pos.Line)
+				if e.via != "" {
+					site += " (via " + e.via + ")"
+				}
+				sites = append(sites, site)
+				if anchor == nil || e.pos.Filename < anchor.pos.Filename ||
+					(e.pos.Filename == anchor.pos.Filename && e.pos.Line < anchor.pos.Line) {
+					anchor = &e
+				}
+			}
+		}
+		sort.Strings(sites)
+		out = append(out, Diagnostic{
+			Pos:  anchor.pos,
+			Pass: "deadlocklint",
+			Message: fmt.Sprintf("lock-order cycle among {%s}: %s; acquire these locks in one global order or annotate the reviewed site //socrates:lock-ok <reason>",
+				strings.Join(names, ", "), strings.Join(sites, "; ")),
+		})
+	}
+	return out
+}

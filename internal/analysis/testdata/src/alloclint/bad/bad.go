@@ -1,0 +1,38 @@
+// Package bad is the alloclint fixture: a declared hot path that commits
+// every allocation sin the pass knows about.
+package bad
+
+import "fmt"
+
+// Frame is a tiny stand-in for a wire frame.
+type Frame struct {
+	ID  uint64
+	Buf []byte
+}
+
+// Encode is the declared hot path.
+//
+//socrates:hotpath exercised by the alloclint bad fixture
+func Encode(id uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(payload)+8) // make: flagged
+	buf = append(buf, payload...)          // append growth: flagged
+	name := fmt.Sprintf("frame-%d", id)    // named allocator + boxing: flagged
+	_ = name
+	key := string(payload) // string conversion copies: flagged
+	_ = key
+	meta := map[string]int{"id": 1} // map literal: flagged
+	_ = meta
+	f := &Frame{ID: id} // &composite heap-allocates: flagged
+	_ = f
+	cb := func() {} // closure environment: flagged
+	cb()
+	return buf
+}
+
+// Cold is NOT annotated: the same constructs are fine here.
+func Cold(id uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(payload))
+	buf = append(buf, payload...)
+	_ = fmt.Sprintf("frame-%d", id)
+	return buf
+}

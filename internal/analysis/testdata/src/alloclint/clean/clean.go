@@ -1,0 +1,45 @@
+// Package clean is the alloclint fixture that stays silent: hot paths
+// reuse caller-provided buffers, and the one deliberate allocation is
+// annotated with its reason.
+package clean
+
+import "fmt"
+
+// Encoder owns a preallocated scratch buffer.
+type Encoder struct {
+	scratch [64]byte
+}
+
+// EncodeInto is a hot path that writes into the caller's buffer and
+// allocates nothing.
+//
+//socrates:hotpath paired with an AllocsPerRun contract in the fixture suite
+func (e *Encoder) EncodeInto(dst []byte, id uint64) int {
+	n := copy(dst, e.scratch[:])
+	for i := 0; i < 8; i++ {
+		if n+i < len(dst) {
+			dst[n+i] = byte(id >> (8 * uint(i)))
+		}
+	}
+	return n + 8
+}
+
+// Grow is a hot path whose single amortized append is a reviewed
+// exception.
+//
+//socrates:hotpath append below is amortized growth on a long-lived buffer
+func Grow(buf []byte, b byte) []byte {
+	//socrates:alloc-ok amortized growth on the caller's long-lived buffer
+	return append(buf, b)
+}
+
+// Spill is the multi-line directive regression: the statement spans three
+// lines, and the directive above it must also cover the conversion and
+// the Sprintf sitting on the continuation line.
+//
+//socrates:hotpath fixture for multi-line directive attachment
+func Spill(dst []byte, id uint64) []byte {
+	//socrates:alloc-ok reviewed cold spill, hit only at fixture startup
+	return append(dst,
+		[]byte(fmt.Sprintf("id-%d", id))...)
+}

@@ -1,0 +1,20 @@
+// Package pkg is the call-graph fixture: Top → Mid → Leaf, with Solo off
+// to the side and Closure calling Leaf from inside a function literal.
+package pkg
+
+// Leaf is the target of the reachability queries.
+func Leaf() int { return 1 }
+
+// Mid calls Leaf.
+func Mid() int { return Leaf() + 1 }
+
+// Top calls Mid.
+func Top() int { return Mid() + 1 }
+
+// Solo calls nothing.
+func Solo() int { return 0 }
+
+// Closure reaches Leaf only through a function literal.
+func Closure() func() int {
+	return func() int { return Leaf() }
+}

@@ -1,0 +1,47 @@
+// Package bad is the deadlocklint fixture: a lock-order cycle closed
+// through a helper call, and a fabric RPC issued under a lock.
+package bad
+
+import "sync"
+
+// A and B are the two sides of the inconsistent ordering.
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+// TakeAB acquires A then (via the helper) B: edge A→B.
+func (a *A) TakeAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lockPeer()
+}
+
+func (a *A) lockPeer() {
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+}
+
+// TakeBA acquires B then A: edge B→A, closing the cycle.
+func (b *B) TakeBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+}
+
+// Call stands in for a netmux fabric entry point (the fixture package
+// itself is configured as the fabric package in the test).
+func Call(req []byte) []byte { return req }
+
+// SendUnderLock issues the fabric call while holding the lock.
+func (a *A) SendUnderLock(req []byte) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Call(req)
+}

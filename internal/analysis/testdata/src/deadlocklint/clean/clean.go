@@ -1,0 +1,52 @@
+// Package clean is the deadlocklint fixture that stays silent: one
+// global lock order, fabric calls outside critical sections, and one
+// reviewed exception with its reason.
+package clean
+
+import "sync"
+
+// A and B always lock in the order A before B.
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+// Both acquires in the global order.
+func (a *A) Both() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+}
+
+// AlsoBoth uses the same order, so no cycle forms.
+func (a *A) AlsoBoth() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Call stands in for a netmux fabric entry point.
+func Call(req []byte) []byte { return req }
+
+// SendOutsideLock snapshots under the lock, releases, then calls.
+func (a *A) SendOutsideLock(req []byte) []byte {
+	a.mu.Lock()
+	snapshot := append([]byte(nil), req...)
+	a.mu.Unlock()
+	return Call(snapshot)
+}
+
+// SendReviewed is the annotated exception: the call is a local loopback
+// in this fixture, so holding the lock is reviewed and accepted.
+func (a *A) SendReviewed(req []byte) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//socrates:lock-ok fixture loopback call cannot block on a remote peer
+	return Call(req)
+}

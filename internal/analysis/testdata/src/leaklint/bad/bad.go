@@ -1,0 +1,45 @@
+// Package bad is the leaklint fixture: a goroutine with no stop path and
+// a ticker that escapes Stop on one exit path.
+package bad
+
+import "time"
+
+// Worker owns a background loop.
+type Worker struct {
+	n int
+}
+
+// Start launches a goroutine that can never be stopped: flagged.
+func (w *Worker) Start() {
+	go func() {
+		for {
+			w.n++
+		}
+	}()
+}
+
+// spin also never returns.
+func (w *Worker) spin() {
+	for {
+		w.n++
+	}
+}
+
+// StartNamed launches the unstoppable named loop: flagged at the go site.
+func (w *Worker) StartNamed() {
+	go w.spin()
+}
+
+// Tick creates a ticker that is not stopped when the early return fires:
+// flagged at the creation site.
+func (w *Worker) Tick(d time.Duration, limit int) {
+	t := time.NewTicker(d)
+	for i := 0; i < limit; i++ {
+		<-t.C
+		if w.n > limit {
+			return // leaks t
+		}
+		w.n++
+	}
+	t.Stop()
+}

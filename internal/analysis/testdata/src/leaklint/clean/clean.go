@@ -1,0 +1,67 @@
+// Package clean is the leaklint fixture that stays silent: every
+// goroutine has a stop path, every resource is released on all exits or
+// explicitly handed off, and the one process-lifetime loop carries its
+// reason.
+package clean
+
+import "time"
+
+// Worker owns a stoppable background loop.
+type Worker struct {
+	done chan struct{}
+	n    int
+}
+
+// Start launches a goroutine that exits when done closes.
+func (w *Worker) Start() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-t.C:
+				w.n++
+			}
+		}
+	}()
+}
+
+// loop drains until done closes.
+func (w *Worker) loop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		default:
+			w.n++
+		}
+	}
+}
+
+// StartNamed launches the stoppable named loop.
+func (w *Worker) StartNamed() {
+	go w.loop()
+}
+
+// Deadline returns the timer to the caller: ownership transfers, so the
+// missing local Stop is not a finding.
+func Deadline(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+// forever is the reviewed exception: a process-lifetime pump.
+//
+//socrates:leak-ok process-lifetime fixture pump, reclaimed at exit
+func forever(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// StartForever launches it.
+func StartForever(ch chan int) {
+	go forever(ch)
+}

@@ -444,6 +444,10 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 	c.Net.Serve(addr, srv.Handler())
 
 	lo, hi := srv.Range()
+	// Build the client (its pool registration reaches the fabric dial
+	// path) outside the critical section; deadlocklint flags fabric work
+	// under Cluster.mu.
+	client := rbio.NewClient(c.pool(addr))
 	c.mu.Lock()
 	c.servers = append(c.servers, srv)
 	c.serverAddrs[srv] = addr
@@ -452,14 +456,13 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 	joined := false
 	for _, r := range c.ranges {
 		if r.lo == lo && r.hi == hi {
-			c.selectors[r.addr].Add(rbio.NewClient(c.pool(addr)))
+			c.selectors[r.addr].Add(client)
 			joined = true
 			break
 		}
 	}
 	if !joined {
-		sel := rbio.NewSelector(rbio.NewClient(c.pool(addr)))
-		c.selectors[addr] = sel
+		c.selectors[addr] = rbio.NewSelector(client)
 		c.ranges = append(c.ranges, serverRange{lo: lo, hi: hi, addr: addr})
 	}
 	c.mu.Unlock()

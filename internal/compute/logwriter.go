@@ -109,10 +109,13 @@ func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning,
 
 // Append stages a record, assigning its LSN. Transaction-boundary records
 // (commit, abort, checkpoint) make the pending prefix flushable.
+//
+//socrates:hotpath the commit path stages every record here; budget enforced by TestCommitAppendAllocs
 func (w *LogWriter) Append(rec *wal.Record) page.LSN {
 	w.mu.Lock()
 	rec.LSN = w.nextLSN
 	w.nextLSN = w.nextLSN.Next()
+	//socrates:alloc-ok pending-slice growth amortizes across appends between flushes
 	w.pending = append(w.pending, rec)
 	switch rec.Kind {
 	case wal.KindTxnCommit, wal.KindTxnAbort, wal.KindCheckpoint, wal.KindNoop:

@@ -277,6 +277,9 @@ func (s *Secondary) pullOnce() bool {
 	return true
 }
 
+// applyRecord applies one redo record from the log feed.
+//
+//socrates:hotpath runs once per record in the secondary's apply feed; budget enforced by TestApplyFeedAllocs
 func (s *Secondary) applyRecord(rec *wal.Record) {
 	switch {
 	case rec.Kind == wal.KindTxnCommit:

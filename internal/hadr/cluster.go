@@ -172,10 +172,14 @@ func (c *Cluster) Failover() (*Node, time.Duration, error) {
 	}
 	c.Net.Unserve(best.name)
 
+	// Construct the writer (it spawns flush/backup loops that reach the
+	// fabric) before taking the lock: deadlocklint, and a failover that
+	// cannot convoy behind a slow dial.
+	w := newWriter(c, hardened)
 	c.mu.Lock()
 	c.primary = best
 	c.secondaries = rest
-	c.writer = newWriter(c, hardened)
+	c.writer = w
 	c.mu.Unlock()
 
 	visible := uint64(0)
@@ -219,8 +223,12 @@ func (c *Cluster) SeedNewReplica(name string) (*Node, int64, time.Duration, erro
 	if copyErr != nil {
 		return nil, 0, 0, copyErr
 	}
+	// Read the hardened end before taking the node lock: Writer() takes
+	// Cluster.mu, and Failover acquires Node.mu while holding Cluster.mu —
+	// nesting them here in the opposite order is a lock-order cycle.
+	hardened := c.Writer().HardenedEnd()
 	sec.mu.Lock()
-	sec.applied = c.Writer().HardenedEnd()
+	sec.applied = hardened
 	sec.mu.Unlock()
 	sec.startApply()
 	c.Net.Serve(sec.name, sec.handler())

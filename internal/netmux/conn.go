@@ -88,30 +88,51 @@ func (c *MuxConn) Close() error {
 	return nil
 }
 
-// register assigns a request ID and parks a waiter under it.
+// muxWaiterPool recycles the per-call waiter channels. The recycling
+// contract: every delivery (demux, fail) happens while holding c.mu and
+// only while the channel is still registered in c.pending, so once a
+// caller has removed its entry — by receiving (demux deletes before
+// sending) or by abandon — no further send can occur, and after a
+// non-blocking drain the channel is provably empty and safe to reuse.
+var muxWaiterPool = sync.Pool{
+	New: func() any { return make(chan muxResult, 1) },
+}
+
+// register assigns a request ID and parks a pooled waiter under it.
 func (c *MuxConn) register() (uint64, chan muxResult, error) {
+	ch := muxWaiterPool.Get().(chan muxResult)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
+		muxWaiterPool.Put(ch)
 		return 0, nil, fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, c.err)
 	}
 	id := c.nextID
 	c.nextID++
-	ch := make(chan muxResult, 1)
 	c.pending[id] = ch
 	return id, ch, nil
 }
 
-// abandon removes the waiter for id, if still registered. The demux
-// loop will drop the response by ID when (if) it arrives.
-func (c *MuxConn) abandon(id uint64) {
+// abandon removes the waiter for id, if still registered, and recycles
+// its channel. The demux loop will drop the response by ID when (if) it
+// arrives. Any delivery raced ahead of us under c.mu, so after the
+// unlock the drain below observes it and the channel is empty for reuse.
+func (c *MuxConn) abandon(id uint64, ch chan muxResult) {
 	c.mu.Lock()
 	delete(c.pending, id)
 	c.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+	muxWaiterPool.Put(ch)
 }
 
-// fail marks the connection dead (first error wins), closes the stream,
-// and delivers the failure to every parked waiter.
+// fail marks the connection dead (first error wins), delivers the
+// failure to every parked waiter, and closes the stream. Delivery
+// happens under c.mu — each channel is buffered and has exactly one
+// outstanding send — which is what makes waiter-channel recycling safe
+// against a racing abandon.
 func (c *MuxConn) fail(err error) {
 	c.mu.Lock()
 	if c.err != nil {
@@ -119,13 +140,13 @@ func (c *MuxConn) fail(err error) {
 		return
 	}
 	c.err = err
-	pend := c.pending
+	wrapped := fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, err)
+	for _, ch := range c.pending {
+		ch <- muxResult{err: wrapped}
+	}
 	c.pending = nil
 	c.mu.Unlock()
 	_ = c.conn.Close()
-	for _, ch := range pend {
-		ch <- muxResult{err: fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, err)}
-	}
 }
 
 // writeFrame emits one frame under the write mutex, bounding the write
@@ -147,17 +168,32 @@ func (c *MuxConn) writeFrame(ctx context.Context, kind byte, payload []byte) err
 	return nil
 }
 
-// frame builds the mux frame payload: [8-byte LE id][encoded request].
-func muxFrame(id uint64, req *rbio.Request) []byte {
-	body := rbio.EncodeRequest(req)
-	buf := make([]byte, 8, 8+len(body))
-	binary.LittleEndian.PutUint64(buf, id)
-	return append(buf, body...)
+// muxFramePool recycles the [id][request] staging buffers for the call
+// and send paths; a buffer is reusable as soon as writeFrame returns.
+var muxFramePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// writeMuxFrame stages [8-byte LE id][encoded request] in a pooled
+// buffer and emits it as one frame.
+//
+//socrates:hotpath runs once per RPC issued on the fabric
+func (c *MuxConn) writeMuxFrame(ctx context.Context, kind byte, id uint64, req *rbio.Request) error {
+	bp := muxFramePool.Get().(*[]byte)
+	//socrates:alloc-ok pooled staging buffer; growth amortizes across the pool
+	buf := binary.LittleEndian.AppendUint64((*bp)[:0], id)
+	buf = rbio.AppendRequest(buf, req)
+	err := c.writeFrame(ctx, kind, buf)
+	*bp = buf[:0]
+	muxFramePool.Put(bp)
+	return err
 }
 
 // Call issues req and waits for the response paired to its request ID.
 // A cancelled or expired context abandons the slot without harming the
 // connection.
+//
+//socrates:hotpath every GetPage/commit RPC rides this; budget enforced by TestMuxCallAllocs
 func (c *MuxConn) Call(ctx context.Context, req *rbio.Request) (*rbio.Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, socerr.FromContext(err)
@@ -166,31 +202,35 @@ func (c *MuxConn) Call(ctx context.Context, req *rbio.Request) (*rbio.Response, 
 	if err != nil {
 		return nil, err
 	}
-	if err := c.writeFrame(ctx, rbio.FrameMuxCall, muxFrame(id, req)); err != nil {
-		c.abandon(id)
+	if err := c.writeMuxFrame(ctx, rbio.FrameMuxCall, id, req); err != nil {
+		c.abandon(id, ch)
 		return nil, err
 	}
 	select {
 	case res := <-ch:
+		muxWaiterPool.Put(ch)
 		return res.resp, res.err
 	case <-ctx.Done():
-		c.abandon(id)
+		c.abandon(id, ch)
 		return nil, socerr.FromContext(ctx.Err())
 	}
 }
 
 // Send delivers req fire-and-forget over the mux stream.
+//
+//socrates:hotpath the lossy log feed issues one of these per block
 func (c *MuxConn) Send(ctx context.Context, req *rbio.Request) error {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		//socrates:alloc-ok dead-connection error path, not the steady-state send
 		return fmt.Errorf("%w: %s: %v", rbio.ErrUnavailable, c.addr, err)
 	}
 	id := c.nextID
 	c.nextID++
 	c.mu.Unlock()
-	return c.writeFrame(ctx, rbio.FrameMuxOneway, muxFrame(id, req))
+	return c.writeMuxFrame(ctx, rbio.FrameMuxOneway, id, req)
 }
 
 // demux reads response frames and pairs them to waiters by request ID.
@@ -211,9 +251,18 @@ func (c *MuxConn) demux() {
 			c.fail(fmt.Errorf("netmux: torn response: %w", err))
 			return
 		}
+		// Deliver under the lock: recycling waiter channels is only safe
+		// because a send can never race an abandon (both serialize on
+		// c.mu, and the entry is removed in the same critical section as
+		// the send). The channel is buffered with exactly one outstanding
+		// send, so holding the lock across it never blocks.
 		c.mu.Lock()
 		ch, ok := c.pending[id]
-		delete(c.pending, id)
+		if ok {
+			delete(c.pending, id)
+			//socrates:lock-ok buffered channel with exactly one outstanding send never blocks; sending under c.mu is what makes waiter-channel recycling race-free against abandon
+			ch <- muxResult{resp: resp}
+		}
 		c.mu.Unlock()
 		if !ok {
 			// Late response for an abandoned call: dropped by ID; the
@@ -221,9 +270,7 @@ func (c *MuxConn) demux() {
 			if c.m != nil {
 				c.m.LateDrops.Inc()
 			}
-			continue
 		}
-		ch <- muxResult{resp: resp}
 	}
 }
 

@@ -1,0 +1,47 @@
+package netmux
+
+import (
+	"context"
+	"testing"
+
+	"socrates/internal/rbio"
+	"socrates/internal/testutil"
+)
+
+// TestMuxCallAllocs is the allocation contract for the mux RPC path: the
+// budget covers one full in-process round trip — client staging + frame
+// write, server read/decode/encode, client demux + decode — so it pins
+// both sides of the fabric at once. The pooled staging buffers, pooled
+// waiter channels, and append-style codecs are what keep it this low;
+// regressions (a per-call make, a dropped pool) blow the budget.
+func TestMuxCallAllocs(t *testing.T) {
+	testutil.SkipIfRace(t)
+
+	ok := rbio.Ok()
+	addr := startMuxServer(t, func(_ context.Context, _ *rbio.Request) *rbio.Response {
+		return ok
+	})
+	c := dialMux(t, addr)
+
+	ctx := context.Background()
+	req := &rbio.Request{Type: rbio.MsgPing}
+	// Warm the pools and the connection before measuring.
+	for i := 0; i < 64; i++ {
+		if _, err := c.Call(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := c.Call(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The irreducible steady-state costs: the read-side frame buffers and
+	// decoded request/response values on both peers.
+	const budget = 16
+	t.Logf("mux Call: %.1f allocs/op (budget %d)", avg, budget)
+	if avg > budget {
+		t.Fatalf("mux Call: %.1f allocs/op, budget %d", avg, budget)
+	}
+}

@@ -185,10 +185,28 @@ func (p *Page) Clone() *Page {
 //	[28:32) reserved
 //	[32:..) payload
 func (p *Page) Encode() ([]byte, error) {
+	return p.AppendEncode(make([]byte, 0, Size))
+}
+
+// zeroImage is the blank page image AppendEncode extends dst with before
+// encoding in place (appending from a package-level array allocates
+// nothing when dst has capacity).
+var zeroImage [Size]byte
+
+// AppendEncode appends the page's Size-byte image to dst and returns the
+// extended slice — the allocation-free form of Encode for callers
+// assembling multi-page payloads (the GetPageRange response) into one
+// reusable buffer.
+//
+//socrates:hotpath one call per page served; the payload buffer is the caller's
+//socrates:alloc-ok the append amortizes into the caller's payload buffer
+func (p *Page) AppendEncode(dst []byte) ([]byte, error) {
 	if len(p.Data) > MaxData {
-		return nil, fmt.Errorf("%w: %d bytes on page %d", ErrTooLarge, len(p.Data), p.ID)
+		return dst, fmt.Errorf("%w: %d bytes on page %d", ErrTooLarge, len(p.Data), p.ID)
 	}
-	buf := make([]byte, Size)
+	off := len(dst)
+	dst = append(dst, zeroImage[:]...)
+	buf := dst[off : off+Size]
 	binary.LittleEndian.PutUint32(buf[0:4], magic)
 	binary.LittleEndian.PutUint64(buf[4:12], uint64(p.ID))
 	binary.LittleEndian.PutUint64(buf[12:20], uint64(p.LSN))
@@ -196,7 +214,7 @@ func (p *Page) Encode() ([]byte, error) {
 	binary.LittleEndian.PutUint16(buf[22:24], uint16(len(p.Data)))
 	copy(buf[HeaderSize:], p.Data)
 	binary.LittleEndian.PutUint32(buf[24:28], checksum(buf, len(p.Data)))
-	return buf, nil
+	return dst, nil
 }
 
 // Decode parses and verifies a page image produced by Encode.

@@ -111,6 +111,10 @@ type Server struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
+	// applyScratch is pullOnce's reusable touched-page set; only the
+	// apply loop touches it, so no lock guards it.
+	applyScratch map[page.ID]*page.Page
+
 	served   metrics.Counter
 	waits    metrics.Counter
 	applies  metrics.Counter
@@ -302,6 +306,8 @@ func (s *Server) applyLoop() {
 // pullOnce pulls and applies one batch; reports whether progress was made.
 // The apply loop is server-initiated, so each batch starts its own trace
 // rather than joining a caller's.
+//
+//socrates:hotpath the apply feed's batch loop; per-batch costs are reviewed inline, per-record costs live in applyRecordTo
 func (s *Server) pullOnce() bool {
 	s.mu.Lock()
 	from := s.applied
@@ -309,6 +315,7 @@ func (s *Server) pullOnce() bool {
 
 	ctx := context.Background()
 	start := time.Now()
+	//socrates:alloc-ok one request header per pull batch, amortized over every record in it
 	resp, err := s.cfg.XLOG.Call(ctx, &rbio.Request{
 		Type:      rbio.MsgPullBlocks,
 		LSN:       from,
@@ -325,8 +332,15 @@ func (s *Server) pullOnce() bool {
 	// Coalesce the batch: a page touched by many records in one pull is
 	// read once, mutated in memory, and written through once — without
 	// this, a write burst outruns the apply loop and GetPage@LSN waits
-	// pile up behind the lag.
-	touched := make(map[page.ID]*page.Page)
+	// pile up behind the lag. The set is a reused scratch map (the apply
+	// loop is the only writer), so a steady feed allocates no map per
+	// batch.
+	if s.applyScratch == nil {
+		//socrates:alloc-ok one-time lazy init; every later batch reuses this map
+		s.applyScratch = make(map[page.ID]*page.Page, 64)
+	}
+	touched := s.applyScratch
+	clear(touched)
 	for len(payload) > 0 {
 		b, n, err := wal.DecodeBlock(payload)
 		if err != nil {
@@ -359,8 +373,10 @@ func (s *Server) pullOnce() bool {
 	s.appliedCond.Broadcast()
 	s.mu.Unlock()
 	s.cfg.Watermarks.Watermark(obs.WMApplied, s.cfg.Name).Publish(uint64(next))
+	//socrates:alloc-ok per-batch flight-recorder note, not a per-record cost
 	s.cfg.Flight.Record(obs.TierPageServer, "ps.apply", uint64(next),
 		time.Since(start), fmt.Sprintf("%s: pages=%d", s.cfg.Name, len(touched)))
+	//socrates:alloc-ok one advisory report per batch
 	//socrates:ignore-err applied-progress reports are advisory lease refreshes; the next pull re-reports and the watermark is monotone at the service
 	_, _ = s.cfg.XLOG.Call(ctx, &rbio.Request{
 		Type: rbio.MsgReportApplied, Consumer: s.cfg.Name, LSN: next})
@@ -370,6 +386,8 @@ func (s *Server) pullOnce() bool {
 // applyRecordTo applies one redo record into the batch's touched-page set;
 // pages are looked up (cache, then XStore for seeding gaps) at most once
 // per batch.
+//
+//socrates:hotpath runs once per redo record in the apply feed; budget enforced by TestApplyFeedAllocs
 func (s *Server) applyRecordTo(touched map[page.ID]*page.Page, rec *wal.Record) error {
 	if !rec.IsPageOp() || !s.Owns(rec.Page) {
 		return nil
@@ -391,6 +409,7 @@ func (s *Server) applyRecordTo(touched map[page.ID]*page.Page, rec *wal.Record) 
 			}
 			fetched, err := s.fetchFromStore(rec.Page)
 			if err != nil {
+				//socrates:alloc-ok redo-fetch failure path; the batch aborts here
 				return fmt.Errorf("pageserver: page %d needed for redo: %w", rec.Page, err)
 			}
 			pg = fetched
@@ -631,16 +650,20 @@ func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
 // The context carries the calling compute node's span identity (decoded
 // from the RBIO v2 frame), so the page-server read shows up inside the
 // caller's GetPage@LSN trace.
+//
+//socrates:hotpath the paper's defining latency path; warm-cache budget enforced by TestGetPageAllocs
 func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*page.Page, error) {
 	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpage")
 	defer sp.End()
 	start := time.Now()
 	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(start)
 	if !s.Owns(id) {
+		//socrates:alloc-ok misrouted-request error path, never the warm-cache hit
 		return nil, fmt.Errorf("pageserver: page %d outside partition [%d,%d)", id, s.lo, s.hi)
 	}
 	waitStart := time.Now()
 	if !s.waitApplied(minLSN, 5*time.Second) {
+		//socrates:alloc-ok apply-lag timeout path; the request already lost 5s
 		return nil, socerr.Timeoutf("pageserver: apply lag: applied %d, need > %d",
 			s.AppliedLSN(), minLSN)
 	}
@@ -664,11 +687,14 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 	pg, err := s.fetchFromStore(id)
 	if err != nil {
 		sp.SetError(err)
+		//socrates:alloc-ok xstore-fetch failure path behind a covering-cache miss
 		s.cfg.Flight.Record(obs.TierPageServer, "ps.miss", uint64(minLSN),
 			time.Since(fetchStart),
 			fmt.Sprintf("%s: page %d xstore fetch failed: %v", s.cfg.Name, id, err))
+		//socrates:alloc-ok same failure path as the flight record above
 		return nil, fmt.Errorf("pageserver: page %d not found: %w", id, err)
 	}
+	//socrates:alloc-ok covering-cache miss happens only while seeding; the warm path returned above
 	s.cfg.Flight.Record(obs.TierPageServer, "ps.miss", uint64(minLSN),
 		time.Since(fetchStart), fmt.Sprintf("%s: page %d seeded from xstore", s.cfg.Name, id))
 	s.served.Inc()
@@ -684,12 +710,15 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 // progress instead of redoing work they already received. A range whose
 // tail runs past the partition end is likewise clamped and reported
 // partial. Only a range with no usable prefix at all fails outright.
+//
+//socrates:hotpath scan-offload read path; one call serves many pages
 func (s *Server) GetPageRange(ctx context.Context, start page.ID, count int, minLSN page.LSN) ([]*page.Page, error) {
 	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpagerange")
 	defer sp.End()
 	t0 := time.Now()
 	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(t0)
 	if count <= 0 || start < s.lo || start >= s.hi {
+		//socrates:alloc-ok misrouted-range error path
 		return nil, fmt.Errorf("pageserver: range outside partition")
 	}
 	clamped := count
@@ -716,16 +745,19 @@ func (s *Server) GetPageRange(ctx context.Context, start page.ID, count int, min
 						return nil, err // no usable prefix: original failure
 					}
 					s.served.Add(int64(len(pages)))
+					//socrates:alloc-ok mid-range tear recovery path, not the one-I/O fast path
 					return pages, socerr.Partialf(
 						"pageserver: range [%d,+%d): %d pages then page %d failed: %v",
 						start, count, len(pages), id, ferr)
 				}
 			}
+			//socrates:alloc-ok prefix reassembly runs only after ReadRange failed
 			pages = append(pages, pg)
 		}
 	}
 	s.served.Add(int64(len(pages)))
 	if len(pages) < count {
+		//socrates:alloc-ok partition-end clamp is a caller error, reported once
 		return pages, socerr.Partialf(
 			"pageserver: range [%d,+%d) clamped at partition end %d: %d pages",
 			start, count, s.hi, len(pages))
@@ -777,14 +809,20 @@ func (s *Server) Handler() rbio.Handler {
 	}
 }
 
+// pagesResponse assembles a MsgGetPage response: every page image is
+// encoded directly into the single payload buffer (one allocation per
+// response, not one per page plus a copy).
+//
+//socrates:hotpath runs once per GetPage/GetPageRange served
 func pagesResponse(pages []*page.Page) *rbio.Response {
+	//socrates:alloc-ok single exactly-sized payload allocation, owned by the response
 	payload := make([]byte, 0, len(pages)*page.Size)
+	var err error
 	for _, pg := range pages {
-		buf, err := pg.Encode()
-		if err != nil {
+		if payload, err = pg.AppendEncode(payload); err != nil {
+			//socrates:alloc-ok corrupt-page error path
 			return rbio.Errorf("encode: %v", err)
 		}
-		payload = append(payload, buf...)
 	}
 	resp := rbio.Ok()
 	resp.Payload = payload

@@ -272,7 +272,17 @@ func appendBytes(buf []byte, b []byte) []byte {
 // the original layout, so a downgraded client is byte-compatible with a
 // v1 server.
 func EncodeRequest(r *Request) []byte {
-	buf := make([]byte, 0, 48+len(r.Consumer)+len(r.Payload))
+	return AppendRequest(make([]byte, 0, 48+len(r.Consumer)+len(r.Payload)), r)
+}
+
+// AppendRequest appends the encoded request to dst and returns the
+// extended slice — the allocation-free form of EncodeRequest for callers
+// (netmux framing, the GetPage fan-out) that own a reusable buffer.
+//
+//socrates:hotpath per-RPC encode on every inter-tier call
+//socrates:alloc-ok every append amortizes into the caller's reusable buffer; TestMuxCallAllocs enforces the steady-state budget
+func AppendRequest(dst []byte, r *Request) []byte {
+	buf := dst
 	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
 	buf = append(buf, byte(r.Type))
 	if r.Version >= 2 {
@@ -332,7 +342,17 @@ func DecodeRequest(buf []byte) (*Request, error) {
 
 // EncodeResponse serializes a response.
 func EncodeResponse(r *Response) []byte {
-	buf := make([]byte, 0, 24+len(r.Error)+len(r.Payload))
+	return AppendResponse(make([]byte, 0, 24+len(r.Error)+len(r.Payload)), r)
+}
+
+// AppendResponse appends the encoded response to dst and returns the
+// extended slice — the allocation-free form of EncodeResponse for the
+// server-side mux write path.
+//
+//socrates:hotpath per-RPC encode on every inter-tier response
+//socrates:alloc-ok every append amortizes into the caller's reusable buffer; TestMuxCallAllocs enforces the steady-state budget
+func AppendResponse(dst []byte, r *Response) []byte {
+	buf := dst
 	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
 	buf = append(buf, byte(r.Status))
 	buf = binary.LittleEndian.AppendUint64(buf, r.LSN.Uint64())

@@ -310,13 +310,16 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				if kind == FrameMuxOneway {
 					return
 				}
-				body := EncodeResponse(resp)
-				buf := make([]byte, 8, 8+len(body))
-				binary.LittleEndian.PutUint64(buf, id)
-				buf = append(buf, body...)
+				// Stage [id][response] in a pooled buffer: this path runs
+				// once per RPC served.
+				bp := frameBufPool.Get().(*[]byte)
+				buf := binary.LittleEndian.AppendUint64((*bp)[:0], id)
+				buf = AppendResponse(buf, resp)
 				wmu.Lock()
 				err := WriteFrame(conn, FrameMuxResp, buf)
 				wmu.Unlock()
+				*bp = buf[:0]
+				frameBufPool.Put(bp)
 				if err != nil {
 					conn.Close() // unblocks the read loop; conn is done
 				}
@@ -327,14 +330,31 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// frameBufPool recycles the header+payload staging buffers so the frame
+// write path allocates nothing in steady state. A buffer is safe to
+// recycle the moment Write returns: io.Writer must not retain its
+// argument.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
 // WriteFrame writes one length-prefixed frame: [len u32 LE][kind u8][payload].
-// Concurrent writers on one conn must serialize externally.
+// Concurrent writers on one conn must serialize externally. The frame is
+// staged in one pooled buffer and written with one Write call, so a
+// frame is either whole on the stream or not written at all (absent a
+// partial-write error, which poisons the connection at the caller).
+//
+//socrates:hotpath every inter-tier frame funnels through here
 func WriteFrame(w io.Writer, kind byte, payload []byte) error {
-	buf := make([]byte, 5+len(payload))
+	bp := frameBufPool.Get().(*[]byte)
+	//socrates:alloc-ok pooled staging buffer; growth beyond 4KiB amortizes across the pool
+	buf := append((*bp)[:0], 0, 0, 0, 0, kind)
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	buf[4] = kind
-	copy(buf[5:], payload)
+	//socrates:alloc-ok pooled staging buffer; growth beyond 4KiB amortizes across the pool
+	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 

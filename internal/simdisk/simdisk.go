@@ -465,8 +465,8 @@ func (s *sleepDispatcher) run() {
 			select {
 			case <-t.C:
 			case <-s.wake:
-				t.Stop()
 			}
+			t.Stop()
 		} else {
 			runtime.Gosched()
 		}

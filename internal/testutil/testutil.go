@@ -1,0 +1,17 @@
+// Package testutil holds small helpers shared by the repo's test suites.
+//
+// Its main job today is the race-detector guard for the AllocsPerRun
+// contract tests: the race runtime instruments allocations, so those
+// budgets only hold in plain builds.
+package testutil
+
+import "testing"
+
+// SkipIfRace skips allocation-budget tests under the race detector, whose
+// instrumentation changes allocation counts.
+func SkipIfRace(t *testing.T) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+}
