@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
              ./internal/obs ./internal/netmux ./internal/rbio
 
-.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux vet-baseline clean
+.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux bench-waits vet-baseline clean
 
 all: lint test
 
@@ -61,6 +61,12 @@ bench-obs:
 # (see BENCH_pr5.json).
 bench-mux:
 	$(GO) run ./cmd/socrates-bench -exp mux -measure 2s -warmup 500ms -json BENCH_pr5.json
+
+# Regenerate the wait-accounting seed: sketch overhead on the CDB default
+# mix (enabled vs disabled, interleaved pairs) plus per-request attribution
+# coverage on commit-bound INSERTs (see BENCH_pr8.json).
+bench-waits:
+	$(GO) run ./cmd/socrates-bench -exp waits -measure 2s -warmup 500ms -json BENCH_pr8.json
 
 clean:
 	$(GO) clean ./...

@@ -32,7 +32,7 @@ import (
 var results = map[string]any{}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, mux, or all")
+	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, mux, waits, or all")
 	measure := flag.Duration("measure", 2*time.Second, "measurement window per data point")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warm-up before each measurement")
 	sf := flag.Int("sf", 2000, "CDB scale factor (rows per scaled table)")
@@ -85,6 +85,7 @@ func main() {
 	run("table7", func() error { return runTable7(o) })
 	run("obs", func() error { return runObs(o) })
 	run("mux", func() error { return runMux(o) })
+	run("waits", func() error { return runWaits(o) })
 
 	if *jsonOut != "" {
 		results["generated"] = time.Now().UTC().Format(time.RFC3339)
@@ -250,6 +251,29 @@ func runObs(o experiments.Options) error {
 		r.OverheadPct, r.Events, r.Watermarks)
 	if r.OverheadPct >= 5 {
 		fmt.Fprintln(w, "WARNING: overhead exceeds the 5% budget on this host")
+	}
+	return w.Flush()
+}
+
+func runWaits(o experiments.Options) error {
+	r, err := experiments.WaitOverhead(o)
+	if err != nil {
+		return err
+	}
+	results["waits"] = r
+	w := tw()
+	fmt.Fprintln(w, "Wait accounting\tTotal TPS")
+	fmt.Fprintf(w, "disabled\t%.0f\n", r.DisabledTPS)
+	fmt.Fprintf(w, "enabled\t%.0f\n", r.EnabledTPS)
+	fmt.Fprintf(w, "\nOverhead: %.1f%% (target < 3%%); %d wait classes live, dominant: %s\n",
+		r.OverheadPct, r.Classes, r.TopClass)
+	fmt.Fprintf(w, "Per-request attribution: %.0f%% of commit latency explained (target >= 80%%)\n",
+		r.AttributedPct)
+	if r.OverheadPct >= 3 {
+		fmt.Fprintln(w, "WARNING: overhead exceeds the 3% budget on this host")
+	}
+	if r.AttributedPct < 80 {
+		fmt.Fprintln(w, "WARNING: attribution coverage below the 80% target on this host")
 	}
 	return w.Flush()
 }

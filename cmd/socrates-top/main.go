@@ -47,6 +47,7 @@ func main() {
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	jsonOut := flag.Bool("json", false, "emit raw registry snapshots as JSON")
 	trace := flag.Bool("trace", true, "print the latest request's span tree")
+	waits := flag.Bool("waits", true, "print the wait-stats table (blocked time per tier and wait class, with per-refresh rates)")
 	secondaries := flag.Int("secondaries", 1, "secondary compute nodes")
 	pageServers := flag.Int("pageservers", 1, "initial page servers")
 	fast := flag.Bool("fast", true, "zero-latency devices (set -fast=false for simulated Azure latencies)")
@@ -54,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	if *addr != "" {
-		pollRemote(*addr, *interval, *duration, *once, *jsonOut)
+		pollRemote(*addr, *interval, *duration, *once, *jsonOut, *waits)
 		return
 	}
 
@@ -101,10 +102,14 @@ func main() {
 	if *duration > 0 {
 		deadline = time.Now().Add(*duration)
 	}
+	wv := newWaitsView()
 	for {
 		//socrates:sleep-ok the refresh interval is the point of a top-style tool
 		time.Sleep(*interval)
 		render(db, *jsonOut, *trace)
+		if *waits && !*jsonOut {
+			wv.render(db.WaitReport())
+		}
 		if *once || (!deadline.IsZero() && time.Now().After(deadline)) {
 			break
 		}
@@ -114,14 +119,16 @@ func main() {
 }
 
 // pollRemote renders snapshots polled from a running deployment's
-// /metrics.json endpoint (the -addr mode).
-func pollRemote(addr string, interval, duration time.Duration, once, jsonOut bool) {
+// /metrics.json (and, with waits, /waits) endpoints (the -addr mode).
+func pollRemote(addr string, interval, duration time.Duration, once, jsonOut, waits bool) {
 	url := "http://" + addr + "/metrics.json"
+	waitsURL := "http://" + addr + "/waits"
 	deadline := time.Time{}
 	if duration > 0 {
 		deadline = time.Now().Add(duration)
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
+	wv := newWaitsView()
 	for {
 		body, err := fetch(client, url)
 		if err != nil {
@@ -136,6 +143,17 @@ func pollRemote(addr string, interval, duration time.Duration, once, jsonOut boo
 				log.Fatalf("decoding snapshot: %v", err)
 			}
 			renderSnapshot(snap)
+			if waits {
+				wbody, err := fetch(client, waitsURL)
+				if err != nil {
+					log.Fatalf("polling %s: %v", waitsURL, err)
+				}
+				var rep obs.WaitReport
+				if err := json.Unmarshal(wbody, &rep); err != nil {
+					log.Fatalf("decoding wait report: %v", err)
+				}
+				wv.render(rep)
+			}
 		}
 		if once || (!deadline.IsZero() && time.Now().After(deadline)) {
 			return
@@ -143,6 +161,52 @@ func pollRemote(addr string, interval, duration time.Duration, once, jsonOut boo
 		//socrates:sleep-ok the refresh interval is the point of a top-style tool
 		time.Sleep(interval)
 	}
+}
+
+// waitsView renders the wait-stats table: every tier/class sketch sorted
+// by cumulative blocked time, with the rates observed since the previous
+// refresh (waits begun per second, blocked time accumulated per second).
+type waitsView struct {
+	prevTaken time.Time
+	prev      map[string]obs.WaitClassStat // "tier/class" → previous snapshot
+}
+
+func newWaitsView() *waitsView {
+	return &waitsView{prev: make(map[string]obs.WaitClassStat)}
+}
+
+func (v *waitsView) render(rep obs.WaitReport) {
+	elapsed := rep.Taken.Sub(v.prevTaken)
+	first := v.prevTaken.IsZero()
+	v.prevTaken = rep.Taken
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TIER\tWAIT\tCOUNT\tTOTAL\tMAX\tWAITS/S\tBLOCKED/S")
+	row := func(tier string, st obs.WaitClassStat) {
+		key := tier + "/" + st.Class
+		rate, blocked := "", ""
+		if !first && elapsed > 0 {
+			p := v.prev[key]
+			rate = fmt.Sprintf("%.0f", float64(st.Count-p.Count)/elapsed.Seconds())
+			perSec := time.Duration(float64(st.TotalNS-p.TotalNS) / elapsed.Seconds())
+			blocked = perSec.Round(time.Microsecond).String()
+		}
+		v.prev[key] = st
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%v\t%s\t%s\n",
+			tier, st.Class, st.Count,
+			time.Duration(st.TotalNS).Round(time.Microsecond),
+			time.Duration(st.MaxNS).Round(time.Microsecond),
+			rate, blocked)
+	}
+	for _, st := range rep.Global {
+		row("(all)", st)
+	}
+	for _, tier := range sortedNames(rep.Tiers) {
+		for _, st := range rep.Tiers[tier] {
+			row(tier, st)
+		}
+	}
+	w.Flush()
 }
 
 func fetch(client *http.Client, url string) ([]byte, error) {

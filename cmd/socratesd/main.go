@@ -39,7 +39,7 @@ func main() {
 	pagesPerPartition := flag.Uint64("partition-pages", 0, "pages per partition (0 = single partition)")
 	lz := flag.String("lz", "xio", "landing-zone service: xio | directdrive")
 	fast := flag.Bool("fast", false, "zero-latency devices (development)")
-	obsAddr := flag.String("obs", "", "HTTP observability plane address (/metrics, /watermarks, /flight, /traces, /debug/pprof)")
+	obsAddr := flag.String("obs", "", "HTTP observability plane address (/metrics, /watermarks, /flight, /traces, /waits, /debug/pprof)")
 	flag.Parse()
 
 	cfg := socrates.Config{
@@ -72,7 +72,7 @@ func main() {
 			log.Fatalf("observability listener: %v", err)
 		}
 		defer osrv.Close()
-		log.Printf("socratesd: observability plane on http://%s (try /metrics, /watermarks, /flight)", osrv.Addr())
+		log.Printf("socratesd: observability plane on http://%s (try /metrics, /watermarks, /flight, /waits)", osrv.Addr())
 	}
 
 	if *rbioListen != "" {

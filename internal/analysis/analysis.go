@@ -1,14 +1,16 @@
-// Package analysis is the socrates-vet static-analysis suite: eleven
+// Package analysis is the socrates-vet static-analysis suite: twelve
 // domain-specific passes that encode the cross-tier invariants the paper's
 // architecture depends on. Eight AST passes cover durability-before-ack,
 // LSN monotonicity, lock discipline in the caches, no sleep-polling on
 // hot paths, coherent atomics, the context-first tracing discipline, the
 // observability plane's instrument-naming contract, and the netmux fabric
-// discipline (no raw dials, deadlines at the wire). Three dataflow-aware
+// discipline (no raw dials, deadlines at the wire). Four dataflow-aware
 // passes — alloclint (allocation budgets in //socrates:hotpath-declared
 // functions), deadlocklint (cross-package lock-ordering cycles, fabric
-// calls under locks), and leaklint (goroutine stop paths, resource
-// closers on every exit path) — build on the package's CFG (cfg.go),
+// calls under locks), leaklint (goroutine stop paths, resource
+// closers on every exit path), and waitlint (blocking sites in the
+// instrumented tiers must be wait-accounted or reviewed) — build on the
+// package's CFG (cfg.go),
 // generic forward dataflow solver (dataflow.go), and static call graph
 // (callgraph.go). Everything is pure stdlib — go/ast + go/types — and
 // runs over type-checked packages produced by the Loader.
@@ -248,6 +250,7 @@ var knownDirectives = map[string]bool{
 	"hotpath":    true, // alloclint: function is a declared hot path with an allocation budget
 	"alloc-ok":   true, // alloclint: reviewed allocation on a hot path (cold branch, amortized growth, ...)
 	"leak-ok":    true, // leaklint: reviewed goroutine/resource lifetime exception
+	"wait-ok":    true, // waitlint: reviewed benign wait (idle loop, cadence tick, accounted elsewhere)
 }
 
 // CheckDirectives validates every //socrates: annotation in the package:
@@ -297,6 +300,7 @@ func AllPasses() []Pass {
 		NewAllocLint(),
 		NewDeadlockLint(),
 		NewLeakLint(),
+		NewWaitLint(),
 	}
 }
 

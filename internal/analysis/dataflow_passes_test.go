@@ -48,6 +48,35 @@ func TestLeakLintFixtures(t *testing.T) {
 	runFixturePair(t, analysis.NewLeakLint(), "leaklint", 3, "leak-ok")
 }
 
+func TestWaitLintFixtures(t *testing.T) {
+	pass := &analysis.WaitLint{Packages: []string{"fixture/waitlint"}}
+	runFixturePair(t, pass, "waitlint", 7, "WaitPoint region")
+}
+
+// TestWaitLintFindsExactShapes pins the seven wait shapes the bad fixture
+// plants, including the two region-dataflow ones: a region ended before
+// the wait, and a region opened on only one branch.
+func TestWaitLintFindsExactShapes(t *testing.T) {
+	loader := newLoader(t)
+	bad := loadFixture(t, loader, "waitlint/bad")
+	pass := &analysis.WaitLint{Packages: []string{"fixture/waitlint"}}
+	diags := pass.Run(bad)
+	if len(diags) != 7 {
+		t.Fatalf("waitlint on bad fixture: got %d findings, want 7\n%s", len(diags), render(diags))
+	}
+	byFunc := make(map[string]int)
+	for _, fn := range []string{"Pop", "Poll", "Backoff", "Tick", "Push", "Closed", "OneArm"} {
+		for _, d := range diags {
+			if strings.Contains(d.Message, " in "+fn+" ") {
+				byFunc[fn]++
+			}
+		}
+		if byFunc[fn] != 1 {
+			t.Errorf("waitlint findings in %s: got %d, want 1\n%s", fn, byFunc[fn], render(diags))
+		}
+	}
+}
+
 // TestLeakLintFindsExactShapes pins the three leak shapes: the literal
 // goroutine, the named goroutine, and the ticker with one leaky exit.
 func TestLeakLintFindsExactShapes(t *testing.T) {
@@ -141,18 +170,18 @@ func TestCallGraph(t *testing.T) {
 	}
 }
 
-// TestAllPassesCount pins the suite size: eight AST passes plus the three
+// TestAllPassesCount pins the suite size: eight AST passes plus the four
 // dataflow-aware ones.
 func TestAllPassesCount(t *testing.T) {
 	passes := analysis.AllPasses()
-	if len(passes) != 11 {
-		t.Fatalf("AllPasses: got %d, want 11", len(passes))
+	if len(passes) != 12 {
+		t.Fatalf("AllPasses: got %d, want 12", len(passes))
 	}
 	names := make(map[string]bool)
 	for _, p := range passes {
 		names[p.Name()] = true
 	}
-	for _, want := range []string{"alloclint", "deadlocklint", "leaklint"} {
+	for _, want := range []string{"alloclint", "deadlocklint", "leaklint", "waitlint"} {
 		if !names[want] {
 			t.Fatalf("AllPasses missing %s", want)
 		}

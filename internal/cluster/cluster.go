@@ -73,6 +73,10 @@ type Config struct {
 	// full observability plane.
 	Watermarks *obs.WatermarkSet
 	Flight     *obs.FlightRecorder
+	// Waits overrides the deployment's wait-event accounting table. The
+	// default is created by New, so every cluster tracks per-tier wait
+	// stats; SetEnabled(false) on it turns the sketches off.
+	Waits *obs.WaitSet
 	// Watchdog tunes the lag/stall watchdog (zero values take the obs
 	// defaults: 25ms ticks, 50k-LSN lag threshold, 8-tick stall window).
 	Watchdog obs.WatchdogConfig
@@ -146,6 +150,10 @@ type Cluster struct {
 	Flight     *obs.FlightRecorder
 	Watchdog   *obs.Watchdog
 
+	// Waits is the deployment's wait-event accounting table: every blocking
+	// site of every tier records into its tier's recorder here.
+	Waits *obs.WaitSet
+
 	// tripDump holds the flight-recorder JSONL captured at the first
 	// watchdog trip (postmortems read the ring *near* the stall, so the
 	// dump is taken inside the trip callback, not at Close).
@@ -200,6 +208,7 @@ func New(cfg Config) (*Cluster, error) {
 		Metrics:     cfg.Metrics,
 		Watermarks:  cfg.Watermarks,
 		Flight:      cfg.Flight,
+		Waits:       cfg.Waits,
 		secondaries: make(map[string]*compute.Secondary),
 		serverAddrs: make(map[*pageserver.Server]string),
 		selectors:   make(map[string]*rbio.Selector),
@@ -218,11 +227,20 @@ func New(cfg Config) (*Cluster, error) {
 	if c.Flight == nil {
 		c.Flight = obs.NewFlightRecorder(0)
 	}
+	if c.Waits == nil {
+		c.Waits = obs.NewWaitSet()
+	}
 	c.muxMetrics = netmux.NewMetrics(c.Metrics)
+	// The fabric's queue/RTT waits land under their own pseudo-tier: mux
+	// pools are shared by all tiers, so per-tier attribution happens at the
+	// caller (e.g. page.remote), while the fabric itself reports raw
+	// queue-admission and round-trip time here.
+	c.muxMetrics.Waits = c.Waits.Tier("netmux")
 	// The watchdog watches the whole ladder; its first trip freezes a copy
 	// of the flight ring (the "seconds before the stall" postmortem) and
 	// every trip lands in the ring itself.
 	c.Watchdog = obs.NewWatchdog(c.Watermarks, c.Metrics, cfg.Watchdog)
+	c.Watchdog.SetWaitSet(c.Waits)
 	c.Watchdog.OnTrip(func(t obs.Trip) {
 		c.Flight.Record("obs", "watchdog.trip", 0, t.LagTime,
 			string(t.Kind)+": "+t.Detail)
@@ -261,7 +279,7 @@ func New(cfg Config) (*Cluster, error) {
 		lzSeed = simdisk.MixSeed(cfg.Seed, -3)
 	}
 	lzVol, err := simdisk.NewReplicatedSeeded(cfg.LZProfile, cfg.LZReplicas, cfg.LZQuorum,
-		lzSeed, simdisk.WithCPU(c.PrimaryMeter))
+		lzSeed, simdisk.WithCPU(c.PrimaryMeter), simdisk.WithWaits(c.Waits.Tier("xlog")))
 	if err != nil {
 		return nil, err
 	}
@@ -270,11 +288,13 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.LZ.SetWaits(c.Waits.Tier("xlog"))
 	c.XLOG, err = xlog.New(xlog.Config{
 		LZ: c.LZ, LT: c.Store, LTBlob: cfg.Name + "/lt",
-		CacheDevice: c.dev(cfg.LocalSSD),
+		CacheDevice: c.dev(cfg.LocalSSD, simdisk.WithWaits(c.Waits.Tier("xlog"))),
 		Tracer:      c.Tracer, Metrics: c.Metrics,
 		Watermarks: c.Watermarks, Flight: c.Flight,
+		Waits: c.Waits.Tier("xlog"),
 	})
 	if err != nil {
 		return nil, err
@@ -395,7 +415,7 @@ func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
 		Partitioning:  c.pt,
 		CacheMemPages: c.cfg.ComputeMemPages,
 		CacheSSDPages: c.cfg.ComputeSSDPages,
-		CacheSSD:      c.dev(c.cfg.LocalSSD, simdisk.WithCPU(c.PrimaryMeter)),
+		CacheSSD:      c.dev(c.cfg.LocalSSD, simdisk.WithCPU(c.PrimaryMeter), simdisk.WithWaits(c.Waits.Tier("compute"))),
 		CacheMeta:     c.dev(c.cfg.LocalSSD),
 		Meter:         c.PrimaryMeter,
 		Bootstrap:     bootstrap,
@@ -403,6 +423,7 @@ func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
 		Metrics:       c.Metrics,
 		Watermarks:    c.Watermarks,
 		Flight:        c.Flight,
+		Waits:         c.Waits.Tier("compute"),
 	}
 }
 
@@ -425,7 +446,7 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 		XLOG:            c.xlogClient(),
 		Store:           c.Store,
 		BlobPrefix:      c.cfg.Name + "/",
-		CacheSSD:        c.dev(c.cfg.LocalSSD),
+		CacheSSD:        c.dev(c.cfg.LocalSSD, simdisk.WithWaits(c.Waits.Tier("pageserver"))),
 		CacheMeta:       c.dev(c.cfg.LocalSSD),
 		MemPages:        c.cfg.PSMemPages,
 		PullBytes:       c.cfg.PSPullBytes,
@@ -436,6 +457,7 @@ func (c *Cluster) startPageServer(part page.PartitionID, rangeLo, rangeHi page.I
 		Metrics:         c.Metrics,
 		Watermarks:      c.Watermarks,
 		Flight:          c.Flight,
+		Waits:           c.Waits.Tier("pageserver"),
 	})
 	if err != nil {
 		return nil, err

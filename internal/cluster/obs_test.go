@@ -3,11 +3,14 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"socrates/internal/obs"
+	"socrates/internal/simdisk"
 )
 
 // ladderValue digs one rung out of a watermark snapshot ("" replica).
@@ -149,4 +152,147 @@ func TestWatchdogStallTripFreezesFlightDump(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond) //socrates:sleep-ok test polling for apply recovery
 	}
+}
+
+// TestQuorumDegradedTripFreezesCommitWaits is the wait-stats integration
+// test for a quorum-loss window: one of the three LZ replicas goes dark
+// (the write quorum holds on the remaining two, so every commit now pays
+// the slower replica's latency), concurrent committers push the hardened
+// watermark past the lag threshold, and the watchdog trip that fires
+// mid-window must freeze commit.quorum and commit.harden in its top-3 —
+// the trip names WHY the landing zone fell behind, not just that it did.
+func TestQuorumDegradedTripFreezesCommitWaits(t *testing.T) {
+	cfg := fastConfig("wm-quorum")
+	// Real XIO quorum writes (2.8ms base) so commit waits are genuine
+	// wall-clock time and dwarf every other class in the trip window.
+	cfg.LZProfile = simdisk.XIO
+	// Tight ticks; the lag threshold sits well above the transient lag of
+	// the serial warm-up batches (~55 LSNs) and well below the 16-way
+	// degraded window's backlog (~400 LSNs).
+	cfg.Watchdog = obs.WatchdogConfig{
+		Interval:  2 * time.Millisecond,
+		MaxLagLSN: 120,
+	}
+	c := newFastCluster(t, cfg)
+	seedRows(t, c, "t", 100)
+
+	waitConverged := func(msg string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			commit := c.Watermarks.Watermark(obs.WMCommit, "").Value()
+			hardened := c.Watermarks.Watermark(obs.WMHardened, "").Value()
+			if commit > 0 && hardened >= commit {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: ladder never converged (commit=%d hardened=%d)", msg, commit, hardened)
+			}
+			time.Sleep(2 * time.Millisecond) //socrates:sleep-ok test polling for harden convergence
+		}
+	}
+	waitConverged("after seeding")
+	// Let the watchdog observe lag 0 so the edge-triggered lag rule is
+	// armed for the fault window.
+	time.Sleep(10 * time.Millisecond) //socrates:sleep-ok watchdog must tick on the converged ladder before the fault is injected
+
+	reps := c.LZReplicas()
+	if len(reps) != 3 {
+		t.Fatalf("LZ replicas = %d, want the default 3", len(reps))
+	}
+	reps[0].SetOutage(true)
+	defer reps[0].SetOutage(false)
+
+	// Phase 1 — fill the watchdog's wait window while degraded: serial
+	// commits keep the lag far below the threshold (one txn in flight,
+	// ~26 LSNs) but each one blocks milliseconds in WaitHarden on the
+	// 2-of-3 quorum, so the ring's last StallTicks snapshots accumulate
+	// genuine commit-wait deltas before the trip can fire.
+	e := c.Primary().Engine
+	for n := 0; n < 8; n++ {
+		tx := e.Begin()
+		for i := 0; i < 25; i++ {
+			if err := tx.Put("t", []byte(fmt.Sprintf("w%02d-%03d", n, i)), []byte("v")); err != nil {
+				t.Fatalf("degraded serial put: %v", err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("degraded serial commit: %v", err)
+		}
+	}
+
+	// Phase 2 — 16 committers × 6 transactions × 25 rows: the commit
+	// frontier runs hundreds of LSNs ahead of the hardened watermark
+	// while every flush waits on the two-replica quorum, crossing the
+	// lag threshold with the window full of commit waits.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 6; n++ {
+				tx := e.Begin()
+				for i := 0; i < 25; i++ {
+					if err := tx.Put("t", []byte(fmt.Sprintf("q%02d-%02d-%03d", g, n, i)),
+						[]byte("v")); err != nil {
+						tx.Abort()
+						errs <- err
+						return
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("commit during the degraded-quorum window: %v", err)
+	}
+	if failed, cause := e.Failed(); failed {
+		t.Fatalf("engine poisoned by a minority replica outage: %v", cause)
+	}
+
+	var trip *obs.Trip
+	for _, tr := range c.Watchdog.Trips() {
+		if tr.Follower == obs.WMHardened {
+			tr := tr
+			trip = &tr
+			break
+		}
+	}
+	if trip == nil {
+		t.Fatalf("no trip on %s during the degraded window: %+v", obs.WMHardened, c.Watchdog.Trips())
+	}
+	if trip.Kind != obs.TripLag || trip.Leader != obs.WMCommit {
+		t.Fatalf("trip shape wrong: %+v", trip)
+	}
+	if len(trip.TopWaits) == 0 || len(trip.TopWaits) > 3 {
+		t.Fatalf("TopWaits = %+v, want 1..3 frozen classes", trip.TopWaits)
+	}
+	t.Logf("trip-frozen top waits: %+v", trip.TopWaits)
+	seen := map[string]bool{}
+	for _, st := range trip.TopWaits {
+		if st.Count == 0 || st.TotalNS == 0 {
+			t.Errorf("frozen class %s has an empty window delta: %+v", st.Class, st)
+		}
+		seen[st.Class] = true
+	}
+	if !seen["commit.quorum"] {
+		t.Errorf("trip window does not name commit.quorum in its top-3: %+v", trip.TopWaits)
+	}
+	if !seen["commit.harden"] {
+		t.Errorf("trip window does not name commit.harden in its top-3: %+v", trip.TopWaits)
+	}
+	if c := trip.TopWaits[0].Class; c != "commit.harden" && c != "commit.quorum" {
+		t.Errorf("dominant frozen class = %s, want a commit wait", c)
+	}
+
+	// Heal, converge, and verify nothing was lost through the window.
+	reps[0].SetOutage(false)
+	waitConverged("after healing")
+	verifyRows(t, e, "t", 100+8*25+16*6*25, "after the degraded-quorum window")
 }

@@ -63,6 +63,7 @@ func (c *Cluster) addSecondary(name string, delay time.Duration) (*compute.Secon
 		Metrics:       c.Metrics,
 		Watermarks:    c.Watermarks,
 		Flight:        c.Flight,
+		Waits:         c.Waits.Tier("compute"),
 	})
 	if err != nil {
 		return nil, err

@@ -63,6 +63,7 @@ type LogWriter struct {
 	obsReg *obs.Registry
 	wms    *obs.WatermarkSet
 	flight *obs.FlightRecorder
+	waits  *obs.WaitRecorder
 }
 
 // LogWriterOption configures a LogWriter.
@@ -81,6 +82,14 @@ func WithObs(t *obs.Tracer, r *obs.Registry) LogWriterOption {
 // as "lz.error" events before the writer poisons itself.
 func WithPlane(ws *obs.WatermarkSet, fr *obs.FlightRecorder) LogWriterOption {
 	return func(w *LogWriter) { w.wms, w.flight = ws, fr }
+}
+
+// WithWaits wires wait-event accounting into the writer: commit.harden
+// covers the time a committer blocks in WaitHarden, commit.quorum the
+// landing-zone quorum write itself (attributed to the lz.write span of
+// every commit the block hardens).
+func WithWaits(wr *obs.WaitRecorder) LogWriterOption {
+	return func(w *LogWriter) { w.waits = wr }
 }
 
 // WithEpoch stamps the producer epoch on every fed block, so the XLOG
@@ -112,6 +121,7 @@ func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning,
 //
 //socrates:hotpath the commit path stages every record here; budget enforced by TestCommitAppendAllocs
 func (w *LogWriter) Append(rec *wal.Record) page.LSN {
+	//socrates:wait-ok bookkeeping latch held a few instructions; a convoy here surfaces as the waiters' commit.harden time
 	w.mu.Lock()
 	rec.LSN = w.nextLSN
 	w.nextLSN = w.nextLSN.Next()
@@ -145,12 +155,19 @@ func (w *LogWriter) WaitHarden(ctx context.Context, lsn page.LSN) error {
 		w.cond.Broadcast()
 	})
 	defer stop()
+	// commit.harden: the committer's view of group-commit latency. Only
+	// recorded when the loop actually blocks — an already-hardened LSN
+	// must not inflate the wait count.
+	region := w.waits.Begin(ctx, obs.WaitCommitHarden)
+	waited := false
+	defer func() { region.EndIf(waited) }()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.hardened.AtMost(lsn) && w.err == nil && !w.closed {
 		if err := ctx.Err(); err != nil {
 			return socerr.FromContext(err)
 		}
+		waited = true
 		w.cond.Wait()
 	}
 	if w.err != nil {
@@ -217,6 +234,7 @@ func (w *LogWriter) flushLoop() {
 	for {
 		w.mu.Lock()
 		for w.boundary == 0 && !w.closed && w.err == nil {
+			//socrates:wait-ok idle flusher waiting for work is not a stall; recording it would drown real commit waits
 			w.cond.Wait()
 		}
 		if w.err != nil || (w.closed && w.boundary == 0) {
@@ -235,6 +253,7 @@ func (w *LogWriter) flushLoop() {
 		w.mu.Lock()
 		if w.inflightCnt > 0 && w.pendingBoundaryBytes() < 4<<10 && !w.closed {
 			waker := time.AfterFunc(150*time.Microsecond, w.cond.Broadcast)
+			//socrates:wait-ok deliberate 150µs batching pause, not a stall; committers' time here already lands in commit.harden
 			w.cond.Wait()
 			waker.Stop()
 		}
@@ -308,6 +327,7 @@ func (w *LogWriter) flushLoop() {
 				_ = w.feed.Send(ioCtx, &rbio.Request{Type: rbio.MsgFeedBlock,
 					Consumer: w.epoch, Payload: res.Payload()})
 			}
+			qstart := time.Now()
 			if err := w.lz.Complete(res); err != nil {
 				w.flight.Record(obs.TierLZ, "lz.error", uint64(block.Start),
 					time.Since(start), "quorum write failed: "+err.Error())
@@ -323,6 +343,9 @@ func (w *LogWriter) flushLoop() {
 				w.mu.Unlock()
 				return
 			}
+			// commit.quorum: the landing-zone quorum write itself, attributed
+			// to the lz.write span (ioCtx carries the last one started).
+			w.waits.Observe(ioCtx, obs.WaitCommitQuorum, time.Since(qstart))
 			for _, s := range spans {
 				s.End()
 			}

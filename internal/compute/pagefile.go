@@ -54,6 +54,7 @@ type RemotePageFile struct {
 	tracer *obs.Tracer
 	obsReg *obs.Registry
 	flight *obs.FlightRecorder
+	waits  *obs.WaitRecorder
 }
 
 // SetObs wires a tracer and metrics registry: a remote GetPage@LSN miss
@@ -68,6 +69,11 @@ func (f *RemotePageFile) SetObs(t *obs.Tracer, r *obs.Registry) {
 // SetFlight wires the flight recorder: cache misses (remote GetPage@LSN
 // fetches) and evictions drop compact events into the ring.
 func (f *RemotePageFile) SetFlight(fr *obs.FlightRecorder) { f.flight = fr }
+
+// SetWaits wires wait-event accounting: the wire portion of a GetPage@LSN
+// miss (coalesced or not) records under page.remote, attributed to the
+// request's profile and getpage span.
+func (f *RemotePageFile) SetWaits(wr *obs.WaitRecorder) { f.waits = wr }
 
 // NewRemotePageFile builds the cache-fronted page file.
 func NewRemotePageFile(cfg rbpex.Config, resolve Resolver, floor func() page.LSN) (*RemotePageFile, error) {
@@ -163,9 +169,13 @@ func (f *RemotePageFile) fetch(ctx context.Context, id page.ID) (*page.Page, err
 	minLSN := f.minLSN(id)
 	// Coalesce with any in-flight fetch of the same page at a compatible
 	// LSN: concurrent misses share one wire RPC (netmux singleflight).
+	// page.remote covers the whole wire wait, shared or not — a coalesced
+	// caller is just as blocked as the one holding the RPC.
+	region := f.waits.Begin(ctx, obs.WaitPageRemote)
 	resp, shared, err := f.coal.Do(ctx, id, minLSN, func() (*rbio.Response, error) {
 		return sel.Call(ctx, &rbio.Request{Type: rbio.MsgGetPage, Page: id, LSN: minLSN})
 	})
+	region.End()
 	if shared {
 		span.SetAttr("coalesced", "true")
 	}

@@ -52,6 +52,10 @@ type PrimaryConfig struct {
 	// flight-recorder events.
 	Watermarks *obs.WatermarkSet
 	Flight     *obs.FlightRecorder
+	// Waits, if set, wires the node into wait-event accounting:
+	// commit.harden/commit.quorum on the log pipeline, page.remote and
+	// page.miss on the page path, lock.latch/lock.row in the engine.
+	Waits *obs.WaitRecorder
 }
 
 // Primary is the read-write compute node: it is the single log producer and
@@ -81,6 +85,7 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 	writer := NewLogWriter(cfg.LZ, cfg.XLOG, cfg.Partitioning, startLSN,
 		WithObs(cfg.Tracer, cfg.Metrics),
 		WithPlane(cfg.Watermarks, cfg.Flight),
+		WithWaits(cfg.Waits),
 		WithEpoch(cfg.Epoch))
 
 	// The GetPage@LSN floor for pages this node has never seen: everything
@@ -96,15 +101,18 @@ func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
 		SSDPages: cfg.CacheSSDPages,
 		SSD:      cfg.CacheSSD,
 		Meta:     cfg.CacheMeta,
+		Waits:    cfg.Waits,
 	}, cfg.Resolve, floor)
 	if err != nil {
 		return nil, err
 	}
 	pages.SetObs(cfg.Tracer, cfg.Metrics)
 	pages.SetFlight(cfg.Flight)
+	pages.SetWaits(cfg.Waits)
 
 	ecfg := engine.Config{Pages: pages, Log: writer, Meter: cfg.Meter,
-		Tracer: cfg.Tracer, Metrics: cfg.Metrics, Watermarks: cfg.Watermarks}
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics, Watermarks: cfg.Watermarks,
+		Waits: cfg.Waits}
 	var eng *engine.Engine
 	if cfg.Bootstrap {
 		eng, err = engine.Create(ecfg)

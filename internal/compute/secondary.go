@@ -49,6 +49,10 @@ type SecondaryConfig struct {
 	Watermarks *obs.WatermarkSet
 	// Flight receives apply-batch flight-recorder events (nil = off).
 	Flight *obs.FlightRecorder
+	// Waits receives wait-event accounting for this node: xlog.feed when a
+	// caller blocks on apply progress, page.remote/page.miss on the page
+	// path, lock.row on visibility retries. Nil disables recording.
+	Waits *obs.WaitRecorder
 }
 
 // Secondary is a read-only compute node. It consumes the full log stream
@@ -77,6 +81,7 @@ type Secondary struct {
 
 	wms    *obs.WatermarkSet
 	flight *obs.FlightRecorder
+	waits  *obs.WaitRecorder
 }
 
 // NewSecondary builds and starts a secondary.
@@ -102,6 +107,7 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 		applyDelay: cfg.ApplyDelay,
 		wms:        cfg.Watermarks,
 		flight:     cfg.Flight,
+		waits:      cfg.Waits,
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -114,12 +120,14 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 		SSDPages: cfg.CacheSSDPages,
 		SSD:      cfg.CacheSSD,
 		Meta:     cfg.CacheMeta,
+		Waits:    cfg.Waits,
 	}, cfg.Resolve, floor)
 	if err != nil {
 		return nil, err
 	}
 	pages.SetObs(cfg.Tracer, cfg.Metrics)
 	pages.SetFlight(cfg.Flight)
+	pages.SetWaits(cfg.Waits)
 	s.pages = pages
 
 	eng, err := engine.Open(engine.Config{
@@ -128,6 +136,7 @@ func NewSecondary(cfg SecondaryConfig) (*Secondary, error) {
 		Meter:    cfg.Meter,
 		Tracer:   cfg.Tracer,
 		Metrics:  cfg.Metrics,
+		Waits:    cfg.Waits,
 		WaitFresh: func() {
 			// A traversal raced log apply: pause until the apply thread
 			// makes progress, then retry (§4.5).
@@ -167,12 +176,18 @@ func (s *Secondary) Stats() (applied, ignored, queued int64) {
 // WaitApplied blocks until the apply watermark reaches lsn.
 func (s *Secondary) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	// xlog.feed: the caller is blocked behind this node's log-apply
+	// progress. Recorded only when the loop actually blocks.
+	region := s.waits.Begin(nil, obs.WaitXLOGFeed)
+	waited := false
+	defer func() { region.EndIf(waited) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.applied.Before(lsn) {
 		if time.Now().After(deadline) {
 			return false
 		}
+		waited = true
 		waker := time.AfterFunc(time.Millisecond, s.cond.Broadcast)
 		s.cond.Wait()
 		waker.Stop()
@@ -187,6 +202,7 @@ func (s *Secondary) waitApplyProgress(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	for s.applied == start && time.Now().Before(deadline) {
 		waker := time.AfterFunc(200*time.Microsecond, s.cond.Broadcast)
+		//socrates:wait-ok reached only via the engine's WaitFresh hook, whose caller (withReadRetry) records the blocked time as lock.row
 		s.cond.Wait()
 		waker.Stop()
 	}
@@ -219,6 +235,7 @@ func (s *Secondary) applyLoop() {
 		if !s.pullOnce() {
 			// Nothing new at the XLOG service. The pull model has no local
 			// condition to wait on, so back off briefly but stay killable.
+			//socrates:wait-ok idle pull backoff on an empty feed; recording it would drown real apply-lag waits
 			select {
 			case <-s.done:
 				return

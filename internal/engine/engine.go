@@ -107,6 +107,10 @@ type Config struct {
 	// (compute.commit_lsn) plus the LSN→wall-clock stamps that let the
 	// watchdog express follower lag in milliseconds.
 	Watermarks *obs.WatermarkSet
+	// Waits, if set, receives wait-event accounting: lock.latch when a
+	// commit contends the single-writer latch, lock.row when a read blocks
+	// on log apply (visibility retry). Nil disables recording.
+	Waits *obs.WaitRecorder
 }
 
 // Engine is one node's database engine instance.
@@ -456,12 +460,17 @@ func (e *Engine) withReadRetry(f func() error) error {
 		if err == nil || !errors.Is(err, btree.ErrInconsistent) {
 			return err
 		}
+		// lock.row: a reader blocked behind log apply is the MVCC analogue
+		// of a row-lock wait (the row's consistent image is not yet
+		// available at this node). Aggregate-only: reads do not thread ctx.
+		region := e.cfg.Waits.Begin(nil, obs.WaitLockRow)
 		if e.cfg.WaitFresh != nil {
 			e.cfg.WaitFresh()
 		} else {
 			//socrates:sleep-ok bounded micro-backoff for read/apply races when no WaitFresh signal hook is configured; nodes with an apply loop install one
 			time.Sleep(50 * time.Microsecond)
 		}
+		region.End()
 	}
 	return err
 }

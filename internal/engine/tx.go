@@ -348,7 +348,14 @@ func (tx *Tx) Commit() error {
 	span.SetAttr("txn", strconv.FormatUint(tx.id, 10))
 	defer span.End()
 
-	e.commitMu.Lock()
+	// lock.latch: the single-writer commit latch. Recorded only when the
+	// latch is contended — an uncontended TryLock is free and must not
+	// inflate the wait count.
+	if !e.commitMu.TryLock() {
+		region := e.cfg.Waits.Begin(ctx, obs.WaitLockLatch)
+		e.commitMu.Lock()
+		region.End()
+	}
 	if e.failed {
 		e.commitMu.Unlock()
 		return ErrEngineFailed

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"socrates/internal/cdb"
+	"socrates/internal/simdisk"
+	"socrates/internal/sqlengine"
+)
+
+// WaitOverheadRow reports what the wait-stats plane costs and what it
+// buys. The cost side mirrors FlightOverheadRow: the CDB default mix runs
+// on identical deployments with the wait sketches recording vs gated off,
+// in interleaved enabled/disabled pairs, and the median per-pair
+// throughput delta is the accounting's overhead (budget <3% — every
+// WaitPoint is a pair of time.Now calls plus a few atomics, so the true
+// cost should be noise-level). The benefit side is per-request
+// attribution: the share of a committing statement's wall-clock latency
+// its own wait breakdown explains (target >=80% — on an XIO landing zone a
+// commit is almost entirely commit.harden).
+type WaitOverheadRow struct {
+	// EnabledTPS / DisabledTPS are the median total committed transactions
+	// per second across pairs with wait recording on (the default) and off.
+	EnabledTPS  float64 `json:"enabled_tps"`
+	DisabledTPS float64 `json:"disabled_tps"`
+	// OverheadPct is the median over pairs of (disabled-enabled)/disabled
+	// in percent; negative values mean run-to-run noise exceeded the
+	// accounting's cost.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Pairs is the number of enabled/disabled pairs measured.
+	Pairs int `json:"pairs"`
+	// Classes is the number of distinct wait classes the last enabled
+	// run's global sketch recorded — evidence the taxonomy was live while
+	// we measured.
+	Classes int `json:"classes"`
+	// TopClass is the class with the most total blocked time in the last
+	// enabled run (on this commit-heavy mix: commit.harden).
+	TopClass string `json:"top_class"`
+	// AttributedPct is the median share of a traced INSERT's wall-clock
+	// latency explained by its per-request wait breakdown.
+	AttributedPct float64 `json:"attributed_pct"`
+}
+
+// WaitOverhead measures the wait-accounting plane: sketch overhead on the
+// CDB default mix (enabled vs disabled, interleaved pairs) plus
+// per-request attribution coverage on a commit-bound statement stream.
+// Per-request profiles stay live in both arms — SetEnabled gates only the
+// sketches, matching the production knob.
+func WaitOverhead(o Options) (WaitOverheadRow, error) {
+	o = o.defaults()
+	row := WaitOverheadRow{Pairs: 3}
+
+	run := func(name string, enabled bool) (float64, int, string, error) {
+		s, err := newSocrates(name, simdisk.XIO, 16, 256, 512)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		defer s.Close()
+		s.Waits.SetEnabled(enabled)
+		w := cdb.New(o.SF / 2)
+		if err := w.Setup(s.Primary().Engine); err != nil {
+			return 0, 0, "", err
+		}
+		m := driveCDB(s.Primary().Engine, w, cdb.DefaultMix, o.Threads, 16, s.PrimaryMeter, o)
+		if failed, cause := s.Primary().Engine.Failed(); failed {
+			return 0, 0, "", fmt.Errorf("wait-overhead: engine poisoned: %w", cause)
+		}
+		rep := s.Waits.Report()
+		top := ""
+		if len(rep.Global) > 0 {
+			top = rep.Global[0].Class
+		}
+		return m.TotalTPS(), len(rep.Global), top, nil
+	}
+
+	var onTPS, offTPS, deltas []float64
+	for i := 0; i < row.Pairs; i++ {
+		// Alternate which arm goes first within each pair so host warm-up
+		// and drift bias neither arm systematically.
+		order := []bool{false, true}
+		if i%2 == 1 {
+			order = []bool{true, false}
+		}
+		var pairOn, pairOff float64
+		for _, enabled := range order {
+			tps, classes, top, err := run(fmt.Sprintf("waits-%d-%v", i, enabled), enabled)
+			if err != nil {
+				return row, err
+			}
+			if enabled {
+				pairOn, row.Classes, row.TopClass = tps, classes, top
+			} else {
+				pairOff = tps
+			}
+		}
+		onTPS = append(onTPS, pairOn)
+		offTPS = append(offTPS, pairOff)
+		if pairOff > 0 {
+			deltas = append(deltas, 100*(pairOff-pairOn)/pairOff)
+		}
+	}
+	row.EnabledTPS = median(onTPS)
+	row.DisabledTPS = median(offTPS)
+	row.OverheadPct = median(deltas)
+
+	att, err := waitAttribution()
+	if err != nil {
+		return row, err
+	}
+	row.AttributedPct = att
+	return row, nil
+}
+
+// waitAttribution drives single-statement INSERTs through the SQL front
+// end on an XIO-backed deployment and reports the median share of each
+// statement's wall-clock latency covered by its per-request wait
+// breakdown. Commits on an XIO landing zone spend nearly all their time
+// hardening, so the profile should explain almost all of the latency.
+func waitAttribution() (float64, error) {
+	s, err := newSocrates("waits-attr", simdisk.XIO, 16, 256, 512)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	db := sqlengine.New(s.Primary().Engine)
+	sess := db.Session()
+	ctx := context.Background()
+	if _, err := sess.ExecContext(ctx,
+		"CREATE TABLE waits_attr (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		return 0, err
+	}
+	var ratios []float64
+	for i := 0; i < 25; i++ {
+		start := time.Now()
+		res, err := sess.ExecContext(ctx,
+			fmt.Sprintf("INSERT INTO waits_attr VALUES (%d, 'row-%d')", i, i))
+		if err != nil {
+			return 0, err
+		}
+		if elapsed := time.Since(start); elapsed > 0 {
+			ratios = append(ratios, 100*float64(res.WaitTotal)/float64(elapsed))
+		}
+	}
+	return median(ratios), nil
+}

@@ -74,6 +74,7 @@ func (f *bufferedFile) flushLoop() {
 	ticker := time.NewTicker(5 * time.Millisecond)
 	defer ticker.Stop()
 	for {
+		//socrates:wait-ok write-back cadence tick, not a stall
 		select {
 		case <-f.done:
 			//socrates:ignore-err the final drain is best-effort; durability comes from the replicated log, the disk shadow only speeds restart

@@ -9,6 +9,7 @@ import (
 	"socrates/internal/engine"
 	"socrates/internal/metrics"
 	"socrates/internal/netmux"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/socerr"
@@ -48,12 +49,14 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	prim.waits = cfg.Waits
 	c.primary = prim
 	for i := 1; i < cfg.Replicas; i++ {
 		sec, err := newNode(fmt.Sprintf("%s-%d", cfg.Name, i), cfg.DiskProfile, nil)
 		if err != nil {
 			return nil, err
 		}
+		sec.waits = cfg.Waits
 		sec.startApply()
 		c.Net.Serve(sec.name, sec.handler())
 		c.secondaries = append(c.secondaries, sec)
@@ -334,12 +337,18 @@ func (w *writer) WaitHarden(ctx context.Context, lsn page.LSN) error {
 		w.cond.Broadcast()
 	})
 	defer stop()
+	// commit.harden: the committer is blocked on quorum replication of its
+	// LSN. Recorded only when the loop actually blocks.
+	region := w.c.cfg.Waits.Begin(ctx, obs.WaitCommitHarden)
+	waited := false
+	defer func() { region.EndIf(waited) }()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.hardened.AtMost(lsn) && w.err == nil && !w.closed {
 		if err := ctx.Err(); err != nil {
 			return socerr.FromContext(err)
 		}
+		waited = true
 		w.cond.Wait()
 	}
 	if w.err != nil {
@@ -413,6 +422,7 @@ func (w *writer) flushLoop() {
 	for {
 		w.mu.Lock()
 		for w.boundary == 0 && !w.closed && w.err == nil {
+			//socrates:wait-ok idle flusher waiting for a commit boundary; not a stall
 			w.cond.Wait()
 		}
 		if w.err != nil || (w.closed && w.boundary == 0) {
@@ -421,11 +431,18 @@ func (w *writer) flushLoop() {
 		}
 		// Backup-lag throttle: log production is "restricted to the level
 		// at which the log backup egress can be safely handled" (§7.4).
-		for w.unbackedLen > w.c.cfg.BackupLagBudget && !w.closed {
-			w.throttles.Inc()
-			waker := time.AfterFunc(time.Millisecond, w.cond.Broadcast)
-			w.cond.Wait()
-			waker.Stop()
+		// backpressure: this stall serializes the whole log pipeline, so
+		// the blocked time is charged as one running total per episode.
+		if w.unbackedLen > w.c.cfg.BackupLagBudget && !w.closed {
+			stallStart := time.Now()
+			for w.unbackedLen > w.c.cfg.BackupLagBudget && !w.closed {
+				w.throttles.Inc()
+				waker := time.AfterFunc(time.Millisecond, w.cond.Broadcast)
+				//socrates:wait-ok charged below as backpressure via a running total per throttle episode
+				w.cond.Wait()
+				waker.Stop()
+			}
+			w.c.cfg.Waits.Observe(nil, obs.WaitBackpressure, time.Since(stallStart))
 		}
 		if w.closed && w.boundary == 0 {
 			w.mu.Unlock()
@@ -506,13 +523,17 @@ func (w *writer) ship(block *wal.Block) error {
 			acks <- err
 		}(sec.name)
 	}
+	// commit.quorum: the cross-AZ round trip to the q-th fastest secondary.
+	qstart := time.Now()
 	got, fails := 0, 0
 	for range secs {
+		//socrates:wait-ok charged as commit.quorum via the qstart running total once the quorum acks
 		if err := <-acks; err == nil {
 			got++
 			if got >= need {
 				// The primary's pages were already updated by the engine's
 				// commit path; nothing to apply locally.
+				w.c.cfg.Waits.Observe(nil, obs.WaitCommitQuorum, time.Since(qstart))
 				return nil
 			}
 		} else {
@@ -523,6 +544,7 @@ func (w *writer) ship(block *wal.Block) error {
 		}
 	}
 	if got >= need {
+		w.c.cfg.Waits.Observe(nil, obs.WaitCommitQuorum, time.Since(qstart))
 		return nil
 	}
 	return ErrNoQuorum
@@ -543,6 +565,7 @@ func (w *writer) backupLoop() {
 			w.backupOnce() // final drain
 			return
 		}
+		//socrates:wait-ok log-backup cadence tick, not a stall
 		<-ticker.C
 		w.backupOnce()
 	}

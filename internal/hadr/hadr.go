@@ -25,6 +25,7 @@ import (
 	"socrates/internal/engine"
 	"socrates/internal/fcb"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/rbio"
 	"socrates/internal/simdisk"
@@ -73,6 +74,11 @@ type Config struct {
 	DiskProfile simdisk.Profile
 	// PrimaryCores sizes the primary's CPU meter (default 8).
 	PrimaryCores int
+	// Waits receives wait-event accounting for the deployment:
+	// commit.harden/commit.quorum on the writer, backpressure on the
+	// backup-lag throttle, xlog.feed when callers block on a secondary's
+	// apply watermark. Nil disables recording.
+	Waits *obs.WaitRecorder
 }
 
 func (c *Config) applyDefaults() {
@@ -113,6 +119,8 @@ type Node struct {
 	applied page.LSN
 	maxTS   uint64         // highest applied commit timestamp
 	engine  *engine.Engine // read-only while secondary; nil until first open
+
+	waits *obs.WaitRecorder
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -187,6 +195,7 @@ func (n *Node) startApply() {
 				default:
 				}
 				waker := time.AfterFunc(time.Millisecond, n.cond.Broadcast)
+				//socrates:wait-ok idle apply loop waiting for the next shipped block; not a stall
 				n.cond.Wait()
 				waker.Stop()
 			}
@@ -240,12 +249,18 @@ func (n *Node) applyBlock(b *wal.Block) {
 // WaitApplied blocks until the node applied through lsn.
 func (n *Node) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	// xlog.feed: the caller is blocked behind this replica's apply
+	// progress. Recorded only when the loop actually blocks.
+	region := n.waits.Begin(nil, obs.WaitXLOGFeed)
+	waited := false
+	defer func() { region.EndIf(waited) }()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for n.applied.Before(lsn) {
 		if time.Now().After(deadline) {
 			return false
 		}
+		waited = true
 		waker := time.AfterFunc(time.Millisecond, n.cond.Broadcast)
 		n.cond.Wait()
 		waker.Stop()
@@ -261,6 +276,7 @@ func (n *Node) waitApplyProgress(timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	for n.applied == start && time.Now().Before(deadline) {
 		waker := time.AfterFunc(200*time.Microsecond, n.cond.Broadcast)
+		//socrates:wait-ok reached only via the engine's WaitFresh hook, whose caller (withReadRetry) owns the lock.row accounting
 		n.cond.Wait()
 		waker.Stop()
 	}

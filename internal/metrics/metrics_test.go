@@ -254,6 +254,47 @@ func TestHistogramReservoirExactAggregates(t *testing.T) {
 	}
 }
 
+// TestHistogramExactMaxConcurrent pins the exact-aggregate guarantee under
+// contention *past the reservoir cap*: with 8 writers racing Algorithm R
+// replacement, Count and Max must still be exact — the true maximum may have
+// been displaced from the reservoir, but it must never drift out of the
+// running aggregates, and Quantile(1) must report it verbatim (never a
+// reservoir-sampled stand-in).
+func TestHistogramExactMaxConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const (
+		writers = 8
+		each    = reservoirCap/4 + 1037 // 8 writers → 2x the cap, sampling engaged
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				d := time.Duration(j%1000 + 1)
+				if w == 3 && j == each/2 {
+					d = time.Hour // the one true max, buried mid-stream
+				}
+				h.Observe(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), writers*each; got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	if got := h.Max(); got != time.Hour {
+		t.Errorf("max = %v, want %v (exact running max, not a reservoir survivor)", got, time.Hour)
+	}
+	if got := h.Quantile(1); got != time.Hour {
+		t.Errorf("Quantile(1) = %v, want %v (must be the exact max, never a sampled quantile)", got, time.Hour)
+	}
+	if got := h.Summarize().Max; got != time.Hour {
+		t.Errorf("Summarize().Max = %v, want %v", got, time.Hour)
+	}
+}
+
 func TestHistogramReservoirQuantilesStayFaithful(t *testing.T) {
 	h := NewHistogram()
 	const n = 4 * reservoirCap

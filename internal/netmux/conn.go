@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"socrates/internal/obs"
 	"socrates/internal/rbio"
 	"socrates/internal/socerr"
 )
@@ -206,11 +207,16 @@ func (c *MuxConn) Call(ctx context.Context, req *rbio.Request) (*rbio.Response, 
 		c.abandon(id, ch)
 		return nil, err
 	}
+	// netmux.rtt: the frame is on the wire; everything until the demux
+	// goroutine delivers the paired response is network round-trip.
+	region := c.m.waits().Begin(ctx, obs.WaitMuxRTT)
 	select {
 	case res := <-ch:
+		region.End()
 		muxWaiterPool.Put(ch)
 		return res.resp, res.err
 	case <-ctx.Done():
+		region.End()
 		c.abandon(id, ch)
 		return nil, socerr.FromContext(ctx.Err())
 	}
@@ -220,6 +226,7 @@ func (c *MuxConn) Call(ctx context.Context, req *rbio.Request) (*rbio.Response, 
 //
 //socrates:hotpath the lossy log feed issues one of these per block
 func (c *MuxConn) Send(ctx context.Context, req *rbio.Request) error {
+	//socrates:wait-ok ID-allocation latch held for two increments; the blocking part of a send is charged as netmux.queue at the frame writer
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err

@@ -55,6 +55,21 @@ type Metrics struct {
 	LateDrops    *obs.Counter   // responses dropped by ID after abandonment
 	CoalesceHits *obs.Counter   // GetPage misses served by a shared RPC
 	CoalesceMiss *obs.Counter   // GetPage misses that went to the wire
+
+	// Waits, if set, receives wait-event accounting: netmux.queue while a
+	// caller waits for an in-flight slot, netmux.rtt while a call is on
+	// the wire. NewMetrics leaves it nil; the cluster wires it so all
+	// fabric waits land under one pseudo-tier.
+	Waits *obs.WaitRecorder
+}
+
+// waits returns the wait recorder, tolerating a nil receiver. A nil
+// recorder still attributes waits to the context's profile and span.
+func (m *Metrics) waits() *obs.WaitRecorder {
+	if m == nil {
+		return nil
+	}
+	return m.Waits
 }
 
 // NewMetrics registers the fabric's instruments on r.

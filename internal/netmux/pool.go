@@ -206,6 +206,9 @@ func (p *Pool) acquire(ctx context.Context) error {
 			m.QueueDepth.Add(-1)
 			m.QueueWait.Since(start)
 		}
+		// netmux.queue: admission wait behind the in-flight cap (recorded
+		// whether the slot arrived or ctx expired — blocked time either way).
+		m.waits().Observe(ctx, obs.WaitMuxQueue, time.Since(start))
 	}()
 	select {
 	case p.sem <- struct{}{}:

@@ -19,6 +19,7 @@ type PlaneOptions struct {
 	Flight     *FlightRecorder
 	Tracer     *Tracer
 	Watchdog   *Watchdog
+	Waits      *WaitSet
 }
 
 // WatermarkReport is the /watermarks JSON document: the LSN ladder, the
@@ -90,6 +91,18 @@ func NewHTTPHandler(o PlaneOptions) http.Handler {
 		_ = o.Registry.WritePrometheus(w)
 		//socrates:ignore-err exposition write errors mean the scraper hung up; nothing to recover
 		_ = WritePrometheusWatermarks(w, o.Watermarks)
+		//socrates:ignore-err exposition write errors mean the scraper hung up; nothing to recover
+		_ = WritePrometheusWaits(w, o.Waits)
+	})
+
+	mux.HandleFunc("/waits", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			//socrates:ignore-err exposition write errors mean the scraper hung up; nothing to recover
+			_ = WritePrometheusWaits(w, o.Waits)
+			return
+		}
+		writeJSON(w, o.Waits.Report())
 	})
 
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
@@ -141,9 +154,10 @@ func NewHTTPHandler(o PlaneOptions) http.Handler {
 			return
 		}
 		fmt.Fprint(w, "socrates observability plane\n"+
-			"  /metrics       prometheus text (counters, gauges, histograms, watermarks)\n"+
+			"  /metrics       prometheus text (counters, gauges, histograms, watermarks, waits)\n"+
 			"  /metrics.json  raw registry snapshot\n"+
 			"  /watermarks    LSN ladder + lags + watchdog trips\n"+
+			"  /waits         wait-class sketches, global + per tier (JSON; ?format=prom)\n"+
 			"  /flight        flight-recorder ring (JSONL)\n"+
 			"  /traces        trace IDs; ?id=N for one span tree\n"+
 			"  /debug/pprof/  Go profiling\n")

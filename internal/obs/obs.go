@@ -61,9 +61,25 @@ func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
 
 type ctxKey struct{}
 
+// spanPtrKey carries the innermost live *Span (set by StartSpan) so
+// WaitPoints can attach waits to the span that blocked. It rides beside
+// the identity key: wire boundaries propagate only the identity, so a
+// remote tier never sees a foreign process's pointer.
+type spanPtrKey struct{}
+
 // ContextWithSpan returns ctx carrying sc.
 func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
 	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// activeSpan extracts the innermost live span started in-process (nil if
+// the context carries only a wire identity, or nothing).
+func activeSpan(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanPtrKey{}).(*Span)
+	return s
 }
 
 // SpanFromContext extracts the span identity from ctx (zero if absent).
@@ -92,6 +108,12 @@ type Span struct {
 
 	mu    sync.Mutex
 	ended bool
+
+	// Wait attribution: accumulated under mu until End, immutable after.
+	// Fixed arrays keep RecordWait allocation-free on hot paths.
+	waitCounts [numWaitClasses]uint32
+	waitNS     [numWaitClasses]uint64
+	hasWaits   bool
 }
 
 // Context returns the span's identity for propagation.
@@ -115,6 +137,52 @@ func (s *Span) SetAttr(key, value string) {
 		s.Attrs[key] = value
 	}
 	s.mu.Unlock()
+}
+
+// RecordWait attributes one wait of class c to the span. WaitPoints call
+// it through the context's active span; waits arriving after End are
+// dropped (the span is already immutable in the tracer).
+//
+//socrates:hotpath runs under every WaitPoint on a traced path; must stay allocation-free
+func (s *Span) RecordWait(c WaitClass, d time.Duration) {
+	if s == nil || int(c) >= numWaitClasses {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.waitCounts[c]++
+		s.waitNS[c] += uint64(d)
+		s.hasWaits = true
+	}
+	s.mu.Unlock()
+}
+
+// WaitBreakdown exports the span's own (non-child) waits sorted by
+// descending total. Valid once the span has ended.
+func (s *Span) WaitBreakdown() []WaitClassStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasWaits {
+		return nil
+	}
+	out := make([]WaitClassStat, 0, 4)
+	for i, n := range s.waitCounts {
+		if n == 0 {
+			continue
+		}
+		out = append(out, WaitClassStat{
+			Class:   WaitClass(i).String(),
+			Count:   uint64(n),
+			TotalNS: s.waitNS[i],
+		})
+	}
+	return sortByTotal(out)
 }
 
 // SetError records err on the span (no-op for nil err).
@@ -224,7 +292,8 @@ func (t *Tracer) StartSpan(ctx context.Context, tier, name string) (context.Cont
 		}
 		s.Trace = TraceID(id)
 	}
-	return ContextWithSpan(ctx, s.Context()), s
+	ctx = ContextWithSpan(ctx, s.Context())
+	return context.WithValue(ctx, spanPtrKey{}, s), s
 }
 
 // JoinSpan starts a span only when ctx already carries trace identity;
@@ -295,7 +364,45 @@ type SpanNode struct {
 	Start    time.Time         `json:"start"`
 	Duration time.Duration     `json:"duration_ns"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
+	Waits    []WaitClassStat   `json:"waits,omitempty"`
 	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// WaitTotals sums the wait time by class over the subtree rooted at n —
+// the per-request wait breakdown of a whole traced operation.
+func (n *SpanNode) WaitTotals() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	var walk func(*SpanNode)
+	walk = func(m *SpanNode) {
+		if m == nil {
+			return
+		}
+		for _, w := range m.Waits {
+			out[w.Class] += time.Duration(w.TotalNS)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// FindSpan returns the first node named name in a pre-order walk of the
+// subtree (nil if absent).
+func (n *SpanNode) FindSpan(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.FindSpan(name); m != nil {
+			return m
+		}
+	}
+	return nil
 }
 
 // Tiers returns the distinct tier labels present in the subtree rooted
@@ -338,6 +445,7 @@ func (t *Tracer) Trace(id TraceID) *SpanNode {
 		nodes[s.ID] = &SpanNode{
 			Name: s.Name, Tier: s.Tier, Start: s.Start,
 			Duration: s.Duration, Attrs: s.Attrs,
+			Waits: s.WaitBreakdown(),
 		}
 	}
 	var roots []*SpanNode
@@ -372,6 +480,9 @@ func Format(n *SpanNode) string {
 		}
 		b.WriteString(strings.Repeat("  ", depth))
 		fmt.Fprintf(&b, "%s [%s] %v", m.Name, m.Tier, m.Duration)
+		for _, w := range m.Waits {
+			fmt.Fprintf(&b, " wait:%s=%v", w.Class, time.Duration(w.TotalNS))
+		}
 		if len(m.Attrs) > 0 {
 			keys := make([]string, 0, len(m.Attrs))
 			for k := range m.Attrs {

@@ -1,0 +1,502 @@
+package obs
+
+// Wait-event accounting: every blocked microsecond in the deployment is
+// attributed to a named wait class, SQL Server wait-stats style. Socrates
+// inherits that operational DNA (§7's evaluation is a sequence of "where
+// does commit time go" questions), and the taxonomy below spans all four
+// tiers plus the netmux fabric between them.
+//
+// Three levels of aggregation, all fed by the same record call:
+//
+//   - global and per-tier sketches (count / total-ns / exact max-ns per
+//     class, lock-free atomics — WaitSet);
+//   - per-request attribution: a WaitProfile threaded through the trace
+//     context so a traced DB.ExecContext commit carries its own wait
+//     breakdown (an EXPLAIN-ANALYZE of waits);
+//   - per-span attribution: each wait attaches to the innermost open span
+//     in the context, so span trees render "commit.harden 612µs" on the
+//     exact span that blocked.
+//
+// The API is a WaitPoint in three shapes: Wait(ctx, class, fn) wraps a
+// closure; Begin/End brackets cond-wait and channel sites where the
+// blocking region is not a closure; Observe records a pre-measured
+// duration (simulated device latency, queue-wait timestamps). WaitRegion
+// is a value type and Begin/End do not allocate, so declared hot paths
+// (netmux Call, GetPage@LSN) can afford instrumentation inside their
+// existing allocation budgets.
+//
+// All types are nil-safe like the rest of the package: a nil
+// *WaitRecorder still attributes to the context's profile and span, so
+// request-scoped breakdowns work even where no sketch is wired.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WaitClass names one cause of blocking. The taxonomy is fixed — a small
+// closed set keeps the sketches allocation-free arrays and forces every
+// new blocking site to say which existing operational question it
+// belongs to.
+type WaitClass uint8
+
+// The wait-class taxonomy, spanning all four tiers.
+const (
+	// WaitLockRow: row-visibility waits — a reader blocked until its
+	// snapshot becomes visible (secondary apply catch-up, read retry).
+	// The lock table itself is NO-WAIT first-writer-wins, so classic
+	// blocked-on-row-lock time also lands here on the retry path.
+	WaitLockRow WaitClass = iota
+	// WaitLockLatch: short-term structure latches — the engine's
+	// single-writer commit latch, cache shard latches.
+	WaitLockLatch
+	// WaitCommitHarden: a committing transaction blocked in WaitHarden
+	// until the landing-zone quorum covers its commit LSN.
+	WaitCommitHarden
+	// WaitCommitQuorum: the log writer blocked in the landing-zone
+	// quorum write itself (the LZ Complete call).
+	WaitCommitQuorum
+	// WaitXLOGFeed: blocked on log dissemination — GetPage@LSN stalled
+	// behind page-server apply, a secondary waiting for apply progress,
+	// HADR ship/apply waits.
+	WaitXLOGFeed
+	// WaitPageMiss: a compute-local RBPEX miss served from the node's
+	// SSD tier (the local-cache-miss read).
+	WaitPageMiss
+	// WaitPageRemote: a GetPage@LSN round trip to a page server.
+	WaitPageRemote
+	// WaitMuxQueue: netmux admission — queued behind the per-destination
+	// in-flight cap.
+	WaitMuxQueue
+	// WaitMuxRTT: netmux in-flight — a request written to the wire,
+	// waiting for its response frame.
+	WaitMuxRTT
+	// WaitBackpressure: producer-side throttling — the landing-zone ring
+	// full, destaging behind.
+	WaitBackpressure
+	// WaitDiskRead / WaitDiskWrite: simulated device I/O lanes.
+	WaitDiskRead
+	WaitDiskWrite
+	// WaitCkptDrain: blocked draining a page-server checkpoint (backup
+	// flush, shutdown sweep).
+	WaitCkptDrain
+
+	numWaitClasses = int(WaitCkptDrain) + 1
+)
+
+// waitClassNames maps WaitClass to its canonical dotted name.
+var waitClassNames = [numWaitClasses]string{
+	WaitLockRow:      "lock.row",
+	WaitLockLatch:    "lock.latch",
+	WaitCommitHarden: "commit.harden",
+	WaitCommitQuorum: "commit.quorum",
+	WaitXLOGFeed:     "xlog.feed",
+	WaitPageMiss:     "page.miss",
+	WaitPageRemote:   "page.remote",
+	WaitMuxQueue:     "netmux.queue",
+	WaitMuxRTT:       "netmux.rtt",
+	WaitBackpressure: "backpressure",
+	WaitDiskRead:     "disk.read",
+	WaitDiskWrite:    "disk.write",
+	WaitCkptDrain:    "ckpt.drain",
+}
+
+// String returns the canonical class name ("commit.harden").
+func (c WaitClass) String() string {
+	if int(c) < numWaitClasses {
+		return waitClassNames[c]
+	}
+	return "unknown"
+}
+
+// WaitClasses lists every class in taxonomy order.
+func WaitClasses() []WaitClass {
+	out := make([]WaitClass, numWaitClasses)
+	for i := range out {
+		out[i] = WaitClass(i)
+	}
+	return out
+}
+
+// waitSlot is one class's lock-free sketch: count, total nanoseconds,
+// and exact maximum nanoseconds (CAS max — never a reservoir quantile).
+type waitSlot struct {
+	count atomic.Uint64
+	total atomic.Uint64
+	max   atomic.Uint64
+}
+
+func (s *waitSlot) record(ns uint64) {
+	s.count.Add(1)
+	s.total.Add(ns)
+	for {
+		cur := s.max.Load()
+		if ns <= cur || s.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// WaitStats is one sketch: a fixed array of per-class slots. The zero
+// value is ready to use; recording is lock-free and snapshot-safe.
+type WaitStats struct {
+	slots [numWaitClasses]waitSlot
+}
+
+// Record adds one wait of duration d to the class sketch.
+func (w *WaitStats) Record(class WaitClass, d time.Duration) {
+	if w == nil || int(class) >= numWaitClasses {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	w.slots[class].record(uint64(d))
+}
+
+// WaitClassStat is the exported view of one class's sketch.
+type WaitClassStat struct {
+	Class   string `json:"class"`
+	Count   uint64 `json:"count"`
+	TotalNS uint64 `json:"total_ns"`
+	MaxNS   uint64 `json:"max_ns"`
+}
+
+// Snapshot exports the nonzero classes of the sketch in taxonomy order.
+func (w *WaitStats) Snapshot() []WaitClassStat {
+	if w == nil {
+		return nil
+	}
+	out := make([]WaitClassStat, 0, numWaitClasses)
+	for i := range w.slots {
+		s := &w.slots[i]
+		n := s.count.Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, WaitClassStat{
+			Class:   WaitClass(i).String(),
+			Count:   n,
+			TotalNS: s.total.Load(),
+			MaxNS:   s.max.Load(),
+		})
+	}
+	return out
+}
+
+// WaitSet is the deployment-wide wait-accounting table: one global
+// sketch plus one per tier, shared by every node the way the Registry
+// and WatermarkSet are. All methods are nil-safe.
+type WaitSet struct {
+	global   WaitStats
+	disabled atomic.Bool
+
+	mu    sync.RWMutex
+	tiers map[string]*WaitStats
+	recs  map[string]*WaitRecorder
+}
+
+// NewWaitSet builds an empty wait-accounting table.
+func NewWaitSet() *WaitSet {
+	return &WaitSet{
+		tiers: make(map[string]*WaitStats),
+		recs:  make(map[string]*WaitRecorder),
+	}
+}
+
+// SetEnabled toggles sketch recording (the overhead-comparison knob; on
+// by default). Per-request profile and span attribution stay live — they
+// are request-scoped and cost nothing when no profile is attached.
+func (s *WaitSet) SetEnabled(on bool) {
+	if s == nil {
+		return
+	}
+	s.disabled.Store(!on)
+}
+
+// Enabled reports whether sketch recording is active.
+func (s *WaitSet) Enabled() bool {
+	return s != nil && !s.disabled.Load()
+}
+
+// Global exposes the deployment-wide sketch.
+func (s *WaitSet) Global() *WaitStats {
+	if s == nil {
+		return nil
+	}
+	return &s.global
+}
+
+// Tier returns (creating if needed) the recorder for one tier. Hot paths
+// resolve their recorder once at wiring time; recording through it is
+// lock-free.
+func (s *WaitSet) Tier(tier string) *WaitRecorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	r, ok := s.recs[tier]
+	s.mu.RUnlock()
+	if ok {
+		return r
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok = s.recs[tier]; ok {
+		return r
+	}
+	st := &WaitStats{}
+	s.tiers[tier] = st
+	r = &WaitRecorder{set: s, tier: st}
+	s.recs[tier] = r
+	return r
+}
+
+// WaitReport is the /waits JSON document.
+type WaitReport struct {
+	Taken  time.Time                  `json:"taken"`
+	Global []WaitClassStat            `json:"global"`
+	Tiers  map[string][]WaitClassStat `json:"tiers,omitempty"`
+}
+
+// Report exports the global and per-tier sketches, each sorted by
+// descending total (the socrates-top ordering).
+func (s *WaitSet) Report() WaitReport {
+	rep := WaitReport{Taken: time.Now()}
+	if s == nil {
+		return rep
+	}
+	rep.Global = sortByTotal(s.global.Snapshot())
+	s.mu.RLock()
+	tiers := make(map[string]*WaitStats, len(s.tiers))
+	for name, st := range s.tiers {
+		tiers[name] = st
+	}
+	s.mu.RUnlock()
+	if len(tiers) > 0 {
+		rep.Tiers = make(map[string][]WaitClassStat, len(tiers))
+		for name, st := range tiers {
+			if snap := sortByTotal(st.Snapshot()); len(snap) > 0 {
+				rep.Tiers[name] = snap
+			}
+		}
+	}
+	return rep
+}
+
+func sortByTotal(stats []WaitClassStat) []WaitClassStat {
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].TotalNS != stats[j].TotalNS {
+			return stats[i].TotalNS > stats[j].TotalNS
+		}
+		return stats[i].Class < stats[j].Class
+	})
+	return stats
+}
+
+// WaitRecorder records waits for one tier into its tier sketch, the
+// global sketch, and whatever per-request profile and span the context
+// carries. A nil recorder still performs the context attribution, so
+// unwired paths keep request-scoped breakdowns.
+type WaitRecorder struct {
+	set  *WaitSet
+	tier *WaitStats
+}
+
+// Observe records one pre-measured wait. ctx may be nil (background
+// loops, device lanes without request context).
+//
+//socrates:hotpath the universal record path under every WaitPoint; must stay allocation-free
+func (r *WaitRecorder) Observe(ctx context.Context, class WaitClass, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if r != nil && r.set.Enabled() {
+		r.tier.Record(class, d)
+		r.set.global.Record(class, d)
+	}
+	if ctx == nil {
+		return
+	}
+	if p := WaitProfileFromContext(ctx); p != nil {
+		p.add(class, d)
+	}
+	if sp := activeSpan(ctx); sp != nil {
+		sp.RecordWait(class, d)
+	}
+}
+
+// Wait runs fn and records its duration as one wait of the given class.
+func (r *WaitRecorder) Wait(ctx context.Context, class WaitClass, fn func()) {
+	start := time.Now()
+	fn()
+	r.Observe(ctx, class, time.Since(start))
+}
+
+// Begin opens a wait region; End records it. WaitRegion is a value —
+// Begin/End on a hot path allocates nothing.
+//
+//socrates:hotpath region entry used inside netmux Call and GetPage budgets
+func (r *WaitRecorder) Begin(ctx context.Context, class WaitClass) WaitRegion {
+	return WaitRegion{rec: r, ctx: ctx, class: class, start: time.Now()}
+}
+
+// Wait is the package-level WaitPoint for paths with request context but
+// no wired recorder: fn's duration is attributed to the context's
+// profile and span (no sketch recording).
+func Wait(ctx context.Context, class WaitClass, fn func()) {
+	var r *WaitRecorder
+	r.Wait(ctx, class, fn)
+}
+
+// WaitRegion is one open Begin/End bracket.
+type WaitRegion struct {
+	rec   *WaitRecorder
+	ctx   context.Context
+	class WaitClass
+	start time.Time
+}
+
+// End closes the region and records the wait. End on a zero WaitRegion
+// is a no-op.
+//
+//socrates:hotpath region exit used inside netmux Call and GetPage budgets
+func (w WaitRegion) End() {
+	if w.start.IsZero() {
+		return
+	}
+	w.rec.Observe(w.ctx, w.class, time.Since(w.start))
+}
+
+// EndIf closes the region only when waited is true — for sites that
+// check a condition first and only sometimes block (cond-wait loops
+// whose first test passes).
+func (w WaitRegion) EndIf(waited bool) {
+	if waited {
+		w.End()
+	}
+}
+
+// --- per-request attribution ---
+
+// WaitProfile accumulates one request's waits by class. It travels in
+// the context (ContextWithWaitProfile) across every tier the request
+// touches in-process; concurrent recorders (fan-out page reads, the
+// group-commit flusher) share it safely through atomics.
+type WaitProfile struct {
+	counts [numWaitClasses]atomic.Uint64
+	totals [numWaitClasses]atomic.Uint64
+}
+
+// NewWaitProfile builds an empty profile.
+func NewWaitProfile() *WaitProfile { return &WaitProfile{} }
+
+func (p *WaitProfile) add(class WaitClass, d time.Duration) {
+	if p == nil || int(class) >= numWaitClasses {
+		return
+	}
+	p.counts[class].Add(1)
+	p.totals[class].Add(uint64(d))
+}
+
+// Breakdown exports the profile's nonzero classes sorted by descending
+// total — the per-request EXPLAIN-ANALYZE of waits.
+func (p *WaitProfile) Breakdown() []WaitClassStat {
+	if p == nil {
+		return nil
+	}
+	out := make([]WaitClassStat, 0, numWaitClasses)
+	for i := range p.counts {
+		n := p.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, WaitClassStat{
+			Class:   WaitClass(i).String(),
+			Count:   n,
+			TotalNS: p.totals[i].Load(),
+		})
+	}
+	return sortByTotal(out)
+}
+
+// Total sums the profile's wait time across classes.
+func (p *WaitProfile) Total() time.Duration {
+	if p == nil {
+		return 0
+	}
+	var ns uint64
+	for i := range p.totals {
+		ns += p.totals[i].Load()
+	}
+	return time.Duration(ns)
+}
+
+type waitProfileKey struct{}
+
+// ContextWithWaitProfile returns ctx carrying p; every WaitPoint the
+// request passes through adds its wait to p.
+func ContextWithWaitProfile(ctx context.Context, p *WaitProfile) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, waitProfileKey{}, p)
+}
+
+// WaitProfileFromContext extracts the request's profile (nil if none).
+func WaitProfileFromContext(ctx context.Context) *WaitProfile {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(waitProfileKey{}).(*WaitProfile)
+	return p
+}
+
+// --- Prometheus exposition ---
+
+// WritePrometheusWaits renders the wait sketches as three families
+// labeled by tier ("" = global) and class:
+//
+//	socrates_wait_seconds_total{tier="compute",class="commit.harden"} 0.61
+//	socrates_wait_count_total{...}  socrates_wait_max_seconds{...}
+func WritePrometheusWaits(w io.Writer, s *WaitSet) error {
+	bw := bufio.NewWriter(w)
+	if s != nil {
+		rep := s.Report()
+		type tierStats struct {
+			tier  string
+			stats []WaitClassStat
+		}
+		all := []tierStats{{tier: "", stats: rep.Global}}
+		for _, tier := range sortedKeys(rep.Tiers) {
+			all = append(all, tierStats{tier: tier, stats: rep.Tiers[tier]})
+		}
+		if len(rep.Global) > 0 || len(rep.Tiers) > 0 {
+			write := func(family, typ string, value func(WaitClassStat) string) {
+				fmt.Fprintf(bw, "# TYPE %s %s\n", family, typ)
+				for _, ts := range all {
+					for _, st := range ts.stats {
+						fmt.Fprintf(bw, "%s{tier=%q,class=%q} %s\n", family, ts.tier, st.Class, value(st))
+					}
+				}
+			}
+			write("socrates_wait_seconds_total", "counter", func(st WaitClassStat) string {
+				return promFloat(time.Duration(st.TotalNS).Seconds())
+			})
+			write("socrates_wait_count_total", "counter", func(st WaitClassStat) string {
+				return strconv.FormatUint(st.Count, 10)
+			})
+			write("socrates_wait_max_seconds", "gauge", func(st WaitClassStat) string {
+				return promFloat(time.Duration(st.MaxNS).Seconds())
+			})
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWaitStatsExactMaxConcurrent pins the sketch's exact-aggregate
+// guarantee: under concurrent recording the count and total are exact
+// sums and the max is the true maximum (CAS max, not a sampled quantile).
+func TestWaitStatsExactMaxConcurrent(t *testing.T) {
+	var ws WaitStats
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Unique durations; the global max is planted by goroutine 0.
+				d := time.Duration(g*perG+i+1) * time.Microsecond
+				if g == 0 && i == perG/2 {
+					d = time.Hour
+				}
+				ws.Record(WaitCommitHarden, d)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := ws.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("Snapshot: got %d classes, want 1: %+v", len(snap), snap)
+	}
+	st := snap[0]
+	if st.Class != "commit.harden" {
+		t.Fatalf("class = %q, want commit.harden", st.Class)
+	}
+	if st.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", st.Count, goroutines*perG)
+	}
+	if st.MaxNS != uint64(time.Hour) {
+		t.Fatalf("max = %d ns, want the planted 1h (%d ns)", st.MaxNS, uint64(time.Hour))
+	}
+	if st.TotalNS <= uint64(time.Hour) {
+		t.Fatalf("total = %d ns, should exceed the planted max alone", st.TotalNS)
+	}
+}
+
+// TestWaitRegionSemantics pins the WaitPoint contract: End on a zero
+// region is a no-op, EndIf(false) records nothing, End/EndIf(true) record
+// exactly one wait into the tier sketch, the global sketch, and the
+// context's profile.
+func TestWaitRegionSemantics(t *testing.T) {
+	set := NewWaitSet()
+	rec := set.Tier("compute")
+	prof := NewWaitProfile()
+	ctx := ContextWithWaitProfile(context.Background(), prof)
+
+	var zero WaitRegion
+	zero.End() // must not panic or record
+
+	rec.Begin(ctx, WaitLockRow).EndIf(false)
+	if got := set.Global().Snapshot(); len(got) != 0 {
+		t.Fatalf("EndIf(false) recorded: %+v", got)
+	}
+
+	rec.Begin(ctx, WaitLockRow).EndIf(true)
+	rec.Begin(ctx, WaitCommitHarden).End()
+
+	global := set.Global().Snapshot()
+	if len(global) != 2 {
+		t.Fatalf("global sketch: got %d classes, want 2: %+v", len(global), global)
+	}
+	for _, st := range global {
+		if st.Count != 1 {
+			t.Fatalf("class %s: count = %d, want 1", st.Class, st.Count)
+		}
+	}
+	rep := set.Report()
+	if len(rep.Tiers["compute"]) != 2 {
+		t.Fatalf("compute tier: got %+v, want 2 classes", rep.Tiers["compute"])
+	}
+	bd := prof.Breakdown()
+	if len(bd) != 2 {
+		t.Fatalf("profile breakdown: got %+v, want 2 classes", bd)
+	}
+}
+
+// TestPackageWaitAttributesWithoutRecorder pins the nil-recorder path:
+// obs.Wait on a context carrying a profile attributes the closure's
+// duration to the profile even though no sketch is wired.
+func TestPackageWaitAttributesWithoutRecorder(t *testing.T) {
+	prof := NewWaitProfile()
+	ctx := ContextWithWaitProfile(context.Background(), prof)
+	Wait(ctx, WaitPageRemote, func() { time.Sleep(time.Millisecond) })
+
+	bd := prof.Breakdown()
+	if len(bd) != 1 || bd[0].Class != "page.remote" {
+		t.Fatalf("breakdown = %+v, want one page.remote entry", bd)
+	}
+	if prof.Total() < time.Millisecond {
+		t.Fatalf("total = %v, want >= the 1ms sleep", prof.Total())
+	}
+
+	// A nil context must be safe too (background loops).
+	var nilRec *WaitRecorder
+	nilRec.Observe(nil, WaitDiskRead, time.Millisecond)
+}
+
+// TestWaitSetDisabledGatesSketchesOnly pins the overhead knob's scope:
+// SetEnabled(false) stops sketch recording but per-request profile
+// attribution stays live (it is request-scoped and the production knob
+// must not silently break EXPLAIN-ANALYZE of waits).
+func TestWaitSetDisabledGatesSketchesOnly(t *testing.T) {
+	set := NewWaitSet()
+	set.SetEnabled(false)
+	if set.Enabled() {
+		t.Fatal("Enabled() = true after SetEnabled(false)")
+	}
+	prof := NewWaitProfile()
+	ctx := ContextWithWaitProfile(context.Background(), prof)
+	set.Tier("xlog").Observe(ctx, WaitCommitQuorum, 2*time.Millisecond)
+
+	if rep := set.Report(); len(rep.Global) != 0 || len(rep.Tiers) != 0 {
+		t.Fatalf("disabled set still recorded sketches: %+v", rep)
+	}
+	if bd := prof.Breakdown(); len(bd) != 1 || bd[0].Class != "commit.quorum" {
+		t.Fatalf("profile breakdown = %+v, want one commit.quorum entry", bd)
+	}
+
+	set.SetEnabled(true)
+	set.Tier("xlog").Observe(ctx, WaitCommitQuorum, time.Millisecond)
+	if rep := set.Report(); len(rep.Global) != 1 {
+		t.Fatalf("re-enabled set did not record: %+v", rep)
+	}
+}
+
+// TestWaitProfileBreakdownOrder pins the per-request report shape:
+// classes sorted by descending total, and Total summing across classes.
+func TestWaitProfileBreakdownOrder(t *testing.T) {
+	p := NewWaitProfile()
+	p.add(WaitPageMiss, 1*time.Millisecond)
+	p.add(WaitCommitHarden, 5*time.Millisecond)
+	p.add(WaitLockLatch, 3*time.Millisecond)
+
+	bd := p.Breakdown()
+	want := []string{"commit.harden", "lock.latch", "page.miss"}
+	if len(bd) != len(want) {
+		t.Fatalf("breakdown = %+v, want %d classes", bd, len(want))
+	}
+	for i, cls := range want {
+		if bd[i].Class != cls {
+			t.Fatalf("breakdown[%d] = %s, want %s (descending total order)", i, bd[i].Class, cls)
+		}
+	}
+	if got := p.Total(); got != 9*time.Millisecond {
+		t.Fatalf("Total = %v, want 9ms", got)
+	}
+}
+
+// TestWaitSetConcurrentRecordAndReport races recorders on multiple tiers
+// against concurrent /waits snapshotting (Report + the Prometheus
+// exposition). Run under -race (./internal/obs is in RACE_PKGS) this pins
+// the lock-free record path against the snapshot path.
+func TestWaitSetConcurrentRecordAndReport(t *testing.T) {
+	set := NewWaitSet()
+	tiers := []string{"compute", "xlog", "pageserver", "lz"}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i, tier := range tiers {
+		wg.Add(1)
+		go func(i int, tier string) {
+			defer wg.Done()
+			rec := set.Tier(tier)
+			prof := NewWaitProfile()
+			ctx := ContextWithWaitProfile(context.Background(), prof)
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				class := WaitClass((n + i) % numWaitClasses)
+				rec.Observe(ctx, class, time.Duration(n%1000)*time.Microsecond)
+				rec.Begin(ctx, class).End()
+			}
+		}(i, tier)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rep := set.Report()
+				for _, st := range rep.Global {
+					if st.TotalNS < uint64(st.Count) && st.TotalNS != 0 && st.Count != 0 {
+						// Totals and counts advance independently; just touch them.
+						_ = st
+					}
+				}
+				if err := WritePrometheusWaits(io.Discard, set); err != nil {
+					t.Errorf("WritePrometheusWaits: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	rep := set.Report()
+	if len(rep.Global) != numWaitClasses {
+		t.Fatalf("global sketch has %d classes, want all %d live", len(rep.Global), numWaitClasses)
+	}
+	if len(rep.Tiers) != len(tiers) {
+		t.Fatalf("tiers = %v, want %d", rep.Tiers, len(tiers))
+	}
+}
+
+// TestWritePrometheusWaitsGolden pins the exact exposition: three
+// families (seconds counter, count counter, max gauge), global series
+// first with tier="", then tiers in sorted order, classes within each in
+// descending-total order.
+func TestWritePrometheusWaitsGolden(t *testing.T) {
+	set := NewWaitSet()
+	compute := set.Tier("compute")
+	compute.Observe(nil, WaitCommitHarden, 1500*time.Microsecond)
+	compute.Observe(nil, WaitCommitHarden, 500*time.Microsecond)
+	set.Tier("xlog").Observe(nil, WaitDiskWrite, 3*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := WritePrometheusWaits(&buf, set); err != nil {
+		t.Fatalf("WritePrometheusWaits: %v", err)
+	}
+	want := `# TYPE socrates_wait_seconds_total counter
+socrates_wait_seconds_total{tier="",class="disk.write"} 0.003
+socrates_wait_seconds_total{tier="",class="commit.harden"} 0.002
+socrates_wait_seconds_total{tier="compute",class="commit.harden"} 0.002
+socrates_wait_seconds_total{tier="xlog",class="disk.write"} 0.003
+# TYPE socrates_wait_count_total counter
+socrates_wait_count_total{tier="",class="disk.write"} 1
+socrates_wait_count_total{tier="",class="commit.harden"} 2
+socrates_wait_count_total{tier="compute",class="commit.harden"} 2
+socrates_wait_count_total{tier="xlog",class="disk.write"} 1
+# TYPE socrates_wait_max_seconds gauge
+socrates_wait_max_seconds{tier="",class="disk.write"} 0.003
+socrates_wait_max_seconds{tier="",class="commit.harden"} 0.0015
+socrates_wait_max_seconds{tier="compute",class="commit.harden"} 0.0015
+socrates_wait_max_seconds{tier="xlog",class="disk.write"} 0.003
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Empty and nil sets must render nothing (no headerless families).
+	buf.Reset()
+	if err := WritePrometheusWaits(&buf, NewWaitSet()); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty set: err=%v output=%q", err, buf.String())
+	}
+	if err := WritePrometheusWaits(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil set: err=%v output=%q", err, buf.String())
+	}
+}
+
+// TestWaitsHTTPEndpoint pins the /waits surface: the default JSON
+// document round-trips as a WaitReport, ?format=prom serves the
+// exposition with the Prometheus content type, and /metrics includes the
+// wait families alongside the registry's.
+func TestWaitsHTTPEndpoint(t *testing.T) {
+	set := NewWaitSet()
+	set.Tier("compute").Observe(nil, WaitCommitHarden, 2*time.Millisecond)
+	set.Tier("compute").Observe(nil, WaitLockLatch, time.Millisecond)
+
+	srv := httptest.NewServer(NewHTTPHandler(PlaneOptions{
+		Registry: NewRegistry(),
+		Waits:    set,
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s body: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, _ := get("/waits")
+	if code != http.StatusOK {
+		t.Fatalf("/waits: status %d", code)
+	}
+	var rep WaitReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/waits JSON: %v\n%s", err, body)
+	}
+	if len(rep.Global) != 2 || rep.Global[0].Class != "commit.harden" {
+		t.Fatalf("/waits global = %+v, want commit.harden first of 2", rep.Global)
+	}
+	if len(rep.Tiers["compute"]) != 2 {
+		t.Fatalf("/waits tiers = %+v, want 2 compute classes", rep.Tiers)
+	}
+
+	code, body, ctype := get("/waits?format=prom")
+	if code != http.StatusOK {
+		t.Fatalf("/waits?format=prom: status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/waits?format=prom content type = %q", ctype)
+	}
+	for _, family := range []string{
+		"socrates_wait_seconds_total", "socrates_wait_count_total", "socrates_wait_max_seconds",
+	} {
+		if !strings.Contains(body, fmt.Sprintf("%s{tier=\"compute\",class=\"commit.harden\"}", family)) {
+			t.Fatalf("/waits?format=prom missing %s series:\n%s", family, body)
+		}
+	}
+
+	_, body, _ = get("/metrics")
+	if !strings.Contains(body, `socrates_wait_seconds_total{tier="",class="commit.harden"}`) {
+		t.Fatalf("/metrics missing wait exposition:\n%s", body)
+	}
+}
+
+// TestWatchdogTripFreezesTopWaits drives the watchdog's wait-freeze
+// machinery tick by tick: waits recorded during the trip window must show
+// up in the trip's TopWaits as window deltas (capped at 3 classes), and
+// pre-window history must not.
+func TestWatchdogTripFreezesTopWaits(t *testing.T) {
+	ws := NewWatermarkSet()
+	set := NewWaitSet()
+	// Pre-window history that must NOT appear in the trip's window delta.
+	set.Global().Record(WaitDiskRead, time.Hour)
+
+	d := NewWatchdog(ws, nil, WatchdogConfig{MaxLagLSN: -1, StallTicks: 3})
+	d.SetWaitSet(set)
+
+	publishLadder(ws, 500, 500, 500, 500)
+	// Cycle the snapshot ring until every retained snapshot already
+	// includes the pre-window history.
+	for i := 0; i < 5; i++ {
+		d.Tick()
+	}
+	// The window's signature: a quorum-loss window is dominated by
+	// commit.quorum, with some harden and latch time underneath.
+	for i := 0; i < 10; i++ {
+		set.Global().Record(WaitCommitQuorum, 10*time.Millisecond)
+		set.Global().Record(WaitCommitHarden, time.Millisecond)
+		set.Global().Record(WaitLockLatch, 100*time.Microsecond)
+	}
+	ws.Watermark(WMApplied, "ps-0").Publish(100) // behind and not moving
+	for i := 0; i < 3; i++ {
+		d.Tick()
+	}
+	trips := d.Trips()
+	if len(trips) != 1 {
+		t.Fatalf("trips = %+v, want 1 stall trip", trips)
+	}
+	trip := trips[0]
+	if len(trip.TopWaits) == 0 || len(trip.TopWaits) > 3 {
+		t.Fatalf("TopWaits = %+v, want 1..3 classes", trip.TopWaits)
+	}
+	if trip.TopWaits[0].Class != "commit.quorum" {
+		t.Fatalf("TopWaits[0] = %+v, want commit.quorum dominating the window", trip.TopWaits[0])
+	}
+	if trip.TopWaits[0].Count != 10 || trip.TopWaits[0].TotalNS != uint64(100*time.Millisecond) {
+		t.Fatalf("TopWaits[0] = %+v, want the window delta (10 waits, 100ms)", trip.TopWaits[0])
+	}
+	for _, st := range trip.TopWaits {
+		if st.Class == "disk.read" {
+			t.Fatalf("TopWaits includes pre-window history: %+v", st)
+		}
+	}
+}

@@ -286,6 +286,12 @@ type Trip struct {
 	LagLSN   uint64        `json:"lag_lsn"`
 	LagTime  time.Duration `json:"lag_ns"`
 	Detail   string        `json:"detail,omitempty"`
+	// TopWaits freezes the top-3 wait classes by total time accumulated
+	// over the trip window (the last StallTicks watchdog ticks), turning
+	// "replica lag tripped" into "replica lag tripped, 92% of the window
+	// waiting on page.remote". Count and TotalNS are window deltas; MaxNS
+	// is the class's cumulative maximum. Empty when no WaitSet is wired.
+	TopWaits []WaitClassStat `json:"top_waits,omitempty"`
 }
 
 // WatchdogConfig tunes the lag watchdog.
@@ -350,10 +356,23 @@ type Watchdog struct {
 	trips     []Trip
 	callbacks []func(Trip)
 
+	// Wait-freeze machinery: waits is the deployment's wait-accounting
+	// table (SetWaitSet); waitRing holds the last StallTicks global
+	// snapshots so a trip can report the top wait classes over its
+	// window. The ring is touched only from the tick path.
+	waits    *WaitSet
+	waitRing []waitSnap
+
 	tripCount atomic.Uint64
 	done      chan struct{}
 	wg        sync.WaitGroup
 	started   bool
+}
+
+// waitSnap is one tick's copy of the global wait sketch.
+type waitSnap struct {
+	counts [numWaitClasses]uint64
+	totals [numWaitClasses]uint64
 }
 
 // NewWatchdog builds a watchdog over the given watermark set, publishing
@@ -364,6 +383,74 @@ func NewWatchdog(ws *WatermarkSet, reg *Registry, cfg WatchdogConfig) *Watchdog 
 		ws: ws, reg: reg, cfg: cfg,
 		state: make(map[string]*followerState),
 		done:  make(chan struct{}),
+	}
+}
+
+// SetWaitSet wires the deployment's wait-accounting table so trips can
+// freeze the top wait classes over their window. Call before Start.
+func (d *Watchdog) SetWaitSet(ws *WaitSet) {
+	if d == nil {
+		return
+	}
+	d.waits = ws
+}
+
+// captureWaitSnap copies the global wait sketch.
+func (d *Watchdog) captureWaitSnap() waitSnap {
+	var snap waitSnap
+	g := d.waits.Global()
+	if g == nil {
+		return snap
+	}
+	for i := range g.slots {
+		snap.counts[i] = g.slots[i].count.Load()
+		snap.totals[i] = g.slots[i].total.Load()
+	}
+	return snap
+}
+
+// topWaits computes the top-3 wait classes by total time accumulated
+// between the oldest retained tick snapshot and now.
+func (d *Watchdog) topWaits() []WaitClassStat {
+	if d.waits == nil {
+		return nil
+	}
+	now := d.captureWaitSnap()
+	var base waitSnap
+	if len(d.waitRing) > 0 {
+		base = d.waitRing[0]
+	}
+	g := d.waits.Global()
+	out := make([]WaitClassStat, 0, numWaitClasses)
+	for i := range now.totals {
+		dt := now.totals[i] - base.totals[i]
+		dc := now.counts[i] - base.counts[i]
+		if dt == 0 && dc == 0 {
+			continue
+		}
+		out = append(out, WaitClassStat{
+			Class:   WaitClass(i).String(),
+			Count:   dc,
+			TotalNS: dt,
+			MaxNS:   g.slots[i].max.Load(),
+		})
+	}
+	out = sortByTotal(out)
+	if len(out) > 3 {
+		out = out[:3]
+	}
+	return out
+}
+
+// pushWaitSnap appends this tick's snapshot, keeping StallTicks of
+// history — the trip window.
+func (d *Watchdog) pushWaitSnap() {
+	if d.waits == nil {
+		return
+	}
+	d.waitRing = append(d.waitRing, d.captureWaitSnap())
+	if n := d.cfg.StallTicks; len(d.waitRing) > n {
+		d.waitRing = d.waitRing[len(d.waitRing)-n:]
 	}
 }
 
@@ -495,6 +582,7 @@ func (d *Watchdog) Tick() {
 		d.reg.Gauge("pageserver.apply_lag_ms").Set(maxApplyLagTime.Milliseconds())
 		d.reg.Gauge("compute.apply_lag_lsn").Set(int64(maxSecLagLSN))
 	}
+	d.pushWaitSnap()
 }
 
 func clampLag(leader, follower uint64) int64 {
@@ -544,6 +632,7 @@ func (d *Watchdog) evaluate(edge ladderEdge, replica string, cur, leader, lag ui
 		trip.LagLSN = lag
 		trip.LagTime = d.ws.TimeLag(cur, now)
 		trip.Detail = "watermark " + k + " behind " + edge.leader
+		trip.TopWaits = d.topWaits()
 		d.trips = append(d.trips, *trip)
 		callbacks = append([]func(Trip){}, d.callbacks...)
 	}

@@ -91,6 +91,10 @@ type Config struct {
 	// GetPage waits, seeding fetches, checkpoint sweeps, XStore outages
 	// (nil = recording off).
 	Flight *obs.FlightRecorder
+	// Waits receives wait-event accounting: xlog.feed while a GetPage@LSN
+	// blocks behind apply lag, ckpt.drain while a backup flush drains the
+	// dirty set. Nil disables recording.
+	Waits *obs.WaitRecorder
 }
 
 // Server is one page server.
@@ -225,7 +229,7 @@ func (s *Server) AppliedLSN() page.LSN {
 // reports whether the watermark got there. Cluster workflows use it to wait
 // for catch-up on the apply signal instead of polling.
 func (s *Server) WaitApplied(lsn page.LSN, timeout time.Duration) bool {
-	return s.waitApplied(lsn, timeout)
+	return s.waitApplied(nil, lsn, timeout)
 }
 
 // Seeding reports whether background seeding is still running.
@@ -294,6 +298,7 @@ func (s *Server) applyLoop() {
 		if !s.pullOnce() {
 			// Nothing new at the XLOG service. The pull model has no local
 			// condition to wait on, so back off briefly but stay killable.
+			//socrates:wait-ok idle pull backoff on an empty feed; recording it would drown real apply-lag waits
 			select {
 			case <-s.done:
 				return
@@ -309,6 +314,7 @@ func (s *Server) applyLoop() {
 //
 //socrates:hotpath the apply feed's batch loop; per-batch costs are reviewed inline, per-record costs live in applyRecordTo
 func (s *Server) pullOnce() bool {
+	//socrates:wait-ok watermark latch held for one read; readers blocked on apply lag are charged page.miss at GetPage@LSN
 	s.mu.Lock()
 	from := s.applied
 	s.mu.Unlock()
@@ -368,6 +374,7 @@ func (s *Server) pullOnce() bool {
 		return false
 	}
 	s.cfg.Metrics.Histogram("pageserver.apply.latency").Since(start)
+	//socrates:wait-ok watermark-publish latch; GetPage@LSN waiters account their own blocked time as page.miss
 	s.mu.Lock()
 	s.applied = next
 	s.appliedCond.Broadcast()
@@ -488,6 +495,7 @@ func (s *Server) checkpointLoop() {
 	ticker := time.NewTicker(s.cfg.CheckpointEvery)
 	defer ticker.Stop()
 	for {
+		//socrates:wait-ok checkpoint cadence tick, not a stall
 		select {
 		case <-s.done:
 			return
@@ -600,6 +608,11 @@ func (s *Server) DirtyPages() int {
 // FlushForBackup forces a full checkpoint so an XStore snapshot taken right
 // after captures every applied page. Returns the resume LSN captured.
 func (s *Server) FlushForBackup() (page.LSN, error) {
+	// ckpt.drain: backup progress is gated on the checkpoint sweep
+	// catching the apply feed. Aggregate-only; backups carry no request
+	// context.
+	region := s.cfg.Waits.Begin(nil, obs.WaitCkptDrain)
+	defer region.End()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		err := s.checkpointOnce()
@@ -629,8 +642,14 @@ func (s *Server) FlushForBackup() (page.LSN, error) {
 
 // waitApplied blocks until the apply watermark passes lsn (applied > lsn
 // means the record at lsn has been applied), with a timeout.
-func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
+func (s *Server) waitApplied(ctx context.Context, lsn page.LSN, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	// xlog.feed: a reader blocked behind apply lag is waiting on the log
+	// feed pipeline (XLOG pull → redo). Recorded only when the loop
+	// actually blocks; ctx attributes the wait to the GetPage span.
+	region := s.cfg.Waits.Begin(ctx, obs.WaitXLOGFeed)
+	waited := false
+	defer func() { region.EndIf(waited) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.applied.AtMost(lsn) {
@@ -638,6 +657,7 @@ func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
 		if time.Now().After(deadline) {
 			return false
 		}
+		waited = true
 		// Wake periodically to honor the deadline.
 		waker := time.AfterFunc(2*time.Millisecond, s.appliedCond.Broadcast)
 		s.appliedCond.Wait()
@@ -653,7 +673,7 @@ func (s *Server) waitApplied(lsn page.LSN, timeout time.Duration) bool {
 //
 //socrates:hotpath the paper's defining latency path; warm-cache budget enforced by TestGetPageAllocs
 func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*page.Page, error) {
-	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpage")
+	ctx, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpage")
 	defer sp.End()
 	start := time.Now()
 	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(start)
@@ -662,7 +682,7 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 		return nil, fmt.Errorf("pageserver: page %d outside partition [%d,%d)", id, s.lo, s.hi)
 	}
 	waitStart := time.Now()
-	if !s.waitApplied(minLSN, 5*time.Second) {
+	if !s.waitApplied(ctx, minLSN, 5*time.Second) {
 		//socrates:alloc-ok apply-lag timeout path; the request already lost 5s
 		return nil, socerr.Timeoutf("pageserver: apply lag: applied %d, need > %d",
 			s.AppliedLSN(), minLSN)
@@ -713,7 +733,7 @@ func (s *Server) GetPage(ctx context.Context, id page.ID, minLSN page.LSN) (*pag
 //
 //socrates:hotpath scan-offload read path; one call serves many pages
 func (s *Server) GetPageRange(ctx context.Context, start page.ID, count int, minLSN page.LSN) ([]*page.Page, error) {
-	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpagerange")
+	ctx, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.getpagerange")
 	defer sp.End()
 	t0 := time.Now()
 	defer s.cfg.Metrics.Histogram("pageserver.getpage.latency").Since(t0)
@@ -725,7 +745,7 @@ func (s *Server) GetPageRange(ctx context.Context, start page.ID, count int, min
 	if start+page.ID(count) > s.hi {
 		clamped = int(s.hi - start)
 	}
-	if !s.waitApplied(minLSN, 5*time.Second) {
+	if !s.waitApplied(ctx, minLSN, 5*time.Second) {
 		return nil, socerr.Timeoutf("pageserver: apply lag on range read")
 	}
 	s.rangeIOs.Inc()

@@ -308,7 +308,7 @@ func TestRangeReadSingleIO(t *testing.T) {
 	end := r.emit(t, recs...)
 
 	// Ensure pages reached the SSD tier, then count device reads.
-	if !srv.waitApplied(end-1, 2*time.Second) {
+	if !srv.waitApplied(nil, end-1, 2*time.Second) {
 		t.Fatal("apply lag")
 	}
 	pages, err := srv.GetPageRange(context.Background(), 2, 4, end-1)
@@ -362,7 +362,7 @@ func TestDecodePagesRejectsMisaligned(t *testing.T) {
 func TestApplyLagTimesOut(t *testing.T) {
 	r := newRig(t, page.Partitioning{})
 	srv := r.server(t, Config{})
-	if srv.waitApplied(9999, 20*time.Millisecond) {
+	if srv.waitApplied(nil, 9999, 20*time.Millisecond) {
 		t.Fatal("waitApplied returned for unreachable LSN")
 	}
 }

@@ -38,7 +38,7 @@ type ScanResult struct {
 // Non-leaf pages in the range are skipped: the caller offloads by physical
 // range, exactly how a table scan over a partition would be pushed down.
 func (s *Server) ScanCells(ctx context.Context, start page.ID, count int, lo, hi []byte, minLSN page.LSN) (ScanResult, error) {
-	_, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.scancells")
+	ctx, sp := s.cfg.Tracer.JoinSpan(ctx, obs.TierPageServer, "pageserver.scancells")
 	defer sp.End()
 	t0 := time.Now()
 	defer s.cfg.Metrics.Histogram("pageserver.scancells.latency").Since(t0)
@@ -46,7 +46,7 @@ func (s *Server) ScanCells(ctx context.Context, start page.ID, count int, lo, hi
 	if start < s.lo || start+page.ID(count) > s.hi {
 		return res, fmt.Errorf("pageserver: scan range outside partition")
 	}
-	if !s.waitApplied(minLSN, 5*time.Second) {
+	if !s.waitApplied(ctx, minLSN, 5*time.Second) {
 		return res, socerr.Timeoutf("pageserver: apply lag on pushdown scan")
 	}
 	s.charge(time.Duration(count) * 2 * time.Microsecond)

@@ -27,6 +27,7 @@ import (
 
 	"socrates/internal/hekaton"
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/simdisk"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	// Meta is the device holding the recoverable metadata table. Required
 	// if SSDPages > 0.
 	Meta *simdisk.Device
+	// Waits, if set, receives a page.miss wait for every memory-tier miss
+	// served from the SSD tier (the time the caller spent blocked on the
+	// slot read). Nil disables recording.
+	Waits *obs.WaitRecorder
 	// OnEvict, if set, is called when a page leaves the cache entirely,
 	// with the page's last cached LSN. It runs atomically with the
 	// removal (under the cache lock): a concurrent Get that misses is
@@ -200,11 +205,16 @@ func (c *Cache) Get(id page.ID) (*page.Page, bool) {
 	}
 	c.mu.Unlock()
 
+	// page.miss: the memory tier missed and the caller blocks on the SSD
+	// slot read. Aggregate-only; cache reads carry no request context.
+	region := c.cfg.Waits.Begin(nil, obs.WaitPageMiss)
 	buf := make([]byte, page.Size)
 	if err := c.cfg.SSD.ReadAt(buf, int64(slot)*page.Size); err != nil {
+		region.End()
 		c.misses.Inc()
 		return nil, false
 	}
+	region.End()
 	pg, err := page.Decode(buf)
 	if err != nil || pg.ID != id {
 		// Torn or stale slot: treat as a miss; the caller refetches.

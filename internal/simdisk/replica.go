@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"socrates/internal/obs"
 )
 
 // ErrQuorumLost is returned when a quorum write cannot reach enough replicas.
@@ -78,6 +80,9 @@ func (r *Replicated) WriteAt(p []byte, off int64) error {
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	SleepPrecise(lats[r.quorum-1])
+	// One combined disk.write wait for the quorum write, mirroring the
+	// single combined sleep above (per-replica writeRaw never sleeps).
+	r.replicas[0].waits.Observe(nil, obs.WaitDiskWrite, lats[r.quorum-1])
 	return nil
 }
 

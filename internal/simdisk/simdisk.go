@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"socrates/internal/metrics"
+	"socrates/internal/obs"
 )
 
 // ErrOutage is returned while a device is in an injected outage.
@@ -163,6 +164,7 @@ type Device struct {
 	profile Profile
 	cpu     *metrics.CPUMeter // may be nil
 	bucket  *tokenBucket      // nil when uncapped
+	waits   *obs.WaitRecorder // disk.read / disk.write lanes; may be nil
 
 	mu      sync.Mutex
 	data    []byte
@@ -182,6 +184,13 @@ type Option func(*Device)
 // WithCPU attaches the CPU meter charged by this device's calls. Devices
 // belong to a node; the node's meter is charged for the I/O issue cost.
 func WithCPU(m *metrics.CPUMeter) Option { return func(d *Device) { d.cpu = m } }
+
+// WithWaits attaches wait-event accounting: every call's simulated I/O
+// time (token-bucket throttling included) lands under disk.read or
+// disk.write on the owning tier's recorder.
+func WithWaits(wr *obs.WaitRecorder) Option {
+	return func(d *Device) { d.waits = wr }
+}
 
 // WithSeed fixes the jitter RNG seed for reproducible runs.
 func WithSeed(seed int64) Option {
@@ -294,10 +303,12 @@ func (d *Device) ReadAt(p []byte, off int64) error {
 	if err := d.checkFailure(); err != nil {
 		return err
 	}
+	ioStart := time.Now()
 	if d.bucket != nil {
 		d.bucket.acquire(len(p))
 	}
 	sleep(d.latency(d.profile.ReadBase, len(p)))
+	d.waits.Observe(nil, obs.WaitDiskRead, time.Since(ioStart))
 	d.charge(d.profile.ReadCPU)
 
 	d.mu.Lock()
@@ -314,11 +325,13 @@ func (d *Device) ReadAt(p []byte, off int64) error {
 // WriteAt stores p at offset off, growing the volume as needed. The call
 // returns after the simulated write latency, modelling a durable write.
 func (d *Device) WriteAt(p []byte, off int64) error {
+	ioStart := time.Now()
 	lat, err := d.writeRaw(p, off)
 	if err != nil {
 		return err
 	}
 	sleep(lat)
+	d.waits.Observe(nil, obs.WaitDiskWrite, time.Since(ioStart))
 	return nil
 }
 
@@ -462,6 +475,7 @@ func (s *sleepDispatcher) run() {
 			// Far-off deadline: a real (wakeable) sleep; its ~1 ms slack
 			// is absorbed by the spin re-check below the cutoff.
 			t := time.NewTimer(next - 2*time.Millisecond)
+			//socrates:wait-ok this IS the simulated device latency; the blocked time is charged as disk.read/disk.write at the request site
 			select {
 			case <-t.C:
 			case <-s.wake:

@@ -45,6 +45,14 @@ type Result struct {
 	Columns  []string
 	Rows     [][]Value
 	Affected int
+	// Waits is the statement's per-request wait breakdown: every blocked
+	// interval the request hit across tiers (commit hardening, page
+	// misses, fabric round trips, ...), by class, sorted by total — the
+	// EXPLAIN-ANALYZE of where the statement's latency went. Empty when
+	// nothing blocked.
+	Waits []obs.WaitClassStat
+	// WaitTotal sums Waits across classes.
+	WaitTotal time.Duration
 }
 
 // Session is one connection: it holds at most one open transaction.
@@ -98,11 +106,24 @@ func (s *Session) RunContext(ctx context.Context, stmt Statement) (*Result, erro
 	ctx, span := eng.Tracer().StartSpan(ctx, obs.TierCompute, "sql.exec")
 	defer span.End()
 	span.SetAttr("stmt", stmtName(stmt))
+	// Per-request wait attribution: every WaitPoint the statement passes
+	// through (in any tier, including the group-commit flusher acting on
+	// its behalf) adds to this profile, and the Result carries the
+	// breakdown.
+	prof := obs.WaitProfileFromContext(ctx)
+	if prof == nil {
+		prof = obs.NewWaitProfile()
+		ctx = obs.ContextWithWaitProfile(ctx, prof)
+	}
 	res, err := s.runStmt(ctx, stmt)
 	span.SetError(err)
 	if err == nil {
 		eng.Metrics().Histogram("compute.sql.latency").Observe(time.Since(start))
 		eng.Metrics().Counter("compute.sql.statements").Inc()
+	}
+	if res != nil {
+		res.Waits = prof.Breakdown()
+		res.WaitTotal = prof.Total()
 	}
 	return res, err
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"socrates/internal/obs"
 	"socrates/internal/page"
 	"socrates/internal/simdisk"
 	"socrates/internal/wal"
@@ -59,7 +60,13 @@ type LandingZone struct {
 	completed map[page.LSN]page.LSN // out-of-order completions: start → end
 	writes    int
 	stalls    int
+
+	waits *obs.WaitRecorder // ring-full stalls land under backpressure
 }
+
+// SetWaits wires wait-event accounting: a writer stalled on a full ring
+// (waiting for destaging to free space) records under backpressure.
+func (lz *LandingZone) SetWaits(wr *obs.WaitRecorder) { lz.waits = wr }
 
 type lzExtent struct {
 	off int64
@@ -189,15 +196,23 @@ func (lz *LandingZone) Reserve(b *wal.Block) (*Reservation, error) {
 
 	lz.mu.Lock()
 	deadline := time.Now().Add(5 * time.Second)
-	for lz.freeLocked() < need+8 { // +8 for a potential wrap marker
-		lz.stalls++
-		wait := time.Until(deadline)
-		if wait <= 0 {
-			lz.mu.Unlock()
-			return nil, ErrLZTimeout
+	if lz.freeLocked() < need+8 {
+		// backpressure: the ring is full and the producer stalls until
+		// destaging frees space. Aggregate-only — Reserve runs on the
+		// flusher goroutine, off any request context.
+		stallStart := time.Now()
+		for lz.freeLocked() < need+8 { // +8 for a potential wrap marker
+			lz.stalls++
+			wait := time.Until(deadline)
+			if wait <= 0 {
+				lz.mu.Unlock()
+				lz.waits.Observe(nil, obs.WaitBackpressure, time.Since(stallStart))
+				return nil, ErrLZTimeout
+			}
+			// Poll: destaging releases space via ReleaseUpTo which broadcasts.
+			lz.waitWithTimeout(10 * time.Millisecond)
 		}
-		// Poll: destaging releases space via ReleaseUpTo which broadcasts.
-		lz.waitWithTimeout(10 * time.Millisecond)
+		lz.waits.Observe(nil, obs.WaitBackpressure, time.Since(stallStart))
 	}
 	// Wrap if the entry does not fit before the end of the volume.
 	if lz.head+need > lz.capacity {
@@ -273,12 +288,14 @@ func (lz *LandingZone) Write(b *wal.Block) error {
 func (lz *LandingZone) waitWithTimeout(d time.Duration) {
 	done := make(chan struct{})
 	go func() {
+		//socrates:wait-ok waker goroutine for the bounded cond wait below, not itself a stall
 		select {
 		case <-done:
 		case <-time.After(d):
 			lz.cond.Broadcast()
 		}
 	}()
+	//socrates:wait-ok the ring-full stall is recorded as backpressure by Reserve, which brackets this poll loop with a running total
 	lz.cond.Wait()
 	close(done)
 }

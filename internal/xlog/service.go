@@ -46,6 +46,7 @@ type Service struct {
 	metrics *obs.Registry
 	wms     *obs.WatermarkSet
 	flight  *obs.FlightRecorder
+	waits   *obs.WaitRecorder
 
 	mu          sync.Mutex
 	pending     map[page.LSN]entry // by Start; not yet hardened
@@ -114,6 +115,10 @@ type Config struct {
 	// Flight receives XLOG-tier flight-recorder events: gap fills, destage
 	// batches, LT append failures (nil = recording off).
 	Flight *obs.FlightRecorder
+	// Waits receives wait-event accounting (xlog.feed for callers blocked
+	// on destage progress; also wired into the LZ for backpressure). Nil
+	// disables recording.
+	Waits *obs.WaitRecorder
 }
 
 // New starts an XLOG service over a fresh log.
@@ -167,6 +172,7 @@ func build(cfg Config) (*Service, error) {
 		metrics:     cfg.Metrics,
 		wms:         cfg.Watermarks,
 		flight:      cfg.Flight,
+		waits:       cfg.Waits,
 		lt:          &lt{store: cfg.LT, blob: cfg.LTBlob},
 		pending:     make(map[page.LSN]entry),
 		budget:      cfg.BrokerBytes,
@@ -362,6 +368,7 @@ func (s *Service) destageLoop() {
 	ticker := time.NewTicker(2 * time.Millisecond)
 	defer ticker.Stop()
 	for {
+		//socrates:wait-ok idle destager waiting for its cadence tick or a kick; not a stall
 		select {
 		case <-s.done:
 			s.destageOnce() // final drain
@@ -627,12 +634,19 @@ func (s *Service) WaitDestaged(lsn page.LSN, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	waker := time.AfterFunc(timeout, s.destagedCond.Broadcast)
 	defer waker.Stop()
+	// xlog.feed: the caller is blocked behind the destaging pipeline
+	// (log produced but not yet drained to SSD/LT). Aggregate-only —
+	// WaitDestaged has no request context.
+	region := s.waits.Begin(nil, obs.WaitXLOGFeed)
+	waited := false
+	defer func() { region.EndIf(waited) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.destaged.Before(lsn) {
 		if !time.Now().Before(deadline) {
 			return socerr.Timeoutf("xlog: destaging did not reach %d (at %d)", lsn, s.destaged)
 		}
+		waited = true
 		s.destagedCond.Wait()
 	}
 	return nil

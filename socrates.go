@@ -413,6 +413,8 @@ func (db *DB) LastTrace() *SpanNode {
 //	/watermarks    the LSN ladder + derived lags + watchdog trips (JSON)
 //	/flight        the flight-recorder ring as time-ordered JSONL
 //	/traces        retained trace IDs; /traces?id=N renders one span tree
+//	/waits         wait-event accounting per tier and class (JSON;
+//	               ?format=prom for Prometheus text)
 //	/debug/pprof/  the standard Go profiling endpoints
 func (db *DB) ServeObservability(addr string) (*ObsServer, error) {
 	c := db.cluster
@@ -422,8 +424,13 @@ func (db *DB) ServeObservability(addr string) (*ObsServer, error) {
 		Flight:     c.Flight,
 		Tracer:     c.Tracer,
 		Watchdog:   c.Watchdog,
+		Waits:      c.Waits,
 	}))
 }
+
+// WaitReport snapshots the deployment's wait-event accounting: per-tier
+// and global count/total/max per wait class, sorted by total blocked time.
+func (db *DB) WaitReport() obs.WaitReport { return db.cluster.Waits.Report() }
 
 // Watermarks snapshots the LSN watermark ladder: commit frontier, hardened
 // prefix, promotion/destaging frontiers, per-replica applied LSNs.

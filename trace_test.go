@@ -150,6 +150,73 @@ func TestContextCancellationMapsToTimeout(t *testing.T) {
 	}
 }
 
+// TestPerRequestWaitAttribution is the wait-stats acceptance test: a
+// committed INSERT's Result carries its own wait breakdown (the
+// EXPLAIN-ANALYZE of waits), the hardening wait lands on the commit
+// subtree of the traced span tree, and the deployment-wide sketch saw the
+// same classes. Runs on a real XIO landing zone (no Fast) so the commit
+// genuinely blocks in WaitHarden.
+func TestPerRequestWaitAttribution(t *testing.T) {
+	db, err := Open(Config{Name: "waits1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx, `CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	var hardened *Result
+	for i := 0; i < 8; i++ {
+		res, err := db.ExecContext(ctx, insertRow(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WaitTotal <= 0 || len(res.Waits) == 0 {
+			t.Fatalf("insert %d: Waits=%+v WaitTotal=%v, want a nonzero breakdown", i, res.Waits, res.WaitTotal)
+		}
+		var sum time.Duration
+		for _, st := range res.Waits {
+			sum += time.Duration(st.TotalNS)
+			if st.Class == "commit.harden" && hardened == nil {
+				hardened = res
+			}
+		}
+		if sum != res.WaitTotal {
+			t.Fatalf("insert %d: breakdown sums to %v but WaitTotal=%v", i, sum, res.WaitTotal)
+		}
+	}
+	// On a 2.8ms-write landing zone every commit blocks in WaitHarden; at
+	// minimum one of the eight must attribute it.
+	if hardened == nil {
+		t.Fatal("no insert attributed commit.harden in its per-request breakdown")
+	}
+	t.Logf("per-request breakdown: %+v (total %v)", hardened.Waits, hardened.WaitTotal)
+
+	// The same wait must land on the commit subtree of the traced tree:
+	// "commit.harden 612µs" on the span that blocked, not a global bucket.
+	tree := waitForTrace(t, db, func(n *SpanNode) bool {
+		commit := n.FindSpan("engine.commit")
+		return commit != nil && commit.WaitTotals()["commit.harden"] > 0
+	})
+	totals := tree.FindSpan("engine.commit").WaitTotals()
+	t.Logf("engine.commit subtree waits: %v", totals)
+
+	// And the deployment-wide sketch saw the class too, attributed to the
+	// compute tier.
+	rep := db.WaitReport()
+	found := false
+	for _, st := range rep.Tiers["compute"] {
+		if st.Class == "commit.harden" && st.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("compute tier sketch missing commit.harden: %+v", rep.Tiers)
+	}
+}
+
 func insertRow(i int) string {
 	return fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d')", i, i)
 }
