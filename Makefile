@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
              ./internal/obs ./internal/netmux ./internal/rbio
 
-.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux bench-waits vet-baseline clean
+.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux bench-waits bench-commit cover vet-baseline clean
 
 all: lint test
 
@@ -67,6 +67,18 @@ bench-mux:
 # coverage on commit-bound INSERTs (see BENCH_pr8.json).
 bench-waits:
 	$(GO) run ./cmd/socrates-bench -exp waits -measure 2s -warmup 500ms -json BENCH_pr8.json
+
+# Regenerate the commit-path seed: adaptive group commit + flexible 2-of-3
+# LZ quorum vs the round-trip/fixed-set baseline, CDB MaxLog mix at equal
+# simulated RTT (see BENCH_pr9.json). Longer windows than the other seeds:
+# p99 is a tail statistic and needs the quorum-tail events sampled.
+bench-commit:
+	$(GO) run ./cmd/socrates-bench -exp commit -measure 6s -warmup 1s -json BENCH_pr9.json
+
+# Coverage floors for the commit-path packages (mirrors the CI cover job):
+# future commit-path changes cannot land untested.
+cover:
+	$(GO) test -cover ./internal/compute ./internal/hadr ./internal/xlog
 
 clean:
 	$(GO) clean ./...

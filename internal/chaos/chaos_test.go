@@ -92,6 +92,28 @@ func TestChaosMuxDisturb(t *testing.T) {
 	}
 }
 
+// TestChaosCommitQuorum is the tier-1 smoke for adaptive group commit
+// under flexible quorums: the "commit" scenario (the only one weighting
+// StepLZDark) darkens single LZ replicas mid commit-burst over and over.
+// Commits must keep acking on the surviving 2-of-3 quorum, every acked
+// byte must sit on at least quorum replicas at harden time, and each
+// straggler must reconcile to zero missed bytes — all judged by the
+// oracle's "replication" checks inside the step.
+func TestChaosCommitQuorum(t *testing.T) {
+	steps := 120
+	if testing.Short() {
+		steps = 50
+	}
+	res, err := Run(Config{Seed: 5, Scenario: "commit", Steps: steps})
+	requireClean(t, res, err)
+	if res.Acked == 0 {
+		t.Fatalf("no commits acked in %d steps — the workload never ran", res.Steps)
+	}
+	if res.Faults == 0 {
+		t.Fatal("commit scenario injected no faults — StepLZDark never fired")
+	}
+}
+
 // TestChaosScenarios runs every registered scenario once.
 func TestChaosScenarios(t *testing.T) {
 	if testing.Short() {

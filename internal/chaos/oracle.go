@@ -14,7 +14,8 @@ type Violation struct {
 	// Step is the schedule index at which the breach was observed.
 	Step int `json:"step"`
 	// Kind classifies the invariant: "durability", "monotonicity",
-	// "ladder", "snapshot", "torn", "phantom", "restore".
+	// "ladder", "snapshot", "torn", "phantom", "restore", "replication",
+	// "stall".
 	Kind string `json:"kind"`
 	// Detail is the human-readable evidence.
 	Detail string `json:"detail"`

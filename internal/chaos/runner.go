@@ -271,6 +271,9 @@ func (r *runner) execute(st Step) error {
 		r.c.SeverMuxConns()
 		r.res.Faults++
 		return nil
+	case StepLZDark:
+		r.res.Faults++
+		return r.lzDark(st.Key)
 	}
 	return fmt.Errorf("unknown step kind %v", st.Kind)
 }
@@ -479,6 +482,57 @@ func (r *runner) quorumLoss(key int) error {
 		d.SetOutage(false)
 	}
 	return r.failover()
+}
+
+// lzDark darkens one LZ replica mid commit-burst — the flexible-quorum
+// probe for adaptive group commit. Commits must keep acking on the
+// remaining 2-of-3 quorum, and two invariants are judged within the step:
+// every byte hardened while the replica was dark must sit on at least
+// LZQuorum replicas at harden time (an ack backed by fewer copies is the
+// exact bug the chaosfault build plants), and the straggler must be fully
+// reconciled — zero missed bytes — before it serves reads again.
+func (r *runner) lzDark(key int) error {
+	vol := r.c.LZVolume()
+	if vol == nil {
+		return errors.New("lz-dark: landing zone is not replicated")
+	}
+	reps := vol.Replicas()
+	idx := key % len(reps)
+	startOff := vol.Size()
+	ackedBefore := r.res.Acked
+	reps[idx].SetOutage(true)
+	for i := 0; i < 6; i++ {
+		r.put(keyName((key*7 + i) % numKeys))
+	}
+	// Judge before healing: the replication invariant is about copy count
+	// at harden time, not after repair. Sequence the log flush inside the
+	// window first — an engine that acks before hardening (the chaosfault
+	// plant) would otherwise race its own flush past the judgement.
+	ackedDuring := r.res.Acked - ackedBefore
+	if ackedDuring > 0 && r.lastAcked != 0 {
+		wctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		//socrates:ignore-err the wait only orders the flush before the copy-count audit; a harden failure surfaces as a failed commit on the next step
+		_ = r.c.Primary().Writer().WaitHarden(wctx, r.lastAcked)
+		cancel()
+	}
+	endOff := vol.Size()
+	if ackedDuring > 0 && endOff > startOff {
+		if got := vol.AckedCopies(startOff, endOff-startOff); got < vol.Quorum() {
+			r.oracle.Report("replication", fmt.Sprintf(
+				"lz-dark window [%d,%d): %d commits acked with %d replica copies, quorum is %d",
+				startOff, endOff, ackedDuring, got, vol.Quorum()))
+		}
+	}
+	reps[idx].SetOutage(false)
+	if _, err := vol.Reconcile(); err != nil {
+		r.oracle.Report("replication", fmt.Sprintf("lz-dark reconcile: %v", err))
+		return nil
+	}
+	if miss := vol.MissedBytes(idx); miss != 0 {
+		r.oracle.Report("replication", fmt.Sprintf(
+			"lz-dark: replica %d still missing %d bytes after reconcile", idx, miss))
+	}
+	return nil
 }
 
 // psChurn adds a page-server replica to partition 0, then kills the

@@ -67,8 +67,18 @@ const (
 	// never renumber) and weighted only in the "mux" scenario so the
 	// pinned fingerprints of older scenarios stay valid.
 	StepMuxDisturb
+	// StepLZDark is a self-contained flexible-quorum probe: one LZ
+	// replica (Key = replica index) goes dark mid commit-burst, commits
+	// must keep acking on the remaining 2-of-3 quorum, and the oracle
+	// checks that every acked commit's bytes are on at least LZQuorum
+	// replicas at harden time and that the straggler is reconciled (zero
+	// missed bytes) before it serves reads again. Appended after
+	// StepMuxDisturb (schedule-hash contract: never renumber) and
+	// weighted only in the "commit" scenario so the fingerprints of
+	// older scenarios stay valid.
+	StepLZDark
 
-	numStepKinds = int(StepMuxDisturb) + 1
+	numStepKinds = int(StepLZDark) + 1
 )
 
 var stepNames = [numStepKinds]string{
@@ -76,6 +86,7 @@ var stepNames = [numStepKinds]string{
 	"quorum-loss", "feed-loss", "failover", "add-secondary",
 	"remove-secondary", "ps-churn", "split", "xstore-outage",
 	"backup", "restore-probe", "catchup-probe", "mux-disturb",
+	"lz-dark",
 }
 
 // String names the step kind.
@@ -146,6 +157,17 @@ var scenarios = map[string]Spec{
 		StepPut: 25, StepPair: 5, StepReadPrimary: 5, StepReadSecondary: 3,
 		StepFailover: 1, StepFeedLoss: 2,
 		StepBackup: 8, StepRestoreProbe: 8, StepCatchUpProbe: 2,
+	}},
+	// commit tortures the adaptive group-commit path: heavy single-key
+	// commit traffic with frequent one-replica LZ darkness mid-burst
+	// (StepLZDark), plus feed loss so one-way harden acks get dropped and
+	// the retransmit path earns its keep. New scenario on purpose —
+	// adding StepLZDark to an existing scenario would shift its pinned
+	// schedule fingerprints.
+	"commit": {Name: "commit", Weights: [numStepKinds]int{
+		StepPut: 40, StepPair: 6, StepReadPrimary: 8, StepReadSecondary: 6,
+		StepLZDark: 8, StepFeedLoss: 2, StepFailover: 1,
+		StepCatchUpProbe: 3,
 	}},
 	// mux tortures the netmux RPC fabric: heavy read/write traffic with
 	// frequent mid-flight connection severing, plus the usual fault blend
@@ -220,7 +242,7 @@ func (g *generator) eligible(k StepKind) bool {
 	switch k {
 	case StepReadSecondary, StepRemoveSecondary:
 		return len(g.secondaries) > 0
-	case StepLZOutage:
+	case StepLZOutage, StepLZDark:
 		return g.lzOut == -1 // one dark replica at a time: quorum holds
 	case StepQuorumLoss, StepFailover:
 		// A new primary's boot reads pages through the page servers; an
@@ -363,6 +385,11 @@ func (g *generator) Next() Step {
 		// Severing is instantaneous (pools lazily redial), so it opens no
 		// fault window in the shadow model.
 		return Step{Kind: StepMuxDisturb}
+	case StepLZDark:
+		// Self-contained: the runner darkens the replica, runs the commit
+		// burst, heals, and reconciles within the one step, so no fault
+		// window opens in the shadow model.
+		return Step{Kind: StepLZDark, Key: g.rng.Intn(3)}
 	}
 	return Step{Kind: StepPut, Key: 0} // unreachable
 }

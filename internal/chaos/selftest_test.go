@@ -2,12 +2,17 @@
 
 package chaos
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
-// This file validates the oracle itself. The chaosfault build tag swaps
-// the engine's commit-harden wait for a stub that returns immediately —
-// the classic "ack before harden" durability bug. A harness whose oracle
-// stays silent against a known-planted bug tests nothing.
+// This file validates the oracle itself. The chaosfault build tag plants
+// two known bugs: it swaps the engine's commit-harden wait for a stub
+// that returns immediately (the classic "ack before harden" durability
+// bug), and it drops simdisk.Replicated's effective write quorum to 1
+// (acks backed by a single copy — the flexible-quorum bug). A harness
+// whose oracle stays silent against a known-planted bug tests nothing.
 //
 // Run with: go test -tags chaosfault ./internal/chaos/
 // (The regular chaos tests are excluded under this tag; they would —
@@ -47,6 +52,46 @@ func TestOracleCatchesPlantedBug(t *testing.T) {
 	}
 	if durability == 0 {
 		t.Fatalf("oracle missed the planted ack-before-harden bug: %d acked writes lost, 0 durability violations",
+			r.res.Acked)
+	}
+}
+
+// TestOracleCatchesQuorumPlant validates the lz-dark replication check
+// against the planted effectiveQuorum=1 bug. With only one replica dark
+// the plant is invisible — writes still physically land on the two
+// healthy replicas; the plant only lowers the ack threshold — so the
+// test composes two darknesses: one replica darkened directly, then
+// lzDark darkens a second. A correct volume would fail every write
+// (1 healthy copy < quorum 2) and ack nothing; the planted volume acks
+// commits backed by a single copy, and the oracle MUST flag each one as
+// a replication violation.
+func TestOracleCatchesQuorumPlant(t *testing.T) {
+	r, err := newRunner(Config{Seed: 101})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	defer r.close()
+
+	reps := r.c.LZVolume().Replicas()
+	reps[1].SetOutage(true)
+	r.oracle.SetStep(0)
+	if err := r.lzDark(0); err != nil {
+		t.Fatalf("lz-dark step: %v", err)
+	}
+	reps[1].SetOutage(false)
+	if r.res.Acked == 0 {
+		t.Fatalf("planted bug did not bite: no commit was acked with two replicas dark")
+	}
+
+	caught := false
+	for _, v := range r.oracle.Violations() {
+		t.Logf("oracle: %s", v)
+		if v.Kind == "replication" && strings.Contains(v.Detail, "acked with") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("oracle missed the planted single-copy-ack bug: %d commits acked, no replication violation",
 			r.res.Acked)
 	}
 }

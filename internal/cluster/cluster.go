@@ -43,6 +43,11 @@ type Config struct {
 	LZProfile simdisk.Profile
 	// LZReplicas / LZQuorum configure landing-zone replication (3 / 2).
 	LZReplicas, LZQuorum int
+	// LegacyCommitPath pins the primary's pre-adaptive log pipeline (fixed
+	// batching window, round-trip harden reports). Paired with LZQuorum ==
+	// LZReplicas it reconstructs the round-trip/fixed-set baseline the
+	// `commit` experiment measures the adaptive path against.
+	LegacyCommitPath bool
 	// LZCapacity bounds the landing-zone ring (default 8 MiB).
 	LZCapacity int64
 	// XStore overrides the simulated XStore account configuration.
@@ -424,6 +429,8 @@ func (c *Cluster) primaryConfig(bootstrap bool) compute.PrimaryConfig {
 		Watermarks:    c.Watermarks,
 		Flight:        c.Flight,
 		Waits:         c.Waits.Tier("compute"),
+
+		LegacyCommitPath: c.cfg.LegacyCommitPath,
 	}
 }
 
@@ -532,6 +539,15 @@ func (c *Cluster) LZReplicas() []*simdisk.Device {
 		return r.Replicas()
 	}
 	return nil
+}
+
+// LZVolume exposes the replicated landing-zone volume itself — the
+// flexible-quorum bookkeeping (acked copy counts, per-replica missed
+// extents, reconciliation) that the chaos oracle audits. Nil when the LZ
+// volume is not replicated.
+func (c *Cluster) LZVolume() *simdisk.Replicated {
+	r, _ := c.lzVol.(*simdisk.Replicated)
+	return r
 }
 
 // PageServerAddr reports the RBIO address a live page server is registered

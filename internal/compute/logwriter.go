@@ -24,6 +24,42 @@ import (
 // socerr.ErrClosed under errors.Is.
 var ErrWriterClosed = fmt.Errorf("compute: log writer closed: %w", socerr.ErrClosed)
 
+// Clock abstracts the batcher's two time dependencies — reading the clock
+// and arming a one-shot timer — so deterministic tests drive the adaptive
+// batching window without wall-clock sleeps (testutil.FakeClock satisfies
+// it structurally). AfterFunc returns a stop function in place of a
+// *time.Timer so fakes need no timer type of their own.
+type Clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, f func()) (stop func() bool)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+func (realClock) AfterFunc(d time.Duration, f func()) func() bool {
+	return time.AfterFunc(d, f).Stop
+}
+
+// Adaptive group-commit tuning (§4.3, after BtrLog): the flusher holds a
+// small batch open for a window proportional to the observed landing-zone
+// write latency — waiting a quarter of a write adds little to p99 while
+// multiplying records per quorum write — and cuts immediately when commits
+// arrive slower than the window (batching would only add latency) or when
+// the batch reaches a byte target that itself scales with write latency
+// (slower writes amortize over bigger batches).
+const (
+	minBatchWait         = 50 * time.Microsecond
+	maxBatchWait         = 2 * time.Millisecond
+	defaultWriteEstimate = 500 * time.Microsecond
+	minBatchTarget       = 4 << 10
+	maxBatchTarget       = 256 << 10
+	// gapClamp bounds the inter-commit gap fed to the EWMA so an idle
+	// period does not poison the arrival estimate for minutes afterward.
+	gapClamp  = 10 * time.Millisecond
+	ewmaAlpha = 0.2
+)
+
 // LogWriter is the primary's log pipeline (§4.3, upper-left of Figure 3):
 // records accumulate in memory; the flusher cuts blocks at transaction
 // boundaries (so a hardened prefix never splits a transaction), writes them
@@ -40,14 +76,27 @@ type LogWriter struct {
 	pt    page.Partitioning
 	epoch string // producer epoch stamped on feed frames (see WithEpoch)
 
+	clock Clock
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []*wal.Record
 	boundary int // records [0, boundary) form complete transaction groups
 	nextLSN  page.LSN
 	hardened page.LSN
+	reported page.LSN // highest LSN already harden-reported to XLOG
 	err      error
 	closed   bool
+
+	// Adaptive batching state, guarded by mu. gapEWMA smooths the
+	// inter-commit arrival gap (fed by Append on boundary records);
+	// writeEWMA smooths the landing-zone quorum-write latency (fed by the
+	// completion goroutine). Both in nanoseconds; 0 = no samples yet.
+	gapEWMA    float64
+	writeEWMA  float64
+	lastCommit time.Time
+	// legacy pins the pre-adaptive commit path (WithLegacyCommitPath).
+	legacy bool
 
 	wg       sync.WaitGroup
 	ioWG     sync.WaitGroup
@@ -58,6 +107,7 @@ type LogWriter struct {
 
 	blocksFlushed metrics.Counter
 	bytesFlushed  metrics.Counter
+	recsCoalesced metrics.Counter
 
 	tracer *obs.Tracer
 	obsReg *obs.Registry
@@ -100,12 +150,29 @@ func WithEpoch(epoch uint64) LogWriterOption {
 	return func(w *LogWriter) { w.epoch = strconv.FormatUint(epoch, 10) }
 }
 
+// WithClock substitutes the batcher's clock — deterministic tests install a
+// testutil.FakeClock and drive the adaptive window by hand.
+func WithClock(c Clock) LogWriterOption {
+	return func(w *LogWriter) { w.clock = c }
+}
+
+// WithLegacyCommitPath reverts the writer to the pre-adaptive commit path:
+// a fixed 150µs/4KiB batching window, no record coalescing, and a full
+// round trip for every harden report. It exists as the baseline arm of the
+// `commit` experiment (BENCH_pr9.json), so the adaptive path is always
+// measured against the shape it replaced at identical simulated latencies.
+// The landing-zone quorum width is configured on the volume, not here.
+func WithLegacyCommitPath() LogWriterOption {
+	return func(w *LogWriter) { w.legacy = true }
+}
+
 // NewLogWriter starts a writer whose next record receives startLSN.
 func NewLogWriter(lz *xlog.LandingZone, feed *rbio.Client, pt page.Partitioning, startLSN page.LSN, opts ...LogWriterOption) *LogWriter {
 	w := &LogWriter{
 		lz: lz, feed: feed, pt: pt,
-		nextLSN: startLSN, hardened: startLSN,
+		nextLSN: startLSN, hardened: startLSN, reported: startLSN,
 		inflight: make(chan struct{}, 8),
+		clock:    realClock{},
 	}
 	for _, o := range opts {
 		o(w)
@@ -130,6 +197,22 @@ func (w *LogWriter) Append(rec *wal.Record) page.LSN {
 	switch rec.Kind {
 	case wal.KindTxnCommit, wal.KindTxnAbort, wal.KindCheckpoint, wal.KindNoop:
 		w.boundary = len(w.pending)
+		// Feed the arrival-gap EWMA the batcher's window policy reads:
+		// boundary records are what group commit batches, so their spacing
+		// is the arrival process that decides whether waiting pays.
+		now := w.clock.Now()
+		if !w.lastCommit.IsZero() {
+			gap := now.Sub(w.lastCommit)
+			if gap > gapClamp {
+				gap = gapClamp
+			}
+			if w.gapEWMA == 0 {
+				w.gapEWMA = float64(gap)
+			} else {
+				w.gapEWMA = ewmaAlpha*float64(gap) + (1-ewmaAlpha)*w.gapEWMA
+			}
+		}
+		w.lastCommit = now
 		w.cond.Broadcast()
 	}
 	lsn := rec.LSN
@@ -210,10 +293,100 @@ func (w *LogWriter) pendingBoundaryBytes() int {
 	return n
 }
 
+// batchPlan decides how long the flusher may hold a small batch open and
+// the byte size at which it cuts regardless. Caller holds w.mu.
+//
+// The policy adapts on two axes. The wait window tracks the landing-zone
+// write latency (a quarter of a write, clamped): while a write is slow,
+// holding the next batch open is nearly free because the pipeline is the
+// bottleneck anyway. The byte target scales with the same latency: slower
+// writes amortize over bigger batches. Two fast paths cut immediately —
+// an idle pipeline (a solo commit must not wait behind a timer; Table 6
+// single-client latency) and a sparse arrival process (when commits arrive
+// slower than the window, waiting buys no batching, only latency).
+func (w *LogWriter) batchPlan() (wait time.Duration, target int) {
+	if w.inflightCnt == 0 {
+		return 0, 0
+	}
+	if w.legacy {
+		// Baseline arm: the fixed window the adaptive policy replaced.
+		return 150 * time.Microsecond, 4 << 10
+	}
+	wr := time.Duration(w.writeEWMA)
+	if wr <= 0 {
+		wr = defaultWriteEstimate
+	}
+	wait = wr / 4
+	if wait < minBatchWait {
+		wait = minBatchWait
+	}
+	if wait > maxBatchWait {
+		wait = maxBatchWait
+	}
+	target = int(int64(minBatchTarget) * int64(wr) / int64(defaultWriteEstimate))
+	if target < minBatchTarget {
+		target = minBatchTarget
+	}
+	if target > maxBatchTarget {
+		target = maxBatchTarget
+	}
+	if gap := time.Duration(w.gapEWMA); gap > 0 && gap > wait {
+		return 0, target
+	}
+	return wait, target
+}
+
+// coalesceBatch squashes intra-batch same-transaction cell overwrites: when
+// one transaction puts the same (page, key) cell several times within a
+// single batch, only the last image is ever readable — the intermediate
+// versions would share the final one's commit timestamp, so no snapshot can
+// observe them. Only KindCellPut records coalesce; boundary records, page
+// images, and deletes are never touched, so a batch boundary can never
+// split or lose a transaction's outcome. Surviving records keep their LSNs:
+// the block still covers the same [Start, End) range with holes, which the
+// explicitly-counted encoding represents exactly and LSN-idempotent redo
+// replays obliviously. Reports how many records were squashed.
+func coalesceBatch(recs []*wal.Record) ([]*wal.Record, int) {
+	type cell struct {
+		txn uint64
+		pg  page.ID
+		key string
+	}
+	var last map[cell]int
+	dropped := 0
+	for i, r := range recs {
+		if r.Kind != wal.KindCellPut {
+			continue
+		}
+		if last == nil {
+			last = make(map[cell]int, len(recs))
+		}
+		c := cell{r.Txn, r.Page, string(r.Key)}
+		if j, ok := last[c]; ok {
+			recs[j] = nil
+			dropped++
+		}
+		last[c] = i
+	}
+	if dropped == 0 {
+		return recs, 0
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, dropped
+}
+
 // Stats reports blocks and bytes flushed to the landing zone.
 func (w *LogWriter) Stats() (blocks, bytes int64) {
 	return w.blocksFlushed.Load(), w.bytesFlushed.Load()
 }
+
+// Coalesced reports how many records intra-batch coalescing has squashed.
+func (w *LogWriter) Coalesced() int64 { return w.recsCoalesced.Load() }
 
 // Close flushes remaining complete groups and stops the flusher.
 func (w *LogWriter) Close() {
@@ -243,19 +416,38 @@ func (w *LogWriter) flushLoop() {
 		}
 		w.mu.Unlock()
 
-		// Group-commit batching: claim the in-flight slot BEFORE cutting
-		// the block, so while the pipeline is saturated later commits keep
-		// joining the pending group; and give a small group a moment to
-		// grow when other writes are already in flight. A solo commit
+		// Adaptive group-commit batching: claim the in-flight slot BEFORE
+		// cutting the block, so while the pipeline is saturated later
+		// commits keep joining the pending group; then hold a small group
+		// open for the adaptive window (see batchPlan). A solo commit
 		// (idle pipeline) cuts immediately — single-client latency is
-		// unaffected (Table 6).
+		// unaffected (Table 6). The window loop re-checks the byte target
+		// after every wakeup, so a burst cuts as soon as the batch is big
+		// enough rather than when the timer fires.
 		w.inflight <- struct{}{}
 		w.mu.Lock()
-		if w.inflightCnt > 0 && w.pendingBoundaryBytes() < 4<<10 && !w.closed {
-			waker := time.AfterFunc(150*time.Microsecond, w.cond.Broadcast)
-			//socrates:wait-ok deliberate 150µs batching pause, not a stall; committers' time here already lands in commit.harden
-			w.cond.Wait()
-			waker.Stop()
+		if wait, target := w.batchPlan(); wait > 0 && !w.closed &&
+			w.pendingBoundaryBytes() < target {
+			holdStart := w.clock.Now()
+			deadline := holdStart.Add(wait)
+			for !w.closed && w.err == nil && w.pendingBoundaryBytes() < target {
+				remaining := deadline.Sub(w.clock.Now())
+				if remaining <= 0 {
+					break
+				}
+				// The waker broadcasts under w.mu: without the lock it
+				// could fire between a predicate check and cond.Wait
+				// registering, waking nobody.
+				stop := w.clock.AfterFunc(remaining, func() {
+					w.mu.Lock()
+					defer w.mu.Unlock()
+					w.cond.Broadcast()
+				})
+				//socrates:wait-ok deliberate adaptive batching pause, not a stall; committers' time here already lands in commit.harden
+				w.cond.Wait()
+				stop()
+			}
+			w.obsReg.Histogram("lz.batch.wait").Observe(w.clock.Now().Sub(holdStart))
 		}
 		if w.boundary == 0 {
 			// Everything was consumed elsewhere or we closed: release.
@@ -272,9 +464,24 @@ func (w *LogWriter) flushLoop() {
 		w.boundary = 0
 		w.mu.Unlock()
 
+		// The block's LSN range is fixed before coalescing: squashed
+		// records leave holes inside [Start, End), never shrink it, so the
+		// landing zone's contiguity check and the hardened-prefix math see
+		// the same stream with or without coalescing.
+		start, end := recs[0].LSN, recs[len(recs)-1].LSN.Next()
+		var squashed int
+		if !w.legacy {
+			recs, squashed = coalesceBatch(recs)
+		}
+		if squashed > 0 {
+			w.recsCoalesced.Add(int64(squashed))
+			w.obsReg.Counter("lz.batch.coalesced").Add(uint64(squashed))
+		}
+		w.obsReg.Counter("lz.batch.flushes").Inc()
+		w.obsReg.Counter("lz.batch.records").Add(uint64(len(recs)))
 		block := &wal.Block{
-			Start:      recs[0].LSN,
-			End:        recs[len(recs)-1].LSN.Next(),
+			Start:      start,
+			End:        end,
 			Partitions: wal.ComputePartitions(recs, w.pt),
 			Records:    recs,
 		}
@@ -345,7 +552,15 @@ func (w *LogWriter) flushLoop() {
 			}
 			// commit.quorum: the landing-zone quorum write itself, attributed
 			// to the lz.write span (ioCtx carries the last one started).
-			w.waits.Observe(ioCtx, obs.WaitCommitQuorum, time.Since(qstart))
+			qlat := time.Since(qstart)
+			w.waits.Observe(ioCtx, obs.WaitCommitQuorum, qlat)
+			w.mu.Lock()
+			if w.writeEWMA == 0 {
+				w.writeEWMA = float64(qlat)
+			} else {
+				w.writeEWMA = ewmaAlpha*float64(qlat) + (1-ewmaAlpha)*w.writeEWMA
+			}
+			w.mu.Unlock()
 			for _, s := range spans {
 				s.End()
 			}
@@ -370,14 +585,45 @@ func (w *LogWriter) flushLoop() {
 				w.hardened = hardened
 			}
 			w.cond.Broadcast()
+			// Coalesce harden reports: the watermark is cumulative, so one
+			// frame carrying the highest-hardened LSN acknowledges every
+			// batch below it. A completion that did not advance the
+			// watermark (out-of-order quorum writes) sends nothing — the
+			// report that advanced it already covered this block.
+			advanced := hardened.After(w.reported)
+			if advanced {
+				w.reported = hardened
+			}
+			report := w.reported
+			// This completion is the pipeline's last in flight (its own
+			// inflight slot is still held here) with nothing flushable
+			// queued: if its report drops, no successor supersedes it.
+			idle := w.inflightCnt == 1 && w.boundary == 0
 			w.mu.Unlock()
 
-			// Hardening report: reliable but off the critical path.
-			// Reports may arrive out of order; the watermark is monotone,
-			// so a stale report is a no-op at the XLOG service.
-			if w.feed != nil {
-				//socrates:ignore-err the harden report is off the durability path; the watermark is monotone, so the next report supersedes a lost one
-				_, _ = w.feed.Call(ioCtx, &rbio.Request{Type: rbio.MsgHardenReport, LSN: hardened})
+			// Hardening report: off the critical path, one-way over the mux
+			// fabric when the peer speaks it (Notify falls back to a
+			// round-trip call toward v2 peers). Reports may arrive out of
+			// order; the watermark is monotone, so a stale report is a
+			// no-op at the XLOG service. The trailing report of a burst is
+			// sent as a reliable round trip instead: a lossy fabric may
+			// drop any intermediate report (the next one supersedes it),
+			// but dropping the last would strand the consumers' watermark
+			// until the next commit.
+			// The idle case reports even without having advanced the
+			// watermark itself: the burst's advancing report may have been
+			// an earlier completion's one-way frame, already lost.
+			if w.feed != nil && (advanced || idle || w.legacy) {
+				req := &rbio.Request{Type: rbio.MsgHardenReport, LSN: report}
+				if idle || w.legacy {
+					// The legacy arm round-trips every report — the pre-mux
+					// commit path the `commit` experiment baselines against.
+					//socrates:ignore-err watermark report; consumers poll state as a further backstop
+					_, _ = w.feed.Call(ioCtx, req)
+				} else {
+					//socrates:ignore-err an intermediate report is superseded by the burst's trailing reliable report
+					_ = w.feed.Notify(ioCtx, req)
+				}
 			}
 		}(block, res, commitSCs)
 	}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"socrates/internal/cdb"
+	"socrates/internal/cluster"
+	"socrates/internal/simdisk"
+	"socrates/internal/xstore"
+)
+
+// CommitRow is the commit-path A/B (BENCH_pr9.json): the adaptive group
+// commit pipeline (hold-window batching, record coalescing, one-way harden
+// acks, flexible 2-of-3 LZ quorum) against the round-trip baseline it
+// replaced (fixed 150µs/4KiB window, no coalescing, a full round trip per
+// harden report, fixed 3-of-3 replica set). Both arms run the CDB MaxLog
+// mix on identical deployments — same landing-zone device class, same
+// fabric profile, same seed — so every simulated RTT is equal across arms
+// and the p50/p99 gap is attributable to the commit path alone.
+type CommitRow struct {
+	Profile     string `json:"profile"`     // LZ device class, equal across arms
+	LZWriteUs   int64  `json:"lz_write_us"` // nominal LZ write latency both arms pay
+	Threads     int    `json:"threads"`
+	BaseQuorum  int    `json:"base_quorum"`     // fixed set: every replica acks
+	AdaptQuorum int    `json:"adaptive_quorum"` // flexible: fastest 2 of 3
+
+	BaseOps    int64 `json:"base_ops"`    // committed write transactions
+	BaseBlocks int64 `json:"base_blocks"` // LZ quorum writes flushing them
+	BaseP50Us  int64 `json:"base_p50_us"`
+	BaseP99Us  int64 `json:"base_p99_us"`
+
+	AdaptOps       int64 `json:"adaptive_ops"`
+	AdaptBlocks    int64 `json:"adaptive_blocks"`
+	AdaptCoalesced int64 `json:"adaptive_coalesced"` // records squashed in-batch
+	AdaptP50Us     int64 `json:"adaptive_p50_us"`
+	AdaptP99Us     int64 `json:"adaptive_p99_us"`
+
+	// P99Ratio is the headline: baseline p99 / adaptive p99 (target >= 2x).
+	P99Ratio float64 `json:"p99_ratio"`
+	P50Ratio float64 `json:"p50_ratio"`
+}
+
+// commitThreads pins the client concurrency of the commit experiment. This
+// is a latency measurement, not a throughput race: enough clients that the
+// durable-prefix convoy behind a stuttering replica is visible at p99
+// (closed-loop clients only observe a stall they are blocked on), yet few
+// enough that commit latency measures the log pipeline rather than engine
+// row-lock queues — the regime Table 6 measures with a single client,
+// widened just enough to give group commit material to batch.
+const commitThreads = 4
+
+// commitArm runs one arm of the A/B and reports commit-latency quantiles
+// plus the batching evidence (blocks flushed, records coalesced).
+type commitArm struct {
+	ops, blocks, coalesced int64
+	p50, p99               time.Duration
+}
+
+// commitDrive boots a Socrates deployment with the given commit path and
+// drives the MaxLog mix against it. legacy selects the baseline arm:
+// pre-adaptive log pipeline plus the fixed full-replica-set quorum.
+// Everything else — device profiles, fabric, seed, workload — is identical,
+// which is what makes the arms comparable at equal simulated RTT.
+func commitDrive(name string, o Options, legacy bool) (commitArm, error) {
+	quorum := 2
+	if legacy {
+		quorum = 3
+	}
+	c, err := cluster.New(cluster.Config{
+		Name:             name,
+		LZProfile:        simdisk.XIO,
+		LZCapacity:       32 << 20,
+		LZQuorum:         quorum,
+		LegacyCommitPath: legacy,
+		ComputeMemPages:  2048,
+		ComputeSSDPages:  0,
+		PSMemPages:       256,
+		PSPullBytes:      1 << 20,
+		PrimaryCores:     16,
+		CheckpointEvery:  200 * time.Millisecond,
+		XStore:           xstore.Config{Profile: simdisk.HDD},
+		Seed:             9,
+	})
+	if err != nil {
+		return commitArm{}, err
+	}
+	defer c.Close()
+	w := cdb.New(o.SF)
+	if err := w.Setup(c.Primary().Engine); err != nil {
+		return commitArm{}, err
+	}
+	m := driveCDB(c.Primary().Engine, w, cdb.MaxLogMix, commitThreads, 0, c.PrimaryMeter, o)
+	if failed, cause := c.Primary().Engine.Failed(); failed {
+		return commitArm{}, fmt.Errorf("commit: %s engine poisoned: %w", name, cause)
+	}
+	blocks, _ := c.Primary().Writer().Stats()
+	return commitArm{
+		ops:       m.WriteTxns,
+		blocks:    blocks,
+		coalesced: c.Primary().Writer().Coalesced(),
+		p50:       m.WriteLatency.Quantile(0.5),
+		p99:       m.WriteLatency.Quantile(0.99),
+	}, nil
+}
+
+// Commit measures the adaptive commit path against the round-trip baseline
+// under the CDB MaxLog mix at equal simulated RTT.
+func Commit(o Options) (CommitRow, error) {
+	o = o.defaults()
+	base, err := commitDrive("commit-base", o, true)
+	if err != nil {
+		return CommitRow{}, err
+	}
+	adapt, err := commitDrive("commit-adaptive", o, false)
+	if err != nil {
+		return CommitRow{}, err
+	}
+	// Floor: quantiles over a handful of commits are noise, not a result.
+	const minOps = 100
+	if base.ops < minOps || adapt.ops < minOps {
+		return CommitRow{}, fmt.Errorf(
+			"commit: too few commits for stable quantiles (base %d, adaptive %d, floor %d); widen -measure",
+			base.ops, adapt.ops, minOps)
+	}
+	if base.p99 <= 0 || adapt.p99 <= 0 {
+		return CommitRow{}, fmt.Errorf("commit: empty latency histogram (base p99 %v, adaptive p99 %v)",
+			base.p99, adapt.p99)
+	}
+	return CommitRow{
+		Profile:     simdisk.XIO.Name,
+		LZWriteUs:   simdisk.XIO.WriteBase.Microseconds(),
+		Threads:     commitThreads,
+		BaseQuorum:  3,
+		AdaptQuorum: 2,
+
+		BaseOps:    base.ops,
+		BaseBlocks: base.blocks,
+		BaseP50Us:  base.p50.Microseconds(),
+		BaseP99Us:  base.p99.Microseconds(),
+
+		AdaptOps:       adapt.ops,
+		AdaptBlocks:    adapt.blocks,
+		AdaptCoalesced: adapt.coalesced,
+		AdaptP50Us:     adapt.p50.Microseconds(),
+		AdaptP99Us:     adapt.p99.Microseconds(),
+
+		P99Ratio: float64(base.p99) / float64(adapt.p99),
+		P50Ratio: float64(base.p50) / float64(adapt.p50),
+	}, nil
+}

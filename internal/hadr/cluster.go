@@ -3,7 +3,9 @@ package hadr
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"socrates/internal/engine"
@@ -63,6 +65,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c.writer = newWriter(c, 1)
+	for _, sec := range c.secondaries {
+		sec.setAckClient(rbio.NewClient(c.Net.Dial(c.writer.ackAddr())))
+	}
 	eng, err := engine.Create(engine.Config{
 		Pages: c.primary.pages,
 		Log:   c.writer,
@@ -185,6 +190,18 @@ func (c *Cluster) Failover() (*Node, time.Duration, error) {
 	c.writer = w
 	c.mu.Unlock()
 
+	// Straggler reconciliation at promotion: blocks below the hardened
+	// watermark reached quorum cluster-wide, but a secondary outside that
+	// quorum may have gaps. Fast-forward its cumulative ack floor so its
+	// acks re-enter the flexible quorum instead of wedging behind a gap
+	// the new primary no longer retains, and point its ack channel at the
+	// new writer's endpoint.
+	best.setAckClient(nil)
+	for _, s := range rest {
+		s.setAckClient(rbio.NewClient(c.Net.Dial(w.ackAddr())))
+		s.setAckFloor(hardened)
+	}
+
 	visible := uint64(0)
 	if best.engine != nil {
 		visible = best.engine.Clock().Visible()
@@ -229,12 +246,15 @@ func (c *Cluster) SeedNewReplica(name string) (*Node, int64, time.Duration, erro
 	// Read the hardened end before taking the node lock: Writer() takes
 	// Cluster.mu, and Failover acquires Node.mu while holding Cluster.mu —
 	// nesting them here in the opposite order is a lock-order cycle.
-	hardened := c.Writer().HardenedEnd()
+	w := c.Writer()
+	hardened := w.HardenedEnd()
 	sec.mu.Lock()
 	sec.applied = hardened
+	sec.hardenedTo = hardened // the seed copy covers everything below
 	sec.mu.Unlock()
 	sec.startApply()
 	c.Net.Serve(sec.name, sec.handler())
+	sec.setAckClient(rbio.NewClient(c.Net.Dial(w.ackAddr())))
 	if err := sec.openSecondaryEngine(); err != nil {
 		return nil, 0, 0, err
 	}
@@ -271,9 +291,24 @@ type writer struct {
 	blockSizes  map[page.LSN]int64 // start LSN → encoded size (until backup)
 	blockOrder  []page.LSN
 
-	// completed tracks out-of-order quorum acks so the hardened watermark
-	// stays a prefix (ships are pipelined).
-	completed map[page.LSN]page.LSN
+	// completed tracks out-of-order local harden completions so
+	// localDurable stays a prefix (ships are pipelined); the quorum
+	// watermark can never pass local durability.
+	completed    map[page.LSN]page.LSN
+	localDurable page.LSN
+
+	// secAcks holds each secondary's cumulative harden-ack watermark, fed
+	// by one-way MsgHardenReport frames on the writer's ack endpoint (or
+	// by round-trip ship responses from pre-mux peers). The hardened
+	// watermark is the highest LSN covered by local durability plus any
+	// Quorum-1 of these — a flexible quorum with no designated ack set.
+	secAcks map[string]page.LSN
+
+	// tail retains recently shipped encoded blocks until evicted by count,
+	// so a one-way ship frame lost to a conn teardown can be retransmitted
+	// round-trip. Bounded: tailMax blocks.
+	tail      map[page.LSN]tailBlock
+	tailOrder []page.LSN
 
 	// shipPools holds one persistent netmux-pooled client per secondary,
 	// so replication reuses warm multiplexed connections instead of
@@ -289,22 +324,105 @@ type writer struct {
 	throttles     metrics.Counter
 }
 
+// tailBlock is one retained shipped block, kept for retransmission until
+// evicted from the writer's bounded tail.
+type tailBlock struct {
+	end     page.LSN
+	payload []byte
+}
+
+// tailMax bounds how many shipped blocks the writer retains for
+// retransmission to laggards.
+const tailMax = 512
+
+// retransmitAfter is how long a shipped block may sit without quorum
+// coverage before the writer re-ships it round-trip to every laggard.
+// Comfortably above the cross-AZ round trip (~2.6 ms), so a healthy
+// deployment never retransmits.
+const retransmitAfter = 4 * time.Millisecond
+
 func newWriter(c *Cluster, startLSN page.LSN) *writer {
 	w := &writer{
-		c:          c,
-		nextLSN:    startLSN,
-		hardened:   startLSN,
-		backedUp:   startLSN,
-		blockSizes: make(map[page.LSN]int64),
-		completed:  make(map[page.LSN]page.LSN),
-		inflight:   make(chan struct{}, 8),
-		shipPools:  make(map[string]*rbio.Client),
+		c:            c,
+		nextLSN:      startLSN,
+		hardened:     startLSN,
+		backedUp:     startLSN,
+		localDurable: startLSN,
+		blockSizes:   make(map[page.LSN]int64),
+		completed:    make(map[page.LSN]page.LSN),
+		secAcks:      make(map[string]page.LSN),
+		tail:         make(map[page.LSN]tailBlock),
+		inflight:     make(chan struct{}, 8),
+		shipPools:    make(map[string]*rbio.Client),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	c.Net.Serve(w.ackAddr(), w.ackHandler())
 	w.wg.Add(2)
 	go w.flushLoop()
 	go w.backupLoop()
 	return w
+}
+
+// ackAddr is the fabric address of the writer's harden-ack endpoint.
+func (w *writer) ackAddr() string { return w.c.cfg.Name + "-ack" }
+
+// ackHandler serves the writer's ack endpoint: cumulative one-way harden
+// reports from secondaries, one frame acknowledging every block at or
+// below its LSN.
+func (w *writer) ackHandler() rbio.Handler {
+	return func(_ context.Context, req *rbio.Request) *rbio.Response {
+		switch req.Type {
+		case rbio.MsgPing:
+			return rbio.Ok()
+		case rbio.MsgHardenReport:
+			w.recordAck(req.Consumer, req.LSN)
+			return rbio.Ok()
+		default:
+			return rbio.Errorf("hadr: unsupported ack message %v", req.Type)
+		}
+	}
+}
+
+// recordAck merges one secondary's cumulative harden watermark and
+// re-derives the quorum watermark. Acks are monotone; stale or duplicate
+// reports are no-ops.
+func (w *writer) recordAck(name string, lsn page.LSN) {
+	if name == "" {
+		return
+	}
+	w.mu.Lock()
+	if lsn.After(w.secAcks[name]) {
+		w.secAcks[name] = lsn
+		w.advanceLocked()
+	}
+	w.mu.Unlock()
+}
+
+// advanceLocked recomputes the quorum-hardened watermark: the highest LSN
+// that is locally durable (as a prefix) and cumulatively acked by any
+// Quorum-1 secondaries — a flexible quorum in the Taurus style, where any
+// quorum-sized subset of replicas may harden a given block. Caller holds
+// w.mu.
+func (w *writer) advanceLocked() {
+	need := w.c.cfg.Quorum - 1 // the local copy counts toward quorum
+	cand := w.localDurable
+	if need > 0 {
+		if len(w.secAcks) < need {
+			return
+		}
+		acks := make([]page.LSN, 0, len(w.secAcks))
+		for _, l := range w.secAcks {
+			acks = append(acks, l)
+		}
+		sort.Slice(acks, func(i, j int) bool { return acks[i].After(acks[j]) })
+		if acks[need-1].Before(cand) {
+			cand = acks[need-1]
+		}
+	}
+	if cand.After(w.hardened) {
+		w.hardened = cand
+		w.cond.Broadcast()
+	}
 }
 
 // Append stages a record (engine.LogPipeline).
@@ -384,6 +502,7 @@ func (w *writer) Close() {
 	w.mu.Unlock()
 	w.wg.Wait()
 	w.ioWG.Wait() // drain in-flight quorum rounds
+	w.c.Net.Unserve(w.ackAddr())
 	w.shipMu.Lock()
 	for _, cl := range w.shipPools {
 		//socrates:ignore-err teardown of replication clients on writer close; the pools own no durable state
@@ -480,15 +599,6 @@ func (w *writer) flushLoop() {
 			w.bytesFlushed.Add(size)
 
 			w.mu.Lock()
-			w.completed[block.Start] = block.End
-			for {
-				end, ok := w.completed[w.hardened]
-				if !ok {
-					break
-				}
-				delete(w.completed, w.hardened)
-				w.hardened = end
-			}
 			w.blockSizes[block.Start] = size
 			w.blockOrder = append(w.blockOrder, block.Start)
 			w.unbackedLen += size
@@ -498,8 +608,13 @@ func (w *writer) flushLoop() {
 	}
 }
 
-// ship hardens the block locally and on a quorum of secondaries, applying
-// it locally as well (the primary is also a replica).
+// ship hardens the block locally, fires it at every secondary as a one-way
+// mux frame, and waits for the flexible quorum to cover it. Cumulative acks
+// arrive on the writer's ack endpoint (one ack frame covers every pipelined
+// block below its LSN); peers negotiated below the mux protocol get the
+// classic round-trip ship whose response carries the same cumulative ack.
+// A one-way frame lost to a conn teardown is recovered by the retransmit
+// loop, so loss costs latency, never a commit.
 func (w *writer) ship(block *wal.Block) error {
 	prim := w.c.Primary()
 	if err := prim.harden(block); err != nil {
@@ -511,43 +626,149 @@ func (w *writer) ship(block *wal.Block) error {
 		return ErrNoQuorum
 	}
 	payload := block.Encode()
-	acks := make(chan error, len(secs))
+
+	w.mu.Lock()
+	// Local durability advances as a prefix (ships are pipelined and local
+	// hardens complete out of order); the quorum watermark never passes it.
+	w.completed[block.Start] = block.End
+	for {
+		end, ok := w.completed[w.localDurable]
+		if !ok {
+			break
+		}
+		delete(w.completed, w.localDurable)
+		w.localDurable = end
+	}
+	// Retain the encoded block for retransmission until evicted.
+	w.tail[block.Start] = tailBlock{end: block.End, payload: payload}
+	w.tailOrder = append(w.tailOrder, block.Start)
+	for len(w.tailOrder) > tailMax {
+		delete(w.tail, w.tailOrder[0])
+		w.tailOrder = w.tailOrder[1:]
+	}
+	w.advanceLocked()
+	w.mu.Unlock()
+
+	var fails atomic.Int32
+	qstart := time.Now()
 	for _, sec := range secs {
 		go func(name string) {
 			ctx, cancel := context.WithTimeout(context.Background(), shipTimeout)
 			defer cancel()
-			resp, err := w.shipClient(name).Call(ctx, &rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload})
+			cl := w.shipClient(name)
+			req := &rbio.Request{Type: rbio.MsgFeedBlock, Payload: payload}
+			if cl.SpeaksOneway(ctx) {
+				if err := cl.Send(ctx, req); err == nil {
+					return // cumulative ack arrives on the ack endpoint
+				}
+			}
+			// Pre-mux peer, or the one-way send failed outright: round-trip
+			// ship; the response carries the same cumulative ack.
+			resp, err := cl.Call(ctx, req)
 			if err == nil {
 				err = resp.Err()
 			}
-			acks <- err
+			if err != nil {
+				fails.Add(1)
+				return
+			}
+			w.recordAck(name, resp.LSN)
 		}(sec.name)
 	}
-	// commit.quorum: the cross-AZ round trip to the q-th fastest secondary.
-	qstart := time.Now()
-	got, fails := 0, 0
-	for range secs {
-		//socrates:wait-ok charged as commit.quorum via the qstart running total once the quorum acks
-		if err := <-acks; err == nil {
-			got++
-			if got >= need {
-				// The primary's pages were already updated by the engine's
-				// commit path; nothing to apply locally.
-				w.c.cfg.Waits.Observe(nil, obs.WaitCommitQuorum, time.Since(qstart))
-				return nil
+
+	// commit.quorum: wait until the flexible quorum covers this block,
+	// retransmitting round-trip to laggards whose cumulative ack stalls.
+	deadline := time.Now().Add(shipTimeout)
+	next := time.Now().Add(retransmitAfter)
+	w.mu.Lock()
+	for w.hardened.Before(block.End) && w.err == nil {
+		if int(fails.Load()) > len(secs)-need {
+			n := fails.Load()
+			w.mu.Unlock()
+			return fmt.Errorf("%w: %d/%d secondaries failed", ErrNoQuorum, n, len(secs))
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			w.mu.Unlock()
+			return ErrNoQuorum
+		}
+		if now.After(next) {
+			laggards := make([]string, 0, len(secs))
+			for _, sec := range secs {
+				if w.secAcks[sec.name].Before(block.End) {
+					laggards = append(laggards, sec.name)
+				}
 			}
-		} else {
-			fails++
-			if fails > len(secs)-need {
-				return fmt.Errorf("%w: %d/%d secondaries failed", ErrNoQuorum, fails, len(secs))
+			w.mu.Unlock()
+			roundFails := 0
+			for _, name := range laggards {
+				if !w.retransmit(name, block.End, deadline) {
+					roundFails++
+				}
 			}
+			if len(secs)-roundFails < need {
+				return fmt.Errorf("%w: %d/%d secondaries unreachable", ErrNoQuorum, roundFails, len(secs))
+			}
+			next = time.Now().Add(retransmitAfter)
+			w.mu.Lock()
+			continue
+		}
+		waker := time.AfterFunc(time.Millisecond, func() {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			w.cond.Broadcast()
+		})
+		//socrates:wait-ok charged as commit.quorum via the qstart running total once the flexible quorum acks
+		w.cond.Wait()
+		waker.Stop()
+	}
+	covered := !w.hardened.Before(block.End)
+	err := w.err
+	w.mu.Unlock()
+	if !covered {
+		if err != nil {
+			return err
+		}
+		return ErrNoQuorum
+	}
+	w.c.cfg.Waits.Observe(nil, obs.WaitCommitQuorum, time.Since(qstart))
+	return nil
+}
+
+// retransmit re-ships, round-trip, every retained block below upTo that
+// the laggard has not yet cumulatively acked, oldest first. This is the
+// loss-recovery half of the one-way ship contract: a frame dropped by a
+// conn teardown is re-delivered here, and the secondary's dedupe makes
+// re-delivery idempotent. Reports whether the laggard was reachable.
+func (w *writer) retransmit(name string, upTo page.LSN, deadline time.Time) bool {
+	w.mu.Lock()
+	from := w.secAcks[name]
+	starts := make([]page.LSN, 0, 4)
+	for s, tb := range w.tail {
+		if s.Before(upTo) && tb.end.After(from) {
+			starts = append(starts, s)
 		}
 	}
-	if got >= need {
-		w.c.cfg.Waits.Observe(nil, obs.WaitCommitQuorum, time.Since(qstart))
-		return nil
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+	payloads := make([][]byte, len(starts))
+	for i, s := range starts {
+		payloads[i] = w.tail[s].payload
 	}
-	return ErrNoQuorum
+	w.mu.Unlock()
+	cl := w.shipClient(name)
+	for _, p := range payloads {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		resp, err := cl.Call(ctx, &rbio.Request{Type: rbio.MsgFeedBlock, Payload: p})
+		cancel()
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			return false
+		}
+		w.recordAck(name, resp.LSN)
+	}
+	return true
 }
 
 // backupLoop ships the un-backed-up log range to XStore on a cadence. Its

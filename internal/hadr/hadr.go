@@ -120,6 +120,22 @@ type Node struct {
 	maxTS   uint64         // highest applied commit timestamp
 	engine  *engine.Engine // read-only while secondary; nil until first open
 
+	// One-way replication bookkeeping: hardenedTo is the contiguous
+	// locally-hardened prefix (the cumulative ack watermark — one ack
+	// frame carrying it acknowledges every block below). future holds
+	// blocks hardened above the prefix (one-way ships can reorder or lose
+	// frames), keyed by start LSN; feeding marks ships being hardened
+	// right now, so a retransmitted duplicate never double-appends to the
+	// local log.
+	hardenedTo page.LSN
+	future     map[page.LSN]page.LSN
+	feeding    map[page.LSN]bool
+
+	// ack carries cumulative one-way harden acks back to the primary's
+	// ack endpoint. Lossy by contract: the primary retransmits un-acked
+	// blocks round-trip, so a dropped ack costs latency, never a commit.
+	ack *rbio.Client
+
 	waits *obs.WaitRecorder
 
 	done chan struct{}
@@ -137,12 +153,15 @@ func newNode(name string, diskProfile simdisk.Profile, meter *metrics.CPUMeter) 
 		return nil, fmt.Errorf("hadr: opening %s page store: %w", name, err)
 	}
 	n := &Node{
-		name:    name,
-		pages:   pages,
-		disk:    disk,
-		logDev:  simdisk.New(diskProfile, opts...),
-		applied: 1,
-		done:    make(chan struct{}),
+		name:       name,
+		pages:      pages,
+		disk:       disk,
+		logDev:     simdisk.New(diskProfile, opts...),
+		applied:    1,
+		hardenedTo: 1,
+		future:     make(map[page.LSN]page.LSN),
+		feeding:    make(map[page.LSN]bool),
+		done:       make(chan struct{}),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	return n, nil
@@ -170,6 +189,113 @@ func (n *Node) harden(b *wal.Block) error {
 	n.logEnd += int64(len(enc))
 	n.mu.Unlock()
 	return n.logDev.WriteAt(enc, off)
+}
+
+// HardenedTo reports the node's contiguous locally-hardened prefix — the
+// cumulative ack watermark it reports to the primary.
+func (n *Node) HardenedTo() page.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hardenedTo
+}
+
+// hardenFeed ingests one shipped block: it drops duplicates (one-way ship
+// retransmits re-deliver blocks), hardens fresh blocks to the local log,
+// queues them for apply, and advances the contiguous ack watermark. The
+// returned LSN is the cumulative watermark — acknowledging it acknowledges
+// every block below it, so one ack frame covers a whole pipelined batch.
+func (n *Node) hardenFeed(b *wal.Block) (page.LSN, error) {
+	n.mu.Lock()
+	if !b.End.After(n.hardenedTo) || n.future[b.Start] != 0 || n.feeding[b.Start] {
+		// Duplicate delivery (a retransmit raced the original, or the
+		// original's ack was lost): the block is already durable here.
+		// Re-report the watermark; never re-append to the local log.
+		cum := n.hardenedTo
+		n.mu.Unlock()
+		return cum, nil
+	}
+	n.feeding[b.Start] = true
+	n.mu.Unlock()
+
+	err := n.harden(b)
+	n.mu.Lock()
+	delete(n.feeding, b.Start)
+	if err != nil {
+		cum := n.hardenedTo
+		n.mu.Unlock()
+		return cum, err
+	}
+	n.future[b.Start] = b.End
+	for {
+		end, ok := n.future[n.hardenedTo]
+		if !ok {
+			break
+		}
+		delete(n.future, n.hardenedTo)
+		n.hardenedTo = end
+	}
+	cum := n.hardenedTo
+	n.mu.Unlock()
+	n.enqueue(b)
+	return cum, nil
+}
+
+// reportHarden fires a cumulative one-way harden ack at the primary. Loss
+// is tolerable by contract: a later ack supersedes it, and the primary
+// retransmits any block whose ack never arrives.
+func (n *Node) reportHarden(cum page.LSN) {
+	n.mu.Lock()
+	ack := n.ack
+	n.mu.Unlock()
+	if ack == nil {
+		return
+	}
+	//socrates:ignore-err lossy cumulative ack; the primary's retransmit path recovers
+	_ = ack.Notify(context.Background(), &rbio.Request{
+		Type:     rbio.MsgHardenReport,
+		LSN:      cum,
+		Consumer: n.name,
+	})
+}
+
+// setAckClient wires the node's cumulative-ack channel to the primary's
+// ack endpoint.
+func (n *Node) setAckClient(c *rbio.Client) {
+	n.mu.Lock()
+	old := n.ack
+	n.ack = c
+	n.mu.Unlock()
+	if old != nil {
+		//socrates:ignore-err teardown of the superseded one-way ack channel; the replacement client carries all future acks
+		old.Close()
+	}
+}
+
+// setAckFloor fast-forwards the ack watermark to the cluster-durable
+// prefix — the straggler-reconciliation step at promotion. Blocks below
+// floor reached quorum cluster-wide; a secondary that missed some of them
+// (it was outside the quorum) must not wedge its cumulative acks behind a
+// gap the new primary no longer retains.
+func (n *Node) setAckFloor(floor page.LSN) {
+	n.mu.Lock()
+	if floor.After(n.hardenedTo) {
+		n.hardenedTo = floor
+	}
+	for start, end := range n.future {
+		if !end.After(n.hardenedTo) {
+			delete(n.future, start)
+		}
+	}
+	// A stashed future block may now be contiguous with the new floor.
+	for {
+		end, ok := n.future[n.hardenedTo]
+		if !ok {
+			break
+		}
+		delete(n.future, n.hardenedTo)
+		n.hardenedTo = end
+	}
+	n.mu.Unlock()
 }
 
 // enqueue schedules a hardened block for (async) apply.
@@ -295,12 +421,16 @@ func (n *Node) handler() rbio.Handler {
 			if err != nil {
 				return rbio.Errorf("bad block: %v", err)
 			}
-			if err := n.harden(b); err != nil {
+			cum, err := n.hardenFeed(b)
+			if err != nil {
 				return rbio.Errorf("harden: %v", err)
 			}
-			n.enqueue(b)
+			// Push the cumulative watermark on the one-way ack channel (a
+			// one-way ship gets no response frame) and mirror it in the
+			// response for round-trip ships from older peers.
+			n.reportHarden(cum)
 			resp := rbio.Ok()
-			resp.LSN = b.End
+			resp.LSN = cum
 			return resp
 		case rbio.MsgReadState:
 			resp := rbio.Ok()
@@ -323,6 +453,14 @@ func (n *Node) stop() {
 	n.cond.Broadcast()
 	n.wg.Wait()
 	n.pages.close()
+	n.mu.Lock()
+	ack := n.ack
+	n.ack = nil
+	n.mu.Unlock()
+	if ack != nil {
+		//socrates:ignore-err node shutdown; acks are advisory progress reports and the primary tolerates a vanished secondary
+		ack.Close()
+	}
 }
 
 // DataBytes reports the bytes of the node's full local copy (after

@@ -1,0 +1,144 @@
+package hadr
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"socrates/internal/engine"
+	"socrates/internal/page"
+	"socrates/internal/simdisk"
+	"socrates/internal/wal"
+)
+
+// testBlock builds a block of noop records covering [start, end).
+func testBlock(start, end page.LSN) *wal.Block {
+	b := &wal.Block{Start: start, End: end}
+	for lsn := start; lsn.Before(end); lsn = lsn.Next() {
+		b.Records = append(b.Records, &wal.Record{LSN: lsn, Kind: wal.KindNoop})
+	}
+	return b
+}
+
+// The one-way ship path is lossy by contract: a dropped FrameMuxOneway (a
+// conn teardown mid-flight, injected loss) or a dropped cumulative ack
+// must cost latency, never a commit. Under heavy seeded loss and
+// reordering, every commit must still reach the flexible quorum via the
+// round-trip retransmit path, and the quorum invariant must hold: at
+// harden time, at least Quorum-1 secondaries cumulatively cover the
+// watermark.
+func TestOnewayShipSurvivesLossAndReorder(t *testing.T) {
+	cfg := fastConfig("h-loss")
+	c := newFast(t, cfg)
+	// Inject loss only after bootstrap so the fixture setup stays fast.
+	c.Net.SetSeed(7)
+	c.Net.SetLoss(0.4)
+	c.Net.SetReorderWindow(200 * time.Microsecond)
+
+	e := c.Primary().Engine()
+	if err := e.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	const commits = 40
+	for i := 0; i < commits; i++ {
+		mustExec(t, e, func(tx *engine.Tx) error {
+			return tx.Put("t", []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+		})
+	}
+	end := c.Writer().HardenedEnd()
+
+	// Every commit acked by mustExec is below the hardened watermark by
+	// definition; the flexible-quorum invariant is that the watermark is
+	// cumulatively covered by at least Quorum-1 secondaries.
+	covered := 0
+	for _, sec := range c.Secondaries() {
+		if !sec.HardenedTo().Before(end) {
+			covered++
+		}
+	}
+	if need := c.cfg.Quorum - 1; covered < need {
+		t.Fatalf("hardened end %d covered by %d secondaries, need %d", end, covered, need)
+	}
+
+	// And the data is all there.
+	c.Net.SetLoss(0)
+	if got := countRows(t, e, "t"); got != commits {
+		t.Fatalf("rows = %d, want %d", got, commits)
+	}
+}
+
+// A secondary that missed blocks while dark (its gap was quorum-hardened
+// by the others) must re-enter the flexible quorum after a promotion: the
+// new primary fast-forwards its cumulative ack floor to the cluster-durable
+// prefix — the straggler-reconciliation step. Without it the post-failover
+// cluster (2 secondaries, quorum still 3) could never commit again,
+// because the straggler's acks would wedge behind a gap the new primary no
+// longer retains.
+func TestFailoverReconcilesStragglerAcks(t *testing.T) {
+	c := newFast(t, fastConfig("h-straggler"))
+	seedRows(t, c, "t", 50)
+
+	// Darken one secondary: it misses the next blocks entirely.
+	straggler := c.Secondaries()[2]
+	c.Net.Unserve(straggler.Name())
+	seedRows(t, c, "t2", 50)
+	preGap := straggler.HardenedTo()
+	if !preGap.Before(c.Writer().HardenedEnd()) {
+		t.Fatal("straggler did not fall behind while dark")
+	}
+
+	// Heal it, then fail over. The straggler stays a secondary (promotion
+	// picks the most caught-up node) and must be reconciled.
+	c.Net.Serve(straggler.Name(), straggler.handler())
+	if _, _, err := c.Failover(); err != nil {
+		t.Fatal(err)
+	}
+	if floor := straggler.HardenedTo(); floor.Before(c.Writer().HardenedEnd()) {
+		t.Fatalf("straggler ack floor %d below cluster-durable prefix %d after promotion",
+			floor, c.Writer().HardenedEnd())
+	}
+
+	// Quorum 3 over 3 nodes: both remaining secondaries must ack every
+	// commit, so this only succeeds if the straggler's acks count again.
+	seedRows(t, c, "t3", 50)
+	if got := countRows(t, c.Primary().Engine(), "t3"); got != 50 {
+		t.Fatalf("rows = %d", got)
+	}
+}
+
+// Duplicate feed deliveries (retransmits racing the original) must be
+// idempotent: one durable append per block, and the cumulative watermark
+// unaffected by re-delivery.
+func TestHardenFeedDedupesRetransmits(t *testing.T) {
+	n, err := newNode("dedupe-0", simdisk.Instant, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.stop()
+	b1 := testBlock(1, 3)
+	b2 := testBlock(3, 5)
+
+	if cum, err := n.hardenFeed(b1); err != nil || cum != 3 {
+		t.Fatalf("first feed: cum=%d err=%v", cum, err)
+	}
+	sizeAfterFirst := n.logDev.Size()
+	if cum, err := n.hardenFeed(b1); err != nil || cum != 3 {
+		t.Fatalf("duplicate feed: cum=%d err=%v", cum, err)
+	}
+	if n.logDev.Size() != sizeAfterFirst {
+		t.Fatal("duplicate feed re-appended to the local log")
+	}
+
+	// Out-of-order future block: hardened, but the cumulative watermark
+	// holds at the contiguous prefix until the gap fills.
+	b3 := testBlock(5, 7)
+	if cum, err := n.hardenFeed(b3); err != nil || cum != 3 {
+		t.Fatalf("future feed: cum=%d err=%v", cum, err)
+	}
+	if cum, err := n.hardenFeed(b2); err != nil || cum != 7 {
+		t.Fatalf("gap fill: cum=%d err=%v (watermark must jump over the stashed block)", cum, err)
+	}
+	if cum, err := n.hardenFeed(b3); err != nil || cum != 7 {
+		t.Fatalf("late duplicate of stashed block: cum=%d err=%v", cum, err)
+	}
+}

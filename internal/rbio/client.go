@@ -230,6 +230,31 @@ func (c *Client) Send(ctx context.Context, req *Request) error {
 	return c.conn.Send(ctx, req)
 }
 
+// SpeaksOneway reports whether the peer's negotiated protocol carries
+// one-way frames (≥ VersionMux), running the hello exchange on first use.
+// Callers with their own acknowledgement channel (HADR's cumulative harden
+// acks) use it to pick between a fire-and-forget Send and a round-trip
+// Call toward older peers.
+func (c *Client) SpeaksOneway(ctx context.Context) bool {
+	return c.negotiate(ctx) >= VersionMux
+}
+
+// Notify delivers a one-way notification whose loss the caller tolerates
+// only because a later notification supersedes it (cumulative harden
+// acks). Toward a peer that speaks the mux fabric (≥ VersionMux) it is a
+// single FrameMuxOneway — no round trip on the ack path. Toward an older
+// peer it degrades to a full Call: the v1/v2 sequential framing keeps its
+// round-trip ack contract, byte-identical to what those builds always
+// spoke, so a genuine v2 peer still sees request/response pairs.
+func (c *Client) Notify(ctx context.Context, req *Request) error {
+	if c.negotiate(ctx) >= VersionMux {
+		c.stamp(ctx, req)
+		return c.conn.Send(ctx, req)
+	}
+	_, err := c.Call(ctx, req)
+	return err
+}
+
 // Selector routes calls to the fastest healthy endpoint among a replica
 // set — the paper's "QoS support for best replica selection" (§3.4).
 type Selector struct {

@@ -1,0 +1,212 @@
+package rbio_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"socrates/internal/netmux"
+	"socrates/internal/rbio"
+)
+
+// frameLog records the kind byte of every frame crossing one direction of
+// a connection — the byte-faithful view the interop assertions need.
+type frameLog struct {
+	mu    sync.Mutex
+	kinds []byte
+}
+
+func (l *frameLog) add(k byte) {
+	l.mu.Lock()
+	l.kinds = append(l.kinds, k)
+	l.mu.Unlock()
+}
+
+func (l *frameLog) snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.kinds...)
+}
+
+// A genuine v2 peer has no mux fabric and no one-way harden path: every
+// harden report must remain a sequential FrameCall round trip once the
+// hello negotiates the v3 one-way path away. The server below is a raw
+// byte-level v2 build: it fails the test the moment any frame other than a
+// sequential call reaches it.
+func TestNotifyRoundTripsToGenuineV2Peer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var reqLog frameLog
+	var reqTypes struct {
+		mu    sync.Mutex
+		types []rbio.MsgType
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			kind, frame, err := rbio.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			reqLog.add(kind)
+			if kind != rbio.FrameCall {
+				// A v2 build would misparse this; tear the conn down the
+				// way a confused peer would.
+				return
+			}
+			req, err := rbio.DecodeRequest(frame)
+			if err != nil {
+				return
+			}
+			reqTypes.mu.Lock()
+			reqTypes.types = append(reqTypes.types, req.Type)
+			reqTypes.mu.Unlock()
+			resp := &rbio.Response{Version: 2, Status: rbio.StatusOK}
+			if err := rbio.WriteFrame(conn, rbio.FrameCall, rbio.EncodeResponse(resp)); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := rbio.DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := rbio.NewClient(conn)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Notify(ctx, &rbio.Request{Type: rbio.MsgHardenReport, LSN: 42}); err != nil {
+		t.Fatalf("Notify toward v2 peer: %v", err)
+	}
+	if v := cl.ProtocolVersion(); v != 2 {
+		t.Fatalf("negotiated version = %d, want 2", v)
+	}
+	for _, k := range reqLog.snapshot() {
+		if k != rbio.FrameCall {
+			t.Fatalf("frame kind %d reached the v2 peer; only sequential calls may", k)
+		}
+	}
+	reqTypes.mu.Lock()
+	defer reqTypes.mu.Unlock()
+	if len(reqTypes.types) != 2 || reqTypes.types[0] != rbio.MsgPing ||
+		reqTypes.types[1] != rbio.MsgHardenReport {
+		t.Fatalf("v2 peer saw %v, want [ping, harden-report] as paired round trips",
+			reqTypes.types)
+	}
+}
+
+// proxyFrames forwards a TCP stream frame by frame, recording each frame's
+// kind byte, so the test asserts what is actually on the wire rather than
+// what the client believes it sent.
+func proxyFrames(t *testing.T, dst net.Conn, src net.Conn, log *frameLog) {
+	t.Helper()
+	for {
+		kind, frame, err := rbio.ReadFrame(src)
+		if err != nil {
+			dst.Close()
+			return
+		}
+		log.add(kind)
+		if err := rbio.WriteFrame(dst, kind, frame); err != nil {
+			src.Close()
+			return
+		}
+	}
+}
+
+// Toward a v3 peer the harden report rides a single FrameMuxOneway — no
+// response frame ever comes back for it.
+func TestNotifyIsOnewayOnTheWireToMuxPeer(t *testing.T) {
+	var seen struct {
+		mu      sync.Mutex
+		hardens int
+	}
+	srv, err := rbio.ServeTCP("127.0.0.1:0", func(_ context.Context, req *rbio.Request) *rbio.Response {
+		if req.Type == rbio.MsgHardenReport {
+			seen.mu.Lock()
+			seen.hardens++
+			seen.mu.Unlock()
+		}
+		return rbio.Ok()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var toServer, toClient frameLog
+	go func() {
+		client, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			client.Close()
+			return
+		}
+		go proxyFrames(t, server, client, &toServer)
+		go proxyFrames(t, client, server, &toClient)
+	}()
+
+	conn, err := netmux.DialTCP(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := rbio.NewClient(conn)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Notify(ctx, &rbio.Request{Type: rbio.MsgHardenReport, LSN: 42}); err != nil {
+		t.Fatalf("Notify toward v3 peer: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		seen.mu.Lock()
+		n := seen.hardens
+		seen.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("one-way harden report never reached the server")
+		}
+		time.Sleep(time.Millisecond) //socrates:sleep-ok deadline-bounded poll for the async one-way delivery
+	}
+	// The wire: a sequential hello (netmux upgrade), a mux negotiate call,
+	// then the report as a mux one-way. Exactly the two calls — never the
+	// one-way — got response frames.
+	req := toServer.snapshot()
+	if len(req) == 0 || req[len(req)-1] != rbio.FrameMuxOneway {
+		t.Fatalf("client->server frame kinds %v: harden report must be the trailing FrameMuxOneway", req)
+	}
+	oneways := 0
+	for _, k := range req {
+		if k == rbio.FrameMuxOneway {
+			oneways++
+		}
+	}
+	if oneways != 1 {
+		t.Fatalf("%d one-way frames on the wire, want exactly 1", oneways)
+	}
+	if resp := toClient.snapshot(); len(resp) != len(req)-1 {
+		t.Fatalf("%d response frames for %d requests: the one-way must not be answered",
+			len(resp), len(req))
+	}
+}

@@ -1,0 +1,15 @@
+//go:build chaosfault
+
+package simdisk
+
+// effectiveQuorum: PLANTED BUG for the oracle-sensitivity self-test. A
+// write acks after a single replica lands it, violating the 2-of-3
+// flexible-quorum contract. internal/chaos's replication check must flag
+// every commit hardened while a second replica was dark; if it stops
+// catching this, the check has gone blind.
+func (r *Replicated) effectiveQuorum() int {
+	if r.quorum > 1 {
+		return 1
+	}
+	return r.quorum
+}

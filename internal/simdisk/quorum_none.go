@@ -1,0 +1,9 @@
+//go:build !chaosfault
+
+package simdisk
+
+// effectiveQuorum is the write-quorum size a Replicated volume actually
+// enforces. Production builds enforce the configured quorum; the chaosfault
+// build plants an ack-at-1-replica bug so the chaos oracle's replication
+// check can prove it would catch a real regression (see quorum_chaos.go).
+func (r *Replicated) effectiveQuorum() int { return r.quorum }

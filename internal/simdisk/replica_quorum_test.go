@@ -1,0 +1,165 @@
+package simdisk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// newFlexVol builds the landing-zone shape: 3 replicas, write quorum 2,
+// zero-latency profile.
+func newFlexVol(t *testing.T) *Replicated {
+	t.Helper()
+	r, err := NewReplicated(Instant, 3, 2)
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	return r
+}
+
+func fill(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+
+// A write acked while one replica is dark must be served from a replica
+// that actually holds it — never from the healed straggler, whose extent
+// grows zero-filled over the missed range.
+func TestFlexibleQuorumRoutesReadsAroundStraggler(t *testing.T) {
+	r := newFlexVol(t)
+	if err := r.WriteAt(fill('a', 64), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Replica 0 goes dark: it is the FIRST replica ReadAt consults, so a
+	// missing filter would serve its zeros.
+	r.Replicas()[0].SetOutage(true)
+	if err := r.WriteAt(fill('b', 64), 64); err != nil {
+		t.Fatalf("write during outage: %v", err)
+	}
+	if got := r.AckedCopies(64, 64); got != 2 {
+		t.Fatalf("AckedCopies during outage = %d, want 2", got)
+	}
+	r.Replicas()[0].SetOutage(false)
+	// A later write past the missed range grows the healed replica's
+	// extent, zero-filling the hole — the divergence hazard.
+	if err := r.WriteAt(fill('c', 64), 128); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	got := make([]byte, 64)
+	if err := r.ReadAt(got, 64); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, fill('b', 64)) {
+		t.Fatalf("read served stale/zero data from straggler: %q", got[:8])
+	}
+	if n := r.MissedBytes(0); n != 64 {
+		t.Fatalf("MissedBytes(0) = %d, want 64", n)
+	}
+}
+
+func TestReconcileRepairsStraggler(t *testing.T) {
+	r := newFlexVol(t)
+	r.Replicas()[2].SetOutage(true)
+	if err := r.WriteAt(fill('x', 100), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := r.WriteAt(fill('y', 50), 100); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r.Replicas()[2].SetOutage(false)
+	repaired, err := r.Reconcile()
+	if err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if repaired != 150 {
+		t.Fatalf("repaired %d bytes, want 150", repaired)
+	}
+	if n := r.MissedBytes(2); n != 0 {
+		t.Fatalf("MissedBytes(2) after reconcile = %d, want 0", n)
+	}
+	if got := r.AckedCopies(0, 150); got != 3 {
+		t.Fatalf("AckedCopies after reconcile = %d, want 3", got)
+	}
+	// The repaired replica itself now serves the bytes.
+	got := make([]byte, 150)
+	if err := r.Replicas()[2].ReadAt(got, 0); err != nil {
+		t.Fatalf("read straggler: %v", err)
+	}
+	want := append(fill('x', 100), fill('y', 50)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("straggler holds wrong bytes after reconcile")
+	}
+}
+
+// Reconcile must not clear a miss it could not repair: a replica still in
+// outage refuses the copy-back write, and the miss stays recorded so reads
+// keep routing around it.
+func TestReconcileWhileDarkKeepsMissRecorded(t *testing.T) {
+	r := newFlexVol(t)
+	r.Replicas()[1].SetOutage(true)
+	if err := r.WriteAt(fill('d', 32), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := r.Reconcile(); err == nil {
+		t.Fatal("Reconcile on a dark replica should report the failed repair")
+	}
+	if n := r.MissedBytes(1); n != 32 {
+		t.Fatalf("MissedBytes(1) = %d, want 32 (miss must survive failed repair)", n)
+	}
+	r.Replicas()[1].SetOutage(false)
+	if _, err := r.Reconcile(); err != nil {
+		t.Fatalf("Reconcile after heal: %v", err)
+	}
+	if n := r.MissedBytes(1); n != 0 {
+		t.Fatalf("MissedBytes(1) = %d, want 0", n)
+	}
+}
+
+// A successful overlapping rewrite makes the straggler current again for
+// that range without an explicit reconcile.
+func TestOverlappingRewriteClearsMiss(t *testing.T) {
+	r := newFlexVol(t)
+	r.Replicas()[0].SetOutage(true)
+	if err := r.WriteAt(fill('e', 48), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r.Replicas()[0].SetOutage(false)
+	if err := r.WriteAt(fill('f', 48), 0); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if n := r.MissedBytes(0); n != 0 {
+		t.Fatalf("MissedBytes(0) = %d, want 0 after full overlapping rewrite", n)
+	}
+	if got := r.AckedCopies(0, 48); got != 3 {
+		t.Fatalf("AckedCopies = %d, want 3", got)
+	}
+	// Partial rewrite trims, not clears.
+	r.Replicas()[0].SetOutage(true)
+	if err := r.WriteAt(fill('g', 48), 100); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r.Replicas()[0].SetOutage(false)
+	if err := r.WriteAt(fill('h', 16), 100); err != nil {
+		t.Fatalf("partial rewrite: %v", err)
+	}
+	if n := r.MissedBytes(0); n != 32 {
+		t.Fatalf("MissedBytes(0) = %d, want 32 after partial rewrite", n)
+	}
+}
+
+func TestExtentSetOps(t *testing.T) {
+	var s extentSet
+	s = s.add(0, 10)
+	s = s.add(20, 30)
+	s = s.add(5, 25) // bridges both
+	if len(s) != 1 || s[0] != (extent{0, 30}) {
+		t.Fatalf("merge: %v", s)
+	}
+	s = s.sub(10, 20) // split
+	if len(s) != 2 || s[0] != (extent{0, 10}) || s[1] != (extent{20, 30}) {
+		t.Fatalf("split: %v", s)
+	}
+	if !s.overlaps(9, 11) || s.overlaps(10, 20) || !s.overlaps(25, 26) {
+		t.Fatalf("overlaps: %v", s)
+	}
+	s = s.sub(0, 100)
+	if len(s) != 0 {
+		t.Fatalf("clear: %v", s)
+	}
+}

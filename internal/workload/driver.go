@@ -7,6 +7,7 @@ package workload
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"socrates/internal/metrics"
@@ -40,6 +41,14 @@ type Config struct {
 	Threads int
 	// Duration is the measurement window.
 	Duration time.Duration
+	// Count, if nonzero, bounds the measured phase by work instead of
+	// wall clock: the threads collectively execute exactly Count
+	// transactions and stop. This is the deterministic-work-accounting
+	// mode — on a loaded machine the drive takes longer but does the
+	// same work, so counters derived from it (commits, log bytes) do not
+	// race the scheduler the way rates over a fixed window do. When both
+	// Count and Duration are set, Duration is a safety bound.
+	Count int64
 	// WarmUp runs the workload without measuring first (cache warming).
 	WarmUp time.Duration
 	// Meter, if set, is reset at the start of the measurement window so
@@ -97,14 +106,14 @@ func Drive(newRunner func(id int) Runner, cfg Config) Metrics {
 	}
 
 	if cfg.WarmUp > 0 {
-		runPhase(runners, cfg.WarmUp, nil)
+		runPhase(runners, cfg.WarmUp, 0, nil)
 	}
 	if cfg.Meter != nil {
 		cfg.Meter.Reset()
 	}
 	m := &Metrics{WriteLatency: metrics.NewHistogram()}
 	start := time.Now()
-	runPhase(runners, cfg.Duration, m)
+	runPhase(runners, cfg.Duration, cfg.Count, m)
 	m.Elapsed = time.Since(start)
 	if cfg.Meter != nil {
 		m.CPUPercent = cfg.Meter.UtilizationOver(m.Elapsed)
@@ -112,35 +121,60 @@ func Drive(newRunner func(id int) Runner, cfg Config) Metrics {
 	return *m
 }
 
-// runPhase executes all runners until the deadline; if m is non-nil it
-// accumulates outcomes (locked; the histogram locks internally).
-func runPhase(runners []Runner, d time.Duration, m *Metrics) {
-	deadline := time.Now().Add(d)
+// runPhase executes all runners until the deadline or until the shared
+// work budget is spent; if m is non-nil it accumulates outcomes (locked;
+// the histogram locks internally).
+func runPhase(runners []Runner, d time.Duration, count int64, m *Metrics) {
+	if d <= 0 && count <= 0 {
+		return
+	}
+	deadline := time.Time{}
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	budget := count
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for _, r := range runners {
 		wg.Add(1)
 		go func(r Runner) {
 			defer wg.Done()
-			for time.Now().Before(deadline) {
-				out, err := r.Run()
-				if m == nil {
-					continue
+			for {
+				// In work-bounded mode a thread draws one unit from the
+				// shared budget and owns it until a transaction commits
+				// (aborted and errored attempts retry the same unit), so
+				// the phase completes exactly count successful
+				// transactions. The Duration safety bound still ends a
+				// wedged drive.
+				if count > 0 && atomic.AddInt64(&budget, -1) < 0 {
+					return
 				}
-				mu.Lock()
-				switch {
-				case err != nil:
-					m.Errors++
-				case out.Aborted:
-					m.Aborts++
-				case out.Kind == Write:
-					m.WriteTxns++
-				default:
-					m.ReadTxns++
-				}
-				mu.Unlock()
-				if err == nil && !out.Aborted && out.Kind == Write {
-					m.WriteLatency.Observe(out.Latency)
+				for {
+					if !deadline.IsZero() && !time.Now().Before(deadline) {
+						return
+					}
+					out, err := r.Run()
+					ok := err == nil && !out.Aborted
+					if m != nil {
+						mu.Lock()
+						switch {
+						case err != nil:
+							m.Errors++
+						case out.Aborted:
+							m.Aborts++
+						case out.Kind == Write:
+							m.WriteTxns++
+						default:
+							m.ReadTxns++
+						}
+						mu.Unlock()
+						if ok && out.Kind == Write {
+							m.WriteLatency.Observe(out.Latency)
+						}
+					}
+					if ok || count <= 0 {
+						break
+					}
 				}
 			}
 		}(r)

@@ -66,6 +66,62 @@ func TestDriveCounts(t *testing.T) {
 	}
 }
 
+// flakyRunner aborts every other attempt — the shape that exposed the
+// budget-draw-vs-commit gap in work-bounded drives.
+type flakyRunner struct {
+	n     int
+	calls *atomic.Int64
+}
+
+func (r *flakyRunner) Run() (Outcome, error) {
+	if r.calls != nil {
+		r.calls.Add(1)
+	}
+	r.n++
+	return Outcome{Kind: Write, Aborted: r.n%2 == 0, Latency: time.Microsecond}, nil
+}
+
+// TestDriveFixedWork pins the deterministic-work-accounting contract: a
+// Count-bounded drive completes exactly Count successful transactions —
+// aborted attempts retry their budget unit instead of consuming it — no
+// matter how threads interleave.
+func TestDriveFixedWork(t *testing.T) {
+	const work = 500
+	for _, threads := range []int{1, 4, 16} {
+		var calls atomic.Int64
+		m := Drive(func(id int) Runner {
+			return &flakyRunner{calls: &calls}
+		}, Config{Threads: threads, Count: work, Duration: 30 * time.Second})
+		if got := m.ReadTxns + m.WriteTxns; got != work {
+			t.Fatalf("threads=%d: %d committed transactions, want exactly %d", threads, got, work)
+		}
+		if m.Aborts == 0 {
+			t.Fatalf("threads=%d: flaky runner never aborted; retry path untested", threads)
+		}
+		if calls.Load() != work+m.Aborts {
+			t.Fatalf("threads=%d: %d attempts != %d commits + %d aborts",
+				threads, calls.Load(), work, m.Aborts)
+		}
+	}
+}
+
+// TestDriveFixedWorkSafetyBound: a drive that can never commit must still
+// end at the Duration bound instead of spinning forever on its budget.
+func TestDriveFixedWorkSafetyBound(t *testing.T) {
+	start := time.Now()
+	m := Drive(func(id int) Runner {
+		return &scriptedRunner{
+			outcomes: []Outcome{{Kind: Write, Aborted: true}},
+		}
+	}, Config{Threads: 2, Count: 1000, Duration: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wedged drive ran %v past its safety bound", elapsed)
+	}
+	if got := m.ReadTxns + m.WriteTxns; got != 0 {
+		t.Fatalf("%d transactions committed by an always-aborting runner", got)
+	}
+}
+
 func TestDriveTPSMath(t *testing.T) {
 	m := Metrics{ReadTxns: 300, WriteTxns: 100, Elapsed: 2 * time.Second}
 	if m.TotalTPS() != 200 || m.ReadTPS() != 150 || m.WriteTPS() != 50 {
