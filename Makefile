@@ -7,9 +7,10 @@ GO ?= go
 # `make bench` / cmd/socrates-bench.
 RACE_PKGS := ./internal/compute ./internal/hadr ./internal/simdisk \
              ./internal/cluster ./internal/xlog ./internal/pageserver \
-             ./internal/obs ./internal/netmux ./internal/rbio
+             ./internal/obs ./internal/netmux ./internal/rbio \
+             ./internal/frontdoor
 
-.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux bench-waits bench-commit cover vet-baseline clean
+.PHONY: all lint fmt vet test race chaos bench bench-obs bench-mux bench-waits bench-commit bench-router cover vet-baseline clean
 
 all: lint test
 
@@ -75,10 +76,17 @@ bench-waits:
 bench-commit:
 	$(GO) run ./cmd/socrates-bench -exp commit -measure 6s -warmup 1s -json BENCH_pr9.json
 
+# Regenerate the multi-tenant isolation seed: victim p99 on a shared
+# bandwidth-capped pool — quiet vs flooded vs flooded-with-admission
+# (see BENCH_pr10.json). The flood must out-demand the landing zone's
+# bandwidth cap for seconds, so the windows are wide.
+bench-router:
+	$(GO) run ./cmd/socrates-bench -exp router -measure 3s -warmup 1500ms -json BENCH_pr10.json
+
 # Coverage floors for the commit-path packages (mirrors the CI cover job):
 # future commit-path changes cannot land untested.
 cover:
-	$(GO) test -cover ./internal/compute ./internal/hadr ./internal/xlog
+	$(GO) test -cover ./internal/compute ./internal/hadr ./internal/xlog ./internal/frontdoor
 
 clean:
 	$(GO) clean ./...

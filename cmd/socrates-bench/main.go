@@ -32,7 +32,7 @@ import (
 var results = map[string]any{}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, mux, waits, commit, or all")
+	exp := flag.String("exp", "all", "experiment: table1..table7, figure4, cache, obs, mux, waits, commit, router, or all")
 	measure := flag.Duration("measure", 2*time.Second, "measurement window per data point")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warm-up before each measurement")
 	sf := flag.Int("sf", 2000, "CDB scale factor (rows per scaled table)")
@@ -87,6 +87,7 @@ func main() {
 	run("mux", func() error { return runMux(o) })
 	run("waits", func() error { return runWaits(o) })
 	run("commit", func() error { return runCommit(o) })
+	run("router", func() error { return runRouter(o) })
 
 	if *jsonOut != "" {
 		results["generated"] = time.Now().UTC().Format(time.RFC3339)
@@ -318,6 +319,31 @@ func runCommit(o experiments.Options) error {
 		r.P99Ratio, r.P50Ratio, r.AdaptCoalesced)
 	if r.P99Ratio < 2 {
 		fmt.Fprintln(w, "WARNING: p99 drop below the 2x target on this host")
+	}
+	return w.Flush()
+}
+
+func runRouter(o experiments.Options) error {
+	r, err := experiments.Router(o)
+	if err != nil {
+		return err
+	}
+	results["router"] = r
+	w := tw()
+	fmt.Fprintf(w, "Victim vs noisy neighbor, one pool, %.0f MB/s landing zone, %d B noisy writes\n",
+		r.LZMBps, r.NoisyBytes)
+	fmt.Fprintln(w, "Arm\tVictim ops\tp50 (us)\tp99 (us)\tNoisy ops\tRejects")
+	fmt.Fprintf(w, "quiet\t%d\t%d\t%d\t-\t-\n", r.QuietOps, r.QuietP50Us, r.QuietP99Us)
+	fmt.Fprintf(w, "no admission\t%d\t%d\t%d\t%d\t-\n", r.OpenOps, r.OpenP50Us, r.OpenP99Us, r.OpenNoisy)
+	fmt.Fprintf(w, "admission %.0f/s\t%d\t%d\t%d\t%d\t%d\n",
+		r.NoisyRate, r.AdmitOps, r.AdmitP50Us, r.AdmitP99Us, r.AdmitNoisy, r.AdmitRejects)
+	fmt.Fprintf(w, "\nvictim p99 vs quiet: %.2fx flooded (target >= 2x), %.2fx with admission (target <= 1.25x)\n",
+		r.OpenRatio, r.AdmitRatio)
+	if r.OpenRatio < 2 {
+		fmt.Fprintln(w, "WARNING: the flood did not degrade the victim 2x on this host")
+	}
+	if r.AdmitRatio > 1.25 {
+		fmt.Fprintln(w, "WARNING: admission control left more than 1.25x degradation on this host")
 	}
 	return w.Flush()
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"socrates/internal/obs"
+)
+
+// TestTenantRows exercises the series→row grouping the per-tenant table
+// is built from: counters and histograms with the frontdoor.tenant.
+// prefix fold into one row per tenant, the dominant wait class wins, and
+// unrelated series are ignored.
+func TestTenantRows(t *testing.T) {
+	snap := obs.Snapshot{
+		Taken: time.Now(),
+		Counters: map[string]uint64{
+			"frontdoor.tenant.alpha.ops":         120,
+			"frontdoor.tenant.alpha.rejects":     7,
+			"frontdoor.tenant.alpha.redirects":   2,
+			"frontdoor.tenant.alpha.wait.lz":     900,
+			"frontdoor.tenant.alpha.wait.commit": 5500,
+			"frontdoor.tenant.beta.ops":          3,
+			"frontdoor.placement.pulls":          9,
+			"compute.commit.batches":             44,
+		},
+		Histograms: map[string]obs.HistSummary{
+			"frontdoor.tenant.alpha.latency": {Count: 120, P50: time.Millisecond, P99: 4 * time.Millisecond},
+			"compute.commit.latency":         {Count: 44},
+		},
+	}
+	rows := tenantRows(snap)
+	if len(rows) != 2 {
+		t.Fatalf("expected rows for alpha and beta, got %d: %v", len(rows), rows)
+	}
+	a := rows["alpha"]
+	if a == nil {
+		t.Fatal("no row for alpha")
+	}
+	if a.ops != 120 || a.rejects != 7 || a.redirects != 2 {
+		t.Fatalf("alpha counters wrong: %+v", a)
+	}
+	if a.topWaitClass != "commit" || a.topWaitNS != 5500 {
+		t.Fatalf("alpha top wait should be commit@5500, got %s@%d", a.topWaitClass, a.topWaitNS)
+	}
+	if a.lat.P99 != 4*time.Millisecond {
+		t.Fatalf("alpha latency histogram not attached: %+v", a.lat)
+	}
+	b := rows["beta"]
+	if b == nil || b.ops != 3 || b.topWaitClass != "" {
+		t.Fatalf("beta row wrong: %+v", b)
+	}
+}
+
+// TestTenantRowsEmpty: a snapshot without front-door series renders
+// nothing (the remote mode attaches this view to every deployment).
+func TestTenantRowsEmpty(t *testing.T) {
+	rows := tenantRows(obs.Snapshot{
+		Taken:    time.Now(),
+		Counters: map[string]uint64{"compute.commit.batches": 1},
+	})
+	if len(rows) != 0 {
+		t.Fatalf("expected no tenant rows, got %v", rows)
+	}
+}

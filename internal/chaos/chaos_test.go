@@ -114,6 +114,31 @@ func TestChaosCommitQuorum(t *testing.T) {
 	}
 }
 
+// TestChaosTenants is the tier-1 smoke for the multi-tenant front door:
+// the "tenants" scenario (the only one weighting the tenant-* steps)
+// fires noisy-neighbor bursts, live migrations — some racing a source
+// failover — and pool rebalances against a 2-pool, 4-tenant fleet.
+// Acked writes must survive every cutover, over-budget rejections must
+// be admission-typed, and victims must never starve; all judged by the
+// oracle's "tenant" and "migration" checks.
+func TestChaosTenants(t *testing.T) {
+	steps := 120
+	if testing.Short() {
+		steps = 50
+	}
+	res, err := Run(Config{Seed: 11, Scenario: "tenants", Steps: steps})
+	requireClean(t, res, err)
+	if res.Acked == 0 {
+		t.Fatalf("no commits acked in %d steps — the workload never ran", res.Steps)
+	}
+	if res.Faults == 0 {
+		t.Fatal("tenants scenario injected no faults — tenant steps never fired")
+	}
+	if res.Probes == 0 {
+		t.Fatal("tenants scenario ran no migration audits")
+	}
+}
+
 // TestChaosScenarios runs every registered scenario once.
 func TestChaosScenarios(t *testing.T) {
 	if testing.Short() {

@@ -81,6 +81,10 @@ type runner struct {
 
 	seq       int      // global write sequence (value payloads embed it)
 	lastAcked page.LSN // highest acked commit LSN
+
+	// tf is the multi-tenant front-door fleet, booted lazily by the first
+	// tenant-* step (only the "tenants" scenario weights them).
+	tf *tenantFleet
 }
 
 // Run executes one chaos run and reports what the oracle saw. The error
@@ -146,7 +150,12 @@ func newRunner(cfg Config) (*runner, error) {
 	return r, nil
 }
 
-func (r *runner) close() { r.c.Close() }
+func (r *runner) close() {
+	if r.tf != nil {
+		r.tf.f.Close()
+	}
+	r.c.Close()
+}
 
 // run executes the schedule and the final audit.
 func (r *runner) run() (*Result, error) {
@@ -274,6 +283,12 @@ func (r *runner) execute(st Step) error {
 	case StepLZDark:
 		r.res.Faults++
 		return r.lzDark(st.Key)
+	case StepTenantBurst:
+		return r.tenantBurst(st.Key)
+	case StepTenantMigrate:
+		return r.tenantMigrate(st.Key, st.Aux)
+	case StepTenantRebalance:
+		return r.tenantRebalance()
 	}
 	return fmt.Errorf("unknown step kind %v", st.Kind)
 }

@@ -1,0 +1,88 @@
+//go:build chaosfault
+
+package chaos
+
+import (
+	"context"
+	"testing"
+
+	"socrates/internal/frontdoor"
+)
+
+// The chaosfault build plants a third bug in the front door: the
+// migrator's final restore stops at the backup snapshot LSN instead of
+// end-of-log (frontdoor's faultSkipLogTail), so every write acked during
+// the live window — present only in the XLOG tail at cutover — vanishes
+// at the destination. These tests prove the migration oracle catches it.
+
+// TestOracleCatchesMigrationPlant drives one surgical live migration:
+// seed a tenant, inject acked writes in the live window (after the bulk
+// copy, before the drain), cut over, audit. The live-window writes are
+// deterministically absent under the plant — they are not in the
+// snapshot and the planted migrator never replays the tail — so the
+// audit MUST report migration violations.
+func TestOracleCatchesMigrationPlant(t *testing.T) {
+	r, err := newRunner(Config{Seed: 103})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	defer r.close()
+	tf, err := r.tenants()
+	if err != nil {
+		t.Fatalf("tenant fleet: %v", err)
+	}
+
+	r.oracle.SetStep(0)
+	for i := 0; i < 5; i++ {
+		r.tenantPut(tf, "t0")
+	}
+	ackedBefore := len(tf.acked["t0"])
+	ctx, cancel := context.WithTimeout(context.Background(), tenantOpTimeout)
+	defer cancel()
+	merr := tf.f.Migrate(ctx, "t0", "h1", frontdoor.WithAfterCopy(func() {
+		for i := 0; i < 5; i++ {
+			r.tenantPut(tf, "t0")
+		}
+	}))
+	if merr != nil {
+		t.Fatalf("migrate: %v", merr)
+	}
+	if len(tf.acked["t0"]) == ackedBefore {
+		t.Fatal("no write was acked during the live window; the plant had nothing to lose")
+	}
+
+	r.oracle.SetStep(1)
+	r.tenantAudit(tf, "t0")
+	caught := 0
+	for _, v := range r.oracle.Violations() {
+		t.Logf("oracle: %s", v)
+		if v.Kind == "migration" {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("oracle missed the planted skip-log-tail bug: %d live-window writes lost, 0 migration violations",
+			len(tf.acked["t0"])-ackedBefore)
+	}
+}
+
+// TestTenantsRunSurfacesMigrationPlant runs the full "tenants" scenario
+// under the plant: the schedule's own migrations inject live-window
+// writes, so the end-to-end harness must surface violations without any
+// surgical help.
+func TestTenantsRunSurfacesMigrationPlant(t *testing.T) {
+	total := 0
+	for seed := int64(11); seed <= 13; seed++ {
+		res, err := Run(Config{Seed: seed, Scenario: "tenants", Steps: 120})
+		if err != nil {
+			t.Fatalf("seed %d: chaos run: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Logf("seed %d: %s", seed, v)
+		}
+		total += len(res.Violations)
+	}
+	if total == 0 {
+		t.Fatal("no tenants-scenario run surfaced the planted skip-log-tail bug")
+	}
+}

@@ -1,0 +1,45 @@
+package frontdoor
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the per-tenant admission gate: rate tokens/second with
+// a fixed burst. admit never blocks — an empty bucket is an immediate
+// socerr.ErrAdmission, because queueing over-budget work inside the pool
+// is exactly the noisy-neighbor latency this gate exists to prevent.
+// A zero rate disables the gate (unlimited tenant).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// admit takes one token if available.
+func (b *tokenBucket) admit(now time.Time) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,11 @@
+//go:build chaosfault
+
+package frontdoor
+
+// faultSkipLogTail plants the skip-log-tail migration bug: the final
+// restore stops at the snapshot LSN, so every write acked during the
+// live window (after the bulk-copy snapshot, before the drain) vanishes
+// at the destination. The chaos oracle's migration audit MUST catch
+// this — a harness that stays silent against a known-planted
+// acked-write loss tests nothing.
+func faultSkipLogTail() bool { return true }

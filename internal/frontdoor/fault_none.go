@@ -1,0 +1,8 @@
+//go:build !chaosfault
+
+package frontdoor
+
+// faultSkipLogTail reports whether the planted migration bug — the
+// final restore pinned to the snapshot LSN, skipping the XLOG tail of
+// the live window — is active. Production builds: never.
+func faultSkipLogTail() bool { return false }

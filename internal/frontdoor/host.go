@@ -1,0 +1,257 @@
+package frontdoor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"socrates/internal/cluster"
+	"socrates/internal/compute"
+	"socrates/internal/socerr"
+	"socrates/internal/sqlengine"
+)
+
+// Host joins one cluster to the front door: the set of tenants resident
+// on it (the elastic pool), their admission buckets, and the epoch
+// checks that keep stale routers honest. The host is the enforcement
+// point of the placement protocol — a request carrying the wrong epoch,
+// or naming a tenant that no longer lives here, gets the typed
+// socerr.ErrTenantMoved redirect instead of service.
+type Host struct {
+	id        string
+	c         *cluster.Cluster
+	placement *Placement
+
+	mu      sync.Mutex
+	primary *compute.Primary // the front the tenant DBs were built on
+	tenants map[string]*tenantState
+}
+
+// tenantState is one tenant's residence on a host.
+type tenantState struct {
+	epoch  uint64
+	sql    *sqlengine.DB
+	bucket *tokenBucket
+	rate   float64
+	burst  float64
+
+	inflight int
+	draining bool
+	drained  chan struct{} // closed when draining and inflight hits 0
+	gate     chan struct{} // closed at cutover; drain-blocked requests wake and redirect
+}
+
+// NewHost wraps a cluster as one elastic pool of the front door.
+func NewHost(id string, c *cluster.Cluster, p *Placement) *Host {
+	return &Host{id: id, c: c, placement: p, primary: c.Primary(),
+		tenants: make(map[string]*tenantState)}
+}
+
+// ID names the host; placement assignments reference it.
+func (h *Host) ID() string { return h.id }
+
+// Cluster exposes the pool's underlying deployment.
+func (h *Host) Cluster() *cluster.Cluster { return h.c }
+
+// Tenants lists the tenants currently resident on this host.
+func (h *Host) Tenants() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.tenants))
+	for t := range h.tenants {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AddTenant makes a tenant resident at the given epoch with the given
+// admission budget (rate ops/sec, burst; rate 0 = unlimited). During
+// migration the destination host adopts the tenant at the new epoch
+// before the placement map names it, so a redirected request can never
+// arrive before its home exists.
+func (h *Host) AddTenant(tenant string, epoch uint64, rate, burst float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.syncPrimaryLocked()
+	h.tenants[tenant] = &tenantState{
+		epoch:  epoch,
+		sql:    sqlengine.NewTenant(h.primary.Engine, tenant),
+		bucket: newTokenBucket(rate, burst),
+		rate:   rate,
+		burst:  burst,
+	}
+}
+
+// SetAdmission replaces a resident tenant's admission budget without
+// touching its SQL front or epoch. Reports whether the tenant is
+// resident here.
+func (h *Host) SetAdmission(tenant string, rate, burst float64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ts, ok := h.tenants[tenant]
+	if !ok {
+		return false
+	}
+	ts.bucket = newTokenBucket(rate, burst)
+	ts.rate = rate
+	ts.burst = burst
+	return true
+}
+
+// AdmissionBudget reports a resident tenant's admission settings (used
+// by the migrator to carry the budget to the destination).
+func (h *Host) AdmissionBudget(tenant string) (rate, burst float64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ts, ok := h.tenants[tenant]
+	if !ok {
+		return 0, 0, false
+	}
+	return ts.rate, ts.burst, true
+}
+
+// syncPrimaryLocked self-heals after a failover: if the cluster's
+// primary changed since the tenant fronts were built, rebuild every
+// front on the new primary's engine. Called with h.mu held; does no
+// fabric work (Primary() and NewTenant are in-memory).
+func (h *Host) syncPrimaryLocked() {
+	p := h.c.Primary()
+	if p == h.primary {
+		return
+	}
+	h.primary = p
+	for name, ts := range h.tenants {
+		ts.sql = sqlengine.NewTenant(p.Engine, name)
+	}
+}
+
+// Exec validates the request's placement epoch, applies admission
+// control, and runs the statement on the tenant's namespaced SQL front.
+// A request for a non-resident tenant or a stale epoch returns the
+// typed redirect; a request during a drain blocks until the cutover
+// completes (or ctx expires) and then redirects, so clients ride
+// through a migration without observing failures.
+func (h *Host) Exec(ctx context.Context, tenant string, epoch uint64, sqlText string) (*sqlengine.Result, error) {
+	return h.exec(ctx, tenant, epoch, sqlText, true)
+}
+
+// ExecControl is the control-plane variant of Exec: same placement and
+// drain semantics, but no admission charge. Operator probes (audits,
+// health checks, rebalancer scans) must neither be starved by a
+// tenant's own data-plane budget nor eat into it.
+func (h *Host) ExecControl(ctx context.Context, tenant string, epoch uint64, sqlText string) (*sqlengine.Result, error) {
+	return h.exec(ctx, tenant, epoch, sqlText, false)
+}
+
+func (h *Host) exec(ctx context.Context, tenant string, epoch uint64, sqlText string, metered bool) (*sqlengine.Result, error) {
+	h.mu.Lock()
+	ts, ok := h.tenants[tenant]
+	if !ok {
+		h.mu.Unlock()
+		return nil, h.movedErr(tenant)
+	}
+	if ts.draining {
+		gate := ts.gate
+		h.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, socerr.FromContext(ctx.Err())
+		case <-gate:
+			return nil, h.movedErr(tenant)
+		}
+	}
+	if epoch != ts.epoch {
+		h.mu.Unlock()
+		return nil, h.movedErr(tenant)
+	}
+	if metered && !ts.bucket.admit(time.Now()) {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q over budget at cluster %q",
+			socerr.ErrAdmission, tenant, h.id)
+	}
+	h.syncPrimaryLocked()
+	db := ts.sql
+	ts.inflight++
+	h.mu.Unlock()
+
+	res, err := db.ExecContext(ctx, sqlText)
+
+	h.mu.Lock()
+	ts.inflight--
+	if ts.draining && ts.inflight == 0 && ts.drained != nil {
+		close(ts.drained)
+		ts.drained = nil
+	}
+	h.mu.Unlock()
+	return res, err
+}
+
+// movedErr builds the typed redirect from the placement service's
+// current view (the host validates epochs, the placement map owns them).
+func (h *Host) movedErr(tenant string) error {
+	if a, ok := h.placement.Lookup(tenant); ok {
+		return &socerr.TenantMovedError{Tenant: tenant, Cluster: a.Cluster, Epoch: a.Epoch}
+	}
+	return &socerr.TenantMovedError{Tenant: tenant}
+}
+
+// beginDrain stops admitting new requests for the tenant (they block on
+// the gate) and returns a channel that closes once every in-flight
+// request has finished. After it closes, every acknowledged write is in
+// the commit log — the migrator's final tail replay misses nothing.
+func (h *Host) beginDrain(tenant string) (<-chan struct{}, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ts, ok := h.tenants[tenant]
+	if !ok {
+		return nil, fmt.Errorf("frontdoor: drain of non-resident tenant %q on %q", tenant, h.id)
+	}
+	if ts.draining {
+		return nil, fmt.Errorf("frontdoor: tenant %q already draining on %q", tenant, h.id)
+	}
+	ts.draining = true
+	ts.gate = make(chan struct{})
+	done := make(chan struct{})
+	if ts.inflight == 0 {
+		close(done)
+		return done, nil
+	}
+	ts.drained = done
+	return done, nil
+}
+
+// abortDrain rolls a failed migration back to serving: requests blocked
+// on the gate wake, redirect, and land right back here.
+func (h *Host) abortDrain(tenant string) {
+	h.mu.Lock()
+	ts, ok := h.tenants[tenant]
+	var gate chan struct{}
+	if ok && ts.draining {
+		ts.draining = false
+		gate = ts.gate
+		ts.gate = nil
+		ts.drained = nil
+	}
+	h.mu.Unlock()
+	if gate != nil {
+		close(gate)
+	}
+}
+
+// finishDrain completes the cutover: the tenant stops being resident
+// and every request blocked on the gate wakes into the typed redirect,
+// which the router resolves against the already-updated placement map.
+func (h *Host) finishDrain(tenant string) {
+	h.mu.Lock()
+	ts, ok := h.tenants[tenant]
+	delete(h.tenants, tenant)
+	var gate chan struct{}
+	if ok {
+		gate = ts.gate
+	}
+	h.mu.Unlock()
+	if gate != nil {
+		close(gate)
+	}
+}

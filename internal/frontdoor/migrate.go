@@ -1,0 +1,308 @@
+package frontdoor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"socrates/internal/engine"
+	"socrates/internal/page"
+	"socrates/internal/socerr"
+	"socrates/internal/sqlengine"
+)
+
+// MigrateOption tunes one migration.
+type MigrateOption func(*migrateOptions)
+
+type migrateOptions struct {
+	afterCopy func()
+}
+
+// WithAfterCopy installs a hook that runs after the bulk copy and
+// before the drain — the live window where writes keep landing on the
+// source and exist only in the XLOG tail. Tests and the chaos harness
+// use it to inject exactly the traffic a skip-log-tail bug would lose,
+// and to race failovers against the cutover.
+func WithAfterCopy(fn func()) MigrateOption {
+	return func(o *migrateOptions) { o.afterCopy = fn }
+}
+
+// Migrate moves a tenant to the named destination pool live:
+//
+//  1. Bulk copy — an O(1) XStore snapshot of the source, restored to
+//     end-of-log (snapshot + XLOG tail replay), applied to the
+//     destination while writes keep flowing on the source.
+//  2. Drain — the source stops admitting the tenant's requests (they
+//     block on the cutover gate) and waits out the in-flight ones.
+//     Commit acks gate on hardening, so after the drain every acked
+//     write is in the log.
+//  3. Final tail — the same snapshot restored again to end-of-log now
+//     replays the writes of the live window; the delta is reconciled
+//     into the destination in one transaction (the reader-atomic
+//     cutover).
+//  4. Epoch bump — the destination adopts the tenant at epoch+1, the
+//     placement map moves, and the drained source releases its gate:
+//     blocked requests wake into the typed redirect and the router
+//     retries them at the new home. Zero acked writes are lost.
+//
+// The migration state machine is: serving → copying → draining →
+// cutover → serving (dst). Every failure path before the placement
+// Move aborts back to serving on the source.
+func (f *Fleet) Migrate(ctx context.Context, tenant, dst string, opts ...MigrateOption) error {
+	var o migrateOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	asg, ok := f.Placement.Lookup(tenant)
+	if !ok {
+		return fmt.Errorf("frontdoor: migrate of unknown tenant %q", tenant)
+	}
+	if asg.Cluster == dst {
+		return nil
+	}
+	src := f.hostByID(asg.Cluster)
+	dstH := f.hostByID(dst)
+	if src == nil || dstH == nil {
+		return fmt.Errorf("frontdoor: migrate %q: unknown pool (%q → %q)", tenant, asg.Cluster, dst)
+	}
+
+	prefix := sqlengine.TenantPrefix(tenant)
+	migName := fmt.Sprintf("mig-%s-%d", tenant, asg.Epoch)
+
+	// Phase 1: bulk copy while the tenant keeps serving on the source.
+	if err := src.Cluster().Backup(migName); err != nil {
+		return fmt.Errorf("frontdoor: migrate %q: snapshot: %w", tenant, err)
+	}
+	img, _, err := src.Cluster().PointInTimeRestoreContext(ctx, migName, 0)
+	if err != nil {
+		return fmt.Errorf("frontdoor: migrate %q: bulk restore: %w", tenant, err)
+	}
+	if err := copyTenant(ctx, img, dstH, prefix); err != nil {
+		return fmt.Errorf("frontdoor: migrate %q: bulk copy: %w", tenant, err)
+	}
+
+	if o.afterCopy != nil {
+		o.afterCopy()
+	}
+
+	// Phase 2: drain, then replay the tail of the live window.
+	done, err := src.beginDrain(tenant)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		src.abortDrain(tenant)
+		return socerr.FromContext(ctx.Err())
+	case <-done:
+	}
+	target := page.LSN(0) // 0 = end of log: snapshot + full XLOG tail
+	if faultSkipLogTail() {
+		// Planted bug (chaosfault builds only): pin the final restore to
+		// the snapshot LSN, silently dropping the live window's tail.
+		if lsn, ok := src.Cluster().BackupLSN(migName); ok {
+			target = lsn
+		}
+	}
+	final, _, err := src.Cluster().PointInTimeRestoreContext(ctx, migName, target)
+	if err != nil {
+		src.abortDrain(tenant)
+		return fmt.Errorf("frontdoor: migrate %q: tail restore: %w", tenant, err)
+	}
+	if err := copyTenant(ctx, final, dstH, prefix); err != nil {
+		src.abortDrain(tenant)
+		return fmt.Errorf("frontdoor: migrate %q: tail copy: %w", tenant, err)
+	}
+
+	// Phase 3: cutover. Destination adopts first, placement publishes
+	// second, the source gate opens last — a redirected request can
+	// never arrive before its new home exists.
+	rate, burst, _ := src.AdmissionBudget(tenant)
+	newEpoch := asg.Epoch + 1
+	dstH.AddTenant(tenant, newEpoch, rate, burst)
+	if _, err := f.Placement.Move(tenant, dst, newEpoch); err != nil {
+		dstH.finishDrain(tenant) // back the adoption out
+		src.abortDrain(tenant)
+		return err
+	}
+	src.finishDrain(tenant)
+
+	// Scratch cleanup: the migration snapshot is no longer needed (the
+	// restored images are in-memory and garbage-collected).
+	//socrates:ignore-err snapshot cleanup is advisory; a leaked snapshot costs only XStore metadata
+	_ = src.Cluster().Store.DeleteSnapshot(src.ID() + "/" + migName)
+	return nil
+}
+
+func (f *Fleet) hostByID(id string) *Host {
+	for _, h := range f.hosts {
+		if h.ID() == id {
+			return h
+		}
+	}
+	return nil
+}
+
+// copyTenant reconciles the destination pool with the tenant's image:
+// every tenant table and schema row in the image is upserted, and rows
+// or tables present at the destination but absent from the image (stale
+// state from an earlier residence, or deletions during the live window)
+// are removed. All row changes land in one destination transaction, so
+// the cutover is atomic for destination readers. A destination failover
+// mid-copy is absorbed by retrying on the fresh primary.
+func copyTenant(ctx context.Context, img *engine.Engine, dst *Host, prefix string) error {
+	tables, rows, schemas, err := readImage(img, prefix)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		eng := dst.Cluster().Primary().Engine
+		if lastErr = applyImage(ctx, eng, prefix, tables, rows, schemas); lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// readImage collects the tenant's tables, rows, and schema entries from
+// a restored image.
+func readImage(img *engine.Engine, prefix string) (tables []string, rows map[string]map[string][]byte, schemas map[string][]byte, err error) {
+	all, err := img.Tables()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ro := img.BeginRO()
+	defer ro.Abort()
+	rows = make(map[string]map[string][]byte)
+	for _, t := range all {
+		if !strings.HasPrefix(t, prefix) {
+			continue
+		}
+		tables = append(tables, t)
+		m := make(map[string][]byte)
+		err := ro.Scan(t, nil, nil, func(k, v []byte) bool {
+			m[string(k)] = append([]byte(nil), v...)
+			return true
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rows[t] = m
+	}
+	schemas = make(map[string][]byte)
+	if img.HasTable(sqlengine.SchemaTable) {
+		err := ro.Scan(sqlengine.SchemaTable, nil, nil, func(k, v []byte) bool {
+			if strings.HasPrefix(string(k), prefix) {
+				schemas[string(k)] = append([]byte(nil), v...)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return tables, rows, schemas, nil
+}
+
+// applyImage writes one tenant image onto the destination engine.
+func applyImage(ctx context.Context, eng *engine.Engine, prefix string,
+	tables []string, rows map[string]map[string][]byte, schemas map[string][]byte) error {
+	ensure := func(name string) error {
+		err := eng.CreateTableContext(ctx, name)
+		if errors.Is(err, engine.ErrTableExists) {
+			return nil
+		}
+		return err
+	}
+	if err := ensure(sqlengine.SchemaTable); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := ensure(t); err != nil {
+			return err
+		}
+	}
+	// Stale tenant tables at the destination (an earlier residence) that
+	// the image no longer has get their rows and schema entries cleared;
+	// the engine reclaims table pages in the background, like DROP.
+	inImage := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		inImage[t] = true
+	}
+	dstTables, err := eng.Tables()
+	if err != nil {
+		return err
+	}
+	var stale []string
+	for _, t := range dstTables {
+		if strings.HasPrefix(t, prefix) && !inImage[t] {
+			stale = append(stale, t)
+		}
+	}
+
+	tx := eng.BeginContext(ctx)
+	abort := func(err error) error { tx.Abort(); return err }
+	for _, t := range tables {
+		want := rows[t]
+		var extra [][]byte
+		err := tx.Scan(t, nil, nil, func(k, _ []byte) bool {
+			if _, ok := want[string(k)]; !ok {
+				extra = append(extra, append([]byte(nil), k...))
+			}
+			return true
+		})
+		if err != nil {
+			return abort(err)
+		}
+		for k, v := range want {
+			if err := tx.Put(t, []byte(k), v); err != nil {
+				return abort(err)
+			}
+		}
+		for _, k := range extra {
+			if err := tx.Delete(t, k); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	for _, t := range stale {
+		var keys [][]byte
+		err := tx.Scan(t, nil, nil, func(k, _ []byte) bool {
+			keys = append(keys, append([]byte(nil), k...))
+			return true
+		})
+		if err != nil {
+			return abort(err)
+		}
+		for _, k := range keys {
+			if err := tx.Delete(t, k); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	var staleSchemas [][]byte
+	err = tx.Scan(sqlengine.SchemaTable, nil, nil, func(k, _ []byte) bool {
+		if strings.HasPrefix(string(k), prefix) {
+			if _, ok := schemas[string(k)]; !ok {
+				staleSchemas = append(staleSchemas, append([]byte(nil), k...))
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return abort(err)
+	}
+	for k, v := range schemas {
+		if err := tx.Put(sqlengine.SchemaTable, []byte(k), v); err != nil {
+			return abort(err)
+		}
+	}
+	for _, k := range staleSchemas {
+		if err := tx.Delete(sqlengine.SchemaTable, k); err != nil {
+			return abort(err)
+		}
+	}
+	return tx.Commit()
+}

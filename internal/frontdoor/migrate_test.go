@@ -1,0 +1,272 @@
+package frontdoor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"socrates/internal/cluster"
+	"socrates/internal/rbio"
+	"socrates/internal/simdisk"
+	"socrates/internal/socerr"
+	"socrates/internal/xstore"
+)
+
+// seedTenant creates the kv table and n rows through the router.
+func seedTenant(t *testing.T, f *Fleet, tenant string, n int) {
+	t.Helper()
+	mustExec(t, f, tenant, `CREATE TABLE kv (k TEXT PRIMARY KEY, v TEXT)`)
+	for i := 0; i < n; i++ {
+		mustExec(t, f, tenant, fmt.Sprintf(`INSERT INTO kv VALUES ('k%03d', 'v%d')`, i, i))
+	}
+}
+
+// auditTenant verifies each expected key/value through the router.
+func auditTenant(t *testing.T, f *Fleet, tenant string, want map[string]string) {
+	t.Helper()
+	for k, v := range want {
+		got, ok := queryOne(t, f, tenant, fmt.Sprintf(`SELECT v FROM kv WHERE k = '%s'`, k))
+		if !ok {
+			t.Errorf("tenant %s: key %s vanished", tenant, k)
+			continue
+		}
+		if got != v {
+			t.Errorf("tenant %s: key %s = %q, want %q", tenant, k, got, v)
+		}
+	}
+}
+
+// A live migration: rows written before the snapshot, during the live
+// window (existing only in the XLOG tail), and after the cutover all
+// survive; placement bumps the epoch; the source forgets the tenant.
+func TestMigrateLive(t *testing.T) {
+	f := testFleet(t, FleetConfig{Clusters: 2, Tenants: []string{"t0", "bystander"}})
+	seedTenant(t, f, "t0", 10)
+	want := map[string]string{}
+	for i := 0; i < 10; i++ {
+		want[fmt.Sprintf("k%03d", i)] = fmt.Sprintf("v%d", i)
+	}
+
+	before, _ := f.Placement.Lookup("t0")
+	err := f.Migrate(context.Background(), "t0", "h1", WithAfterCopy(func() {
+		// The live window: these exist only in the log tail.
+		for i := 0; i < 5; i++ {
+			k := fmt.Sprintf("live%d", i)
+			mustExec(t, f, "t0", fmt.Sprintf(`INSERT INTO kv VALUES ('%s', 'tail')`, k))
+			want[k] = "tail"
+		}
+	}))
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	after, _ := f.Placement.Lookup("t0")
+	if after.Cluster != "h1" || after.Epoch != before.Epoch+1 {
+		t.Fatalf("placement after migrate = %+v (before %+v)", after, before)
+	}
+	for _, tn := range f.Host(0).Tenants() {
+		if tn == "t0" {
+			t.Fatal("source still lists the migrated tenant")
+		}
+	}
+	auditTenant(t, f, "t0", want)
+	// And the tenant keeps serving writes at its new home.
+	mustExec(t, f, "t0", `INSERT INTO kv VALUES ('post', 'cutover')`)
+}
+
+// Quiesced migration: the final restore replays an empty log tail.
+func TestMigrateEmptyTail(t *testing.T) {
+	f := testFleet(t, FleetConfig{Clusters: 2, Tenants: []string{"t0"}})
+	seedTenant(t, f, "t0", 5)
+	if err := f.Migrate(context.Background(), "t0", "h1"); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 5; i++ {
+		want[fmt.Sprintf("k%03d", i)] = fmt.Sprintf("v%d", i)
+	}
+	auditTenant(t, f, "t0", want)
+}
+
+// Double cutover A→B→A: the return trip reconciles against the stale
+// first-residence state on A — rows deleted while on B must not
+// resurrect, rows updated on B must show the B-era values.
+func TestMigrateDoubleCutover(t *testing.T) {
+	f := testFleet(t, FleetConfig{Clusters: 2, Tenants: []string{"t0"}})
+	seedTenant(t, f, "t0", 8)
+	ctx := context.Background()
+	if err := f.Migrate(ctx, "t0", "h1"); err != nil {
+		t.Fatalf("migrate A→B: %v", err)
+	}
+	mustExec(t, f, "t0", `DELETE FROM kv WHERE k = 'k000'`)
+	mustExec(t, f, "t0", `UPDATE kv SET v = 'updated-on-b' WHERE k = 'k001'`)
+	mustExec(t, f, "t0", `INSERT INTO kv VALUES ('b-era', 'fresh')`)
+	if err := f.Migrate(ctx, "t0", "h0"); err != nil {
+		t.Fatalf("migrate B→A: %v", err)
+	}
+	a, _ := f.Placement.Lookup("t0")
+	if a.Cluster != "h0" || a.Epoch != 3 {
+		t.Fatalf("placement after round trip = %+v", a)
+	}
+	if _, ok := queryOne(t, f, "t0", `SELECT v FROM kv WHERE k = 'k000'`); ok {
+		t.Fatal("deleted row resurrected from the stale first residence")
+	}
+	auditTenant(t, f, "t0", map[string]string{
+		"k001":  "updated-on-b",
+		"b-era": "fresh",
+		"k002":  "v2",
+	})
+}
+
+// Snapshot taken mid-checkpoint: an aggressive checkpoint cadence plus
+// a concurrent writer ensure the backup's FlushForBackup races live
+// checkpoint traffic. Every write acked before or during the migration
+// must be present afterwards.
+func TestMigrateMidCheckpoint(t *testing.T) {
+	f := testFleet(t, FleetConfig{
+		Clusters: 2, Tenants: []string{"t0"},
+		Cluster: func(i int) cluster.Config {
+			return cluster.Config{
+				Net:               rbio.NewInstantNetwork(),
+				LZProfile:         simdisk.Instant,
+				LocalSSD:          simdisk.Instant,
+				XStore:            xstore.Config{Profile: simdisk.Instant},
+				LZCapacity:        32 << 20,
+				CheckpointEvery:   time.Millisecond,
+				Secondaries:       1,
+				PageServers:       1,
+				PagesPerPartition: 1 << 20,
+			}
+		},
+	})
+	seedTenant(t, f, "t0", 20)
+
+	var mu sync.Mutex
+	acked := map[string]string{}
+	for i := 0; i < 20; i++ {
+		acked[fmt.Sprintf("k%03d", i)] = fmt.Sprintf("v%d", i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := fmt.Sprintf("cc%04d", i)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_, err := f.Router.ExecContext(ctx, "t0",
+				fmt.Sprintf(`INSERT INTO kv VALUES ('%s', 'w')`, k))
+			cancel()
+			if err == nil {
+				mu.Lock()
+				acked[k] = "w"
+				mu.Unlock()
+			}
+		}
+	}()
+
+	if err := f.Migrate(context.Background(), "t0", "h1"); err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatalf("migrate under write load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	want := make(map[string]string, len(acked))
+	for k, v := range acked {
+		want[k] = v
+	}
+	mu.Unlock()
+	auditTenant(t, f, "t0", want)
+}
+
+// Cutover racing an in-flight commit: a statement is mid-execution when
+// the drain begins. The drain must wait it out (its write survives) —
+// and a request arriving during the drain parks on the gate, follows
+// the redirect after cutover, and succeeds at the new home.
+func TestMigrateRacingInflightCommit(t *testing.T) {
+	f := testFleet(t, FleetConfig{Clusters: 2, Tenants: []string{"t0"}})
+	seedTenant(t, f, "t0", 3)
+
+	inflight := make(chan error, 1)
+	duringDrain := make(chan error, 1)
+	err := f.Migrate(context.Background(), "t0", "h1", WithAfterCopy(func() {
+		// Launched here, racing the drain that begins when this hook
+		// returns. No synchronization on purpose: whichever side wins,
+		// an acked write must survive and a parked one must redirect.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := f.Router.ExecContext(ctx, "t0", `INSERT INTO kv VALUES ('race', 'acked')`)
+			inflight <- err
+		}()
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := f.Router.ExecContext(ctx, "t0", `INSERT INTO kv VALUES ('parked', 'redirected')`)
+			duringDrain <- err
+		}()
+	}))
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight commit failed across cutover: %v", err)
+	}
+	if err := <-duringDrain; err != nil {
+		t.Fatalf("drain-parked request failed: %v", err)
+	}
+	auditTenant(t, f, "t0", map[string]string{"race": "acked", "parked": "redirected"})
+}
+
+// Migration to the current home is a no-op; unknown tenants and pools
+// are typed errors; a drain interrupted by ctx cancellation aborts back
+// to serving on the source.
+func TestMigrateEdges(t *testing.T) {
+	f := testFleet(t, FleetConfig{Clusters: 2, Tenants: []string{"t0"}})
+	seedTenant(t, f, "t0", 2)
+	ctx := context.Background()
+	if err := f.Migrate(ctx, "t0", "h0"); err != nil {
+		t.Fatalf("no-op migrate errored: %v", err)
+	}
+	if err := f.Migrate(ctx, "ghost", "h1"); err == nil {
+		t.Fatal("migrate of unknown tenant succeeded")
+	}
+	if err := f.Migrate(ctx, "t0", "h9"); err == nil {
+		t.Fatal("migrate to unknown pool succeeded")
+	}
+
+	// Cancel during the drain: the hook parks a request (keeping
+	// inflight > 0 is not needed — cancellation hits the drain select),
+	// then cancels. The tenant must still serve on h0.
+	cctx, cancel := context.WithCancel(ctx)
+	err := f.Migrate(cctx, "t0", "h1", WithAfterCopy(func() {
+		go func() {
+			time.Sleep(50 * time.Millisecond) //socrates:sleep-ok test orchestration: cancel lands mid-drain
+			cancel()
+		}()
+		// Park one request so the drain cannot finish instantly.
+		go func() {
+			pctx, pcancel := context.WithTimeout(ctx, 10*time.Second)
+			defer pcancel()
+			//socrates:ignore-err the request is a drain blocker; its outcome is irrelevant
+			_, _ = f.Router.ExecContext(pctx, "t0", `SELECT v FROM kv WHERE k = 'k000'`)
+		}()
+	}))
+	if err == nil {
+		t.Log("drain finished before cancellation; abort path not exercised this run")
+	} else if !errors.Is(err, socerr.ErrTimeout) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled migrate returned %v", err)
+	}
+	// Either way the tenant serves.
+	mustExec(t, f, "t0", `INSERT INTO kv VALUES ('after-abort', 'ok')`)
+}

@@ -1,0 +1,108 @@
+// Package frontdoor is the multi-tenant router tier: the stateless
+// gateway that fronts many cluster.Cluster deployments, the placement
+// service that says which tenant lives where, per-tenant admission
+// control over shared (elastic-pool) clusters, and live tenant
+// migration built on XStore's O(1) snapshots plus XLOG tail replay.
+//
+// The paper's durability/availability split is what makes this tier
+// cheap: a tenant's durable state lives in XLOG + XStore, so moving a
+// tenant is a snapshot, a bounded log-tail replay, and an epoch bump —
+// not a data rewrite. Routers are stateless: they pull assignments from
+// the placement service and cache them; a stale cache is corrected by
+// the typed socerr.ErrTenantMoved redirect, never by gossip.
+package frontdoor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Assignment pins one tenant to one cluster at a placement epoch. The
+// epoch is per-tenant and bumps on every move; hosts reject requests
+// carrying any other epoch so a stale router can never write to a
+// tenant's old home after a cutover.
+type Assignment struct {
+	Tenant  string
+	Cluster string
+	Epoch   uint64
+}
+
+// Placement is the tiny authoritative placement service: the tenant →
+// cluster map with versioned epochs. It holds no tenant data and makes
+// no callbacks — routers pull, hosts validate, the migrator writes.
+type Placement struct {
+	mu      sync.Mutex
+	version uint64 // bumps on any map change (the router's cheap staleness probe)
+	tenants map[string]Assignment
+}
+
+// NewPlacement returns an empty placement map.
+func NewPlacement() *Placement {
+	return &Placement{tenants: make(map[string]Assignment)}
+}
+
+// Assign creates a tenant on a cluster (epoch 1) or moves an existing
+// one there (epoch+1). Migration uses Move to pin the epoch it already
+// published to the destination host; Assign is for initial placement
+// and tests.
+func (p *Placement) Assign(tenant, clusterID string) Assignment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := p.tenants[tenant]
+	a = Assignment{Tenant: tenant, Cluster: clusterID, Epoch: a.Epoch + 1}
+	p.tenants[tenant] = a
+	p.version++
+	return a
+}
+
+// Move installs an explicit next assignment. The epoch must advance, so
+// a delayed migrator can never roll the map backwards. It is the atomic
+// cutover switch: the instant Move returns, every fresh placement pull
+// names the destination.
+func (p *Placement) Move(tenant, clusterID string, epoch uint64) (Assignment, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur, ok := p.tenants[tenant]
+	if !ok {
+		return Assignment{}, fmt.Errorf("frontdoor: move of unknown tenant %q", tenant)
+	}
+	if epoch <= cur.Epoch {
+		return Assignment{}, fmt.Errorf("frontdoor: stale move for %q: epoch %d <= current %d",
+			tenant, epoch, cur.Epoch)
+	}
+	a := Assignment{Tenant: tenant, Cluster: clusterID, Epoch: epoch}
+	p.tenants[tenant] = a
+	p.version++
+	return a, nil
+}
+
+// Lookup returns the tenant's current assignment.
+func (p *Placement) Lookup(tenant string) (Assignment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.tenants[tenant]
+	return a, ok
+}
+
+// Version is the global map version; it bumps on every change. Routers
+// compare it against the version of their last pull to decide whether a
+// bulk refresh is worthwhile.
+func (p *Placement) Version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version
+}
+
+// Snapshot returns the map version and every assignment, sorted by
+// tenant — the router's bulk pull.
+func (p *Placement) Snapshot() (uint64, []Assignment) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Assignment, 0, len(p.tenants))
+	for _, a := range p.tenants {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return p.version, out
+}

@@ -41,6 +41,7 @@ const (
 	TierXLOG       = "xlog"
 	TierPageServer = "pageserver"
 	TierXStore     = "xstore"
+	TierFrontdoor  = "frontdoor"
 )
 
 // TraceID identifies one request tree (one commit, one GetPage@LSN, ...).

@@ -16,6 +16,11 @@ import (
 // schemaTable is the system table mapping table name → encoded schema.
 const schemaTable = "__schema"
 
+// SchemaTable exposes the system schema table's physical name; the
+// front-door migrator copies a tenant's schema rows out of it alongside
+// the tenant's data tables.
+const SchemaTable = schemaTable
+
 // Errors.
 var (
 	ErrNoSuchTable  = errors.New("sql: no such table")
@@ -28,6 +33,10 @@ var (
 type DB struct {
 	eng *engine.Engine
 
+	// prefix namespaces every table this DB touches (elastic pools: many
+	// tenants share one engine). "" is the single-tenant DB.
+	prefix string
+
 	mu      sync.Mutex
 	schemas map[string]*schema
 }
@@ -36,6 +45,26 @@ type DB struct {
 func New(eng *engine.Engine) *DB {
 	return &DB{eng: eng, schemas: make(map[string]*schema)}
 }
+
+// NewTenant wraps an engine with a per-tenant table namespace so many
+// logical databases share one engine (the elastic-pool arrangement).
+// Physical table names become TenantPrefix(tenant)+name; schema rows
+// share the one __schema system table under the same prefixed keys, so
+// tenants cannot see each other's tables. SQL identifiers cannot contain
+// '.', which makes the namespace collision-free against both plain-DB
+// tables and other tenants.
+func NewTenant(eng *engine.Engine, tenant string) *DB {
+	return &DB{eng: eng, prefix: TenantPrefix(tenant), schemas: make(map[string]*schema)}
+}
+
+// TenantPrefix returns the physical-name prefix for a tenant's tables.
+// The '.' separators are unreachable from SQL identifiers.
+func TenantPrefix(tenant string) string {
+	return "tnt." + strings.ToLower(tenant) + "."
+}
+
+// phys maps a SQL-visible table name to its physical engine table name.
+func (db *DB) phys(table string) string { return db.prefix + strings.ToLower(table) }
 
 // Engine exposes the underlying storage engine.
 func (db *DB) Engine() *engine.Engine { return db.eng }
@@ -219,6 +248,19 @@ func (s *Session) showTables() (*Result, error) {
 		if n == schemaTable {
 			continue
 		}
+		if s.db.prefix == "" {
+			// The plain DB hides tenant namespaces ("tnt.<t>.*"): those
+			// tables belong to front-door tenants sharing this engine.
+			if strings.HasPrefix(n, "tnt.") {
+				continue
+			}
+		} else {
+			rest, ok := strings.CutPrefix(n, s.db.prefix)
+			if !ok {
+				continue
+			}
+			n = rest
+		}
 		res.Rows = append(res.Rows, []Value{TextValue(n)})
 	}
 	return res, nil
@@ -245,10 +287,10 @@ func (db *DB) createTable(ctx context.Context, st *CreateTableStmt) (*Result, er
 	if pkCount != 1 {
 		return nil, fmt.Errorf("sql: table must have exactly one PRIMARY KEY column, got %d", pkCount)
 	}
-	name := strings.ToLower(st.Table)
-	if name == schemaTable {
+	if strings.ToLower(st.Table) == schemaTable {
 		return nil, errors.New("sql: reserved table name")
 	}
+	name := db.phys(st.Table)
 	if err := db.ensureSchemaTable(ctx); err != nil {
 		return nil, err
 	}
@@ -270,7 +312,7 @@ func (db *DB) createTable(ctx context.Context, st *CreateTableStmt) (*Result, er
 }
 
 func (db *DB) dropTable(ctx context.Context, st *DropTableStmt) (*Result, error) {
-	name := strings.ToLower(st.Table)
+	name := db.phys(st.Table)
 	if _, err := db.schema(name); err != nil {
 		return nil, err
 	}
@@ -372,7 +414,7 @@ func coerce(v Value, t ColType) (Value, error) {
 }
 
 func (db *DB) runInsert(tx *engine.Tx, st *InsertStmt) (*Result, error) {
-	name := strings.ToLower(st.Table)
+	name := db.phys(st.Table)
 	sc, err := db.schema(name)
 	if err != nil {
 		return nil, err
@@ -531,7 +573,7 @@ func pkEquality(e Expr, sc *schema) (Value, bool) {
 }
 
 func (db *DB) runSelect(tx *engine.Tx, st *SelectStmt) (*Result, error) {
-	name := strings.ToLower(st.Table)
+	name := db.phys(st.Table)
 	sc, err := db.schema(name)
 	if err != nil {
 		return nil, err
@@ -733,7 +775,7 @@ func (db *DB) runAggregate(tx *engine.Tx, st *SelectStmt, name string, sc *schem
 }
 
 func (db *DB) runUpdate(tx *engine.Tx, st *UpdateStmt) (*Result, error) {
-	name := strings.ToLower(st.Table)
+	name := db.phys(st.Table)
 	sc, err := db.schema(name)
 	if err != nil {
 		return nil, err
@@ -792,7 +834,7 @@ func (db *DB) runUpdate(tx *engine.Tx, st *UpdateStmt) (*Result, error) {
 }
 
 func (db *DB) runDelete(tx *engine.Tx, st *DeleteStmt) (*Result, error) {
-	name := strings.ToLower(st.Table)
+	name := db.phys(st.Table)
 	sc, err := db.schema(name)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,92 @@
+package sqlengine
+
+import (
+	"errors"
+	"testing"
+
+	"socrates/internal/engine"
+	"socrates/internal/fcb"
+)
+
+// newSharedEngine boots one engine for several tenant DBs to share.
+func newSharedEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng, err := engine.Create(engine.Config{
+		Pages: fcb.NewMemFile(),
+		Log:   engine.NewMemPipeline(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// Two tenants and the plain DB share one engine; identically named
+// tables must not collide and must stay invisible across namespaces.
+func TestTenantNamespaceIsolation(t *testing.T) {
+	eng := newSharedEngine(t)
+	a := NewTenant(eng, "alpha")
+	b := NewTenant(eng, "beta")
+	plain := New(eng)
+
+	for _, db := range []*DB{a, b, plain} {
+		mustExec(t, db, `CREATE TABLE kv (k TEXT PRIMARY KEY, v TEXT)`)
+	}
+	mustExec(t, a, `INSERT INTO kv VALUES ('x', 'from-alpha')`)
+	mustExec(t, b, `INSERT INTO kv VALUES ('x', 'from-beta')`)
+	mustExec(t, plain, `INSERT INTO kv VALUES ('x', 'from-plain')`)
+
+	for _, tc := range []struct {
+		db   *DB
+		want string
+	}{{a, "from-alpha"}, {b, "from-beta"}, {plain, "from-plain"}} {
+		res := mustExec(t, tc.db, `SELECT v FROM kv WHERE k = 'x'`)
+		if len(res.Rows) != 1 || res.Rows[0][0].String() != tc.want {
+			t.Fatalf("namespace bleed: got %v, want [%s]", rowsToStrings(res), tc.want)
+		}
+	}
+
+	// A table created by one tenant does not exist for another.
+	mustExec(t, a, `CREATE TABLE only_alpha (id INT PRIMARY KEY)`)
+	if _, err := b.Exec(`SELECT * FROM only_alpha`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("tenant beta saw alpha's table: err=%v", err)
+	}
+	if _, err := plain.Exec(`SELECT * FROM only_alpha`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("plain DB saw alpha's table: err=%v", err)
+	}
+}
+
+// SHOW TABLES lists only the namespace's own tables, with logical (not
+// physical) names, and the plain DB hides tenant namespaces entirely.
+func TestTenantShowTables(t *testing.T) {
+	eng := newSharedEngine(t)
+	a := NewTenant(eng, "alpha")
+	plain := New(eng)
+
+	mustExec(t, a, `CREATE TABLE orders (id INT PRIMARY KEY)`)
+	mustExec(t, a, `CREATE TABLE items (id INT PRIMARY KEY)`)
+	mustExec(t, plain, `CREATE TABLE host_table (id INT PRIMARY KEY)`)
+
+	got := rowsToStrings(mustExec(t, a, `SHOW TABLES`))
+	if len(got) != 2 || got[0] != "items" || got[1] != "orders" {
+		t.Fatalf("tenant SHOW TABLES = %v, want [items orders]", got)
+	}
+	got = rowsToStrings(mustExec(t, plain, `SHOW TABLES`))
+	if len(got) != 1 || got[0] != "host_table" {
+		t.Fatalf("plain SHOW TABLES = %v, want [host_table]", got)
+	}
+}
+
+// DROP TABLE stays inside the namespace.
+func TestTenantDrop(t *testing.T) {
+	eng := newSharedEngine(t)
+	a := NewTenant(eng, "alpha")
+	b := NewTenant(eng, "beta")
+	mustExec(t, a, `CREATE TABLE shared_name (id INT PRIMARY KEY)`)
+	mustExec(t, b, `CREATE TABLE shared_name (id INT PRIMARY KEY)`)
+	mustExec(t, a, `DROP TABLE shared_name`)
+	if _, err := a.Exec(`SELECT * FROM shared_name`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("alpha's drop did not take: %v", err)
+	}
+	mustExec(t, b, `INSERT INTO shared_name VALUES (1)`) // beta's survives
+}

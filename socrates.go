@@ -83,7 +83,17 @@ var (
 	ErrClosed = socerr.ErrClosed
 	// ErrNoSecondary marks operations naming an unknown secondary.
 	ErrNoSecondary = socerr.ErrNoSecondary
+	// ErrAdmission marks a request rejected by per-tenant admission
+	// control at the front door (the tenant's token bucket was empty).
+	ErrAdmission = socerr.ErrAdmission
+	// ErrTenantMoved marks a request routed with a stale placement
+	// epoch; errors.As against *TenantMovedError recovers the redirect.
+	ErrTenantMoved = socerr.ErrTenantMoved
 )
+
+// TenantMovedError is the typed redirect behind ErrTenantMoved: it
+// carries the tenant's current cluster and placement epoch.
+type TenantMovedError = socerr.TenantMovedError
 
 // LZService selects the storage service implementing the landing zone —
 // the Appendix A experiment knob. Swapping services changes no other code,
@@ -325,7 +335,8 @@ type MetricsSnapshot struct {
 	XLOG        TierMetrics // LogBroker feed, promotion, destage, pulls
 	PageServer  TierMetrics // log apply, GetPage@LSN serving, scan pushdown
 	XStore      TierMetrics // long-term storage reads/writes/snapshots
-	Other       TierMetrics // anything outside the five tier namespaces
+	Frontdoor   TierMetrics // router tier: per-tenant ops, latency, rejects
+	Other       TierMetrics // anything outside the six tier namespaces
 }
 
 // tierOf maps a metric-name prefix to the snapshot sub-struct it belongs to,
@@ -340,6 +351,7 @@ func (m *MetricsSnapshot) tierOf(name string) (*TierMetrics, string) {
 		{"xlog.", &m.XLOG},
 		{"pageserver.", &m.PageServer},
 		{"xstore.", &m.XStore},
+		{"frontdoor.", &m.Frontdoor},
 	} {
 		if rest, ok := strings.CutPrefix(name, t.prefix); ok {
 			return t.dst, rest
